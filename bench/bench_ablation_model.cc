@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ablations of this reproduction's own design choices (DESIGN.md §5-6):
+ *
+ *  (1) paired vs unpaired A/B statistics — how many samples each needs
+ *      to resolve a small true effect under diurnal load;
+ *  (2) SRRIP vs strict LRU in the shared LLC — what adaptive
+ *      replacement buys the code/data miss profile;
+ *  (3) foreign-core interference injection on/off — what multi-core
+ *      LLC sharing contributes to the measured misses.
+ */
+
+#include "common.hh"
+#include "sim/production_env.hh"
+#include "stats/running_stat.hh"
+#include "stats/students_t.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+namespace {
+
+void
+ablatePairing(const SimOptions &opts)
+{
+    std::printf("(1) paired vs unpaired statistics\n\n");
+    ProductionEnvironment env(webProfile(), skylake18(), opts.seed, opts);
+    env.noise().diurnalAmplitude = 0.10;
+
+    // A deliberately subtle true effect: the SHP 200 → 300 step
+    // (a fraction of a percent), the kind μSKU must routinely resolve.
+    KnobConfig base = productionConfig(skylake18(), webProfile());
+    KnobConfig better = base;
+    better.shpCount = 300;
+
+    // Draw paired samples spread across a day; test both ways.
+    TextTable table;
+    table.header({"samples", "paired p", "paired verdict",
+                  "unpaired (Welch) p", "unpaired verdict"});
+    RunningStat ratios, armA, armB;
+    double clock = 0.0;
+    for (int n : {50, 100, 200, 400, 800}) {
+        while (ratios.count() < static_cast<std::uint64_t>(n)) {
+            clock += 300.0;
+            PairedSample s = env.samplePair(base, better, clock);
+            ratios.add(s.mipsB / s.mipsA - 1.0);
+            armA.add(s.mipsA);
+            armB.add(s.mipsB);
+        }
+        WelchResult paired = pairedTTest(ratios, 0.95);
+        WelchResult unpaired = welchTTest(armA, armB, 0.95);
+        table.row({format("%d", n), format("%.2g", paired.pValue),
+                   paired.significant ? "significant" : "-",
+                   format("%.2g", unpaired.pValue),
+                   unpaired.significant ? "significant" : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    note("Pairing resolves the few-percent effect orders of magnitude "
+         "sooner; the unpaired test drowns in the diurnal swing — this "
+         "is why μSKU A/B-tests simultaneously-measured server pairs.");
+}
+
+void
+ablateReplacement(const SimOptions &opts)
+{
+    std::printf("\n(2) LLC replacement: SRRIP vs strict LRU\n\n");
+    TextTable table;
+    table.header({"service", "policy", "LLC code MPKI", "LLC data MPKI",
+                  "IPC"});
+    for (const char *name : {"web", "cache2", "feed2"}) {
+        const WorkloadProfile &service = serviceByName(name);
+        const PlatformSpec &platform =
+            platformByName(service.defaultPlatform);
+        KnobConfig knobs = productionConfig(platform, service);
+        for (bool lru : {false, true}) {
+            SimOptions ablated = opts;
+            ablated.llcLru = lru;
+            CounterSet c = simulateService(service, platform, knobs,
+                                           ablated);
+            table.row({service.displayName, lru ? "LRU" : "SRRIP",
+                       format("%.2f", c.mpkiOf(c.llc, AccessType::Code)),
+                       format("%.2f", c.mpkiOf(c.llc, AccessType::Data)),
+                       format("%.2f", c.coreIpc)});
+        }
+        table.separator();
+    }
+    std::printf("%s\n", table.render().c_str());
+    note("SRRIP's promote-on-reuse and distant prefetch insertion "
+         "protect hot code and reused data from one-shot streams — "
+         "strict LRU inflates the miss profile.");
+}
+
+void
+ablateInterference(const SimOptions &opts)
+{
+    std::printf("\n(3) foreign-core LLC interference injection\n\n");
+    TextTable table;
+    table.header({"service", "interference", "LLC code MPKI",
+                  "LLC data MPKI", "IPC"});
+    for (const char *name : {"web", "ads1"}) {
+        const WorkloadProfile &service = serviceByName(name);
+        const PlatformSpec &platform =
+            platformByName(service.defaultPlatform);
+        KnobConfig knobs = productionConfig(platform, service);
+        for (bool off : {false, true}) {
+            SimOptions ablated = opts;
+            ablated.disableInterference = off;
+            CounterSet c = simulateService(service, platform, knobs,
+                                           ablated);
+            table.row({service.displayName, off ? "off" : "on",
+                       format("%.2f", c.mpkiOf(c.llc, AccessType::Code)),
+                       format("%.2f", c.mpkiOf(c.llc, AccessType::Data)),
+                       format("%.2f", c.coreIpc)});
+        }
+        table.separator();
+    }
+    std::printf("%s\n", table.render().c_str());
+    note("Without the other 17 cores' traffic the LLC looks private and "
+         "data misses collapse — multi-core sharing pressure is what "
+         "the Fig 10/15 capacity sensitivity rides on.");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Ablations", "design choices of this reproduction");
+    SimOptions opts = defaultSimOptions(args);
+    opts.warmupInstructions = 500'000;
+    opts.measureInstructions = 700'000;
+    ablatePairing(opts);
+    ablateReplacement(opts);
+    ablateInterference(opts);
+    return 0;
+}

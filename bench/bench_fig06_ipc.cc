@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig 6: per-core IPC across the seven microservices, the simulated
+ * SPEC CPU2006 suite (Skylake20), and literature-reported values for
+ * SPEC CPU2017, CloudSuite, and Google services (other platforms — the
+ * paper compares spreads, not absolutes).
+ */
+
+#include "common.hh"
+#include "services/reported.hh"
+#include "services/spec_suite.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Fig 6", "per-core IPC");
+
+    SimOptions opts = defaultSimOptions(args);
+
+    TextTable table;
+    table.header({"workload", "group", "IPC", ""});
+    auto add = [&](const std::string &name, const std::string &group,
+                   double ipc) {
+        table.row({name, group, format("%.2f", ipc),
+                   barRow("", ipc, 4.0, 32, "")});
+    };
+
+    double lo = 1e9, hi = 0.0;
+    for (const WorkloadProfile *service : allMicroservices()) {
+        CounterSet c = productionCounters(*service, opts);
+        add(service->displayName, "our microservices", c.coreIpc);
+        lo = std::min(lo, c.coreIpc);
+        hi = std::max(hi, c.coreIpc);
+    }
+    table.separator();
+    for (const WorkloadProfile *spec : specSuite()) {
+        const PlatformSpec &platform = platformByName(spec->defaultPlatform);
+        CounterSet c = simulateService(*spec, platform,
+                                       stockConfig(platform, *spec), opts);
+        add(spec->displayName, "SPEC2006 (measured)", c.coreIpc);
+    }
+    table.separator();
+    for (const auto &w : spec2017Limaye18())
+        add(w.name, w.source, w.ipc);
+    table.separator();
+    for (const auto &w : cloudSuiteFerdman12())
+        add(w.name, w.source, w.ipc);
+    table.separator();
+    for (const auto &w : googleKanev15())
+        add(w.name, w.source, w.ipc);
+    for (const auto &w : googleAyers18())
+        add(w.name, w.source, w.ipc);
+
+    std::printf("%s\n", table.render().c_str());
+    note("Our microservice IPC spread: %.2f - %.2f (%.1fx).", lo, hi,
+         hi / lo);
+    note("Paper: none of the microservices exceed half of Skylake's "
+         "theoretical peak (5.0); their IPC diversity exceeds Google's "
+         "services and sits below most SPEC CPU2006 benchmarks.");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig 9: LLC code and data MPKI.  The headline anomaly: Web sustains
+ * non-negligible LLC *instruction* misses in steady state — almost
+ * unheard of — due to its JIT code cache.
+ */
+
+#include "common.hh"
+#include "services/reported.hh"
+#include "services/spec_suite.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Fig 9", "LLC code/data MPKI");
+
+    SimOptions opts = defaultSimOptions(args);
+
+    TextTable table;
+    table.header({"workload", "LLC data", "LLC code", ""});
+    auto add = [&](const std::string &name, double data, double code) {
+        table.row({name, format("%.2f", data), format("%.2f", code),
+                   barRow("", data + code, 25.0, 30,
+                          format("%.1f", data + code))});
+    };
+
+    double webCode = 0.0, othersMaxCode = 0.0;
+    for (const WorkloadProfile *service : allMicroservices()) {
+        CounterSet c = productionCounters(*service, opts);
+        double code = c.mpkiOf(c.llc, AccessType::Code);
+        add(service->displayName, c.mpkiOf(c.llc, AccessType::Data), code);
+        if (service->name == "web")
+            webCode = code;
+        else
+            othersMaxCode = std::max(othersMaxCode, code);
+    }
+    table.separator();
+    for (const WorkloadProfile *spec : specSuite()) {
+        const PlatformSpec &platform = platformByName(spec->defaultPlatform);
+        CounterSet c = simulateService(*spec, platform,
+                                       stockConfig(platform, *spec), opts);
+        add(spec->displayName, c.mpkiOf(c.llc, AccessType::Data),
+            c.mpkiOf(c.llc, AccessType::Code));
+    }
+    table.separator();
+    for (const auto &w : googleAyers18()) {
+        table.row({w.name + " [" + w.source + "]",
+                   format("%.2f", w.llcMpki), "~0", ""});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    note("Measured: Web LLC code MPKI %.2f vs next-highest service %.2f "
+         "(%.1fx).", webCode, std::max(othersMaxCode, 0.01),
+         webCode / std::max(othersMaxCode, 0.01));
+    note("Paper: LLC data misses are high across services (Feed1 ~9.3); "
+         "Web's 1.7 LLC *code* MPKI is the unusual, expensive one — "
+         "out-of-order execution cannot hide instruction stalls.");
+    return 0;
+}

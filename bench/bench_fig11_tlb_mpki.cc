@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig 11: ITLB MPKI and DTLB MPKI (split into load and store misses)
+ * across the microservices and SPEC CPU2006 — Web's JIT code cache
+ * makes its ITLB miss rate the fleet's outlier.
+ */
+
+#include "common.hh"
+#include "services/spec_suite.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Fig 11", "ITLB & DTLB (load/store) MPKI");
+
+    SimOptions opts = defaultSimOptions(args);
+
+    TextTable table;
+    table.header({"workload", "iTLB", "dTLB ld", "dTLB st", "dTLB", ""});
+    auto add = [&](const std::string &name, const CounterSet &c) {
+        double total = c.dtlbMpki();
+        double walkSplit = static_cast<double>(c.dtlbLoadMisses +
+                                               c.dtlbStoreMisses);
+        double loadShare =
+            walkSplit > 0 ? static_cast<double>(c.dtlbLoadMisses) /
+                                walkSplit
+                          : 0.0;
+        table.row({name, format("%.1f", c.itlbMpki()),
+                   format("%.1f", total * loadShare),
+                   format("%.1f", total * (1.0 - loadShare)),
+                   format("%.1f", total),
+                   barRow("", c.itlbMpki(), 20.0, 24,
+                          format("i=%.1f", c.itlbMpki()))});
+    };
+
+    for (const WorkloadProfile *service : allMicroservices())
+        add(service->displayName, productionCounters(*service, opts));
+    table.separator();
+    for (const WorkloadProfile *spec : specSuite()) {
+        const PlatformSpec &platform = platformByName(spec->defaultPlatform);
+        add(spec->displayName,
+            simulateService(*spec, platform, stockConfig(platform, *spec),
+                            opts));
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    note("Paper: ITLB misses mirror LLC code misses — Web drastically "
+         "highest (JIT code cache), Cache tiers next, the rest "
+         "negligible.  DTLB varies; Feed1 stays low (~5.8) despite its "
+         "LLC data misses because dense feature vectors give page "
+         "locality.");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig 12: each platform's memory bandwidth-vs-latency stress curve
+ * (Intel MLC-style) with every microservice's measured operating point
+ * plotted against it.
+ */
+
+#include "common.hh"
+#include "mem/stress.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Fig 12", "memory bandwidth vs loaded latency");
+
+    for (const PlatformSpec *platform : {&skylake18(), &skylake20()}) {
+        std::printf("%s stress-test curve:\n", platform->name.c_str());
+        auto curve = memoryStressCurve(*platform, 12);
+        TextTable table;
+        table.header({"bandwidth GB/s", "latency ns", ""});
+        for (const StressPoint &p : curve) {
+            table.row({format("%.0f", p.bandwidthGBs),
+                       format("%.0f", p.latencyNs),
+                       barRow("", p.latencyNs, 500.0, 30, "")});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    SimOptions opts = defaultSimOptions(args);
+    std::printf("service operating points:\n");
+    TextTable table;
+    table.header({"uservice", "platform", "bandwidth GB/s", "latency ns",
+                  "util of peak"});
+    for (const WorkloadProfile *service : allMicroservices()) {
+        const PlatformSpec &platform =
+            platformByName(service->defaultPlatform);
+        CounterSet c = productionCounters(*service, opts);
+        table.row({service->displayName, platform.name,
+                   format("%.0f", c.memBandwidthGBs),
+                   format("%.0f", c.memLatencyNs),
+                   format("%.0f%%", c.memBandwidthGBs /
+                                        platform.peakMemBandwidthGBs *
+                                        100.0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    note("Paper: the curves sit on a horizontal asymptote then grow "
+         "exponentially near saturation; every service operates below "
+         "the knee (latency SLOs forbid more), with Ads2/Cache1 needing "
+         "the higher-bandwidth Skylake20 and Ads2 sitting above the "
+         "curve (bursty traffic).");
+    return 0;
+}

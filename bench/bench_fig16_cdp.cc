@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig 16: Code/Data Prioritization sweeps over every {data, code} LLC
+ * way split — (a) Web (Skylake) and Ads1 gain from dedicating ways to
+ * code; (b) Web (Broadwell) cannot, because it saturates memory
+ * bandwidth under every CDP configuration.
+ */
+
+#include "common.hh"
+#include "core/ab_test.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+namespace {
+
+void
+sweepCdp(const char *serviceName, const char *platformName,
+         const SimOptions &opts)
+{
+    const WorkloadProfile &service = serviceByName(serviceName);
+    const PlatformSpec &platform = platformByName(platformName);
+    ProductionEnvironment env(service, platform, opts.seed, opts);
+
+    InputSpec spec;
+    spec.microservice = service.name;
+    spec.platform = platform.name;
+    spec.normalize();
+    ABTester tester(env, spec);
+
+    KnobConfig base = productionConfig(platform, service);   // CDP off
+
+    std::printf("%s (%s), gain over CDP off {data ways, code ways}:\n",
+                service.displayName.c_str(), platform.name.c_str());
+    TextTable table;
+    table.header({"split", "gain%", "ci%", "signif", ""});
+    double best = -1e9;
+    std::string bestLabel = "off";
+    for (int data = 1; data < platform.llc.ways; ++data) {
+        int code = platform.llc.ways - data;
+        KnobConfig candidate = base;
+        candidate.cdp = {true, data, code};
+        ABTestResult result = tester.compare(base, candidate);
+        if (result.significant && result.gainPercent() > best) {
+            best = result.gainPercent();
+            bestLabel = format("{%dd,%dc}", data, code);
+        }
+        table.row({format("{%dd,%dc}", data, code),
+                   format("%+.2f", result.gainPercent()),
+                   format("%.2f", result.gainCiPercent()),
+                   result.significant ? "yes" : "no",
+                   barRow("", result.gainPercent() + 15.0, 30.0, 24, "")});
+    }
+    std::printf("%s\nbest significant split: %s (%+.2f%%)\n\n",
+                table.render().c_str(), bestLabel.c_str(),
+                best > -1e8 ? best : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Fig 16", "CDP: LLC code/data way partitioning (A/B)");
+
+    SimOptions opts = defaultSimOptions(args);
+    opts.warmupInstructions = 500'000;
+    opts.measureInstructions = 700'000;
+
+    std::printf("(a) Skylake:\n\n");
+    sweepCdp("web", "skylake18", opts);
+    sweepCdp("ads1", "skylake18", opts);
+
+    std::printf("(b) Broadwell:\n\n");
+    sweepCdp("web", "broadwell16", opts);
+
+    note("Paper: Web (Skylake) gains up to 4.5%% at {6d,5c} — trading "
+         "0.6 data MPKI for 0.3 code MPKI wins because code misses are "
+         "unhidden; Ads1 gains 2.5%% at {9d,2c}; Web (Broadwell) gains "
+         "nothing — it saturates memory bandwidth under every split.");
+    return 0;
+}

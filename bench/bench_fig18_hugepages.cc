@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fig 18: (a) transparent-huge-page modes vs the production madvise
+ * default; (b) the static-huge-page count sweep with its sweet spot.
+ * Ads1 is excluded from SHP exactly as μSKU's configurator excludes it
+ * (no hugetlbfs API use).
+ */
+
+#include "common.hh"
+#include "core/ab_test.hh"
+#include "core/design_space.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Fig 18", "transparent & static huge pages (A/B)");
+
+    SimOptions opts = defaultSimOptions(args);
+    opts.warmupInstructions = 500'000;
+    opts.measureInstructions = 700'000;
+
+    std::printf("(a) THP modes, gain over madvise:\n\n");
+    struct Target
+    {
+        const char *service;
+        const char *platform;
+    };
+    for (const Target &t : {Target{"web", "skylake18"},
+                            Target{"web", "broadwell16"},
+                            Target{"ads1", "skylake18"}}) {
+        const WorkloadProfile &service = serviceByName(t.service);
+        const PlatformSpec &platform = platformByName(t.platform);
+        ProductionEnvironment env(service, platform, opts.seed, opts);
+        InputSpec spec;
+        spec.microservice = service.name;
+        spec.platform = platform.name;
+        spec.normalize();
+        ABTester tester(env, spec);
+
+        KnobConfig base = productionConfig(platform, service);
+        TextTable table;
+        table.header({"mode", "gain%", "ci%"});
+        for (ThpMode mode : {ThpMode::Always, ThpMode::Never}) {
+            KnobConfig candidate = base;
+            candidate.thp = mode;
+            ABTestResult result = tester.compare(base, candidate);
+            table.row({"THP " + thpModeName(mode),
+                       format("%+.2f", result.gainPercent()),
+                       format("%.2f", result.gainCiPercent())});
+        }
+        std::printf("%s (%s):\n%s\n", service.displayName.c_str(),
+                    platform.name.c_str(), table.render().c_str());
+    }
+
+    std::printf("(b) SHP count sweep, gain over no SHPs:\n\n");
+    std::string reason;
+    if (!knobApplicable(KnobId::Shp, skylake18(), ads1Profile(), &reason))
+        std::printf("Ads1 excluded: %s\n\n", reason.c_str());
+
+    for (const char *platformName : {"skylake18", "broadwell16"}) {
+        const WorkloadProfile &service = serviceByName("web");
+        const PlatformSpec &platform = platformByName(platformName);
+        ProductionEnvironment env(service, platform, opts.seed, opts);
+        InputSpec spec;
+        spec.microservice = service.name;
+        spec.platform = platform.name;
+        spec.normalize();
+        ABTester tester(env, spec);
+
+        KnobConfig base = productionConfig(platform, service);
+        int productionShp = base.shpCount;
+        base.shpCount = 0;
+
+        std::printf("Web (%s), production reserves %d SHPs:\n",
+                    platform.name.c_str(), productionShp);
+        TextTable table;
+        table.header({"SHPs", "gain%", "ci%", ""});
+        for (int count = 100; count <= 600; count += 100) {
+            KnobConfig candidate = base;
+            candidate.shpCount = count;
+            ABTestResult result = tester.compare(base, candidate);
+            table.row({format("%d", count),
+                       format("%+.2f", result.gainPercent()),
+                       format("%.2f", result.gainCiPercent()),
+                       barRow("", result.gainPercent() + 1.0, 8.0, 24,
+                              "")});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    note("Paper: THP always-on helps only Web (Skylake) (+1.87%%, TLB "
+         "relief); SHP has a sweet spot — 300 pages beat the 200 "
+         "production hand-tune on Skylake (+1.4%%), 400 beat 488 on "
+         "Broadwell (+1.0%%), and over-reserving wastes pinned memory.");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig 19: the headline result — μSKU's composed soft SKUs versus the
+ * stock and hand-tuned production configurations for Web (Skylake),
+ * Web (Broadwell), and Ads1, each from a full independent-sweep run
+ * with prolonged validation.
+ */
+
+#include "common.hh"
+#include "core/usku.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Fig 19", "soft-SKU gains over stock and hand-tuned "
+                          "servers");
+
+    SimOptions opts = defaultSimOptions(args);
+    opts.warmupInstructions = 500'000;
+    opts.measureInstructions = 700'000;
+
+    struct Target
+    {
+        const char *service;
+        const char *platform;
+        const char *label;
+    };
+    TextTable table;
+    table.header({"target", "vs stock", "vs hand-tuned", "validated",
+                  "A/B hours", "soft SKU"});
+
+    for (const Target &t :
+         {Target{"web", "skylake18", "Web (Skylake)"},
+          Target{"web", "broadwell16", "Web (Broadwell)"},
+          Target{"ads1", "skylake18", "Ads1"}}) {
+        const WorkloadProfile &service = serviceByName(t.service);
+        const PlatformSpec &platform = platformByName(t.platform);
+        ProductionEnvironment env(service, platform, opts.seed, opts);
+
+        InputSpec spec;
+        spec.microservice = service.name;
+        spec.platform = platform.name;
+        spec.seed = opts.seed;
+        spec.normalize();
+
+        Usku tool(env);
+        UskuReport report = tool.run(spec);
+        table.row({t.label,
+                   format("%+.2f%%", report.gainOverStockPercent()),
+                   format("%+.2f%%", report.gainOverProductionPercent()),
+                   report.validation.stable ? "stable" : "n.s.",
+                   format("%.1f", report.measurementHours),
+                   report.softSku.describe()});
+    }
+    std::printf("%s\n", table.render().c_str());
+    note("Paper: soft SKUs beat stock by 6.2%% / 7.2%% / 2.5%% and even "
+         "the hand-tuned production configs by 4.5%% / 3.0%% / 2.5%%, "
+         "with the full sweep taking 5-10 hours of A/B measurement.");
+    return 0;
+}

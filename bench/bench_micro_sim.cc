@@ -1,0 +1,159 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's building blocks:
+ * cache/TLB/BTB access paths, the workload generators, the statistics
+ * primitives, and end-to-end simulated instructions per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/platform.hh"
+#include "cache/cache.hh"
+#include "core/knobs.hh"
+#include "os/scheduler.hh"
+#include "services/services.hh"
+#include "sim/btb.hh"
+#include "sim/service_sim.hh"
+#include "stats/distributions.hh"
+#include "stats/rng.hh"
+#include "stats/running_stat.hh"
+#include "tlb/tlb.hh"
+#include "workload/address_space.hh"
+#include "workload/codegen.hh"
+#include "workload/datagen.hh"
+
+using namespace softsku;
+
+namespace {
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfDistribution zipf(static_cast<std::uint64_t>(state.range(0)), 1.0);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1 << 10)->Arg(1 << 20);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache("bench", skylake18().llc, ReplPolicy::Srrip);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 22), AccessType::Data));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TlbAccess(benchmark::State &state)
+{
+    TwoLevelTlb tlb("bench", skylake18().dtlb, skylake18().stlb);
+    Rng rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tlb.access(rng.below(1ull << 32), kPage4k));
+    }
+}
+BENCHMARK(BM_TlbAccess);
+
+void
+BM_BtbAccess(benchmark::State &state)
+{
+    Btb btb(4096);
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(btb.access(rng.below(1 << 24) * 4));
+}
+BENCHMARK(BM_BtbAccess);
+
+void
+BM_CodegenStep(benchmark::State &state)
+{
+    const WorkloadProfile &profile = webProfile();
+    AddressSpace space = layoutAddressSpace(profile);
+    CodeGenerator codegen(profile, space.codeBase, 6);
+    for (auto _ : state) {
+        codegen.advance();
+        benchmark::DoNotOptimize(codegen.pc());
+    }
+}
+BENCHMARK(BM_CodegenStep);
+
+void
+BM_DatagenNext(benchmark::State &state)
+{
+    const WorkloadProfile &profile = webProfile();
+    AddressSpace space = layoutAddressSpace(profile);
+    DataGenerator datagen(profile, space, 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(datagen.next().addr);
+}
+BENCHMARK(BM_DatagenNext);
+
+void
+BM_RunningStatAdd(benchmark::State &state)
+{
+    RunningStat stat;
+    Rng rng(8);
+    for (auto _ : state) {
+        stat.add(rng.uniform());
+        benchmark::DoNotOptimize(stat.mean());
+    }
+}
+BENCHMARK(BM_RunningStatAdd);
+
+void
+BM_ThreadPoolDes(benchmark::State &state)
+{
+    ThreadPoolParams params;
+    params.cores = 18;
+    params.workers = 108;
+    params.arrivalRatePerSec = 200.0;
+    params.cpuTimePerRequestSec = 5e-3;
+    params.blockingPhases = 4;
+    params.blockingTimeSec = 2e-3;
+    params.requestsToSimulate = 2000;
+    params.warmupRequests = 200;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulateThreadPool(params, 9).completed);
+    }
+}
+BENCHMARK(BM_ThreadPoolDes)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatedInstructions(benchmark::State &state)
+{
+    const WorkloadProfile &profile = feed1Profile();
+    const PlatformSpec &platform = platformByName(profile.defaultPlatform);
+    KnobConfig knobs = productionConfig(platform, profile);
+    SimOptions opts;
+    opts.warmupInstructions = 50'000;
+    opts.measureInstructions =
+        static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulateService(profile, platform, knobs, opts).instructions);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatedInstructions)
+    ->Arg(200'000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 1: key attributes of the Skylake18, Skylake20, and Broadwell16
+ * server platforms.
+ */
+
+#include "common.hh"
+
+using namespace softsku;
+
+int
+main()
+{
+    printBanner("Table 1", "Skylake18, Skylake20, Broadwell16 attributes");
+
+    TextTable table;
+    table.header({"attribute", "Skylake18", "Skylake20", "Broadwell16"});
+    auto platforms = allPlatforms();
+
+    auto row = [&](const std::string &name, auto getter) {
+        std::vector<std::string> cells{name};
+        for (const PlatformSpec *p : platforms)
+            cells.push_back(getter(*p));
+        table.row(cells);
+    };
+
+    row("Microarchitecture",
+        [](const PlatformSpec &p) { return p.microarchitecture; });
+    row("Number of sockets",
+        [](const PlatformSpec &p) { return format("%d", p.sockets); });
+    row("Cores/socket",
+        [](const PlatformSpec &p) { return format("%d", p.coresPerSocket); });
+    row("SMT", [](const PlatformSpec &p) { return format("%d", p.smtWays); });
+    row("Cache block size",
+        [](const PlatformSpec &p) { return format("%d B", p.l1i.lineBytes); });
+    row("L1-I$ (per core)", [](const PlatformSpec &p) {
+        return format("%llu KiB",
+                      static_cast<unsigned long long>(p.l1i.sizeBytes / 1024));
+    });
+    row("L1-D$ (per core)", [](const PlatformSpec &p) {
+        return format("%llu KiB",
+                      static_cast<unsigned long long>(p.l1d.sizeBytes / 1024));
+    });
+    row("Private L2$ (per core)", [](const PlatformSpec &p) {
+        return format("%llu KiB",
+                      static_cast<unsigned long long>(p.l2.sizeBytes / 1024));
+    });
+    row("Shared LLC (per socket)", [](const PlatformSpec &p) {
+        return format("%.2f MiB",
+                      static_cast<double>(p.llc.sizeBytes) / (1024 * 1024));
+    });
+    row("LLC ways",
+        [](const PlatformSpec &p) { return format("%d", p.llc.ways); });
+    row("Core freq (sustained)", [](const PlatformSpec &p) {
+        return format("%.1f-%.1f GHz", p.coreFreqMinGHz, p.coreFreqMaxGHz);
+    });
+    row("Uncore freq", [](const PlatformSpec &p) {
+        return format("%.1f-%.1f GHz", p.uncoreFreqMinGHz,
+                      p.uncoreFreqMaxGHz);
+    });
+    row("Peak DRAM bandwidth", [](const PlatformSpec &p) {
+        return format("%.0f GB/s", p.peakMemBandwidthGBs);
+    });
+    row("Intel RDT (CAT/CDP)", [](const PlatformSpec &p) {
+        return std::string(p.supportsRdt ? "yes" : "no");
+    });
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench harnesses.
+ *
+ * Every bench binary reproduces one table or figure from the paper's
+ * evaluation; these helpers keep window sizing and measurement wiring
+ * uniform across them.
+ */
+
+#ifndef SOFTSKU_BENCH_COMMON_HH
+#define SOFTSKU_BENCH_COMMON_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/knobs.hh"
+#include "services/services.hh"
+#include "sim/qos.hh"
+#include "sim/service_sim.hh"
+#include "util/cli.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace softsku::bench {
+
+/** Default windows: big enough for stable counters, fast enough to
+ *  keep a full figure under ~30 s of wall clock. */
+inline SimOptions
+defaultSimOptions(const CliArgs &args)
+{
+    SimOptions opts;
+    opts.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    opts.warmupInstructions = static_cast<std::uint64_t>(
+        args.getInt("warmup", 700'000));
+    opts.measureInstructions = static_cast<std::uint64_t>(
+        args.getInt("insns", 900'000));
+    return opts;
+}
+
+/** Simulate one service on its fleet platform under production knobs. */
+inline CounterSet
+productionCounters(const WorkloadProfile &service, const SimOptions &opts)
+{
+    const PlatformSpec &platform = platformByName(service.defaultPlatform);
+    KnobConfig knobs = productionConfig(platform, service);
+    return simulateService(service, platform, knobs, opts);
+}
+
+/** Paper-vs-measured annotation line for EXPERIMENTS.md cross-checks. */
+inline void
+note(const char *fmt, ...)
+{
+    va_list va;
+    va_start(va, fmt);
+    std::vprintf(fmt, va);
+    va_end(va);
+    std::printf("\n");
+}
+
+} // namespace softsku::bench
+
+#endif // SOFTSKU_BENCH_COMMON_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: characterize one microservice on one platform.
+ *
+ * Usage:
+ *   quickstart [--service=web] [--platform=skylake18] [--seed=1]
+ *              [--insns=1500000]
+ *
+ * Runs the trace-driven simulator for the chosen service under its
+ * stock knob configuration and prints the counter set the paper's
+ * characterization section is built from: IPC, top-down breakdown,
+ * MPKI at every cache level, TLB misses, and the memory operating
+ * point.
+ */
+
+#include <cstdio>
+
+#include "core/knobs.hh"
+#include "services/services.hh"
+#include "sim/service_sim.hh"
+#include "util/cli.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace softsku;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    const WorkloadProfile &service =
+        serviceByName(args.get("service", "web"));
+    const PlatformSpec &platform =
+        platformByName(args.get("platform", service.defaultPlatform));
+
+    SimOptions options;
+    options.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    options.measureInstructions =
+        static_cast<std::uint64_t>(args.getInt("insns", 1'500'000));
+
+    KnobConfig knobs = stockConfig(platform, service);
+    std::printf("SoftSKU quickstart: %s on %s\n", service.displayName.c_str(),
+                platform.name.c_str());
+    std::printf("knobs: %s\n\n", knobs.describe().c_str());
+
+    CounterSet counters = simulateService(service, platform, knobs, options);
+
+    TextTable table;
+    table.header({"metric", "value"});
+    table.row({"instructions", format("%llu",
+        static_cast<unsigned long long>(counters.instructions))});
+    table.row({"IPC (per core)", format("%.2f", counters.coreIpc)});
+    table.row({"MIPS per core", format("%.0f", counters.mipsPerCore)});
+    table.row({"platform MIPS", format("%.0f", counters.platformMips)});
+    table.separator();
+    table.row({"retiring slots", format("%.1f%%",
+        counters.topdown.retiring * 100)});
+    table.row({"front-end slots", format("%.1f%%",
+        counters.topdown.frontEnd * 100)});
+    table.row({"bad speculation", format("%.1f%%",
+        counters.topdown.badSpeculation * 100)});
+    table.row({"back-end slots", format("%.1f%%",
+        counters.topdown.backEnd * 100)});
+    table.separator();
+    table.row({"L1-I code MPKI", format("%.1f",
+        counters.mpkiOf(counters.l1i, AccessType::Code))});
+    table.row({"L1-D data MPKI", format("%.1f",
+        counters.mpkiOf(counters.l1d, AccessType::Data))});
+    table.row({"L2 code MPKI", format("%.1f",
+        counters.mpkiOf(counters.l2, AccessType::Code))});
+    table.row({"L2 data MPKI", format("%.1f",
+        counters.mpkiOf(counters.l2, AccessType::Data))});
+    table.row({"LLC code MPKI", format("%.2f",
+        counters.mpkiOf(counters.llc, AccessType::Code))});
+    table.row({"LLC data MPKI", format("%.2f",
+        counters.mpkiOf(counters.llc, AccessType::Data))});
+    table.separator();
+    table.row({"ITLB MPKI", format("%.2f", counters.itlbMpki())});
+    table.row({"DTLB MPKI", format("%.2f", counters.dtlbMpki())});
+    table.row({"branch mispredict MPKI", format("%.2f",
+        counters.branchMpki())});
+    table.separator();
+    table.row({"memory bandwidth", format("%.1f GB/s",
+        counters.memBandwidthGBs)});
+    table.row({"memory latency", format("%.0f ns", counters.memLatencyNs)});
+    table.row({"context switch share", format("%.1f%%",
+        counters.cswPenaltyFraction * 100)});
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

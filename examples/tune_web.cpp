@@ -1,0 +1,76 @@
+/**
+ * @file
+ * End-to-end μSKU run: tune a microservice's soft SKU via A/B testing
+ * in the simulated production environment, then print the design-space
+ * map, the composed soft SKU, and its validated gains.
+ *
+ * Usage:
+ *   tune_web [--service=web] [--platform=skylake18]
+ *            [--sweep=independent|exhaustive|hillclimb]
+ *            [--knobs=cdp,thp,shp] [--seed=1] [--json]
+ */
+
+#include <cstdio>
+
+#include "core/usku.hh"
+#include "services/services.hh"
+#include "util/cli.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace softsku;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+
+    InputSpec spec;
+    spec.microservice = args.get("service", "web");
+    spec.platform = args.get("platform", "skylake18");
+    spec.sweep = sweepModeFromString(args.get("sweep", "independent"));
+    spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+    if (args.has("knobs")) {
+        for (const std::string &key : split(args.get("knobs"), ','))
+            spec.knobs.push_back(knobFromKey(std::string(trim(key))));
+    }
+    spec.normalize();
+
+    const WorkloadProfile &service = serviceByName(spec.microservice);
+    const PlatformSpec &platform = platformByName(spec.platform);
+
+    // Modest simulation windows keep a full sweep interactive.
+    SimOptions simOpts;
+    simOpts.warmupInstructions = 700'000;
+    simOpts.measureInstructions = 900'000;
+    ProductionEnvironment env(service, platform, spec.seed, simOpts);
+
+    Usku tool(env);
+    UskuReport report = tool.run(spec);
+
+    if (args.has("json")) {
+        std::printf("%s\n", report.toJson().dump(2).c_str());
+        return 0;
+    }
+
+    std::printf("%s\n", report.summary().c_str());
+
+    TextTable table;
+    table.header({"knob", "setting", "gain%", "ci%", "signif", "samples"});
+    for (const KnobSweep &sweep : report.map.sweeps) {
+        for (const KnobOutcome &outcome : sweep.outcomes) {
+            table.row({knobKey(sweep.id),
+                       outcome.value.label,
+                       outcome.isBaseline
+                           ? "base"
+                           : format("%+.2f", outcome.gainPercent),
+                       format("%.2f", outcome.gainCiPercent),
+                       outcome.significant ? "yes" : "no",
+                       format("%llu", static_cast<unsigned long long>(
+                                          outcome.samples))});
+        }
+        table.separator();
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

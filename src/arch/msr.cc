@@ -1,0 +1,95 @@
+#include "arch/msr.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+void
+MsrFile::write(std::uint32_t index, std::uint64_t value)
+{
+    regs_[index] = value;
+}
+
+std::uint64_t
+MsrFile::read(std::uint32_t index) const
+{
+    auto it = regs_.find(index);
+    return it == regs_.end() ? 0 : it->second;
+}
+
+bool
+MsrFile::touched(std::uint32_t index) const
+{
+    return regs_.count(index) > 0;
+}
+
+void
+MsrFile::reset()
+{
+    regs_.clear();
+}
+
+void
+MsrFile::setCoreFrequencyGHz(double ghz)
+{
+    SOFTSKU_ASSERT(ghz > 0.0 && ghz < 12.0);
+    auto ratio = static_cast<std::uint64_t>(std::llround(ghz * 10.0));
+    write(msr::IA32_PERF_CTL, ratio << 8);
+}
+
+double
+MsrFile::coreFrequencyGHz(double fallback) const
+{
+    if (!touched(msr::IA32_PERF_CTL))
+        return fallback;
+    std::uint64_t ratio = (read(msr::IA32_PERF_CTL) >> 8) & 0xFF;
+    return static_cast<double>(ratio) / 10.0;
+}
+
+void
+MsrFile::setUncoreFrequencyGHz(double ghz)
+{
+    SOFTSKU_ASSERT(ghz > 0.0 && ghz < 12.0);
+    auto ratio = static_cast<std::uint64_t>(std::llround(ghz * 10.0));
+    // Pin min and max ratio to the same value, as μSKU does.
+    write(msr::UNCORE_RATIO_LIMIT, (ratio << 8) | ratio);
+}
+
+double
+MsrFile::uncoreFrequencyGHz(double fallback) const
+{
+    if (!touched(msr::UNCORE_RATIO_LIMIT))
+        return fallback;
+    std::uint64_t ratio = read(msr::UNCORE_RATIO_LIMIT) & 0x7F;
+    return static_cast<double>(ratio) / 10.0;
+}
+
+void
+MsrFile::setPrefetchers(bool l2Stream, bool l2Adjacent, bool dcuNext,
+                        bool dcuIp)
+{
+    std::uint64_t bits = 0;
+    if (!l2Stream)
+        bits |= 1u << 0;
+    if (!l2Adjacent)
+        bits |= 1u << 1;
+    if (!dcuNext)
+        bits |= 1u << 2;
+    if (!dcuIp)
+        bits |= 1u << 3;
+    write(msr::MISC_FEATURE_CONTROL, bits);
+}
+
+MsrFile::PrefetcherBits
+MsrFile::prefetchers() const
+{
+    std::uint64_t bits = read(msr::MISC_FEATURE_CONTROL);
+    return {.l2Stream = (bits & (1u << 0)) == 0,
+            .l2Adjacent = (bits & (1u << 1)) == 0,
+            .dcuNext = (bits & (1u << 2)) == 0,
+            .dcuIp = (bits & (1u << 3)) == 0};
+}
+
+} // namespace softsku

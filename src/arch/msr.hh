@@ -1,0 +1,92 @@
+/**
+ * @file
+ * An emulated Model-Specific Register file.
+ *
+ * μSKU actuates three of its knobs by "overriding MSRs" (Sec. 5 of the
+ * paper): core frequency via IA32_PERF_CTL, uncore frequency via
+ * MSR_UNCORE_RATIO_LIMIT, and prefetcher enables via
+ * MSR_MISC_FEATURE_CONTROL.  The emulated register file keeps that
+ * actuation path honest — knob settings round-trip through the same
+ * encodings real hardware uses, and the machine model derives its
+ * effective configuration by *reading the MSRs back*, not by trusting
+ * the knob struct.
+ */
+
+#ifndef SOFTSKU_ARCH_MSR_HH
+#define SOFTSKU_ARCH_MSR_HH
+
+#include <cstdint>
+#include <map>
+
+namespace softsku {
+
+/** Architectural MSR addresses used by the knob actuation path. */
+namespace msr {
+
+/** P-state request; bits 15:8 hold the target core ratio (×100 MHz). */
+constexpr std::uint32_t IA32_PERF_CTL = 0x199;
+
+/** Uncore ratio limits; bits 6:0 max ratio, 14:8 min ratio (×100 MHz). */
+constexpr std::uint32_t UNCORE_RATIO_LIMIT = 0x620;
+
+/**
+ * Prefetcher disable bits (set bit = disabled):
+ * bit 0 L2 stream, bit 1 L2 adjacent line, bit 2 DCU next line,
+ * bit 3 DCU IP stride.
+ */
+constexpr std::uint32_t MISC_FEATURE_CONTROL = 0x1A4;
+
+} // namespace msr
+
+/**
+ * Emulated per-package MSR file.  Reads of never-written registers
+ * return the architectural reset value (0).
+ */
+class MsrFile
+{
+  public:
+    /** Write @p value to register @p index. */
+    void write(std::uint32_t index, std::uint64_t value);
+
+    /** Read register @p index (0 if never written). */
+    std::uint64_t read(std::uint32_t index) const;
+
+    /** True when the register was ever written. */
+    bool touched(std::uint32_t index) const;
+
+    /** Clear all registers to reset values (models a reboot). */
+    void reset();
+
+    // -- Typed helpers for the knob encodings ---------------------------
+
+    /** Encode a core frequency request (100 MHz granularity). */
+    void setCoreFrequencyGHz(double ghz);
+
+    /** Decode the requested core frequency; @p fallback when unset. */
+    double coreFrequencyGHz(double fallback) const;
+
+    /** Encode an uncore max-ratio request (100 MHz granularity). */
+    void setUncoreFrequencyGHz(double ghz);
+
+    /** Decode the requested uncore frequency; @p fallback when unset. */
+    double uncoreFrequencyGHz(double fallback) const;
+
+    /** Encode prefetcher enables into MISC_FEATURE_CONTROL. */
+    void setPrefetchers(bool l2Stream, bool l2Adjacent, bool dcuNext,
+                        bool dcuIp);
+
+    struct PrefetcherBits
+    {
+        bool l2Stream, l2Adjacent, dcuNext, dcuIp;
+    };
+
+    /** Decode prefetcher enables (all-enabled when never written). */
+    PrefetcherBits prefetchers() const;
+
+  private:
+    std::map<std::uint32_t, std::uint64_t> regs_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_ARCH_MSR_HH

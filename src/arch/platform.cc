@@ -1,0 +1,172 @@
+#include "arch/platform.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+
+PlatformSpec
+makeSkylakeBase()
+{
+    PlatformSpec p;
+    p.microarchitecture = "Intel Skylake";
+    p.smtWays = 2;
+    p.l1i = {32 * kKiB, 8, 64};
+    p.l1d = {32 * kKiB, 8, 64};
+    p.l2 = {1 * kMiB, 16, 64};
+    p.itlb = {128, 16, 8};
+    p.dtlb = {64, 32, 4};
+    p.stlb = {1536, 1536, 12};
+    p.coreFreqMinGHz = 1.6;
+    p.coreFreqMaxGHz = 2.2;
+    p.uncoreFreqMinGHz = 1.4;
+    p.uncoreFreqMaxGHz = 1.8;
+    p.unloadedMemLatencyNs = 85.0;
+    p.memChannelsPerSocket = 6;
+    p.issueWidth = 4;
+    p.peakIpc = 5.0;
+    p.mispredictPenaltyCycles = 16.0;
+    p.btbEntries = 4096;
+    p.supportsRdt = true;
+    p.l2LatencyCycles = 14.0;
+    p.llcLatencyNs = 18.0;
+    p.pageWalkLatencyNs = 30.0;
+    return p;
+}
+
+PlatformSpec
+makeSkylake18()
+{
+    PlatformSpec p = makeSkylakeBase();
+    p.name = "skylake18";
+    p.sockets = 1;
+    p.coresPerSocket = 18;
+    // 24.75 MiB shared LLC, 11 ways (Table 1 + CDP sweep in Fig 16a).
+    p.llc = {static_cast<std::uint64_t>(24.75 * 1024) * kKiB, 11, 64};
+    p.peakMemBandwidthGBs = 115.0;
+    return p;
+}
+
+PlatformSpec
+makeSkylake20()
+{
+    PlatformSpec p = makeSkylakeBase();
+    p.name = "skylake20";
+    p.sockets = 2;
+    p.coresPerSocket = 20;
+    p.llc = {27 * kMiB, 11, 64};
+    // Two sockets: the higher-peak-bandwidth platform of Fig 12.
+    p.peakMemBandwidthGBs = 150.0;
+    return p;
+}
+
+PlatformSpec
+makeBroadwell16()
+{
+    PlatformSpec p;
+    p.name = "broadwell16";
+    p.microarchitecture = "Intel Broadwell";
+    p.sockets = 1;
+    p.coresPerSocket = 16;
+    p.smtWays = 2;
+    p.l1i = {32 * kKiB, 8, 64};
+    p.l1d = {32 * kKiB, 8, 64};
+    p.l2 = {256 * kKiB, 8, 64};
+    // 24 MiB LLC with 12 ways (Fig 16b sweeps {1,11}..{11,1}).
+    p.llc = {24 * kMiB, 12, 64};
+    p.itlb = {128, 8, 4};
+    p.dtlb = {64, 32, 4};
+    p.stlb = {1024, 1024, 8};
+    p.coreFreqMinGHz = 1.6;
+    p.coreFreqMaxGHz = 2.2;
+    p.uncoreFreqMinGHz = 1.4;
+    p.uncoreFreqMaxGHz = 1.8;
+    // 4-channel DDR4: the bandwidth-constrained platform that saturates
+    // under Web and flips the CDP/prefetcher verdicts (Figs 16b, 17).
+    p.peakMemBandwidthGBs = 33.0;
+    p.unloadedMemLatencyNs = 90.0;
+    p.memChannelsPerSocket = 4;
+    p.issueWidth = 4;
+    p.peakIpc = 4.0;
+    p.mispredictPenaltyCycles = 16.0;
+    p.btbEntries = 4096;
+    p.supportsRdt = true;
+    p.l2LatencyCycles = 12.0;
+    p.llcLatencyNs = 20.0;
+    p.pageWalkLatencyNs = 32.0;
+    return p;
+}
+
+} // namespace
+
+std::vector<double>
+PlatformSpec::coreFrequencySettings() const
+{
+    std::vector<double> out;
+    for (double f = coreFreqMinGHz; f <= coreFreqMaxGHz + 1e-9;
+         f += coreFreqStepGHz) {
+        out.push_back(std::round(f * 10.0) / 10.0);
+    }
+    return out;
+}
+
+std::vector<double>
+PlatformSpec::uncoreFrequencySettings() const
+{
+    std::vector<double> out;
+    for (double f = uncoreFreqMinGHz; f <= uncoreFreqMaxGHz + 1e-9;
+         f += uncoreFreqStepGHz) {
+        out.push_back(std::round(f * 10.0) / 10.0);
+    }
+    return out;
+}
+
+const PlatformSpec &
+skylake18()
+{
+    static const PlatformSpec spec = makeSkylake18();
+    return spec;
+}
+
+const PlatformSpec &
+skylake20()
+{
+    static const PlatformSpec spec = makeSkylake20();
+    return spec;
+}
+
+const PlatformSpec &
+broadwell16()
+{
+    static const PlatformSpec spec = makeBroadwell16();
+    return spec;
+}
+
+const PlatformSpec &
+platformByName(const std::string &name)
+{
+    std::string key = toLower(name);
+    if (key == "skylake18")
+        return skylake18();
+    if (key == "skylake20")
+        return skylake20();
+    if (key == "broadwell16")
+        return broadwell16();
+    fatal("unknown platform '%s' (expected skylake18, skylake20, or "
+          "broadwell16)", name.c_str());
+}
+
+std::vector<const PlatformSpec *>
+allPlatforms()
+{
+    return {&skylake18(), &skylake20(), &broadwell16()};
+}
+
+} // namespace softsku

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Hardware platform descriptions (the paper's Table 1).
+ *
+ * Three server SKUs host the seven microservices: Skylake18 (1×18 cores),
+ * Skylake20 (2×20 cores), and Broadwell16 (1×16 cores).  A PlatformSpec
+ * carries every parameter the performance model needs: cache and TLB
+ * geometry, frequency-domain ranges, prefetcher complement, DRAM
+ * bandwidth/latency, and RDT (CAT/CDP) capability.
+ */
+
+#ifndef SOFTSKU_ARCH_PLATFORM_HH
+#define SOFTSKU_ARCH_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softsku {
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;
+    int ways = 0;
+    int lineBytes = 64;
+
+    std::uint64_t sets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(ways) * lineBytes);
+    }
+};
+
+/** Geometry of one TLB level for one page size. */
+struct TlbGeometry
+{
+    int entries4k = 0;      //!< entries for 4 KiB pages
+    int entries2m = 0;      //!< entries for 2 MiB pages
+    int ways = 4;
+};
+
+/** Which of the four Intel prefetchers exist/are enabled. */
+struct PrefetcherSet
+{
+    bool l2Stream = true;       //!< "L2 hardware prefetcher"
+    bool l2Adjacent = true;     //!< L2 adjacent-cache-line prefetcher
+    bool dcuNext = true;        //!< DCU next-line prefetcher
+    bool dcuIp = true;          //!< DCU IP (stride) prefetcher
+
+    bool operator==(const PrefetcherSet &) const = default;
+};
+
+/**
+ * A server CPU SKU.  Field values for the three fleet platforms mirror
+ * the paper's Table 1 plus public Intel documentation for parameters the
+ * paper does not list (TLB geometry, DRAM channels).
+ */
+struct PlatformSpec
+{
+    std::string name;                 //!< registry key, e.g. "skylake18"
+    std::string microarchitecture;    //!< e.g. "Intel Skylake"
+    int sockets = 1;
+    int coresPerSocket = 0;
+    int smtWays = 2;
+
+    CacheGeometry l1i;                //!< per core
+    CacheGeometry l1d;                //!< per core
+    CacheGeometry l2;                 //!< per core, unified
+    CacheGeometry llc;                //!< per socket, shared, unified
+
+    TlbGeometry itlb;                 //!< per core L1 ITLB
+    TlbGeometry dtlb;                 //!< per core L1 DTLB
+    TlbGeometry stlb;                 //!< per core shared second level
+
+    double coreFreqMinGHz = 1.6;
+    double coreFreqMaxGHz = 2.2;      //!< sustained all-core turbo
+    double coreFreqStepGHz = 0.1;
+    double uncoreFreqMinGHz = 1.4;
+    double uncoreFreqMaxGHz = 1.8;
+    double uncoreFreqStepGHz = 0.1;
+
+    /** DRAM peak bandwidth for the whole platform (GB/s). */
+    double peakMemBandwidthGBs = 0.0;
+    /** Unloaded load-to-use memory latency at max uncore freq (ns). */
+    double unloadedMemLatencyNs = 85.0;
+    int memChannelsPerSocket = 6;
+
+    /** Pipeline width used for TMAM slot accounting. */
+    int issueWidth = 4;
+    /** Theoretical peak IPC quoted in the paper (Skylake: 5.0). */
+    double peakIpc = 5.0;
+    /** Branch misprediction pipeline refill penalty (cycles). */
+    double mispredictPenaltyCycles = 16.0;
+    /** BTB capacity (entries) — drives aliasing for huge code footprints. */
+    int btbEntries = 4096;
+
+    PrefetcherSet prefetchers;        //!< which prefetchers exist
+    bool supportsRdt = true;          //!< CAT/CDP available
+
+    /** L2 hit latency (cycles at core frequency). */
+    double l2LatencyCycles = 14.0;
+    /** LLC hit latency (ns at max uncore frequency). */
+    double llcLatencyNs = 18.0;
+    /** Page-walk latency when the walk hits cached structures (ns). */
+    double pageWalkLatencyNs = 30.0;
+
+    /** Total physical cores across sockets. */
+    int totalCores() const { return sockets * coresPerSocket; }
+
+    /** LLC capacity of one socket in bytes. */
+    std::uint64_t llcBytes() const { return llc.sizeBytes; }
+
+    /** Discrete core frequency settings (min..max by step). */
+    std::vector<double> coreFrequencySettings() const;
+
+    /** Discrete uncore frequency settings (min..max by step). */
+    std::vector<double> uncoreFrequencySettings() const;
+};
+
+/** The Skylake18 fleet platform (Table 1, column 1). */
+const PlatformSpec &skylake18();
+
+/** The Skylake20 fleet platform (Table 1, column 2). */
+const PlatformSpec &skylake20();
+
+/** The Broadwell16 fleet platform (Table 1, column 3). */
+const PlatformSpec &broadwell16();
+
+/**
+ * Look up a platform by registry name ("skylake18", "skylake20",
+ * "broadwell16"); fatal() on unknown names (user input).
+ */
+const PlatformSpec &platformByName(const std::string &name);
+
+/** All registered platforms. */
+std::vector<const PlatformSpec *> allPlatforms();
+
+} // namespace softsku
+
+#endif // SOFTSKU_ARCH_PLATFORM_HH

@@ -1,0 +1,59 @@
+#include "arch/topdown.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+TopDownBreakdown
+computeTopDown(const PipelineCosts &costs, int issueWidth)
+{
+    SOFTSKU_ASSERT(issueWidth > 0);
+    TopDownBreakdown out;
+    double cycles = costs.totalCycles();
+    if (cycles <= 0.0 || costs.instructions <= 0.0)
+        return out;
+
+    double slots = cycles * issueWidth;
+    double retiringSlots = std::min(costs.instructions, slots);
+
+    // Slots not used for retirement are split across the stall causes
+    // in proportion to the cycles each cause contributed; the residual
+    // (ILP shortfall during "base" execution) is back-end core-bound.
+    double idleSlots = slots - retiringSlots;
+    double feCycles = costs.frontEndStallCycles;
+    double bsCycles = costs.badSpecCycles;
+    double beCycles = costs.backEndStallCycles;
+
+    double baseIdleSlots =
+        std::max(0.0, costs.baseCycles * issueWidth - retiringSlots);
+    double stallCycles = feCycles + bsCycles + beCycles;
+
+    double feSlots = 0.0, bsSlots = 0.0, beSlots = baseIdleSlots;
+    double stallSlots = std::max(0.0, idleSlots - baseIdleSlots);
+    if (stallCycles > 0.0) {
+        feSlots = stallSlots * feCycles / stallCycles;
+        bsSlots = stallSlots * bsCycles / stallCycles;
+        beSlots += stallSlots * beCycles / stallCycles;
+    } else {
+        beSlots += stallSlots;
+    }
+
+    out.retiring = retiringSlots / slots;
+    out.frontEnd = feSlots / slots;
+    out.badSpeculation = bsSlots / slots;
+    out.backEnd = beSlots / slots;
+    return out;
+}
+
+double
+ipcOf(const PipelineCosts &costs)
+{
+    double cycles = costs.totalCycles();
+    if (cycles <= 0.0)
+        return 0.0;
+    return costs.instructions / cycles;
+}
+
+} // namespace softsku

@@ -1,0 +1,54 @@
+#include "cache/cdp.hh"
+
+#include "cache/cache.hh"
+#include "util/logging.hh"
+
+namespace softsku {
+
+std::uint64_t
+lowWayMask(int ways)
+{
+    if (ways <= 0)
+        return 0;
+    if (ways >= 64)
+        return ~0ULL;
+    return (1ULL << ways) - 1;
+}
+
+std::uint64_t
+wayMaskAt(int ways, int shift)
+{
+    return lowWayMask(ways) << shift;
+}
+
+void
+applyCat(SetAssocCache &llc, int enabledWays)
+{
+    if (enabledWays < 1 || enabledWays > llc.ways()) {
+        fatal("CAT way count %d out of range [1, %d] for %s", enabledWays,
+              llc.ways(), llc.name().c_str());
+    }
+    std::uint64_t mask = lowWayMask(enabledWays);
+    llc.setWayMask(AccessType::Code, mask);
+    llc.setWayMask(AccessType::Data, mask);
+}
+
+void
+applyCdp(SetAssocCache &llc, int dataWays, int codeWays)
+{
+    if (dataWays < 1 || codeWays < 1 ||
+        dataWays + codeWays != llc.ways()) {
+        fatal("CDP split {%d data, %d code} must cover %d LLC ways",
+              dataWays, codeWays, llc.ways());
+    }
+    llc.setWayMask(AccessType::Data, lowWayMask(dataWays));
+    llc.setWayMask(AccessType::Code, wayMaskAt(codeWays, dataWays));
+}
+
+void
+clearRdt(SetAssocCache &llc)
+{
+    llc.clearWayMasks();
+}
+
+} // namespace softsku

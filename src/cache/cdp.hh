@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Intel RDT helpers: Cache Allocation Technology (CAT) capacity masks
+ * and Code/Data Prioritization (CDP) partitions, applied to the LLC
+ * model.
+ *
+ * CAT (Fig 10): restrict *both* access types to the low N ways.
+ * CDP (Fig 16): give data the low D ways and code the high C ways,
+ * with D + C equal to the platform's LLC associativity.
+ */
+
+#ifndef SOFTSKU_CACHE_CDP_HH
+#define SOFTSKU_CACHE_CDP_HH
+
+#include <cstdint>
+
+namespace softsku {
+
+class SetAssocCache;
+
+/** Contiguous low mask of @p ways bits. */
+std::uint64_t lowWayMask(int ways);
+
+/** Contiguous mask of @p ways bits starting at bit @p shift. */
+std::uint64_t wayMaskAt(int ways, int shift);
+
+/**
+ * Apply a CAT capacity limit: both code and data may allocate only in
+ * the low @p enabledWays ways.  Passing the cache's full associativity
+ * restores the default.
+ */
+void applyCat(SetAssocCache &llc, int enabledWays);
+
+/**
+ * Apply a CDP partition: data allocates in the low @p dataWays ways,
+ * code in the next @p codeWays ways.  fatal() when the split does not
+ * cover the associativity exactly (user error, mirrors resctrl).
+ */
+void applyCdp(SetAssocCache &llc, int dataWays, int codeWays);
+
+/** Remove any partitioning (the production default: shared ways). */
+void clearRdt(SetAssocCache &llc);
+
+} // namespace softsku
+
+#endif // SOFTSKU_CACHE_CDP_HH

@@ -1,0 +1,83 @@
+#include "core/ab_test.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+double
+ABTestResult::gainPercent() const
+{
+    if (pairedDiffs.count() > 0)
+        return pairedDiffs.mean() * 100.0;
+    if (samplesA.mean() <= 0.0)
+        return 0.0;
+    return (samplesB.mean() / samplesA.mean() - 1.0) * 100.0;
+}
+
+double
+ABTestResult::gainCiPercent() const
+{
+    return welch.diffHalfWidth * 100.0;
+}
+
+ABTester::ABTester(ProductionEnvironment &env, const InputSpec &spec)
+    : env_(env), spec_(spec)
+{
+}
+
+ABTestResult
+ABTester::compare(const KnobConfig &baseline, const KnobConfig &candidate)
+{
+    ABTestResult result;
+    result.configA = baseline;
+    result.configB = candidate;
+
+    const double spacing = spec_.sampleSpacingSec;
+    double start = clockSec_;
+
+    // Warm-up: both servers run the new configuration for a few
+    // minutes before observations count (cold-start bias, Sec. 4).
+    for (std::uint64_t i = 0; i < spec_.warmupSamples; ++i) {
+        clockSec_ += spacing;
+        (void)env_.samplePair(baseline, candidate, clockSec_);
+    }
+
+    // Sequential sampling in batches; stop early once the difference
+    // is significant and a minimum sample count is reached.
+    const std::uint64_t batch = 100;
+    while (result.samplesUsed < spec_.maxSamplesPerTest) {
+        for (std::uint64_t i = 0; i < batch; ++i) {
+            clockSec_ += spacing;
+            PairedSample sample =
+                env_.samplePair(baseline, candidate, clockSec_);
+            result.samplesA.add(sample.mipsA);
+            result.samplesB.add(sample.mipsB);
+            // Simultaneous measurement is what pairing buys: the
+            // common-mode load factor is multiplicative and cancels
+            // exactly in the per-pair ratio.
+            result.pairedDiffs.add(sample.mipsB / sample.mipsA - 1.0);
+        }
+        result.samplesUsed += batch;
+
+        result.welch =
+            pairedTTest(result.pairedDiffs, spec_.confidence);
+        if (result.samplesUsed >= spec_.minSamplesPerTest &&
+            result.welch.significant) {
+            result.significant = true;
+            break;
+        }
+    }
+
+    if (!result.significant) {
+        // The paper's give-up rule: after ~30k observations with no
+        // 95%-confidence separation, conclude "no difference".
+        result.welch = pairedTTest(result.pairedDiffs, spec_.confidence);
+        result.significant = result.welch.significant;
+    }
+    result.elapsedSec = clockSec_ - start;
+    return result;
+}
+
+} // namespace softsku

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The A/B tester (paper Sec. 4): compare two server configurations on
+ * live traffic with statistical rigor.
+ *
+ * Protocol, as the paper describes it: discard a warm-up phase to avoid
+ * cold-start bias, record MIPS samples with sufficient spacing for
+ * independence, and keep sampling until the difference is significant
+ * at the requested confidence — or give up after ~30,000 observations
+ * and declare "no statistically significant difference".
+ */
+
+#ifndef SOFTSKU_CORE_AB_TEST_HH
+#define SOFTSKU_CORE_AB_TEST_HH
+
+#include "core/input_spec.hh"
+#include "core/knobs.hh"
+#include "sim/production_env.hh"
+#include "stats/running_stat.hh"
+#include "stats/students_t.hh"
+
+namespace softsku {
+
+/** Outcome of one A-vs-B comparison. */
+struct ABTestResult
+{
+    KnobConfig configA;             //!< baseline
+    KnobConfig configB;             //!< candidate
+    RunningStat samplesA;
+    RunningStat samplesB;
+    /** Per-pair relative gains (B/A − 1): the common-mode load factor
+     *  is multiplicative, so the ratio cancels it exactly. */
+    RunningStat pairedDiffs;
+    WelchResult welch;
+    std::uint64_t samplesUsed = 0;  //!< per arm
+    bool significant = false;
+    double elapsedSec = 0.0;        //!< simulated measurement wall clock
+
+    /** Mean throughput difference of B over A, percent. */
+    double gainPercent() const;
+
+    /** Confidence half-width on the gain, percent of A's mean. */
+    double gainCiPercent() const;
+};
+
+/** Sequential paired A/B measurement driver. */
+class ABTester
+{
+  public:
+    /**
+     * @param env  the production fleet slice to measure in
+     * @param spec statistical policy (confidence, caps, spacing)
+     */
+    ABTester(ProductionEnvironment &env, const InputSpec &spec);
+
+    /**
+     * Run one comparison.  Measurement time continues monotonically
+     * across calls, so consecutive knob tests see different diurnal
+     * phases — as a real multi-hour sweep does.
+     */
+    ABTestResult compare(const KnobConfig &baseline,
+                         const KnobConfig &candidate);
+
+    /** Simulated wall-clock spent measuring so far. */
+    double elapsedSec() const { return clockSec_; }
+
+  private:
+    ProductionEnvironment &env_;
+    const InputSpec &spec_;
+    double clockSec_ = 0.0;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_AB_TEST_HH

@@ -1,0 +1,45 @@
+#include "core/configurator.hh"
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+size_t
+TestPlan::totalCandidates() const
+{
+    size_t total = 0;
+    for (const KnobPlan &plan : knobs)
+        total += plan.values.size();
+    return total;
+}
+
+TestPlan
+buildTestPlan(const InputSpec &spec, const PlatformSpec &platform,
+              const WorkloadProfile &profile)
+{
+    if (!profile.mipsValidMetric) {
+        fatal("μSKU: MIPS is not a valid throughput proxy for '%s' "
+              "(performance-introspective code paths); extend μSKU with "
+              "a service-specific metric before tuning it",
+              profile.name.c_str());
+    }
+
+    TestPlan plan;
+    for (KnobId id : spec.knobs) {
+        std::string reason;
+        if (!knobApplicable(id, platform, profile, &reason)) {
+            plan.skipped.push_back({id, reason});
+            inform("μSKU: skipping knob '%s' for %s: %s",
+                   knobKey(id).c_str(), profile.name.c_str(),
+                   reason.c_str());
+            continue;
+        }
+        KnobPlan knobPlan;
+        knobPlan.id = id;
+        knobPlan.values = knobDomain(id, platform, profile);
+        plan.knobs.push_back(std::move(knobPlan));
+    }
+    return plan;
+}
+
+} // namespace softsku

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The A/B test configurator (paper Fig 13): turns an input spec into a
+ * concrete test plan — which knobs to sweep with which candidate
+ * values — applying the applicability filters (no SHP sweep for
+ * services without SHP use; no reboot-requiring knobs for services
+ * that cannot tolerate reboots; no CDP without RDT).
+ */
+
+#ifndef SOFTSKU_CORE_CONFIGURATOR_HH
+#define SOFTSKU_CORE_CONFIGURATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "core/design_space.hh"
+#include "core/input_spec.hh"
+
+namespace softsku {
+
+/** The sweep plan for one knob. */
+struct KnobPlan
+{
+    KnobId id = KnobId::CoreFrequency;
+    std::vector<KnobValue> values;
+};
+
+/** A knob the configurator refused to sweep, with the reason. */
+struct SkippedKnob
+{
+    KnobId id = KnobId::CoreFrequency;
+    std::string reason;
+};
+
+/** The complete test plan. */
+struct TestPlan
+{
+    std::vector<KnobPlan> knobs;
+    std::vector<SkippedKnob> skipped;
+
+    /** Total candidate configurations across all planned knobs. */
+    size_t totalCandidates() const;
+};
+
+/**
+ * Build the plan for @p spec.  fatal() when the target service's
+ * throughput cannot be proxied by MIPS (the Cache tiers, Sec. 4) —
+ * μSKU's prototype metric would silently mislead there.
+ */
+TestPlan buildTestPlan(const InputSpec &spec, const PlatformSpec &platform,
+                       const WorkloadProfile &profile);
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_CONFIGURATOR_HH

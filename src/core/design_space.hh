@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The soft-SKU design space: candidate values per knob, and the
+ * applicability rules the paper's input file encodes (Sec. 4-5).
+ *
+ * Applicability: SHP is skipped for services that never call the
+ * hugetlbfs APIs (Ads1); knobs that require a reboot (core count, SHP)
+ * are skipped for services that cannot tolerate reboots on live
+ * traffic; CDP requires RDT-capable hardware.
+ */
+
+#ifndef SOFTSKU_CORE_DESIGN_SPACE_HH
+#define SOFTSKU_CORE_DESIGN_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/knobs.hh"
+#include "workload/profile.hh"
+
+namespace softsku {
+
+/** One candidate setting of one knob. */
+struct KnobValue
+{
+    KnobId id = KnobId::CoreFrequency;
+    std::string label;                   //!< e.g. "2.0 GHz", "{6d,5c}"
+
+    double number = 0.0;                 //!< frequency (GHz) or count
+    CdpSetting cdp;
+    PrefetcherPreset prefetch = PrefetcherPreset::AllOn;
+    ThpMode thp = ThpMode::Madvise;
+
+    /** Overwrite this knob's field in @p config. */
+    void applyTo(KnobConfig &config) const;
+
+    /** The value @p config currently holds for knob @p id. */
+    static KnobValue fromConfig(KnobId id, const KnobConfig &config);
+
+    bool operator==(const KnobValue &) const = default;
+};
+
+/**
+ * True when μSKU may sweep @p id for this service on this platform
+ * (the configurator's filtering step).  @p reason receives a short
+ * explanation when the knob is skipped.
+ */
+bool knobApplicable(KnobId id, const PlatformSpec &platform,
+                    const WorkloadProfile &profile,
+                    std::string *reason = nullptr);
+
+/**
+ * Candidate values for @p id, mirroring the paper's sweeps: core
+ * frequency 1.6→max (AVX cap applies), uncore 1.4→1.8, core count 2→
+ * platform max, CDP off plus every {data, code} split, the five
+ * prefetcher presets, three THP modes, and SHP 0→600 by 100.
+ */
+std::vector<KnobValue> knobDomain(KnobId id, const PlatformSpec &platform,
+                                  const WorkloadProfile &profile);
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_DESIGN_SPACE_HH

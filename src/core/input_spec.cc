@@ -1,0 +1,125 @@
+#include "core/input_spec.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+SweepMode
+sweepModeFromString(const std::string &text)
+{
+    std::string mode = toLower(text);
+    if (mode == "independent")
+        return SweepMode::Independent;
+    if (mode == "exhaustive")
+        return SweepMode::Exhaustive;
+    if (mode == "hillclimb" || mode == "hill_climb")
+        return SweepMode::HillClimb;
+    fatal("unknown sweep mode '%s' (independent, exhaustive, hillclimb)",
+          text.c_str());
+}
+
+std::string
+sweepModeName(SweepMode mode)
+{
+    switch (mode) {
+      case SweepMode::Independent: return "independent";
+      case SweepMode::Exhaustive: return "exhaustive";
+      case SweepMode::HillClimb: return "hillclimb";
+    }
+    panic("unreachable sweep mode");
+}
+
+void
+InputSpec::normalize()
+{
+    if (knobs.empty())
+        knobs = allKnobIds();
+}
+
+void
+InputSpec::validate() const
+{
+    if (microservice.empty())
+        fatal("μSKU input: 'microservice' is required");
+    if (platform.empty())
+        fatal("μSKU input: 'platform' is required");
+    if (confidence <= 0.5 || confidence >= 1.0)
+        fatal("μSKU input: confidence %.3f outside (0.5, 1)", confidence);
+    if (maxSamplesPerTest < minSamplesPerTest)
+        fatal("μSKU input: max samples %llu below min %llu",
+              static_cast<unsigned long long>(maxSamplesPerTest),
+              static_cast<unsigned long long>(minSamplesPerTest));
+    if (sampleSpacingSec <= 0.0)
+        fatal("μSKU input: sample spacing must be positive");
+}
+
+Json
+InputSpec::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("microservice", Json(microservice));
+    doc.set("platform", Json(platform));
+    Json sweepDoc = Json::object();
+    sweepDoc.set("mode", Json(sweepModeName(sweep)));
+    Json knobList = Json::array();
+    for (KnobId id : knobs)
+        knobList.push(Json(knobKey(id)));
+    sweepDoc.set("knobs", std::move(knobList));
+    doc.set("sweep", std::move(sweepDoc));
+    doc.set("confidence", Json(confidence));
+    doc.set("max_samples", Json(static_cast<long long>(maxSamplesPerTest)));
+    doc.set("min_samples", Json(static_cast<long long>(minSamplesPerTest)));
+    doc.set("warmup_samples", Json(static_cast<long long>(warmupSamples)));
+    doc.set("sample_spacing_sec", Json(sampleSpacingSec));
+    doc.set("validation_duration_sec", Json(validationDurationSec));
+    doc.set("seed", Json(static_cast<long long>(seed)));
+    return doc;
+}
+
+InputSpec
+InputSpec::fromJson(const Json &doc)
+{
+    InputSpec spec;
+    spec.microservice = doc.stringOr("microservice", "");
+    spec.platform = doc.stringOr("platform", "");
+    if (doc.contains("sweep")) {
+        const Json &sweepDoc = doc.at("sweep");
+        spec.sweep =
+            sweepModeFromString(sweepDoc.stringOr("mode", "independent"));
+        if (sweepDoc.contains("knobs")) {
+            for (const Json &knob : sweepDoc.at("knobs").elements())
+                spec.knobs.push_back(knobFromKey(knob.asString()));
+        }
+    }
+    spec.confidence = doc.numberOr("confidence", spec.confidence);
+    spec.maxSamplesPerTest = static_cast<std::uint64_t>(
+        doc.numberOr("max_samples",
+                     static_cast<double>(spec.maxSamplesPerTest)));
+    spec.minSamplesPerTest = static_cast<std::uint64_t>(
+        doc.numberOr("min_samples",
+                     static_cast<double>(spec.minSamplesPerTest)));
+    spec.warmupSamples = static_cast<std::uint64_t>(doc.numberOr(
+        "warmup_samples", static_cast<double>(spec.warmupSamples)));
+    spec.sampleSpacingSec =
+        doc.numberOr("sample_spacing_sec", spec.sampleSpacingSec);
+    spec.validationDurationSec = doc.numberOr("validation_duration_sec",
+                                              spec.validationDurationSec);
+    spec.seed = static_cast<std::uint64_t>(
+        doc.numberOr("seed", static_cast<double>(spec.seed)));
+    spec.normalize();
+    spec.validate();
+    return spec;
+}
+
+InputSpec
+InputSpec::parse(const std::string &text)
+{
+    std::string error;
+    auto [doc, ok] = Json::parse(text, &error);
+    if (!ok)
+        fatal("μSKU input file: %s", error.c_str());
+    return fromJson(doc);
+}
+
+} // namespace softsku

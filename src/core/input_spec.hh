@@ -1,0 +1,74 @@
+/**
+ * @file
+ * μSKU's input file (paper Sec. 4, Fig 13): the target microservice,
+ * the processor platform, and the sweep configuration.
+ */
+
+#ifndef SOFTSKU_CORE_INPUT_SPEC_HH
+#define SOFTSKU_CORE_INPUT_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/knobs.hh"
+#include "util/json.hh"
+
+namespace softsku {
+
+/** How the A/B tester walks the design space (Sec. 4, input 3). */
+enum class SweepMode
+{
+    /** Scale knobs one by one; winners are composed (the default —
+     *  exhaustive sweeps cannot finish between code pushes). */
+    Independent,
+    /** Cross product of all knob settings (small subspaces only). */
+    Exhaustive,
+    /** Greedy hill climbing, the paper's discussion-section extension. */
+    HillClimb,
+};
+
+/** Parse a sweep-mode string; fatal() on unknown input. */
+SweepMode sweepModeFromString(const std::string &text);
+
+/** Registry name of a sweep mode. */
+std::string sweepModeName(SweepMode mode);
+
+/** The full μSKU invocation description. */
+struct InputSpec
+{
+    std::string microservice;            //!< e.g. "web"
+    std::string platform;                //!< e.g. "skylake18"
+    SweepMode sweep = SweepMode::Independent;
+    /** Knobs to explore; defaults to all seven. */
+    std::vector<KnobId> knobs;
+
+    double confidence = 0.95;            //!< significance level
+    std::uint64_t maxSamplesPerTest = 30000;  //!< give-up threshold
+    std::uint64_t minSamplesPerTest = 400;    //!< before early stopping
+    std::uint64_t warmupSamples = 60;    //!< cold-start discard (Sec. 4)
+    double sampleSpacingSec = 1.0;       //!< independence spacing
+    std::uint64_t seed = 1;
+
+    /** Wall-clock length of the prolonged validation phase. */
+    double validationDurationSec = 2.0 * 86400.0;
+
+    /** Fill `knobs` with all seven when empty. */
+    void normalize();
+
+    /** Basic sanity checks; fatal() on user errors. */
+    void validate() const;
+
+    /** Serialize to the on-disk JSON format. */
+    Json toJson() const;
+
+    /** Parse from JSON; fatal() on malformed documents. */
+    static InputSpec fromJson(const Json &doc);
+
+    /** Parse from raw file text. */
+    static InputSpec parse(const std::string &text);
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_INPUT_SPEC_HH

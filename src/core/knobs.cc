@@ -1,0 +1,172 @@
+#include "core/knobs.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+#include "workload/profile.hh"
+
+namespace softsku {
+
+std::vector<KnobId>
+allKnobIds()
+{
+    return {KnobId::CoreFrequency, KnobId::UncoreFrequency,
+            KnobId::CoreCount,     KnobId::Cdp,
+            KnobId::Prefetcher,    KnobId::Thp,
+            KnobId::Shp};
+}
+
+std::string
+knobKey(KnobId id)
+{
+    switch (id) {
+      case KnobId::CoreFrequency: return "core_freq";
+      case KnobId::UncoreFrequency: return "uncore_freq";
+      case KnobId::CoreCount: return "core_count";
+      case KnobId::Cdp: return "cdp";
+      case KnobId::Prefetcher: return "prefetcher";
+      case KnobId::Thp: return "thp";
+      case KnobId::Shp: return "shp";
+    }
+    panic("unreachable knob id");
+}
+
+KnobId
+knobFromKey(const std::string &key)
+{
+    std::string k = toLower(key);
+    for (KnobId id : allKnobIds()) {
+        if (knobKey(id) == k)
+            return id;
+    }
+    fatal("unknown knob '%s'", key.c_str());
+}
+
+std::string
+knobDisplayName(KnobId id)
+{
+    switch (id) {
+      case KnobId::CoreFrequency: return "Core frequency";
+      case KnobId::UncoreFrequency: return "Uncore frequency";
+      case KnobId::CoreCount: return "Core count";
+      case KnobId::Cdp: return "CDP: LLC code/data ways";
+      case KnobId::Prefetcher: return "Prefetcher";
+      case KnobId::Thp: return "Transparent huge pages";
+      case KnobId::Shp: return "Static huge pages";
+    }
+    panic("unreachable knob id");
+}
+
+bool
+knobRequiresReboot(KnobId id)
+{
+    // Core-count changes go through the boot loader's isolcpus flag
+    // (Sec. 5); SHP reservations are boot-time kernel parameters.
+    return id == KnobId::CoreCount || id == KnobId::Shp;
+}
+
+int
+KnobConfig::resolvedCores(const PlatformSpec &platform) const
+{
+    if (activeCores <= 0)
+        return platform.totalCores();
+    return std::min(activeCores, platform.totalCores());
+}
+
+KnobConfig
+KnobConfig::canonical(const PlatformSpec &platform) const
+{
+    KnobConfig out = *this;
+    out.activeCores = resolvedCores(platform);
+    return out;
+}
+
+std::string
+KnobConfig::describe() const
+{
+    std::string cdpText =
+        cdp.enabled ? format("{%dd,%dc}", cdp.dataWays, cdp.codeWays)
+                    : "off";
+    return format("core=%.1fGHz uncore=%.1fGHz cores=%s cdp=%s pf=%s "
+                  "thp=%s shp=%d",
+                  coreFreqGHz, uncoreFreqGHz,
+                  activeCores <= 0 ? "all"
+                                   : format("%d", activeCores).c_str(),
+                  cdpText.c_str(),
+                  prefetcherPresetKey(prefetch).c_str(),
+                  thpModeName(thp).c_str(), shpCount);
+}
+
+Json
+KnobConfig::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("core_freq_ghz", Json(coreFreqGHz));
+    doc.set("uncore_freq_ghz", Json(uncoreFreqGHz));
+    doc.set("active_cores", Json(activeCores));
+    Json cdpDoc = Json::object();
+    cdpDoc.set("enabled", Json(cdp.enabled));
+    cdpDoc.set("data_ways", Json(cdp.dataWays));
+    cdpDoc.set("code_ways", Json(cdp.codeWays));
+    doc.set("cdp", std::move(cdpDoc));
+    doc.set("prefetcher", Json(prefetcherPresetKey(prefetch)));
+    doc.set("thp", Json(thpModeName(thp)));
+    doc.set("shp_count", Json(shpCount));
+    return doc;
+}
+
+KnobConfig
+KnobConfig::fromJson(const Json &doc)
+{
+    KnobConfig cfg;
+    cfg.coreFreqGHz = doc.numberOr("core_freq_ghz", cfg.coreFreqGHz);
+    cfg.uncoreFreqGHz = doc.numberOr("uncore_freq_ghz", cfg.uncoreFreqGHz);
+    cfg.activeCores =
+        static_cast<int>(doc.numberOr("active_cores", cfg.activeCores));
+    if (doc.contains("cdp")) {
+        const Json &cdpDoc = doc.at("cdp");
+        cfg.cdp.enabled = cdpDoc.boolOr("enabled", false);
+        cfg.cdp.dataWays =
+            static_cast<int>(cdpDoc.numberOr("data_ways", 0));
+        cfg.cdp.codeWays =
+            static_cast<int>(cdpDoc.numberOr("code_ways", 0));
+    }
+    if (doc.contains("prefetcher"))
+        cfg.prefetch = prefetcherPresetFromKey(doc.at("prefetcher").asString());
+    if (doc.contains("thp"))
+        cfg.thp = thpModeFromString(doc.at("thp").asString());
+    cfg.shpCount = static_cast<int>(doc.numberOr("shp_count", 0));
+    return cfg;
+}
+
+KnobConfig
+productionConfig(const PlatformSpec &platform,
+                 const WorkloadProfile &profile)
+{
+    KnobConfig cfg = stockConfig(platform, profile);
+    cfg.thp = ThpMode::Madvise;
+    if (platform.microarchitecture == "Intel Broadwell")
+        cfg.prefetch = PrefetcherPreset::L2StreamAndDcu;
+    if (profile.name == "web" && profile.usesShp) {
+        cfg.shpCount =
+            platform.microarchitecture == "Intel Broadwell" ? 488 : 200;
+    }
+    return cfg;
+}
+
+KnobConfig
+stockConfig(const PlatformSpec &platform, const WorkloadProfile &profile)
+{
+    KnobConfig cfg;
+    cfg.coreFreqGHz = platform.coreFreqMaxGHz;
+    if (profile.usesAvx)
+        cfg.coreFreqGHz -= 0.2;
+    cfg.uncoreFreqGHz = platform.uncoreFreqMaxGHz;
+    cfg.activeCores = 0;
+    cfg.cdp = CdpSetting{};
+    cfg.prefetch = PrefetcherPreset::AllOn;
+    cfg.thp = ThpMode::Always;
+    cfg.shpCount = 0;
+    return cfg;
+}
+
+} // namespace softsku

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Markdown rendering of a μSKU report — the artifact an engineer files
+ * with the soft-SKU deployment request: the design-space map with
+ * confidence intervals, the composed configuration, the validation
+ * verdict, and which knobs were skipped and why.
+ */
+
+#ifndef SOFTSKU_CORE_REPORT_WRITER_HH
+#define SOFTSKU_CORE_REPORT_WRITER_HH
+
+#include <string>
+
+#include "core/usku.hh"
+
+namespace softsku {
+
+/** Render the full report as Markdown. */
+std::string renderMarkdownReport(const UskuReport &report);
+
+/**
+ * Write the Markdown report to @p path; fatal() when the file cannot
+ * be written (user-supplied path).
+ */
+void writeMarkdownReport(const UskuReport &report, const std::string &path);
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_REPORT_WRITER_HH

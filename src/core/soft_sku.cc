@@ -1,0 +1,59 @@
+#include "core/soft_sku.hh"
+
+#include "stats/students_t.hh"
+#include "util/logging.hh"
+
+namespace softsku {
+
+KnobConfig
+SoftSkuGenerator::compose(const DesignSpaceMap &map) const
+{
+    KnobConfig config = map.baseline;
+    for (const KnobSweep &sweep : map.sweeps) {
+        const KnobOutcome *best = sweep.best();
+        if (best && !best->isBaseline) {
+            best->value.applyTo(config);
+            inform("soft SKU: knob '%s' ← %s (+%.2f%% ± %.2f%%)",
+                   knobKey(sweep.id).c_str(), best->value.label.c_str(),
+                   best->gainPercent, best->gainCiPercent);
+        }
+    }
+    return config;
+}
+
+ValidationResult
+SoftSkuGenerator::validate(ProductionEnvironment &env,
+                           const KnobConfig &softSku,
+                           const KnobConfig &reference, double durationSec,
+                           OdsStore &ods, double sampleEverySec) const
+{
+    ValidationResult result;
+    result.durationSec = durationSec;
+
+    // Fleet QPS tracks MIPS for MIPS-valid services; both sides face
+    // identical live load.  Samples land in ODS exactly as the fleet
+    // telemetry pipeline would record them.
+    RunningStat diffs;
+    RunningStat refStat;
+    double clock = 0.0;
+    while (clock < durationSec) {
+        clock += sampleEverySec;
+        PairedSample sample = env.samplePair(reference, softSku, clock);
+        ods.append("qps.reference", clock, sample.mipsA);
+        ods.append("qps.softsku", clock, sample.mipsB);
+        diffs.add(sample.mipsB - sample.mipsA);
+        refStat.add(sample.mipsA);
+        ++result.samples;
+    }
+
+    WelchResult test = pairedTTest(diffs, 0.95);
+    if (refStat.mean() > 0.0) {
+        result.meanGainPercent = diffs.mean() / refStat.mean() * 100.0;
+        result.gainCiPercent =
+            test.diffHalfWidth / refStat.mean() * 100.0;
+    }
+    result.stable = test.significant && diffs.mean() > 0.0;
+    return result;
+}
+
+} // namespace softsku

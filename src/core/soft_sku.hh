@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The soft-SKU generator (paper Sec. 4): compose the most performant
+ * knob settings from the design-space map into one configuration, then
+ * validate it on live servers for a prolonged period — across diurnal
+ * load and code pushes — by comparing fleet throughput against the
+ * reference configuration through the ODS telemetry store.
+ */
+
+#ifndef SOFTSKU_CORE_SOFT_SKU_HH
+#define SOFTSKU_CORE_SOFT_SKU_HH
+
+#include "core/design_space_map.hh"
+#include "sim/production_env.hh"
+#include "telemetry/ods.hh"
+
+namespace softsku {
+
+/** Outcome of the prolonged deployment validation. */
+struct ValidationResult
+{
+    double durationSec = 0.0;
+    std::uint64_t samples = 0;
+    double meanGainPercent = 0.0;   //!< QPS gain over the reference
+    double gainCiPercent = 0.0;
+    bool stable = false;            //!< gain significant and positive
+};
+
+/** Composes and validates soft SKUs. */
+class SoftSkuGenerator
+{
+  public:
+    /**
+     * Select the most performant setting for every explored knob and
+     * apply them on top of the baseline configuration.
+     */
+    KnobConfig compose(const DesignSpaceMap &map) const;
+
+    /**
+     * Deploy @p softSku next to @p reference for @p durationSec of
+     * simulated wall clock, logging fleet QPS for both into @p ods
+     * (series "qps.softsku" and "qps.reference"), and judge stability.
+     *
+     * @param sampleEverySec telemetry cadence
+     */
+    ValidationResult validate(ProductionEnvironment &env,
+                              const KnobConfig &softSku,
+                              const KnobConfig &reference,
+                              double durationSec, OdsStore &ods,
+                              double sampleEverySec = 60.0) const;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_SOFT_SKU_HH

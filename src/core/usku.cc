@@ -1,0 +1,329 @@
+#include "core/usku.hh"
+
+#include <cmath>
+
+#include "core/ab_test.hh"
+#include "services/services.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+double
+UskuReport::gainOverProductionPercent() const
+{
+    if (productionMips <= 0.0)
+        return 0.0;
+    return (softSkuMips / productionMips - 1.0) * 100.0;
+}
+
+double
+UskuReport::gainOverStockPercent() const
+{
+    if (stockMips <= 0.0)
+        return 0.0;
+    return (softSkuMips / stockMips - 1.0) * 100.0;
+}
+
+Json
+UskuReport::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("spec", spec.toJson());
+    doc.set("production", production.toJson());
+    doc.set("stock", stock.toJson());
+    doc.set("soft_sku", softSku.toJson());
+    doc.set("design_space_map", map.toJson());
+    doc.set("production_mips", Json(productionMips));
+    doc.set("stock_mips", Json(stockMips));
+    doc.set("soft_sku_mips", Json(softSkuMips));
+    doc.set("gain_over_production_percent",
+            Json(gainOverProductionPercent()));
+    doc.set("gain_over_stock_percent", Json(gainOverStockPercent()));
+    doc.set("measurement_hours", Json(measurementHours));
+    doc.set("configs_evaluated",
+            Json(static_cast<long long>(configsEvaluated)));
+    Json validationDoc = Json::object();
+    validationDoc.set("duration_sec", Json(validation.durationSec));
+    validationDoc.set("samples",
+                      Json(static_cast<long long>(validation.samples)));
+    validationDoc.set("mean_gain_percent",
+                      Json(validation.meanGainPercent));
+    validationDoc.set("gain_ci_percent", Json(validation.gainCiPercent));
+    validationDoc.set("stable", Json(validation.stable));
+    doc.set("validation", std::move(validationDoc));
+    return doc;
+}
+
+std::string
+UskuReport::summary() const
+{
+    std::string out;
+    out += format("μSKU report: %s on %s (%s sweep)\n",
+                  spec.microservice.c_str(), spec.platform.c_str(),
+                  sweepModeName(spec.sweep).c_str());
+    out += format("  production: %s\n", production.describe().c_str());
+    out += format("  soft SKU:   %s\n", softSku.describe().c_str());
+    out += format("  gain over production: %+.2f%%\n",
+                  gainOverProductionPercent());
+    out += format("  gain over stock:      %+.2f%%\n",
+                  gainOverStockPercent());
+    out += format("  configs evaluated: %llu, measurement time: %.1f h\n",
+                  static_cast<unsigned long long>(configsEvaluated),
+                  measurementHours);
+    out += format("  validation: %+.2f%% ± %.2f%% over %.1f days (%s)\n",
+                  validation.meanGainPercent, validation.gainCiPercent,
+                  validation.durationSec / 86400.0,
+                  validation.stable ? "stable" : "not significant");
+    return out;
+}
+
+Usku::Usku(ProductionEnvironment &env) : env_(env) {}
+
+UskuReport
+Usku::run(const InputSpec &specIn)
+{
+    InputSpec spec = specIn;
+    spec.normalize();
+    spec.validate();
+
+    const WorkloadProfile &profile = env_.profile();
+    const PlatformSpec &platform = env_.platform();
+    if (profile.name != toLower(spec.microservice)) {
+        fatal("μSKU: environment simulates '%s' but the spec targets "
+              "'%s'", profile.name.c_str(), spec.microservice.c_str());
+    }
+
+    UskuReport report;
+    report.spec = spec;
+    report.plan = buildTestPlan(spec, platform, profile);
+    report.production = productionConfig(platform, profile);
+    report.stock = stockConfig(platform, profile);
+
+    ABTester tester(env_, spec);
+    switch (spec.sweep) {
+      case SweepMode::Independent:
+        report.map = sweepIndependent(tester, report.plan,
+                                      report.production);
+        break;
+      case SweepMode::Exhaustive:
+        report.map = sweepExhaustive(tester, report.plan,
+                                     report.production);
+        break;
+      case SweepMode::HillClimb:
+        report.map = sweepHillClimb(tester, report.plan,
+                                    report.production);
+        break;
+    }
+
+    SoftSkuGenerator generator;
+    report.softSku = generator.compose(report.map);
+
+    report.productionMips = env_.trueMips(report.production);
+    report.stockMips = env_.trueMips(report.stock);
+    report.softSkuMips = env_.trueMips(report.softSku);
+    report.measurementHours = tester.elapsedSec() / 3600.0;
+    report.configsEvaluated = env_.configsSimulated();
+
+    OdsStore ods;
+    report.validation = generator.validate(
+        env_, report.softSku, report.production,
+        spec.validationDurationSec, ods);
+    return report;
+}
+
+namespace {
+
+/** Record one measured outcome into a sweep. */
+KnobOutcome
+makeOutcome(const KnobValue &value, const ABTestResult &test)
+{
+    KnobOutcome outcome;
+    outcome.value = value;
+    outcome.meanMips = test.samplesB.mean();
+    outcome.gainPercent = test.gainPercent();
+    outcome.gainCiPercent = test.gainCiPercent();
+    outcome.significant = test.significant;
+    outcome.samples = test.samplesUsed;
+    return outcome;
+}
+
+} // namespace
+
+DesignSpaceMap
+Usku::sweepIndependent(ABTester &tester, const TestPlan &plan,
+                       const KnobConfig &baseline)
+{
+    DesignSpaceMap map;
+    map.baseline = baseline;
+    map.baselineMips = env_.trueMips(baseline);
+
+    for (const KnobPlan &knobPlan : plan.knobs) {
+        KnobSweep sweep;
+        sweep.id = knobPlan.id;
+        KnobValue baselineValue =
+            KnobValue::fromConfig(knobPlan.id, baseline);
+
+        const PlatformSpec &platform = env_.platform();
+        for (const KnobValue &value : knobPlan.values) {
+            KnobConfig candidate = baseline;
+            value.applyTo(candidate);
+            if (candidate.canonical(platform) ==
+                baseline.canonical(platform)) {
+                KnobOutcome outcome;
+                outcome.value = baselineValue;
+                outcome.meanMips = map.baselineMips;
+                outcome.isBaseline = true;
+                sweep.outcomes.push_back(outcome);
+                continue;
+            }
+            ABTestResult test = tester.compare(baseline, candidate);
+            sweep.outcomes.push_back(makeOutcome(value, test));
+            debug("μSKU A/B: %s = %s → %+0.2f%% (p=%.3g, n=%llu)",
+                  knobKey(knobPlan.id).c_str(), value.label.c_str(),
+                  test.gainPercent(), test.welch.pValue,
+                  static_cast<unsigned long long>(test.samplesUsed));
+        }
+        map.sweeps.push_back(std::move(sweep));
+    }
+    return map;
+}
+
+DesignSpaceMap
+Usku::sweepExhaustive(ABTester &tester, const TestPlan &plan,
+                      const KnobConfig &baseline)
+{
+    // Bound the cross product: the paper observes exhaustive sweeps
+    // cannot complete between code pushes; the limit keeps runs honest.
+    constexpr size_t kMaxCombinations = 512;
+    size_t combinations = 1;
+    for (const KnobPlan &knobPlan : plan.knobs) {
+        combinations *= knobPlan.values.size();
+        if (combinations > kMaxCombinations) {
+            fatal("μSKU: exhaustive sweep would need %zu+ combinations "
+                  "(limit %zu); restrict the knob list or use the "
+                  "independent/hillclimb modes",
+                  combinations, kMaxCombinations);
+        }
+    }
+
+    DesignSpaceMap map;
+    map.baseline = baseline;
+    map.baselineMips = env_.trueMips(baseline);
+
+    // Enumerate the cross product; track the best configuration seen
+    // and report it as a single-knob-sweep-like map entry per knob so
+    // composition picks exactly the winning combination.
+    std::vector<size_t> index(plan.knobs.size(), 0);
+    KnobConfig bestConfig = baseline;
+    double bestMean = map.baselineMips;
+    bool done = plan.knobs.empty();
+    while (!done) {
+        KnobConfig candidate = baseline;
+        for (size_t k = 0; k < plan.knobs.size(); ++k)
+            plan.knobs[k].values[index[k]].applyTo(candidate);
+
+        if (!(candidate == baseline)) {
+            ABTestResult test = tester.compare(baseline, candidate);
+            if (test.significant && test.welch.meanDiff > 0.0 &&
+                test.samplesB.mean() > bestMean) {
+                bestMean = test.samplesB.mean();
+                bestConfig = candidate;
+            }
+        }
+
+        // Advance the mixed-radix counter.
+        size_t k = 0;
+        while (k < index.size()) {
+            if (++index[k] < plan.knobs[k].values.size())
+                break;
+            index[k] = 0;
+            ++k;
+        }
+        done = k == index.size();
+    }
+
+    for (const KnobPlan &knobPlan : plan.knobs) {
+        KnobSweep sweep;
+        sweep.id = knobPlan.id;
+        KnobOutcome outcome;
+        outcome.value = KnobValue::fromConfig(knobPlan.id, bestConfig);
+        outcome.meanMips = bestMean;
+        outcome.gainPercent =
+            map.baselineMips > 0.0
+                ? (bestMean / map.baselineMips - 1.0) * 100.0
+                : 0.0;
+        outcome.significant = !(bestConfig == baseline);
+        outcome.isBaseline = bestConfig == baseline;
+        sweep.outcomes.push_back(outcome);
+        map.sweeps.push_back(std::move(sweep));
+    }
+    return map;
+}
+
+DesignSpaceMap
+Usku::sweepHillClimb(ABTester &tester, const TestPlan &plan,
+                     const KnobConfig &baseline)
+{
+    DesignSpaceMap map;
+    map.baseline = baseline;
+    map.baselineMips = env_.trueMips(baseline);
+
+    KnobConfig current = baseline;
+    const int maxPasses = 3;
+    for (int pass = 0; pass < maxPasses; ++pass) {
+        bool moved = false;
+        for (const KnobPlan &knobPlan : plan.knobs) {
+            const KnobValue *bestValue = nullptr;
+            double bestGain = 0.0;
+            ABTestResult bestTest;
+            for (const KnobValue &value : knobPlan.values) {
+                KnobConfig candidate = current;
+                value.applyTo(candidate);
+                if (candidate == current)
+                    continue;
+                ABTestResult test = tester.compare(current, candidate);
+                if (test.significant && test.gainPercent() > bestGain) {
+                    bestGain = test.gainPercent();
+                    bestValue = &value;
+                    bestTest = test;
+                }
+            }
+            if (bestValue) {
+                bestValue->applyTo(current);
+                moved = true;
+                KnobSweep sweep;
+                sweep.id = knobPlan.id;
+                sweep.outcomes.push_back(makeOutcome(*bestValue, bestTest));
+                sweep.outcomes.back().significant = true;
+                map.sweeps.push_back(std::move(sweep));
+            }
+        }
+        if (!moved)
+            break;
+    }
+
+    // Collapse to one final sweep entry per knob reflecting `current`.
+    DesignSpaceMap collapsed;
+    collapsed.baseline = baseline;
+    collapsed.baselineMips = map.baselineMips;
+    for (const KnobPlan &knobPlan : plan.knobs) {
+        KnobSweep sweep;
+        sweep.id = knobPlan.id;
+        KnobOutcome outcome;
+        outcome.value = KnobValue::fromConfig(knobPlan.id, current);
+        outcome.meanMips = env_.trueMips(current);
+        outcome.gainPercent =
+            collapsed.baselineMips > 0.0
+                ? (outcome.meanMips / collapsed.baselineMips - 1.0) * 100.0
+                : 0.0;
+        KnobValue baseValue = KnobValue::fromConfig(knobPlan.id, baseline);
+        outcome.isBaseline = outcome.value == baseValue;
+        outcome.significant = !outcome.isBaseline;
+        sweep.outcomes.push_back(outcome);
+        collapsed.sweeps.push_back(std::move(sweep));
+    }
+    return collapsed;
+}
+
+} // namespace softsku

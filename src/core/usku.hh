@@ -1,0 +1,84 @@
+/**
+ * @file
+ * μSKU — the design tool (paper Sec. 4, Fig 13).
+ *
+ * Wiring: input file → A/B test configurator → A/B tester (production
+ * systems, live traffic) → design-space map → soft-SKU generator →
+ * prolonged validation.  Three search strategies are provided:
+ * independent knob scaling (the deployed default), exhaustive cross
+ * product (bounded — the paper notes it cannot finish between code
+ * pushes), and greedy hill climbing (the discussion-section
+ * extension).
+ */
+
+#ifndef SOFTSKU_CORE_USKU_HH
+#define SOFTSKU_CORE_USKU_HH
+
+#include <string>
+
+#include "core/configurator.hh"
+#include "core/design_space_map.hh"
+#include "core/input_spec.hh"
+#include "core/soft_sku.hh"
+#include "sim/production_env.hh"
+#include "telemetry/ods.hh"
+
+namespace softsku {
+
+/** Everything a μSKU run produces. */
+struct UskuReport
+{
+    InputSpec spec;
+    TestPlan plan;
+    KnobConfig production;          //!< hand-tuned baseline
+    KnobConfig stock;               //!< fresh-install reference
+    KnobConfig softSku;             //!< the composed winner
+    DesignSpaceMap map;
+    ValidationResult validation;
+
+    double productionMips = 0.0;
+    double stockMips = 0.0;
+    double softSkuMips = 0.0;
+    double measurementHours = 0.0;  //!< simulated A/B wall clock
+    std::uint64_t configsEvaluated = 0;
+
+    /** Gain of the soft SKU over the hand-tuned production config. */
+    double gainOverProductionPercent() const;
+
+    /** Gain of the soft SKU over the stock config. */
+    double gainOverStockPercent() const;
+
+    /** Serialize the full report. */
+    Json toJson() const;
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+/** The tool facade. */
+class Usku
+{
+  public:
+    /**
+     * @param env the production environment to measure in; the caller
+     *            owns it so benches can reuse simulation caches
+     */
+    explicit Usku(ProductionEnvironment &env);
+
+    /** Run the full pipeline for @p spec. */
+    UskuReport run(const InputSpec &spec);
+
+  private:
+    DesignSpaceMap sweepIndependent(ABTester &tester, const TestPlan &plan,
+                                    const KnobConfig &baseline);
+    DesignSpaceMap sweepExhaustive(ABTester &tester, const TestPlan &plan,
+                                   const KnobConfig &baseline);
+    DesignSpaceMap sweepHillClimb(ABTester &tester, const TestPlan &plan,
+                                  const KnobConfig &baseline);
+
+    ProductionEnvironment &env_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_USKU_HH

@@ -1,0 +1,87 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+namespace {
+
+/** Fraction of unloaded latency spent in the uncore (ring + MC). */
+constexpr double kUncoreLatencyShare = 0.40;
+
+/** Utilization where delivered bandwidth effectively saturates. */
+constexpr double kSaturation = 0.97;
+
+} // namespace
+
+DramModel::DramModel(const PlatformSpec &platform, double uncoreGHz)
+    : platform_(platform), uncoreGHz_(uncoreGHz)
+{
+    SOFTSKU_ASSERT(uncoreGHz > 0.0);
+    // Peak bandwidth is DRAM-channel limited; the uncore only shaves a
+    // little off when clocked far below nominal (queue drain rate).
+    double uncoreScale =
+        std::min(1.0, 0.85 + 0.15 * uncoreGHz_ / platform.uncoreFreqMaxGHz);
+    peakGBs_ = platform.peakMemBandwidthGBs * uncoreScale;
+
+    // The on-die portion of the unloaded latency stretches as the
+    // uncore slows down.
+    double uncoreRatio = platform.uncoreFreqMaxGHz / uncoreGHz_;
+    baseLatencyNs_ =
+        platform.unloadedMemLatencyNs *
+        ((1.0 - kUncoreLatencyShare) + kUncoreLatencyShare * uncoreRatio);
+}
+
+double
+DramModel::latencyNs(double bandwidthGBs) const
+{
+    double u = std::clamp(bandwidthGBs / peakGBs_, 0.0, kSaturation);
+    // Horizontal asymptote then super-linear queuing growth: a u^4
+    // onset keeps the curve flat through ~70% utilization and reaches
+    // roughly 4-5x the unloaded latency at the saturation knee,
+    // matching the measured stress-test shape of Fig 12.
+    double queue = baseLatencyNs_ * 0.25 * std::pow(u, 4.0) / (1.0 - u);
+    return baseLatencyNs_ + queue;
+}
+
+double
+DramModel::unloadedLatencyNs() const
+{
+    return baseLatencyNs_;
+}
+
+MemoryOperatingPoint
+DramModel::resolve(double demandGBs) const
+{
+    MemoryOperatingPoint op;
+    op.demandGBs = std::max(demandGBs, 0.0);
+    double ceiling = peakGBs_ * kSaturation;
+    if (op.demandGBs <= ceiling) {
+        op.achievedGBs = op.demandGBs;
+        op.backpressure = 1.0;
+    } else {
+        op.achievedGBs = ceiling;
+        op.backpressure = op.demandGBs / ceiling;
+    }
+    op.latencyNs = latencyNs(op.achievedGBs);
+    return op;
+}
+
+double
+DramModel::llcLatencyNs() const
+{
+    return platform_.llcLatencyNs * platform_.uncoreFreqMaxGHz / uncoreGHz_;
+}
+
+double
+DramModel::pageWalkLatencyNs() const
+{
+    // Walks traverse cached page-table levels through the uncore.
+    return platform_.pageWalkLatencyNs *
+           (0.6 + 0.4 * platform_.uncoreFreqMaxGHz / uncoreGHz_);
+}
+
+} // namespace softsku

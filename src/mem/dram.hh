@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DRAM bandwidth/latency queuing model.
+ *
+ * Fig 12 of the paper characterizes each platform with a memory stress
+ * test: latency sits on a horizontal asymptote at the unloaded value,
+ * then grows exponentially as offered load approaches saturation.  The
+ * model reproduces that curve and resolves a *demand* bandwidth to an
+ * achieved (bandwidth, latency, backpressure) operating point.  Uncore
+ * frequency scales the on-die portion of the latency (LLC ring + memory
+ * controller), which is how μSKU's knob 2 takes effect.
+ */
+
+#ifndef SOFTSKU_MEM_DRAM_HH
+#define SOFTSKU_MEM_DRAM_HH
+
+#include "arch/platform.hh"
+
+namespace softsku {
+
+/** Resolved memory-system operating point. */
+struct MemoryOperatingPoint
+{
+    double demandGBs = 0.0;      //!< what the cores asked for
+    double achievedGBs = 0.0;    //!< what the DRAM delivered
+    double latencyNs = 0.0;      //!< average loaded latency
+    /** >1 when demand exceeds deliverable bandwidth (stall inflation). */
+    double backpressure = 1.0;
+};
+
+/** Queuing model of one platform's memory system. */
+class DramModel
+{
+  public:
+    /**
+     * @param platform  supplies peak bandwidth and unloaded latency
+     * @param uncoreGHz current uncore frequency setting
+     */
+    DramModel(const PlatformSpec &platform, double uncoreGHz);
+
+    /** Loaded latency at a given *achieved* bandwidth (the Fig 12 curve). */
+    double latencyNs(double bandwidthGBs) const;
+
+    /** Latency with no load. */
+    double unloadedLatencyNs() const;
+
+    /** Peak deliverable bandwidth at the current uncore frequency. */
+    double peakBandwidthGBs() const { return peakGBs_; }
+
+    /**
+     * Resolve a demand to an operating point: demand beyond the
+     * saturation knee is delivered at the knee and the excess shows up
+     * as backpressure (extra stall cycles per access).
+     */
+    MemoryOperatingPoint resolve(double demandGBs) const;
+
+    /** LLC hit latency (ns) at the current uncore frequency. */
+    double llcLatencyNs() const;
+
+    /** Page-walk latency (ns) at the current uncore frequency. */
+    double pageWalkLatencyNs() const;
+
+    double uncoreGHz() const { return uncoreGHz_; }
+
+  private:
+    const PlatformSpec &platform_;
+    double uncoreGHz_;
+    double peakGBs_;
+    double baseLatencyNs_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_MEM_DRAM_HH

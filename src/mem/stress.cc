@@ -1,0 +1,25 @@
+#include "mem/stress.hh"
+
+#include "mem/dram.hh"
+#include "util/logging.hh"
+
+namespace softsku {
+
+std::vector<StressPoint>
+memoryStressCurve(const PlatformSpec &platform, int points)
+{
+    SOFTSKU_ASSERT(points >= 2);
+    DramModel dram(platform, platform.uncoreFreqMaxGHz);
+    std::vector<StressPoint> curve;
+    curve.reserve(static_cast<size_t>(points));
+    double peak = dram.peakBandwidthGBs();
+    for (int i = 0; i < points; ++i) {
+        double frac =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        double bw = frac * peak * 0.96;
+        curve.push_back({bw, dram.latencyNs(bw)});
+    }
+    return curve;
+}
+
+} // namespace softsku

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Memory stress-test harness in the style of Intel's Memory Latency
+ * Checker, which the paper uses to trace each platform's inherent
+ * bandwidth-vs-latency curve in Fig 12.
+ */
+
+#ifndef SOFTSKU_MEM_STRESS_HH
+#define SOFTSKU_MEM_STRESS_HH
+
+#include <vector>
+
+#include "arch/platform.hh"
+
+namespace softsku {
+
+/** One point on the stress-test curve. */
+struct StressPoint
+{
+    double bandwidthGBs = 0.0;
+    double latencyNs = 0.0;
+};
+
+/**
+ * Sweep offered load from idle to saturation on @p platform at its
+ * maximum uncore frequency and return the characteristic curve.
+ *
+ * @param points number of sweep points
+ */
+std::vector<StressPoint> memoryStressCurve(const PlatformSpec &platform,
+                                           int points = 30);
+
+} // namespace softsku
+
+#endif // SOFTSKU_MEM_STRESS_HH

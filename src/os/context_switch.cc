@@ -1,0 +1,35 @@
+#include "os/context_switch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softsku {
+
+double
+ContextSwitchModel::penaltyFractionLower() const
+{
+    return std::min(1.0, switchesPerSecond * cost.lowerUs * 1e-6);
+}
+
+double
+ContextSwitchModel::penaltyFractionUpper() const
+{
+    return std::min(1.0, switchesPerSecond * cost.upperUs * 1e-6);
+}
+
+double
+ContextSwitchModel::penaltyFractionMid() const
+{
+    return 0.5 * (penaltyFractionLower() + penaltyFractionUpper());
+}
+
+std::uint64_t
+ContextSwitchModel::instructionsBetweenSwitches(double ips) const
+{
+    if (switchesPerSecond <= 0.0 || ips <= 0.0)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::max(1.0, ips / switchesPerSecond));
+}
+
+} // namespace softsku

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Context-switch cost model (paper Sec. 2.3.4, Fig 4).
+ *
+ * The paper estimates switch penalty by combining voluntary +
+ * involuntary switch counts from /usr/bin/time with per-switch latency
+ * bounds from Tsafrir'07 and Li et al.'07.  The model reproduces that
+ * calculation: a switch rate plus direct-cost bounds gives the fraction
+ * of a CPU-second lost, and the simulator additionally uses switches as
+ * cache/TLB disturbance events (the indirect cost the paper observes as
+ * code thrashing in Cache1/Cache2).
+ */
+
+#ifndef SOFTSKU_OS_CONTEXT_SWITCH_HH
+#define SOFTSKU_OS_CONTEXT_SWITCH_HH
+
+#include <cstdint>
+
+namespace softsku {
+
+/** Literature bounds for the direct cost of one context switch. */
+struct SwitchCostBounds
+{
+    double lowerUs = 1.2;     //!< bare switch, warm caches
+    double upperUs = 2.2;     //!< switch incl. immediate pollution
+};
+
+/** Context-switch behaviour of one microservice. */
+struct ContextSwitchModel
+{
+    /** Switches per CPU-second (voluntary + involuntary). */
+    double switchesPerSecond = 0.0;
+    /** Fraction of switches that land on a different thread pool. */
+    double crossPoolFraction = 0.5;
+    SwitchCostBounds cost;
+
+    /** Lower-bound fraction of a CPU-second spent switching. */
+    double penaltyFractionLower() const;
+
+    /** Upper-bound fraction of a CPU-second spent switching. */
+    double penaltyFractionUpper() const;
+
+    /** Midpoint penalty fraction used by the CPI model. */
+    double penaltyFractionMid() const;
+
+    /**
+     * Average instructions between switches for a core retiring
+     * @p ips instructions per second; returns 0 when switching is
+     * negligible.
+     */
+    std::uint64_t instructionsBetweenSwitches(double ips) const;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_OS_CONTEXT_SWITCH_HH

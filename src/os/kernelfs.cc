@@ -1,0 +1,194 @@
+#include "os/kernelfs.hh"
+
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+void
+KernelFs::writeFile(const std::string &path, const std::string &contents)
+{
+    files_[path] = contents;
+}
+
+std::optional<std::string>
+KernelFs::readFile(const std::string &path) const
+{
+    auto it = files_.find(path);
+    if (it == files_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+KernelFs::exists(const std::string &path) const
+{
+    return files_.count(path) > 0;
+}
+
+void
+KernelFs::reset()
+{
+    files_.clear();
+}
+
+void
+KernelFs::setThpMode(const std::string &mode)
+{
+    std::string m = toLower(mode);
+    if (m != "always" && m != "madvise" && m != "never")
+        fatal("invalid THP mode '%s'", mode.c_str());
+    std::string contents;
+    for (const char *option : {"always", "madvise", "never"}) {
+        if (!contents.empty())
+            contents += ' ';
+        if (m == option)
+            contents += format("[%s]", option);
+        else
+            contents += option;
+    }
+    writeFile(kpath::thpEnabled, contents);
+}
+
+std::string
+KernelFs::thpMode() const
+{
+    auto contents = readFile(kpath::thpEnabled);
+    if (!contents)
+        return "madvise";
+    auto open = contents->find('[');
+    auto close = contents->find(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open + 1) {
+        warn("malformed THP mode file '%s'; assuming madvise",
+             contents->c_str());
+        return "madvise";
+    }
+    return contents->substr(open + 1, close - open - 1);
+}
+
+void
+KernelFs::setNrHugepages(int count)
+{
+    if (count < 0)
+        fatal("nr_hugepages must be non-negative, got %d", count);
+    writeFile(kpath::nrHugepages, format("%d", count));
+}
+
+int
+KernelFs::nrHugepages() const
+{
+    auto contents = readFile(kpath::nrHugepages);
+    if (!contents)
+        return 0;
+    auto parsed = parseInt(trim(*contents));
+    if (!parsed) {
+        warn("malformed nr_hugepages '%s'; assuming 0", contents->c_str());
+        return 0;
+    }
+    return static_cast<int>(*parsed);
+}
+
+void
+KernelFs::setCdpSchemata(int codeWays, int dataWays, int totalWays)
+{
+    if (codeWays < 1 || dataWays < 1 || codeWays + dataWays != totalWays) {
+        fatal("invalid CDP partition: %d code + %d data ways of %d",
+              codeWays, dataWays, totalWays);
+    }
+    // Data ways occupy the low mask bits, code ways the high bits.
+    std::uint64_t dataMask = (1ULL << dataWays) - 1;
+    std::uint64_t codeMask = ((1ULL << codeWays) - 1) << dataWays;
+    writeFile(kpath::resctrlSchemata,
+              format("L3CODE:0=%llx\nL3DATA:0=%llx\n",
+                     static_cast<unsigned long long>(codeMask),
+                     static_cast<unsigned long long>(dataMask)));
+}
+
+void
+KernelFs::clearCdpSchemata()
+{
+    files_.erase(kpath::resctrlSchemata);
+}
+
+namespace {
+
+int
+popcount64(std::uint64_t v)
+{
+    int n = 0;
+    while (v) {
+        v &= v - 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+KernelFs::CdpConfig
+KernelFs::cdpConfig(int totalWays) const
+{
+    CdpConfig cfg;
+    auto contents = readFile(kpath::resctrlSchemata);
+    if (!contents)
+        return cfg;
+    for (const std::string &line : split(*contents, '\n')) {
+        auto text = trim(line);
+        std::uint64_t mask = 0;
+        bool isCode = startsWith(text, "L3CODE:0=");
+        bool isData = startsWith(text, "L3DATA:0=");
+        if (!isCode && !isData)
+            continue;
+        std::string hex(text.substr(9));
+        mask = std::strtoull(hex.c_str(), nullptr, 16);
+        if (isCode)
+            cfg.codeWays = popcount64(mask);
+        else
+            cfg.dataWays = popcount64(mask);
+    }
+    cfg.enabled = cfg.codeWays > 0 && cfg.dataWays > 0 &&
+                  cfg.codeWays + cfg.dataWays <= totalWays;
+    return cfg;
+}
+
+void
+KernelFs::setIsolcpus(int activeCores, int totalCores)
+{
+    if (activeCores < 1 || activeCores > totalCores) {
+        fatal("activeCores %d out of range [1, %d]", activeCores,
+              totalCores);
+    }
+    std::string line = "root=/dev/sda1 ro";
+    if (activeCores < totalCores) {
+        line += format(" isolcpus=%d-%d", activeCores, totalCores - 1);
+    }
+    writeFile(kpath::cmdline, line);
+}
+
+int
+KernelFs::activeCores(int totalCores) const
+{
+    auto contents = readFile(kpath::cmdline);
+    if (!contents)
+        return totalCores;
+    for (const std::string &tok : split(*contents, ' ')) {
+        if (!startsWith(tok, "isolcpus="))
+            continue;
+        auto rangeText = tok.substr(9);
+        auto bounds = split(rangeText, '-');
+        if (bounds.size() != 2)
+            continue;
+        auto lo = parseInt(bounds[0]);
+        auto hi = parseInt(bounds[1]);
+        if (!lo || !hi)
+            continue;
+        int isolated = static_cast<int>(*hi - *lo + 1);
+        return totalCores - isolated;
+    }
+    return totalCores;
+}
+
+} // namespace softsku

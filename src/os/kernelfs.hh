@@ -1,0 +1,110 @@
+/**
+ * @file
+ * An emulated kernel configuration filesystem.
+ *
+ * μSKU configures THP "by writing to kernel configuration files", SHP
+ * counts "by modifying kernel parameters", CDP through the resctrl
+ * interface, and core counts through the boot loader's `isolcpus` flag
+ * (Sec. 5).  The emulated filesystem keeps those actuation paths real:
+ * knobs are written in the kernel's own text formats and the machine
+ * model parses them back out.
+ */
+
+#ifndef SOFTSKU_OS_KERNELFS_HH
+#define SOFTSKU_OS_KERNELFS_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace softsku {
+
+/** Canonical config-file paths used by the knob actuation layer. */
+namespace kpath {
+
+inline constexpr const char *thpEnabled =
+    "/sys/kernel/mm/transparent_hugepage/enabled";
+inline constexpr const char *nrHugepages = "/proc/sys/vm/nr_hugepages";
+inline constexpr const char *resctrlSchemata = "/sys/fs/resctrl/schemata";
+inline constexpr const char *cmdline = "/proc/cmdline";
+
+} // namespace kpath
+
+/**
+ * A tiny string-keyed file store with kernel-style read/write semantics.
+ * Reads of absent files return nullopt (like ENOENT).
+ */
+class KernelFs
+{
+  public:
+    /** Replace the contents of @p path. */
+    void writeFile(const std::string &path, const std::string &contents);
+
+    /** Read @p path; nullopt when the file does not exist. */
+    std::optional<std::string> readFile(const std::string &path) const;
+
+    /** True when @p path exists. */
+    bool exists(const std::string &path) const;
+
+    /** Remove everything (fresh install). */
+    void reset();
+
+    // -- THP -------------------------------------------------------------
+
+    /**
+     * Write the THP mode file in the kernel's bracket format, e.g.
+     * "always [madvise] never".
+     */
+    void setThpMode(const std::string &mode);
+
+    /** Parse the selected THP mode; "madvise" when unset (kernel default). */
+    std::string thpMode() const;
+
+    // -- SHP -------------------------------------------------------------
+
+    /** Set the static huge page reservation count. */
+    void setNrHugepages(int count);
+
+    /** Read the static huge page reservation count (0 when unset). */
+    int nrHugepages() const;
+
+    // -- resctrl (CAT/CDP) -------------------------------------------------
+
+    /**
+     * Write an L3 CDP schemata with @p codeWays ways for code and
+     * @p dataWays ways for data out of @p totalWays.  Way masks are
+     * contiguous from opposite ends, the usual partitioning practice.
+     */
+    void setCdpSchemata(int codeWays, int dataWays, int totalWays);
+
+    /** Remove any CDP schemata (shared ways, the production default). */
+    void clearCdpSchemata();
+
+    struct CdpConfig
+    {
+        bool enabled = false;
+        int codeWays = 0;
+        int dataWays = 0;
+    };
+
+    /** Parse the schemata back into way counts. */
+    CdpConfig cdpConfig(int totalWays) const;
+
+    // -- boot cmdline ------------------------------------------------------
+
+    /**
+     * Set the kernel command line with an isolcpus list that leaves
+     * @p activeCores schedulable out of @p totalCores.
+     */
+    void setIsolcpus(int activeCores, int totalCores);
+
+    /** Number of schedulable cores implied by the cmdline. */
+    int activeCores(int totalCores) const;
+
+  private:
+    std::map<std::string, std::string> files_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_OS_KERNELFS_HH

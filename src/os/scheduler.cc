@@ -1,0 +1,222 @@
+#include "os/scheduler.hh"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "stats/histogram.hh"
+#include "stats/rng.hh"
+#include "util/logging.hh"
+
+namespace softsku {
+
+namespace {
+
+enum class EventKind { Arrival, BurstDone, IoDone };
+
+struct Event
+{
+    double time;
+    EventKind kind;
+    std::uint64_t requestId;
+
+    bool operator>(const Event &other) const { return time > other.time; }
+};
+
+struct Request
+{
+    double arrivalTime = 0.0;
+    double cpuLeftSec = 0.0;
+    int burstsLeft = 0;
+    double burstLenSec = 0.0;
+
+    double queueTime = 0.0;      // waiting for a worker
+    double schedTime = 0.0;      // ready burst waiting for a core
+    double runTime = 0.0;
+    double ioTime = 0.0;
+
+    double readySince = 0.0;     // when the current burst became ready
+    bool counted = true;         // false during warm-up
+};
+
+} // namespace
+
+ThreadPoolResult
+simulateThreadPool(const ThreadPoolParams &params, std::uint64_t seed)
+{
+    SOFTSKU_ASSERT(params.cores >= 1);
+    SOFTSKU_ASSERT(params.workers >= 1);
+    SOFTSKU_ASSERT(params.arrivalRatePerSec > 0.0);
+    SOFTSKU_ASSERT(params.cpuTimePerRequestSec > 0.0);
+
+    Rng rng(seed);
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events;
+    std::vector<Request> requests;
+    requests.reserve(params.requestsToSimulate + params.warmupRequests);
+
+    std::deque<std::uint64_t> workerQueue;   // requests awaiting a worker
+    std::deque<std::uint64_t> readyQueue;    // bursts awaiting a core
+    int freeWorkers = params.workers;
+    int freeCores = params.cores;
+
+    double busyCoreSeconds = 0.0;
+    double clock = 0.0;
+
+    ThreadPoolResult result;
+    LogHistogram latencyHist(1e-7, 1e4, 100);
+    double latencySum = 0.0;
+    double queueSum = 0.0, schedSum = 0.0, runSum = 0.0, ioSum = 0.0;
+
+    std::uint64_t totalToGenerate =
+        params.requestsToSimulate + params.warmupRequests;
+    std::uint64_t generated = 0;
+
+    auto scheduleArrival = [&](double now) {
+        if (generated >= totalToGenerate)
+            return;
+        double dt = rng.exponential(params.arrivalRatePerSec);
+        events.push({now + dt, EventKind::Arrival, generated});
+        ++generated;
+    };
+
+    // A burst becomes ready: grab a core or wait in the run queue.
+    auto burstReady = [&](std::uint64_t id, double now) {
+        Request &req = requests[id];
+        req.readySince = now;
+        if (freeCores > 0) {
+            --freeCores;
+            busyCoreSeconds += req.burstLenSec;
+            events.push({now + req.burstLenSec, EventKind::BurstDone, id});
+        } else {
+            readyQueue.push_back(id);
+        }
+    };
+
+    // A request acquires a worker and starts its first burst.
+    auto startOnWorker = [&](std::uint64_t id, double now) {
+        Request &req = requests[id];
+        req.queueTime = now - req.arrivalTime;
+        burstReady(id, now);
+    };
+
+    auto makeRequest = [&](double now, bool counted) {
+        Request req;
+        req.arrivalTime = now;
+        req.cpuLeftSec = rng.logNormalMean(params.cpuTimePerRequestSec,
+                                           params.cpuNoiseSigma);
+        req.burstsLeft = params.blockingPhases + 1;
+        req.burstLenSec = req.cpuLeftSec / req.burstsLeft;
+        req.counted = counted;
+        requests.push_back(req);
+        return requests.size() - 1;
+    };
+
+    scheduleArrival(0.0);
+
+    std::uint64_t completed = 0;
+    double firstCountedCompletion = -1.0, lastCountedCompletion = 0.0;
+
+    while (!events.empty()) {
+        Event ev = events.top();
+        events.pop();
+        clock = ev.time;
+
+        switch (ev.kind) {
+          case EventKind::Arrival: {
+            bool counted = requests.size() >= params.warmupRequests;
+            std::uint64_t id = makeRequest(clock, counted);
+            scheduleArrival(clock);
+            if (freeWorkers > 0) {
+                --freeWorkers;
+                startOnWorker(id, clock);
+            } else {
+                workerQueue.push_back(id);
+            }
+            break;
+          }
+
+          case EventKind::BurstDone: {
+            Request &req = requests[ev.requestId];
+            req.runTime += req.burstLenSec;
+            req.schedTime += std::max(0.0, clock - req.readySince -
+                                               req.burstLenSec);
+            ++freeCores;
+            // Hand the freed core to the longest-waiting ready burst.
+            if (!readyQueue.empty()) {
+                std::uint64_t next = readyQueue.front();
+                readyQueue.pop_front();
+                Request &nreq = requests[next];
+                --freeCores;
+                busyCoreSeconds += nreq.burstLenSec;
+                events.push(
+                    {clock + nreq.burstLenSec, EventKind::BurstDone, next});
+            }
+
+            --req.burstsLeft;
+            if (req.burstsLeft > 0) {
+                // Block on a downstream call, then run the next burst.
+                double io = params.blockingTimeSec > 0.0
+                                ? rng.exponential(1.0 /
+                                                  params.blockingTimeSec)
+                                : 0.0;
+                req.ioTime += io;
+                events.push({clock + io, EventKind::IoDone, ev.requestId});
+            } else {
+                // Complete: account and release the worker.
+                double latency = clock - req.arrivalTime;
+                if (req.counted) {
+                    latencyHist.add(std::max(latency, 1e-9));
+                    latencySum += latency;
+                    queueSum += req.queueTime;
+                    schedSum += req.schedTime;
+                    runSum += req.runTime;
+                    ioSum += req.ioTime;
+                    ++completed;
+                    if (firstCountedCompletion < 0.0)
+                        firstCountedCompletion = clock;
+                    lastCountedCompletion = clock;
+                }
+                ++freeWorkers;
+                if (!workerQueue.empty()) {
+                    std::uint64_t next = workerQueue.front();
+                    workerQueue.pop_front();
+                    --freeWorkers;
+                    startOnWorker(next, clock);
+                }
+            }
+            break;
+          }
+
+          case EventKind::IoDone:
+            burstReady(ev.requestId, clock);
+            break;
+        }
+    }
+
+    result.completed = completed;
+    if (completed == 0)
+        return result;
+
+    double totalParts = queueSum + schedSum + runSum + ioSum;
+    if (totalParts > 0.0) {
+        result.queueFraction = queueSum / totalParts;
+        result.schedulerFraction = schedSum / totalParts;
+        result.runningFraction = runSum / totalParts;
+        result.ioFraction = ioSum / totalParts;
+    }
+    result.meanLatencySec = latencySum / static_cast<double>(completed);
+    result.p50LatencySec = latencyHist.percentile(0.50);
+    result.p99LatencySec = latencyHist.percentile(0.99);
+
+    double span = lastCountedCompletion - firstCountedCompletion;
+    if (span > 0.0)
+        result.throughputPerSec = static_cast<double>(completed - 1) / span;
+    if (clock > 0.0)
+        result.coreUtilization =
+            busyCoreSeconds / (clock * params.cores);
+    return result;
+}
+
+} // namespace softsku

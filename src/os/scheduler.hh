@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Discrete-event model of a request-per-worker thread pool.
+ *
+ * Web (and its siblings) assign each request to a worker thread that
+ * runs it to completion, blocking on downstream microservices along the
+ * way (paper Sec. 2.1).  A request's end-to-end latency therefore
+ * decomposes into: *queue* (waiting for a free worker), *scheduler*
+ * (worker ready but not running — thread over-subscription), *running*
+ * (executing instructions), and *I/O* (blocked on other services), the
+ * four components of the paper's Fig 2.  The simulation also feeds the
+ * QoS solver that finds peak sustainable load (Fig 3).
+ */
+
+#ifndef SOFTSKU_OS_SCHEDULER_HH
+#define SOFTSKU_OS_SCHEDULER_HH
+
+#include <cstdint>
+
+namespace softsku {
+
+/** Parameters of one thread-pool simulation. */
+struct ThreadPoolParams
+{
+    int cores = 1;                    //!< schedulable physical contexts
+    int workers = 1;                  //!< worker threads in the pool
+    double arrivalRatePerSec = 1.0;   //!< open-loop Poisson arrivals
+    double cpuTimePerRequestSec = 0.01; //!< mean total CPU demand
+    double cpuNoiseSigma = 0.3;       //!< log-normal sigma on CPU demand
+    int blockingPhases = 0;           //!< downstream calls per request
+    double blockingTimeSec = 0.0;     //!< mean blocked time per call
+    std::uint64_t requestsToSimulate = 20000;
+    std::uint64_t warmupRequests = 1000;
+};
+
+/** Aggregated outcome of a thread-pool simulation. */
+struct ThreadPoolResult
+{
+    // Mean per-request latency decomposition, fractions summing to 1.
+    double queueFraction = 0.0;       //!< awaiting a worker
+    double schedulerFraction = 0.0;   //!< ready but not on a core
+    double runningFraction = 0.0;     //!< executing
+    double ioFraction = 0.0;          //!< blocked on downstream calls
+
+    double meanLatencySec = 0.0;
+    double p50LatencySec = 0.0;
+    double p99LatencySec = 0.0;
+    double throughputPerSec = 0.0;    //!< completions per second
+    double coreUtilization = 0.0;     //!< busy-core time fraction
+    std::uint64_t completed = 0;
+
+    /** Fraction of request time spent running (vs all blocking causes). */
+    double runningShare() const { return runningFraction; }
+
+    /** Fraction blocked for any reason. */
+    double blockedShare() const
+    {
+        return queueFraction + schedulerFraction + ioFraction;
+    }
+};
+
+/**
+ * Run the thread-pool discrete-event simulation.
+ * Deterministic for a fixed @p seed.
+ */
+ThreadPoolResult simulateThreadPool(const ThreadPoolParams &params,
+                                    std::uint64_t seed);
+
+} // namespace softsku
+
+#endif // SOFTSKU_OS_SCHEDULER_HH

@@ -1,0 +1,139 @@
+#include "prefetch/prefetcher.hh"
+
+#include <algorithm>
+
+namespace softsku {
+
+namespace {
+
+constexpr std::uint64_t kLinesPerPage = 4096 / 64;
+
+} // namespace
+
+void
+DcuNextLinePrefetcher::observe(std::uint64_t lineAddr, std::uint64_t pc,
+                               bool wasMiss,
+                               std::vector<std::uint64_t> &out)
+{
+    (void)pc;
+    if (wasMiss)
+        out.push_back(lineAddr + 1);
+}
+
+DcuIpPrefetcher::DcuIpPrefetcher(int tableEntries)
+    : table_(static_cast<size_t>(std::max(tableEntries, 1)))
+{
+}
+
+void
+DcuIpPrefetcher::observe(std::uint64_t lineAddr, std::uint64_t pc,
+                         bool wasMiss, std::vector<std::uint64_t> &out)
+{
+    (void)wasMiss;
+    // Hash the PC into the table: aligned PCs (common for compiler-
+    // placed loops) must not collide into the same entry.
+    std::uint64_t index = (pc ^ (pc >> 7) ^ (pc >> 15)) % table_.size();
+    Entry &e = table_[index];
+    if (!e.valid || e.pcTag != pc) {
+        e = {pc, lineAddr, 0, 0, true};
+        return;
+    }
+    auto stride = static_cast<std::int64_t>(lineAddr) -
+                  static_cast<std::int64_t>(e.lastLine);
+    if (stride == 0) {
+        // Same line again: no information.
+        return;
+    }
+    if (stride == e.stride) {
+        e.confidence = std::min(e.confidence + 1, 3);
+    } else {
+        e.stride = stride;
+        e.confidence = 0;
+    }
+    e.lastLine = lineAddr;
+    if (e.confidence >= 2) {
+        auto target = static_cast<std::int64_t>(lineAddr) + e.stride;
+        if (target > 0)
+            out.push_back(static_cast<std::uint64_t>(target));
+    }
+}
+
+void
+DcuIpPrefetcher::reset()
+{
+    std::fill(table_.begin(), table_.end(), Entry{});
+}
+
+void
+L2AdjacentPrefetcher::observe(std::uint64_t lineAddr, std::uint64_t pc,
+                              bool wasMiss, std::vector<std::uint64_t> &out)
+{
+    (void)pc;
+    if (wasMiss)
+        out.push_back(lineAddr ^ 1ULL);
+}
+
+L2StreamPrefetcher::L2StreamPrefetcher(int trackerEntries, int degree)
+    : trackers_(static_cast<size_t>(std::max(trackerEntries, 1))),
+      degree_(std::max(degree, 1))
+{
+}
+
+void
+L2StreamPrefetcher::observe(std::uint64_t lineAddr, std::uint64_t pc,
+                            bool wasMiss, std::vector<std::uint64_t> &out)
+{
+    (void)pc;
+    if (!wasMiss)
+        return;
+    ++useClock_;
+    std::uint64_t region = lineAddr / kLinesPerPage;
+
+    // Find the tracker for this region, or allocate the LRU one.
+    Tracker *tracker = nullptr;
+    Tracker *lru = &trackers_[0];
+    for (Tracker &t : trackers_) {
+        if (t.valid && t.region == region) {
+            tracker = &t;
+            break;
+        }
+        if (!t.valid || t.lastUse < lru->lastUse)
+            lru = &t;
+    }
+    if (!tracker) {
+        *lru = {region, lineAddr, 0, 0, useClock_, true};
+        return;
+    }
+
+    tracker->lastUse = useClock_;
+    int dir = lineAddr > tracker->lastLine
+                  ? 1
+                  : (lineAddr < tracker->lastLine ? -1 : 0);
+    if (dir == 0)
+        return;
+    if (dir == tracker->direction) {
+        tracker->hits = std::min(tracker->hits + 1, 4);
+    } else {
+        tracker->direction = dir;
+        tracker->hits = 1;
+    }
+    tracker->lastLine = lineAddr;
+
+    if (tracker->hits >= 2) {
+        for (int d = 1; d <= degree_; ++d) {
+            auto target = static_cast<std::int64_t>(lineAddr) +
+                          static_cast<std::int64_t>(d) * dir;
+            if (target > 0)
+                out.push_back(static_cast<std::uint64_t>(target));
+        }
+    }
+}
+
+void
+L2StreamPrefetcher::reset()
+{
+    std::fill(trackers_.begin(), trackers_.end(), Tracker{});
+    useClock_ = 0;
+}
+
+} // namespace softsku

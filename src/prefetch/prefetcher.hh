@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The four hardware prefetchers of the paper's knob 5 (Sec. 5):
+ *
+ *  (a) L2 stream ("L2 hardware prefetcher") — detects ascending or
+ *      descending miss streams within a 4 KiB region and runs ahead;
+ *  (b) L2 adjacent-line — pairs each L2-requested line with its buddy
+ *      in the same 128-byte-aligned region;
+ *  (c) DCU next-line — fetches the successor line into L1-D;
+ *  (d) DCU IP — per-PC stride predictor for L1-D.
+ *
+ * Prefetchers *observe* demand accesses and emit candidate line
+ * addresses; the machine model plays the candidates through the cache
+ * hierarchy, so prefetch accuracy, pollution, and the extra memory
+ * bandwidth (the mechanism behind Fig 17) all emerge from the same
+ * structural simulation as demand traffic.
+ */
+
+#ifndef SOFTSKU_PREFETCH_PREFETCHER_HH
+#define SOFTSKU_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softsku {
+
+/** Common interface: observe one access, append prefetch candidates. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe a demand access.
+     * @param lineAddr line-granular address of the access
+     * @param pc       program counter of the triggering instruction
+     * @param wasMiss  whether the demand access missed this cache
+     * @param out      receives candidate prefetch line addresses
+     */
+    virtual void observe(std::uint64_t lineAddr, std::uint64_t pc,
+                         bool wasMiss, std::vector<std::uint64_t> &out) = 0;
+
+    /** Clear all predictor state. */
+    virtual void reset() = 0;
+
+    /** Human-readable name. */
+    virtual const std::string &name() const = 0;
+};
+
+/** DCU next-line prefetcher: successor line on each L1-D miss. */
+class DcuNextLinePrefetcher : public Prefetcher
+{
+  public:
+    void observe(std::uint64_t lineAddr, std::uint64_t pc, bool wasMiss,
+                 std::vector<std::uint64_t> &out) override;
+    void reset() override {}
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::string name_ = "dcu-next";
+};
+
+/**
+ * DCU IP prefetcher: a PC-indexed table tracking last address and
+ * stride; after two consecutive identical strides it prefetches one
+ * stride ahead.
+ */
+class DcuIpPrefetcher : public Prefetcher
+{
+  public:
+    explicit DcuIpPrefetcher(int tableEntries = 256);
+
+    void observe(std::uint64_t lineAddr, std::uint64_t pc, bool wasMiss,
+                 std::vector<std::uint64_t> &out) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t pcTag = 0;
+        std::uint64_t lastLine = 0;
+        std::int64_t stride = 0;
+        int confidence = 0;
+        bool valid = false;
+    };
+
+    std::string name_ = "dcu-ip";
+    std::vector<Entry> table_;
+};
+
+/** L2 adjacent-line prefetcher: buddy line in the 128 B pair. */
+class L2AdjacentPrefetcher : public Prefetcher
+{
+  public:
+    void observe(std::uint64_t lineAddr, std::uint64_t pc, bool wasMiss,
+                 std::vector<std::uint64_t> &out) override;
+    void reset() override {}
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::string name_ = "l2-adjacent";
+};
+
+/**
+ * L2 stream prefetcher: per-4KiB-region stream detector.  Two misses in
+ * the same direction arm the stream; once armed it prefetches
+ * @p degree lines ahead of the demand.
+ */
+class L2StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit L2StreamPrefetcher(int trackerEntries = 16, int degree = 2);
+
+    void observe(std::uint64_t lineAddr, std::uint64_t pc, bool wasMiss,
+                 std::vector<std::uint64_t> &out) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+  private:
+    struct Tracker
+    {
+        std::uint64_t region = 0;     //!< 4 KiB region number
+        std::uint64_t lastLine = 0;
+        int direction = 0;            //!< +1 / -1 / 0 (unarmed)
+        int hits = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::string name_ = "l2-stream";
+    std::vector<Tracker> trackers_;
+    int degree_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Ads1 and Ads2: user-side ad targeting/ranking and the ad-side index
+ * (paper Sec. 2.1).
+ *
+ * Ads1 targets: FP-bearing ranking models, AVX-heavy enough that
+ * production caps its core frequency at 2.0 GHz (shared core/uncore
+ * power budget), 62% running / 38% blocked, moderate code footprint,
+ * bursty memory traffic (operates *above* the characteristic
+ * latency curve in Fig 12), and a load-balancer design that cannot
+ * tolerate μSKU core-count reboots.  It allocates no SHPs.
+ *
+ * Ads2 targets: traverses a huge sorted ad list (leaf, 90% running),
+ * the largest data working set of the fleet (LLC capacity never
+ * suffices, Fig 10), deployed on the high-bandwidth Skylake20.
+ */
+
+#include "services/services.hh"
+
+namespace softsku {
+
+namespace {
+
+WorkloadProfile
+makeAds1()
+{
+    WorkloadProfile p;
+    p.name = "ads1";
+    p.displayName = "Ads1";
+    p.domain = "ads";
+    p.defaultPlatform = "skylake18";
+
+    p.mix = {.branch = 0.13,
+             .floating = 0.16,
+             .arith = 0.27,
+             .load = 0.33,
+             .store = 0.11};
+
+    p.request.peakQps = 30.0;                 // O(10)
+    p.request.requestLatencySec = 4e-2;       // O(ms)
+    p.request.pathLengthInsns = 2.5e9;        // O(10^9)
+    p.request.runningFraction = 0.62;
+    p.request.blockingPhases = 3;             // calls into Ads2
+    p.request.workersPerCore = 2.0;
+    p.request.sloLatencyMultiplier = 3.0;
+
+    p.codeFootprintBytes = 14ull << 20;
+    p.codeZipfSkew = 1.45;
+    p.avgFunctionBytes = 512;
+    p.avgBasicBlockBytes = 36;
+    p.callFraction = 0.24;
+    p.jitChurnPerMInsn = 0.0;
+    p.codeMadviseHuge = false;
+    p.codeUsesShpApi = false;
+    p.codeThpFriendliness = 0.85;
+
+    p.branchMispredictRate = 0.011;
+    p.branchTakenFraction = 0.55;
+
+    p.dataRegions = {
+        {.name = "user_models",
+         .sizeBytes = 1024ull << 20,
+         .pattern = DataPattern::Strided,
+         .strideBytes = 192,
+         .weight = 0.40,
+         .zipfSkew = 0.0,
+         .madviseHuge = true,
+         .thpFriendliness = 0.85},
+        {.name = "candidate_heap",
+         .sizeBytes = 512ull << 20,
+         .pattern = DataPattern::Random,
+         .strideBytes = 64,
+         .weight = 0.40,
+         .zipfSkew = 0.80,
+         .hotBytes = 24ull << 20,
+         .coldFraction = 0.03,
+         .madviseHuge = false,
+         .thpFriendliness = 0.12},
+        {.name = "ranking_scratch",
+         .sizeBytes = 64ull << 20,
+         .pattern = DataPattern::Sequential,
+         .strideBytes = 64,
+         .weight = 0.20,
+         .zipfSkew = 0.0,
+         .madviseHuge = false,
+         .thpFriendliness = 0.25},
+    };
+
+    p.contextSwitch.switchesPerSecond = 3500.0;
+    p.contextSwitch.crossPoolFraction = 0.2;
+    p.kernelTimeShare = 0.03;
+    p.switchDisturbance = 0.10;
+
+    p.baseCpi = 0.46;
+    p.smtThroughputScale = 1.25;
+    p.dataReuseFraction = 0.94;
+    p.cpuUtilizationCap = 0.70;
+    p.dataMlp = 4.0;
+    p.writebackFraction = 0.28;
+
+    p.dataMidReuseFraction = 0.60;
+    p.sharedDataFraction = 0.40;
+    p.usesAvx = true;                         // production runs at 2.0 GHz
+    p.usesShp = false;                        // no SHP API use (Sec. 4)
+    p.toleratesReboot = false;                // QoS precludes core scaling
+    p.mipsValidMetric = true;
+    return p;
+}
+
+WorkloadProfile
+makeAds2()
+{
+    WorkloadProfile p;
+    p.name = "ads2";
+    p.displayName = "Ads2";
+    p.domain = "ads";
+    p.defaultPlatform = "skylake20";
+
+    p.mix = {.branch = 0.15,
+             .floating = 0.07,
+             .arith = 0.26,
+             .load = 0.39,
+             .store = 0.13};
+
+    p.request.peakQps = 400.0;                // O(100)
+    p.request.requestLatencySec = 1.2e-2;     // O(ms)
+    p.request.pathLengthInsns = 1.1e9;        // O(10^9)
+    p.request.runningFraction = 0.90;         // leaf
+    p.request.blockingPhases = 1;
+    p.request.workersPerCore = 1.5;
+    p.request.sloLatencyMultiplier = 3.0;
+
+    p.codeFootprintBytes = 10ull << 20;
+    p.codeZipfSkew = 1.50;
+    p.avgFunctionBytes = 512;
+    p.avgBasicBlockBytes = 40;
+    p.callFraction = 0.20;
+    p.jitChurnPerMInsn = 0.0;
+    p.codeMadviseHuge = false;
+    p.codeUsesShpApi = false;
+    p.codeThpFriendliness = 0.85;
+
+    p.branchMispredictRate = 0.012;
+    p.branchTakenFraction = 0.55;
+
+    p.dataRegions = {
+        // The sorted ad index: enormous, scanned with poor temporal
+        // locality — the "largest working set too large to capture"
+        // case of Fig 10.
+        {.name = "ad_index",
+         .sizeBytes = 4ull << 30,
+         .pattern = DataPattern::Random,
+         .strideBytes = 64,
+         .weight = 0.55,
+         .zipfSkew = 0.70,
+         .hotBytes = 128ull << 20,
+         .coldFraction = 0.04,
+         .madviseHuge = true,
+         .thpFriendliness = 0.85},
+        {.name = "targeting_structs",
+         .sizeBytes = 768ull << 20,
+         .pattern = DataPattern::PointerChase,
+         .strideBytes = 64,
+         .weight = 0.08,
+         .zipfSkew = 0.9,
+         .hotBytes = 24ull << 20,
+         .coldFraction = 0.03,
+         .madviseHuge = false,
+         .thpFriendliness = 0.55},
+        {.name = "result_buffers",
+         .sizeBytes = 96ull << 20,
+         .pattern = DataPattern::Sequential,
+         .strideBytes = 64,
+         .weight = 0.37,
+         .zipfSkew = 0.0,
+         .madviseHuge = false,
+         .thpFriendliness = 0.8},
+    };
+
+    p.contextSwitch.switchesPerSecond = 2500.0;
+    p.contextSwitch.crossPoolFraction = 0.15;
+    p.kernelTimeShare = 0.03;
+    p.switchDisturbance = 0.10;
+
+    p.baseCpi = 0.50;
+    p.smtThroughputScale = 1.25;
+    p.cpuUtilizationCap = 0.75;
+    p.dataMlp = 6.0;
+    p.writebackFraction = 0.30;
+
+    p.dataMidReuseFraction = 0.45;
+    p.sharedDataFraction = 0.35;
+    p.usesAvx = false;
+    p.usesShp = true;
+    p.toleratesReboot = true;
+    p.mipsValidMetric = true;
+    return p;
+}
+
+} // namespace
+
+const WorkloadProfile &
+ads1Profile()
+{
+    static const WorkloadProfile profile = makeAds1();
+    return profile;
+}
+
+const WorkloadProfile &
+ads2Profile()
+{
+    static const WorkloadProfile profile = makeAds2();
+    return profile;
+}
+
+} // namespace softsku

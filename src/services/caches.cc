@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cache1 and Cache2: the two tiers of the distributed-memory object
+ * cache (paper Sec. 2.1).
+ *
+ * Calibration targets: microsecond requests at O(100K) QPS with tiny
+ * path lengths (O(10^3) instructions/query), context-switch rates so
+ * high that up to 18% of CPU time goes to switching, the highest
+ * kernel-mode share of the fleet, L1 *code* miss rates far above
+ * anything in SPEC (distinct thread pools thrash the I-cache), and the
+ * lowest IPC (Cache1 ≈ 1.0, 20% of Skylake's peak 5.0).  Substantial
+ * arithmetic/control for request parsing and marshalling — their
+ * load/store intensity does not stand out the way key-value folklore
+ * suggests.  MIPS is NOT a valid performance proxy (exception handlers
+ * fire under QoS violations), so μSKU excludes them from A/B tuning.
+ * Cache1 is deployed on Skylake20 for its memory bandwidth headroom.
+ */
+
+#include "services/services.hh"
+
+namespace softsku {
+
+namespace {
+
+WorkloadProfile
+makeCacheTier(int tier)
+{
+    WorkloadProfile p;
+    p.name = tier == 1 ? "cache1" : "cache2";
+    p.displayName = tier == 1 ? "Cache1" : "Cache2";
+    p.domain = "cache";
+    p.defaultPlatform = tier == 1 ? "skylake20" : "skylake18";
+
+    p.mix = {.branch = 0.21,
+             .floating = 0.00,
+             .arith = 0.35,
+             .load = 0.30,
+             .store = 0.14};
+
+    p.request.peakQps = tier == 1 ? 3e5 : 5e5;    // O(100K)
+    p.request.requestLatencySec = tier == 1 ? 4e-5 : 2.5e-5;  // O(µs)
+    p.request.pathLengthInsns = tier == 1 ? 4e3 : 3e3;        // O(10^3)
+    p.request.runningFraction = 1.0;   // concurrent paths; not reported
+    p.request.blockingPhases = 0;
+    p.request.workersPerCore = 3.0;
+    p.request.sloLatencyMultiplier = 5.0;
+
+    // Modest binary, but distinct thread pools execute different code
+    // and switch constantly: the hot set never survives in L1-I.
+    p.codeFootprintBytes = 3ull << 20;
+    p.codeZipfSkew = 1.25;
+    p.avgFunctionBytes = 448;
+    p.avgBasicBlockBytes = 26;
+    p.callFraction = 0.18;
+    p.jitChurnPerMInsn = 0.0;
+    p.codeMadviseHuge = false;
+    p.codeUsesShpApi = false;
+    p.codeThpFriendliness = 0.8;
+
+    p.branchMispredictRate = 0.013;
+    p.branchTakenFraction = 0.58;
+
+    p.dataRegions = {
+        {.name = "object_store",
+         .sizeBytes = 12ull << 30,
+         .pattern = DataPattern::Random,
+         .strideBytes = 64,
+         .weight = 0.45,
+         .zipfSkew = 0.90,           // hot keys
+         .hotBytes = 32ull << 20,
+         .coldFraction = 0.04,
+         .madviseHuge = false,
+         .thpFriendliness = 0.5},
+        {.name = "hash_index",
+         .sizeBytes = 1ull << 30,
+         .pattern = DataPattern::PointerChase,
+         .strideBytes = 64,
+         .weight = 0.25,
+         .zipfSkew = 0.85,
+         .hotBytes = 16ull << 20,
+         .coldFraction = 0.03,
+         .madviseHuge = false,
+         .thpFriendliness = 0.5},
+        {.name = "network_buffers",
+         .sizeBytes = 128ull << 20,
+         .pattern = DataPattern::Sequential,
+         .strideBytes = 64,
+         .weight = 0.30,
+         .zipfSkew = 0.0,
+         .madviseHuge = false,
+         .thpFriendliness = 0.7},
+    };
+
+    // Up to 18% of a CPU-second switching (Fig 4): ~10^5 switches/s at
+    // ~1.7 µs each.
+    p.contextSwitch.switchesPerSecond = tier == 1 ? 105000.0 : 90000.0;
+    p.contextSwitch.crossPoolFraction = 0.6;
+    p.contextSwitch.cost = {1.2, 2.2};
+    p.kernelTimeShare = tier == 1 ? 0.16 : 0.14;
+    p.switchDisturbance = 0.50;
+
+    p.baseCpi = 0.42;
+    p.smtThroughputScale = 1.3;
+    p.cpuUtilizationCap = tier == 1 ? 0.55 : 0.60;   // Fig 3
+    p.dataMlp = 4.0;
+    p.writebackFraction = 0.35;
+
+    p.dataMidReuseFraction = 0.50;
+    p.sharedDataFraction = 0.85;
+    p.usesAvx = false;
+    p.usesShp = false;
+    p.toleratesReboot = false;
+    // Cache executes exception handlers under QoS violations, making
+    // instructions-per-query — and hence MIPS — performance-dependent.
+    p.mipsValidMetric = false;
+    return p;
+}
+
+} // namespace
+
+const WorkloadProfile &
+cache1Profile()
+{
+    static const WorkloadProfile profile = makeCacheTier(1);
+    return profile;
+}
+
+const WorkloadProfile &
+cache2Profile()
+{
+    static const WorkloadProfile profile = makeCacheTier(2);
+    return profile;
+}
+
+} // namespace softsku

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Feed1 and Feed2: the News Feed ranking leaf and story aggregator
+ * (paper Sec. 2.1).
+ *
+ * Feed1 targets: floating-point-dominated instruction mix, almost
+ * entirely compute-bound (95% running), the highest LLC *data* MPKI of
+ * the fleet (~9.3) from traversing large feature structures — yet a
+ * comparatively low DTLB MPKI (~5.8) because the dense vectors give
+ * excellent page locality.  The highest IPC of the seven.
+ *
+ * Feed2 targets: seconds-scale requests (O(10) QPS), moderate FP,
+ * substantial blocking on leaf services (69% running), small
+ * front-end footprint, mid-pack IPC.
+ */
+
+#include "services/services.hh"
+
+namespace softsku {
+
+namespace {
+
+WorkloadProfile
+makeFeed1()
+{
+    WorkloadProfile p;
+    p.name = "feed1";
+    p.displayName = "Feed1";
+    p.domain = "feed";
+    p.defaultPlatform = "skylake18";
+
+    p.mix = {.branch = 0.10,
+             .floating = 0.38,
+             .arith = 0.18,
+             .load = 0.26,
+             .store = 0.08};
+
+    p.request.peakQps = 1500.0;               // O(1000)
+    p.request.requestLatencySec = 6e-3;       // O(ms)
+    p.request.pathLengthInsns = 1.2e9;        // O(10^9)
+    p.request.runningFraction = 0.95;         // leaf: compute-bound
+    p.request.blockingPhases = 1;             // rare store lookups
+    p.request.workersPerCore = 1.5;
+    p.request.sloLatencyMultiplier = 3.0;
+
+    // Compact, hot ranking kernels.
+    p.codeFootprintBytes = 6ull << 20;
+    p.codeZipfSkew = 1.60;
+    p.avgFunctionBytes = 512;
+    p.avgBasicBlockBytes = 48;
+    p.callFraction = 0.18;
+    p.jitChurnPerMInsn = 0.0;
+    p.codeMadviseHuge = false;
+    p.codeUsesShpApi = false;
+    p.codeThpFriendliness = 0.9;
+
+    p.branchMispredictRate = 0.006;           // data-crunching: predictable
+    p.branchTakenFraction = 0.55;
+
+    p.dataRegions = {
+        // Dense feature vectors: streamed, page-friendly, but far too
+        // large for the LLC — high LLC data MPKI, low DTLB MPKI.
+        {.name = "feature_vectors",
+         .sizeBytes = 3ull << 30,
+         .pattern = DataPattern::Strided,
+         .strideBytes = 128,
+         .weight = 0.55,
+         .zipfSkew = 0.0,
+         .madviseHuge = true,
+         .thpFriendliness = 0.95},
+        {.name = "model_weights",
+         .sizeBytes = 512ull << 20,
+         .pattern = DataPattern::Sequential,
+         .strideBytes = 64,
+         .weight = 0.35,
+         .zipfSkew = 0.0,
+         .madviseHuge = true,
+         .thpFriendliness = 0.95},
+        {.name = "scratch",
+         .sizeBytes = 32ull << 20,
+         .pattern = DataPattern::Random,
+         .strideBytes = 64,
+         .weight = 0.10,
+         .zipfSkew = 0.9,
+         .hotBytes = 8ull << 20,
+         .coldFraction = 0.03,
+         .madviseHuge = false,
+         .thpFriendliness = 0.8},
+    };
+
+    p.contextSwitch.switchesPerSecond = 900.0;
+    p.contextSwitch.crossPoolFraction = 0.1;
+    p.kernelTimeShare = 0.02;
+    p.switchDisturbance = 0.08;
+
+    p.baseCpi = 0.38;
+    p.smtThroughputScale = 1.2;
+    p.dataReuseFraction = 0.95;
+    p.dataMidReuseFraction = 0.15;
+    p.cpuUtilizationCap = 0.65;               // strict latency SLO
+    p.dataMlp = 8.0;                          // independent vector loads
+    p.writebackFraction = 0.20;
+
+    p.sharedDataFraction = 0.55;
+    p.usesAvx = false;
+    p.usesShp = true;
+    p.toleratesReboot = true;
+    p.mipsValidMetric = true;
+    return p;
+}
+
+WorkloadProfile
+makeFeed2()
+{
+    WorkloadProfile p;
+    p.name = "feed2";
+    p.displayName = "Feed2";
+    p.domain = "feed";
+    p.defaultPlatform = "skylake18";
+
+    p.mix = {.branch = 0.16,
+             .floating = 0.10,
+             .arith = 0.30,
+             .load = 0.32,
+             .store = 0.12};
+
+    p.request.peakQps = 20.0;                 // O(10)
+    p.request.requestLatencySec = 1.5;        // O(s)
+    p.request.pathLengthInsns = 3e9;          // O(10^9)
+    p.request.runningFraction = 0.69;
+    p.request.blockingPhases = 4;
+    p.request.workersPerCore = 2.0;
+    p.request.sloLatencyMultiplier = 3.0;
+
+    p.codeFootprintBytes = 12ull << 20;
+    p.codeZipfSkew = 1.50;
+    p.avgFunctionBytes = 512;
+    p.avgBasicBlockBytes = 40;
+    p.callFraction = 0.22;
+    p.jitChurnPerMInsn = 0.0;
+    p.codeMadviseHuge = false;
+    p.codeUsesShpApi = false;
+    p.codeThpFriendliness = 0.85;
+
+    p.branchMispredictRate = 0.010;
+    p.branchTakenFraction = 0.55;
+
+    p.dataRegions = {
+        {.name = "stories",
+         .sizeBytes = 512ull << 20,
+         .pattern = DataPattern::Random,
+         .strideBytes = 64,
+         .weight = 0.40,
+         .zipfSkew = 0.80,
+         .hotBytes = 24ull << 20,
+         .coldFraction = 0.03,
+         .madviseHuge = false,
+         .thpFriendliness = 0.6},
+        {.name = "feature_extract",
+         .sizeBytes = 256ull << 20,
+         .pattern = DataPattern::Strided,
+         .strideBytes = 256,
+         .weight = 0.35,
+         .zipfSkew = 0.0,
+         .madviseHuge = true,
+         .thpFriendliness = 0.9},
+        {.name = "aggregation_buffers",
+         .sizeBytes = 128ull << 20,
+         .pattern = DataPattern::Sequential,
+         .strideBytes = 64,
+         .weight = 0.25,
+         .zipfSkew = 0.0,
+         .madviseHuge = false,
+         .thpFriendliness = 0.8},
+    };
+
+    p.contextSwitch.switchesPerSecond = 2000.0;
+    p.contextSwitch.crossPoolFraction = 0.15;
+    p.kernelTimeShare = 0.03;
+    p.switchDisturbance = 0.10;
+
+    p.baseCpi = 0.48;
+    p.smtThroughputScale = 1.25;
+    p.dataReuseFraction = 0.95;
+    p.cpuUtilizationCap = 0.75;
+    p.dataMlp = 4.5;
+    p.writebackFraction = 0.25;
+
+    p.sharedDataFraction = 0.40;
+    p.usesAvx = false;
+    p.usesShp = true;
+    p.toleratesReboot = true;
+    p.mipsValidMetric = true;
+    return p;
+}
+
+} // namespace
+
+const WorkloadProfile &
+feed1Profile()
+{
+    static const WorkloadProfile profile = makeFeed1();
+    return profile;
+}
+
+const WorkloadProfile &
+feed2Profile()
+{
+    static const WorkloadProfile profile = makeFeed2();
+    return profile;
+}
+
+} // namespace softsku

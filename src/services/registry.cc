@@ -1,0 +1,28 @@
+#include "services/services.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+std::vector<const WorkloadProfile *>
+allMicroservices()
+{
+    return {&webProfile(),  &feed1Profile(),  &feed2Profile(),
+            &ads1Profile(), &ads2Profile(),   &cache1Profile(),
+            &cache2Profile()};
+}
+
+const WorkloadProfile &
+serviceByName(const std::string &name)
+{
+    std::string key = toLower(name);
+    for (const WorkloadProfile *profile : allMicroservices()) {
+        if (profile->name == key)
+            return *profile;
+    }
+    fatal("unknown microservice '%s' (expected web, feed1, feed2, ads1, "
+          "ads2, cache1, or cache2)", name.c_str());
+}
+
+} // namespace softsku

@@ -1,0 +1,83 @@
+#include "services/reported.hh"
+
+namespace softsku {
+
+namespace {
+
+ReportedWorkload
+make(const char *name, const char *source, double ipc, double ret = 0,
+     double fe = 0, double bs = 0, double be = 0)
+{
+    ReportedWorkload w;
+    w.name = name;
+    w.source = source;
+    w.ipc = ipc;
+    w.retiringPct = ret;
+    w.frontEndPct = fe;
+    w.badSpecPct = bs;
+    w.backEndPct = be;
+    return w;
+}
+
+} // namespace
+
+std::vector<ReportedWorkload>
+googleKanev15()
+{
+    const char *src = "Kanev'15 (Haswell)";
+    // Approximate values read from the published per-service figures.
+    return {
+        make("Ads", src, 1.1, 32, 22, 12, 34),
+        make("Bigtable", src, 0.9, 29, 29, 11, 31),
+        make("Disk", src, 0.9, 36, 29, 12, 23),
+        make("Flight-search", src, 1.2, 36, 22, 12, 30),
+        make("Gmail", src, 0.9, 27, 36, 13, 24),
+        make("Gmail-fe", src, 0.8, 24, 37, 13, 26),
+        make("Indexing1", src, 1.0, 31, 27, 12, 30),
+        make("Indexing2", src, 1.1, 34, 22, 13, 31),
+        make("Search1", src, 1.1, 36, 22, 13, 29),
+        make("Search2", src, 1.2, 38, 22, 14, 26),
+        make("Search3", src, 1.0, 34, 24, 13, 29),
+        make("Video", src, 1.3, 41, 17, 11, 31),
+    };
+}
+
+std::vector<ReportedWorkload>
+googleAyers18()
+{
+    const char *src = "Ayers'18 (Haswell)";
+    ReportedWorkload leaf = make("Search1-Leaf", src, 1.2, 36, 29, 6, 29);
+    leaf.l1iMpki = 13.0;
+    leaf.l1dMpki = 32.0;
+    leaf.l2Mpki = 15.0;
+    leaf.llcMpki = 1.1;
+    return {leaf};
+}
+
+std::vector<ReportedWorkload>
+cloudSuiteFerdman12()
+{
+    const char *src = "Ferdman'12 (Westmere)";
+    return {
+        make("Data Serving", src, 0.7),
+        make("MapReduce", src, 0.7),
+        make("Media Streaming", src, 0.9),
+        make("SAT Solver", src, 1.0),
+        make("Web Frontend", src, 0.6),
+        make("Web Search", src, 0.8),
+    };
+}
+
+std::vector<ReportedWorkload>
+spec2017Limaye18()
+{
+    const char *src = "Limaye'18 (Haswell)";
+    return {
+        make("Rate-int-avg", src, 1.6),
+        make("Rate-fp-avg", src, 1.8),
+        make("Speed-int-avg", src, 1.7),
+        make("Speed-fp-avg", src, 2.0),
+    };
+}
+
+} // namespace softsku

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Literature-reported comparison values.
+ *
+ * The paper reproduces selected numbers from published reports for
+ * context — Google services from Kanev'15 and Ayers'18 (Haswell),
+ * CloudSuite from Ferdman'12 (Westmere), SPEC CPU2017 from Limaye'18
+ * (Haswell) — and plots them beside its own measurements (Figs 6-8),
+ * with the caveat that they come from different hardware.  We keep the
+ * same approximate values as constants so the figure benches can print
+ * the same comparison columns.
+ */
+
+#ifndef SOFTSKU_SERVICES_REPORTED_HH
+#define SOFTSKU_SERVICES_REPORTED_HH
+
+#include <string>
+#include <vector>
+
+namespace softsku {
+
+/** One externally reported workload measurement. */
+struct ReportedWorkload
+{
+    std::string name;
+    std::string source;        //!< e.g. "Kanev'15 (Haswell)"
+    double ipc = 0.0;          //!< per-core IPC; 0 = not reported
+    double retiringPct = 0.0;  //!< top-down slots; 0 = not reported
+    double frontEndPct = 0.0;
+    double badSpecPct = 0.0;
+    double backEndPct = 0.0;
+    double l1iMpki = 0.0;      //!< -1 = not reported
+    double l1dMpki = 0.0;
+    double l2Mpki = 0.0;
+    double llcMpki = 0.0;
+};
+
+/** Google services from Kanev'15 (IPC and top-down). */
+std::vector<ReportedWorkload> googleKanev15();
+
+/** Google web search from Ayers'18 (cache MPKIs). */
+std::vector<ReportedWorkload> googleAyers18();
+
+/** CloudSuite workloads from Ferdman'12 (IPC). */
+std::vector<ReportedWorkload> cloudSuiteFerdman12();
+
+/** SPEC CPU2017 suite averages from Limaye'18 (IPC). */
+std::vector<ReportedWorkload> spec2017Limaye18();
+
+} // namespace softsku
+
+#endif // SOFTSKU_SERVICES_REPORTED_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Registry of the seven production microservice models (paper Sec. 2.1).
+ *
+ * Web      — the HipHop VM serving web requests: enormous JIT code
+ *            footprint, request-per-worker threading, heavy blocking.
+ * Feed1    — News Feed ranking leaf: dense floating-point feature
+ *            vectors, compute-bound.
+ * Feed2    — News Feed aggregation: assembles stories from leaves,
+ *            seconds-scale requests.
+ * Ads1     — user-side ad targeting: FP ranking plus blocking calls,
+ *            AVX-heavy (runs 0.2 GHz below peak).
+ * Ads2     — ad-side index: traverses a huge sorted ad list.
+ * Cache1/2 — distributed-memory object cache tiers: microsecond
+ *            requests, extreme context-switch rates, kernel-heavy.
+ *
+ * Each profile is calibrated so the simulator reproduces the paper's
+ * published characterization (Table 2, Figs 2-12) in shape; the
+ * paper-reported target values are recorded alongside in
+ * CharacterizationTargets for the benches and EXPERIMENTS.md.
+ */
+
+#ifndef SOFTSKU_SERVICES_SERVICES_HH
+#define SOFTSKU_SERVICES_SERVICES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace softsku {
+
+/** The Web (HHVM) microservice profile. */
+const WorkloadProfile &webProfile();
+/** The Feed1 ranking-leaf profile. */
+const WorkloadProfile &feed1Profile();
+/** The Feed2 aggregation profile. */
+const WorkloadProfile &feed2Profile();
+/** The Ads1 user-targeting profile. */
+const WorkloadProfile &ads1Profile();
+/** The Ads2 ad-index profile. */
+const WorkloadProfile &ads2Profile();
+/** The Cache1 (inner tier) profile. */
+const WorkloadProfile &cache1Profile();
+/** The Cache2 (client-facing tier) profile. */
+const WorkloadProfile &cache2Profile();
+
+/** All seven microservices in the paper's presentation order. */
+std::vector<const WorkloadProfile *> allMicroservices();
+
+/** Look up a microservice by name; fatal() on unknown names. */
+const WorkloadProfile &serviceByName(const std::string &name);
+
+} // namespace softsku
+
+#endif // SOFTSKU_SERVICES_SERVICES_HH

@@ -1,0 +1,239 @@
+#include "services/spec_suite.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+namespace {
+
+/** Common scaffold: batch benchmark, no OS/blocking interaction. */
+WorkloadProfile
+specBase(const std::string &name)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.displayName = name;
+    p.domain = "spec2006";
+    p.defaultPlatform = "skylake20";
+
+    p.request.peakQps = 1.0;
+    p.request.requestLatencySec = 600.0;
+    p.request.pathLengthInsns = 1e12;
+    p.request.runningFraction = 1.0;
+    p.request.blockingPhases = 0;
+    p.request.workersPerCore = 1.0;
+
+    p.codeFootprintBytes = 512ull << 10;
+    p.codeZipfSkew = 1.6;
+    p.avgFunctionBytes = 512;
+    p.avgBasicBlockBytes = 40;
+    p.callFraction = 0.15;
+    p.branchMispredictRate = 0.01;
+
+    p.contextSwitch.switchesPerSecond = 20.0;
+    p.kernelTimeShare = 0.005;
+    p.switchDisturbance = 0.02;
+
+    p.baseCpi = 0.40;
+    p.smtThroughputScale = 1.2;
+    p.cpuUtilizationCap = 1.0;
+    p.dataMlp = 4.0;
+    p.dataReuseFraction = 0.94;
+    p.dataMidReuseFraction = 0.55;
+    p.sharedDataFraction = 0.0;
+    p.writebackFraction = 0.25;
+    p.usesShp = false;
+    p.mipsValidMetric = true;
+    return p;
+}
+
+DataRegionSpec
+region(const char *name, std::uint64_t sizeBytes, DataPattern pattern,
+       double weight, double zipf = 0.9, std::uint64_t hotBytes = 0,
+       double cold = 0.01, std::uint64_t stride = 64)
+{
+    DataRegionSpec r;
+    r.name = name;
+    r.sizeBytes = sizeBytes;
+    r.pattern = pattern;
+    r.weight = weight;
+    r.zipfSkew = zipf;
+    r.hotBytes = hotBytes;
+    r.coldFraction = cold;
+    r.strideBytes = stride;
+    r.thpFriendliness = 0.9;
+    return r;
+}
+
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    std::vector<WorkloadProfile> suite;
+
+    {   // 400.perlbench: interpreter, branchy, modest working set.
+        WorkloadProfile p = specBase("400.perlbench");
+        p.mix = {0.21, 0.00, 0.36, 0.31, 0.12};
+        p.codeFootprintBytes = 1536ull << 10;
+        p.codeZipfSkew = 1.35;
+        p.dataRegions = {region("heap", 256ull << 20,
+                                DataPattern::Random, 1.0, 1.0,
+                                8ull << 20, 0.01)};
+        p.baseCpi = 0.42;
+        suite.push_back(p);
+    }
+    {   // 401.bzip2: compression, tight loops, block-sequential data.
+        WorkloadProfile p = specBase("401.bzip2");
+        p.mix = {0.13, 0.00, 0.40, 0.32, 0.15};
+        p.codeFootprintBytes = 128ull << 10;
+        p.dataRegions = {
+            region("blocks", 128ull << 20, DataPattern::Sequential, 0.6),
+            region("tables", 8ull << 20, DataPattern::Random, 0.4, 1.0,
+                   4ull << 20, 0.005)};
+        p.baseCpi = 0.45;
+        suite.push_back(p);
+    }
+    {   // 403.gcc: big code, irregular data.
+        WorkloadProfile p = specBase("403.gcc");
+        p.mix = {0.20, 0.00, 0.35, 0.32, 0.13};
+        p.codeFootprintBytes = 3ull << 20;
+        p.codeZipfSkew = 1.25;
+        p.dataRegions = {region("ir", 512ull << 20, DataPattern::Random,
+                                1.0, 0.9, 24ull << 20, 0.03)};
+        p.baseCpi = 0.45;
+        suite.push_back(p);
+    }
+    {   // 429.mcf: the memory monster — pointer chasing over ~1.7 GiB.
+        WorkloadProfile p = specBase("429.mcf");
+        p.mix = {0.17, 0.00, 0.29, 0.42, 0.12};
+        p.codeFootprintBytes = 64ull << 10;
+        p.dataRegions = {region("network", 1700ull << 20,
+                                DataPattern::PointerChase, 1.0, 0.4,
+                                1024ull << 20, 0.25)};
+        p.dataReuseFraction = 0.80;
+        p.dataMidReuseFraction = 0.15;
+        p.dataMlp = 1.5;
+        p.baseCpi = 0.50;
+        suite.push_back(p);
+    }
+    {   // 445.gobmk: game tree search, branchy.
+        WorkloadProfile p = specBase("445.gobmk");
+        p.mix = {0.22, 0.00, 0.37, 0.29, 0.12};
+        p.codeFootprintBytes = 2ull << 20;
+        p.branchMispredictRate = 0.025;
+        p.dataRegions = {region("board", 64ull << 20, DataPattern::Random,
+                                1.0, 1.1, 8ull << 20, 0.01)};
+        suite.push_back(p);
+    }
+    {   // 456.hmmer: dynamic programming, dense and regular.
+        WorkloadProfile p = specBase("456.hmmer");
+        p.mix = {0.09, 0.00, 0.45, 0.33, 0.13};
+        p.codeFootprintBytes = 96ull << 10;
+        p.branchMispredictRate = 0.004;
+        p.dataRegions = {region("matrix", 48ull << 20,
+                                DataPattern::Strided, 1.0, 0.0, 0, 0.0,
+                                128)};
+        p.baseCpi = 0.35;
+        p.dataMlp = 8.0;
+        suite.push_back(p);
+    }
+    {   // 458.sjeng: chess search.
+        WorkloadProfile p = specBase("458.sjeng");
+        p.mix = {0.21, 0.00, 0.40, 0.27, 0.12};
+        p.codeFootprintBytes = 192ull << 10;
+        p.branchMispredictRate = 0.022;
+        p.dataRegions = {region("hash", 180ull << 20, DataPattern::Random,
+                                1.0, 0.5, 64ull << 20, 0.05)};
+        suite.push_back(p);
+    }
+    {   // 462.libquantum: pure streaming over a large vector.
+        WorkloadProfile p = specBase("462.libquantum");
+        p.mix = {0.26, 0.00, 0.34, 0.27, 0.13};
+        p.codeFootprintBytes = 48ull << 10;
+        p.branchMispredictRate = 0.002;
+        p.dataRegions = {region("register", 512ull << 20,
+                                DataPattern::Sequential, 1.0)};
+        p.dataReuseFraction = 0.70;
+        p.dataMidReuseFraction = 0.05;
+        p.dataMlp = 10.0;
+        p.baseCpi = 0.38;
+        suite.push_back(p);
+    }
+    {   // 464.h264ref: video encoder, compute-dense.
+        WorkloadProfile p = specBase("464.h264ref");
+        p.mix = {0.08, 0.02, 0.45, 0.32, 0.13};
+        p.codeFootprintBytes = 768ull << 10;
+        p.dataRegions = {
+            region("frames", 96ull << 20, DataPattern::Strided, 0.7,
+                   0.0, 0, 0.0, 96),
+            region("refs", 32ull << 20, DataPattern::Random, 0.3, 1.0,
+                   16ull << 20, 0.005)};
+        p.baseCpi = 0.35;
+        p.dataMlp = 6.0;
+        suite.push_back(p);
+    }
+    {   // 471.omnetpp: discrete-event simulation, heap-scattered.
+        WorkloadProfile p = specBase("471.omnetpp");
+        p.mix = {0.21, 0.00, 0.32, 0.34, 0.13};
+        p.codeFootprintBytes = 1ull << 20;
+        p.dataRegions = {region("events", 512ull << 20,
+                                DataPattern::PointerChase, 1.0, 0.5,
+                                256ull << 20, 0.08)};
+        p.dataReuseFraction = 0.85;
+        p.dataMidReuseFraction = 0.25;
+        p.dataMlp = 2.0;
+        suite.push_back(p);
+    }
+    {   // 473.astar: path finding.
+        WorkloadProfile p = specBase("473.astar");
+        p.mix = {0.16, 0.00, 0.34, 0.37, 0.13};
+        p.codeFootprintBytes = 96ull << 10;
+        p.dataRegions = {region("grid", 256ull << 20, DataPattern::Random,
+                                1.0, 0.7, 96ull << 20, 0.06)};
+        p.dataMlp = 2.5;
+        suite.push_back(p);
+    }
+    {   // 483.xalancbmk: XML transformation, branchy with big-ish code.
+        WorkloadProfile p = specBase("483.xalancbmk");
+        p.mix = {0.25, 0.00, 0.33, 0.30, 0.12};
+        p.codeFootprintBytes = 4ull << 20;
+        p.codeZipfSkew = 1.3;
+        p.branchMispredictRate = 0.014;
+        p.dataRegions = {region("dom", 384ull << 20, DataPattern::Random,
+                                1.0, 0.9, 32ull << 20, 0.02)};
+        suite.push_back(p);
+    }
+    return suite;
+}
+
+const std::vector<WorkloadProfile> &
+suiteStorage()
+{
+    static const std::vector<WorkloadProfile> suite = buildSuite();
+    return suite;
+}
+
+} // namespace
+
+std::vector<const WorkloadProfile *>
+specSuite()
+{
+    std::vector<const WorkloadProfile *> out;
+    for (const WorkloadProfile &p : suiteStorage())
+        out.push_back(&p);
+    return out;
+}
+
+const WorkloadProfile &
+specByName(const std::string &name)
+{
+    for (const WorkloadProfile &p : suiteStorage()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown SPEC benchmark '%s'", name.c_str());
+}
+
+} // namespace softsku

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * SPEC CPU2006-like comparison workloads.
+ *
+ * The paper contrasts its microservices against SPEC CPU2006 measured
+ * on Skylake20 (Figs 5, 6, 7, 8, 9, 11).  These profiles are synthetic
+ * stand-ins run through the same simulator: small instruction
+ * footprints, no OS interaction, no request blocking, and each
+ * benchmark's signature memory behaviour (mcf's pointer chasing,
+ * libquantum's streaming, xalancbmk's branchy tree walking, ...).
+ */
+
+#ifndef SOFTSKU_SERVICES_SPEC_SUITE_HH
+#define SOFTSKU_SERVICES_SPEC_SUITE_HH
+
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace softsku {
+
+/** The twelve SPEC CPU2006 integer stand-ins, in the paper's order. */
+std::vector<const WorkloadProfile *> specSuite();
+
+/** Look up one SPEC profile by name (e.g. "429.mcf"); fatal if unknown. */
+const WorkloadProfile &specByName(const std::string &name);
+
+} // namespace softsku
+
+#endif // SOFTSKU_SERVICES_SPEC_SUITE_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Web: the HipHop Virtual Machine serving end-user web requests
+ * (paper Sec. 2.1).
+ *
+ * Calibration targets from the paper: massive JIT instruction footprint
+ * (1.7 LLC code MPKI — almost unheard of in steady state), the highest
+ * ITLB miss rate of the fleet, ~37% front-end stall slots, BTB-aliasing
+ * misspeculation, per-core IPC ~0.65, 28% of request time running with
+ * the rest split across queue/scheduler/IO (Fig 2b), high memory
+ * bandwidth use, and the highest sustainable CPU utilization.
+ */
+
+#include "services/services.hh"
+
+namespace softsku {
+
+namespace {
+
+WorkloadProfile
+makeWeb()
+{
+    WorkloadProfile p;
+    p.name = "web";
+    p.displayName = "Web";
+    p.domain = "web";
+    p.defaultPlatform = "skylake18";
+
+    p.mix = {.branch = 0.20,
+             .floating = 0.00,
+             .arith = 0.35,
+             .load = 0.33,
+             .store = 0.12};
+
+    p.request.peakQps = 300.0;                // O(100)
+    p.request.requestLatencySec = 5e-3;       // O(ms)
+    p.request.pathLengthInsns = 5e6;          // O(10^6)
+    p.request.runningFraction = 0.28;         // Fig 2a
+    p.request.blockingPhases = 6;             // frequent downstream calls
+    p.request.ioFraction = 0.34;              // Fig 2b: IO share of life
+    p.request.workersPerCore = 10.0;          // thread over-subscription
+    p.request.sloLatencyMultiplier = 6.0;
+
+    // The JIT code cache: enormous, flat-popularity, constantly churning.
+    p.codeFootprintBytes = 560ull << 20;
+    p.codeZipfSkew = 1.25;
+    p.codeHotFunctions = 30000;               // ~18 MiB steady hot set
+    p.codeColdCallFraction = 0.008;           // cold endpoints/error paths
+    p.avgFunctionBytes = 640;
+    p.avgBasicBlockBytes = 28;
+    p.callFraction = 0.22;
+    p.jitChurnPerMInsn = 0.0015;
+    p.codeMadviseHuge = false;                // JIT churn defeats madvise
+    p.codeUsesShpApi = true;                  // and can map it on SHPs
+    p.codeThpFriendliness = 0.35;
+
+    p.branchMispredictRate = 0.015;
+    p.branchTakenFraction = 0.55;
+
+    p.dataRegions = {
+        {.name = "php_heap",
+         .sizeBytes = 1536ull << 20,
+         .pattern = DataPattern::Random,
+         .strideBytes = 64,
+         .weight = 0.45,
+         .zipfSkew = 0.80,
+         .hotBytes = 32ull << 20,
+         .coldFraction = 0.07,
+         .madviseHuge = true,
+         .thpFriendliness = 0.55},
+        {.name = "request_objects",
+         .sizeBytes = 96ull << 20,
+         .pattern = DataPattern::PointerChase,
+         .strideBytes = 64,
+         .weight = 0.25,
+         .zipfSkew = 0.85,
+         .hotBytes = 12ull << 20,
+         .coldFraction = 0.03,
+         .madviseHuge = false,
+         .thpFriendliness = 0.5},
+        {.name = "response_buffers",
+         .sizeBytes = 64ull << 20,
+         .pattern = DataPattern::Sequential,
+         .strideBytes = 64,
+         .weight = 0.30,
+         .zipfSkew = 0.8,
+         .madviseHuge = true,
+         .thpFriendliness = 0.45},
+    };
+
+    p.contextSwitch.switchesPerSecond = 6000.0;
+    p.contextSwitch.crossPoolFraction = 0.2;
+    p.kernelTimeShare = 0.05;
+    p.switchDisturbance = 0.10;
+
+    p.baseCpi = 0.48;
+    p.smtThroughputScale = 1.3;
+    p.cpuUtilizationCap = 0.95;               // Fig 3: Web runs hottest
+    p.dataMlp = 4.0;
+    p.writebackFraction = 0.50;
+
+    p.dataMidReuseFraction = 0.60;
+    p.sharedDataFraction = 0.45;
+    p.usesAvx = false;
+    p.usesShp = true;
+    p.toleratesReboot = true;
+    p.mipsValidMetric = true;
+    return p;
+}
+
+} // namespace
+
+const WorkloadProfile &
+webProfile()
+{
+    static const WorkloadProfile profile = makeWeb();
+    return profile;
+}
+
+} // namespace softsku

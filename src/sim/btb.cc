@@ -1,0 +1,57 @@
+#include "sim/btb.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+Btb::Btb(int entries, int ways)
+    : ways_(std::max(ways, 1))
+{
+    SOFTSKU_ASSERT(entries > 0);
+    sets_ = static_cast<std::uint64_t>(std::max(entries / ways_, 1));
+    entries_.assign(sets_ * static_cast<std::uint64_t>(ways_), Entry{});
+}
+
+bool
+Btb::access(std::uint64_t branchPc)
+{
+    std::uint64_t setIndex = (branchPc >> 2) % sets_;
+    std::uint64_t tag = branchPc;
+    Entry *set = &entries_[setIndex * static_cast<std::uint64_t>(ways_)];
+    ++useClock_;
+
+    for (int w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = useClock_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+
+    int victim = 0;
+    std::uint64_t oldest = ~0ULL;
+    for (int w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            victim = w;
+            break;
+        }
+        if (set[w].lastUse < oldest) {
+            oldest = set[w].lastUse;
+            victim = w;
+        }
+    }
+    set[victim] = {tag, useClock_, true};
+    return false;
+}
+
+void
+Btb::flush()
+{
+    for (Entry &e : entries_)
+        e.valid = false;
+}
+
+} // namespace softsku

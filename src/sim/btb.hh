@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A small set-associative Branch Target Buffer model.
+ *
+ * The paper attributes a large share of Web's misspeculation to BTB
+ * aliasing from its enormous instruction footprint (Sec. 2.4.1).  The
+ * model tracks branch PCs; a BTB miss makes a taken branch far more
+ * likely to mispredict, so misprediction rates scale structurally with
+ * the active branch working set.
+ */
+
+#ifndef SOFTSKU_SIM_BTB_HH
+#define SOFTSKU_SIM_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace softsku {
+
+/** Branch Target Buffer: set-associative over branch PCs. */
+class Btb
+{
+  public:
+    /**
+     * @param entries total entries (e.g. 4096)
+     * @param ways    associativity
+     */
+    Btb(int entries, int ways = 4);
+
+    /**
+     * Look up @p branchPc, installing it on a miss.
+     * @return true when the branch was present (target known)
+     */
+    bool access(std::uint64_t branchPc);
+
+    /** Drop all entries. */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+    std::uint64_t sets_;
+    int ways_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_SIM_BTB_HH

@@ -1,0 +1,146 @@
+#include "sim/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+bool
+reconfigurationNeedsReboot(const KnobConfig &from, const KnobConfig &to)
+{
+    if (from.activeCores != to.activeCores)
+        return true;
+    if (from.shpCount != to.shpCount)
+        return true;
+    return false;
+}
+
+FleetSlice::FleetSlice(ProductionEnvironment &env, int servers,
+                       const KnobConfig &initial)
+    : env_(env), rng_(0xF1EE7)
+{
+    SOFTSKU_ASSERT(servers > 0);
+    servers_.reserve(static_cast<size_t>(servers));
+    for (int i = 0; i < servers; ++i) {
+        FleetServer server;
+        server.id = i;
+        server.config = initial;
+        servers_.push_back(server);
+    }
+}
+
+int
+FleetSlice::onlineServers(double nowSec) const
+{
+    int online = 0;
+    for (const FleetServer &server : servers_)
+        online += server.online(nowSec);
+    return online;
+}
+
+double
+FleetSlice::fleetMips(double nowSec)
+{
+    double total = 0.0;
+    double load = env_.loadFactor(nowSec);
+    for (const FleetServer &server : servers_) {
+        if (!server.online(nowSec))
+            continue;
+        // Per-server noise is independent; load is fleet-wide.
+        total += env_.trueMips(server.config) * load *
+                 rng_.logNormalMean(1.0, env_.noise().measurementSigma);
+    }
+    return total;
+}
+
+void
+FleetSlice::sampleTo(OdsStore &ods, double nowSec)
+{
+    const std::string &name = env_.profile().name;
+    ods.append("fleet." + name + ".mips", nowSec, fleetMips(nowSec));
+    ods.append("fleet." + name + ".online", nowSec,
+               static_cast<double>(onlineServers(nowSec)));
+}
+
+bool
+FleetSlice::reconfigure(int index, const KnobConfig &config, double nowSec,
+                        double rebootDowntimeSec)
+{
+    SOFTSKU_ASSERT(index >= 0 &&
+                   index < static_cast<int>(servers_.size()));
+    FleetServer &server = servers_[static_cast<size_t>(index)];
+    bool reboot = reconfigurationNeedsReboot(server.config, config);
+    server.config = config;
+    if (reboot)
+        server.offlineUntilSec = nowSec + rebootDowntimeSec;
+    return reboot;
+}
+
+RolloutResult
+FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
+                    OdsStore &ods, double startSec, double sampleEverySec)
+{
+    RolloutResult result;
+    double now = startSec;
+    const KnobConfig before = servers_.front().config;
+    double beforeMips = env_.trueMips(before);
+    double targetMips = env_.trueMips(target);
+
+    auto sampleUntil = [&](double untilSec) {
+        while (now < untilSec) {
+            now += sampleEverySec;
+            sampleTo(ods, now);
+        }
+    };
+
+    // Phase 1: canary.
+    int canaries = std::min<int>(policy.canaryServers,
+                                 static_cast<int>(servers_.size()));
+    for (int i = 0; i < canaries; ++i)
+        reconfigure(i, target, now, policy.rebootDowntimeSec);
+    sampleUntil(now + policy.canarySoakSec);
+
+    // Judge the canary on the cached ground truth (the per-server
+    // telemetry rides on top of it); paired against the untouched rest.
+    result.canaryGainPercent = (targetMips / beforeMips - 1.0) * 100.0;
+    if (result.canaryGainPercent < -policy.abortOnRegression * 100.0) {
+        // Roll the canaries back.
+        for (int i = 0; i < canaries; ++i)
+            reconfigure(i, before, now, policy.rebootDowntimeSec);
+        sampleUntil(now + policy.waveIntervalSec);
+        result.aborted = true;
+        result.finishedAtSec = now;
+        warn("fleet rollout aborted: canary regressed %.2f%%",
+             -result.canaryGainPercent);
+        return result;
+    }
+    result.serversConverted = canaries;
+
+    // Phase 2: waves over the remainder.
+    int waveSize = std::max<int>(
+        1, static_cast<int>(std::lround(policy.waveFraction *
+                                        static_cast<double>(
+                                            servers_.size()))));
+    int next = canaries;
+    while (next < static_cast<int>(servers_.size())) {
+        int end = std::min<int>(next + waveSize,
+                                static_cast<int>(servers_.size()));
+        for (int i = next; i < end; ++i)
+            reconfigure(i, target, now, policy.rebootDowntimeSec);
+        result.serversConverted += end - next;
+        next = end;
+        sampleUntil(now + policy.waveIntervalSec);
+    }
+
+    result.completed = true;
+    result.finishedAtSec = now;
+    result.fleetGainPercent = (targetMips / beforeMips - 1.0) * 100.0;
+    inform("fleet rollout complete: %d servers, %+.2f%% fleet gain",
+           result.serversConverted, result.fleetGainPercent);
+    return result;
+}
+
+} // namespace softsku

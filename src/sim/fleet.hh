@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fleet deployment model.
+ *
+ * The paper's motivation for *soft* SKUs is fungibility: hardware stays
+ * uniform while servers are redeployed to different microservices —
+ * and hence different soft SKUs — through reconfiguration and/or
+ * reboot (Sec. 3).  This module models a slice of such a fleet:
+ * servers carry a knob configuration and an assigned service, staged
+ * rollouts move them from the production configuration to a soft SKU
+ * (canary first, then waves), reconfiguration costs downtime only for
+ * knobs that need a reboot, and fleet-aggregate throughput lands in
+ * the ODS store the way the paper's prolonged validation reads it.
+ */
+
+#ifndef SOFTSKU_SIM_FLEET_HH
+#define SOFTSKU_SIM_FLEET_HH
+
+#include <string>
+#include <vector>
+
+#include "core/knobs.hh"
+#include "sim/production_env.hh"
+#include "telemetry/ods.hh"
+
+namespace softsku {
+
+/** One server in the fleet slice. */
+struct FleetServer
+{
+    int id = 0;
+    KnobConfig config;
+    /** Wall-clock second until which the server is down (reboot). */
+    double offlineUntilSec = 0.0;
+
+    bool online(double nowSec) const { return nowSec >= offlineUntilSec; }
+};
+
+/** Rollout pacing policy. */
+struct RolloutPolicy
+{
+    /** Servers converted in the canary phase. */
+    int canaryServers = 1;
+    /** Canary soak time before the waves start. */
+    double canarySoakSec = 4.0 * 3600.0;
+    /** Fraction of the fleet converted per wave after the canary. */
+    double waveFraction = 0.25;
+    /** Time between waves. */
+    double waveIntervalSec = 1.0 * 3600.0;
+    /** Downtime charged when the new config needs a reboot. */
+    double rebootDowntimeSec = 300.0;
+    /** Abort threshold: canary regression (fraction) that cancels. */
+    double abortOnRegression = 0.01;
+};
+
+/** Outcome of one staged rollout. */
+struct RolloutResult
+{
+    bool completed = false;
+    bool aborted = false;
+    double finishedAtSec = 0.0;
+    int serversConverted = 0;
+    double canaryGainPercent = 0.0;
+    /** Fleet QPS gain after full conversion vs before the rollout. */
+    double fleetGainPercent = 0.0;
+};
+
+/**
+ * A slice of servers all assigned to one microservice, measured
+ * through a shared ProductionEnvironment.
+ */
+class FleetSlice
+{
+  public:
+    /**
+     * @param env     the service's production environment (owns the
+     *                per-config simulation cache)
+     * @param servers number of servers in the slice
+     * @param initial configuration every server starts with
+     */
+    FleetSlice(ProductionEnvironment &env, int servers,
+               const KnobConfig &initial);
+
+    /** Number of servers currently online at @p nowSec. */
+    int onlineServers(double nowSec) const;
+
+    /** Aggregate fleet MIPS at @p nowSec (offline servers contribute 0). */
+    double fleetMips(double nowSec);
+
+    /**
+     * Record one fleet telemetry sample into @p ods under
+     * "fleet.<service>.mips" and "fleet.<service>.online".
+     */
+    void sampleTo(OdsStore &ods, double nowSec);
+
+    /**
+     * Apply @p config to server @p index immediately, charging reboot
+     * downtime when any changed knob requires one.
+     * @return true when a reboot was needed
+     */
+    bool reconfigure(int index, const KnobConfig &config, double nowSec,
+                     double rebootDowntimeSec);
+
+    /**
+     * Run a staged rollout of @p target across the slice, sampling
+     * fleet telemetry into @p ods every @p sampleEverySec.
+     *
+     * The canary converts first; after the soak, the canary's paired
+     * gain is checked against the abort threshold; then waves convert
+     * the remainder.  Returns the rollout outcome.
+     */
+    RolloutResult rollout(const KnobConfig &target,
+                          const RolloutPolicy &policy, OdsStore &ods,
+                          double startSec = 0.0,
+                          double sampleEverySec = 300.0);
+
+    const std::vector<FleetServer> &servers() const { return servers_; }
+
+  private:
+    ProductionEnvironment &env_;
+    std::vector<FleetServer> servers_;
+    Rng rng_;
+};
+
+/**
+ * True when switching @p from → @p to requires a reboot (any changed
+ * knob that is boot-time only: core count or SHP reservation).
+ */
+bool reconfigurationNeedsReboot(const KnobConfig &from,
+                                const KnobConfig &to);
+
+} // namespace softsku
+
+#endif // SOFTSKU_SIM_FLEET_HH

@@ -1,0 +1,152 @@
+#include "sim/machine.hh"
+
+#include "cache/cdp.hh"
+#include "util/logging.hh"
+
+namespace softsku {
+
+void
+actuateKnobs(const KnobConfig &knobs, const PlatformSpec &platform,
+             MsrFile &msr, KernelFs &fs)
+{
+    if (knobs.coreFreqGHz < platform.coreFreqMinGHz - 1e-9 ||
+        knobs.coreFreqGHz > platform.coreFreqMaxGHz + 1e-9) {
+        fatal("core frequency %.2f GHz outside [%.1f, %.1f] on %s",
+              knobs.coreFreqGHz, platform.coreFreqMinGHz,
+              platform.coreFreqMaxGHz, platform.name.c_str());
+    }
+    if (knobs.uncoreFreqGHz < platform.uncoreFreqMinGHz - 1e-9 ||
+        knobs.uncoreFreqGHz > platform.uncoreFreqMaxGHz + 1e-9) {
+        fatal("uncore frequency %.2f GHz outside [%.1f, %.1f] on %s",
+              knobs.uncoreFreqGHz, platform.uncoreFreqMinGHz,
+              platform.uncoreFreqMaxGHz, platform.name.c_str());
+    }
+
+    msr.setCoreFrequencyGHz(knobs.coreFreqGHz);
+    msr.setUncoreFrequencyGHz(knobs.uncoreFreqGHz);
+
+    PrefetcherSet pf = prefetcherSetFor(knobs.prefetch);
+    msr.setPrefetchers(pf.l2Stream, pf.l2Adjacent, pf.dcuNext, pf.dcuIp);
+
+    if (knobs.cdp.enabled) {
+        if (!platform.supportsRdt)
+            fatal("platform %s does not support RDT", platform.name.c_str());
+        fs.setCdpSchemata(knobs.cdp.codeWays, knobs.cdp.dataWays,
+                          platform.llc.ways);
+    } else {
+        fs.clearCdpSchemata();
+    }
+
+    HugePagePolicy pages{knobs.thp, knobs.shpCount};
+    pages.applyTo(fs);
+
+    fs.setIsolcpus(knobs.resolvedCores(platform), platform.totalCores());
+}
+
+KnobConfig
+effectiveKnobs(const MsrFile &msr, const KernelFs &fs,
+               const PlatformSpec &platform)
+{
+    KnobConfig cfg;
+    cfg.coreFreqGHz = msr.coreFrequencyGHz(platform.coreFreqMaxGHz);
+    cfg.uncoreFreqGHz = msr.uncoreFrequencyGHz(platform.uncoreFreqMaxGHz);
+    cfg.activeCores = fs.activeCores(platform.totalCores());
+
+    auto cdp = fs.cdpConfig(platform.llc.ways);
+    cfg.cdp.enabled = cdp.enabled;
+    cfg.cdp.dataWays = cdp.dataWays;
+    cfg.cdp.codeWays = cdp.codeWays;
+
+    MsrFile::PrefetcherBits bits = msr.prefetchers();
+    // Map the raw bits back to the nearest preset.
+    for (PrefetcherPreset preset : allPrefetcherPresets()) {
+        PrefetcherSet set = prefetcherSetFor(preset);
+        if (set.l2Stream == bits.l2Stream &&
+            set.l2Adjacent == bits.l2Adjacent &&
+            set.dcuNext == bits.dcuNext && set.dcuIp == bits.dcuIp) {
+            cfg.prefetch = preset;
+            break;
+        }
+    }
+
+    HugePagePolicy pages = HugePagePolicy::fromKernelFs(fs);
+    cfg.thp = pages.thp;
+    cfg.shpCount = pages.shpCount;
+    return cfg;
+}
+
+Machine::Machine(const PlatformSpec &platform, const KnobConfig &knobs,
+                 ReplPolicy llcPolicy)
+    : platform_(platform)
+{
+    actuateKnobs(knobs, platform, msr_, fs_);
+    effective_ = effectiveKnobs(msr_, fs_, platform);
+    activeCores_ = effective_.resolvedCores(platform);
+
+    l1i_ = std::make_unique<SetAssocCache>("l1i", platform.l1i);
+    l1d_ = std::make_unique<SetAssocCache>("l1d", platform.l1d);
+    l2_ = std::make_unique<SetAssocCache>("l2", platform.l2);
+    llc_ = std::make_unique<SetAssocCache>("llc", platform.llc,
+                                           llcPolicy);
+    if (effective_.cdp.enabled) {
+        applyCdp(*llc_, effective_.cdp.dataWays, effective_.cdp.codeWays);
+    }
+
+    itlb_ = std::make_unique<TwoLevelTlb>("itlb", platform.itlb,
+                                          platform.stlb);
+    dtlb_ = std::make_unique<TwoLevelTlb>("dtlb", platform.dtlb,
+                                          platform.stlb);
+
+    dram_ = std::make_unique<DramModel>(platform, effective_.uncoreFreqGHz);
+
+    dcuNext_ = std::make_unique<DcuNextLinePrefetcher>();
+    dcuIp_ = std::make_unique<DcuIpPrefetcher>();
+    l2Adjacent_ = std::make_unique<L2AdjacentPrefetcher>();
+    l2Stream_ = std::make_unique<L2StreamPrefetcher>();
+
+    // The platform masks which prefetchers exist; the MSR masks which
+    // are enabled.
+    PrefetcherSet requested = prefetcherSetFor(effective_.prefetch);
+    enabledPf_.l2Stream = requested.l2Stream && platform.prefetchers.l2Stream;
+    enabledPf_.l2Adjacent =
+        requested.l2Adjacent && platform.prefetchers.l2Adjacent;
+    enabledPf_.dcuNext = requested.dcuNext && platform.prefetchers.dcuNext;
+    enabledPf_.dcuIp = requested.dcuIp && platform.prefetchers.dcuIp;
+}
+
+std::vector<Prefetcher *>
+Machine::l1Prefetchers()
+{
+    std::vector<Prefetcher *> out;
+    if (enabledPf_.dcuNext)
+        out.push_back(dcuNext_.get());
+    if (enabledPf_.dcuIp)
+        out.push_back(dcuIp_.get());
+    return out;
+}
+
+std::vector<Prefetcher *>
+Machine::l2Prefetchers()
+{
+    std::vector<Prefetcher *> out;
+    if (enabledPf_.l2Stream)
+        out.push_back(l2Stream_.get());
+    if (enabledPf_.l2Adjacent)
+        out.push_back(l2Adjacent_.get());
+    return out;
+}
+
+void
+Machine::flushAll()
+{
+    l1i_->flush();
+    l1d_->flush();
+    l2_->flush();
+    llc_->flush();
+    itlb_->flush();
+    dtlb_->flush();
+    dcuIp_->reset();
+    l2Stream_->reset();
+}
+
+} // namespace softsku

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Machine assembly: a PlatformSpec plus a KnobConfig instantiated into
+ * concrete cache/TLB/prefetcher/DRAM models.
+ *
+ * Knob actuation is deliberately indirect, mirroring μSKU's mechanisms
+ * (Sec. 5): frequencies and prefetcher enables are written to the
+ * emulated MSR file, CDP to the resctrl schemata, THP/SHP and isolcpus
+ * to kernel config files — and the machine derives its *effective*
+ * configuration by reading those back, so actuation bugs are visible to
+ * tests rather than papered over.
+ */
+
+#ifndef SOFTSKU_SIM_MACHINE_HH
+#define SOFTSKU_SIM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "arch/msr.hh"
+#include "arch/platform.hh"
+#include "cache/cache.hh"
+#include "core/knobs.hh"
+#include "mem/dram.hh"
+#include "os/kernelfs.hh"
+#include "prefetch/prefetcher.hh"
+#include "tlb/tlb.hh"
+
+namespace softsku {
+
+/**
+ * Write @p knobs into the actuation surfaces exactly as μSKU does:
+ * MSRs for frequencies/prefetchers, resctrl for CDP, kernel files for
+ * THP/SHP, the boot cmdline for core count.
+ */
+void actuateKnobs(const KnobConfig &knobs, const PlatformSpec &platform,
+                  MsrFile &msr, KernelFs &fs);
+
+/**
+ * Read the effective knob configuration back from the actuation
+ * surfaces (resolving "unset" to platform defaults).
+ */
+KnobConfig effectiveKnobs(const MsrFile &msr, const KernelFs &fs,
+                          const PlatformSpec &platform);
+
+/** One assembled server: models configured per the knob settings. */
+class Machine
+{
+  public:
+    /**
+     * @param platform  hardware SKU
+     * @param knobs     soft-SKU configuration to actuate
+     * @param llcPolicy LLC replacement (SRRIP default; LRU for ablation)
+     */
+    Machine(const PlatformSpec &platform, const KnobConfig &knobs,
+            ReplPolicy llcPolicy = ReplPolicy::Srrip);
+
+    const PlatformSpec &platform() const { return platform_; }
+    const KnobConfig &knobs() const { return effective_; }
+
+    double coreFreqGHz() const { return effective_.coreFreqGHz; }
+    double uncoreFreqGHz() const { return effective_.uncoreFreqGHz; }
+    int activeCores() const { return activeCores_; }
+
+    SetAssocCache &l1i() { return *l1i_; }
+    SetAssocCache &l1d() { return *l1d_; }
+    SetAssocCache &l2() { return *l2_; }
+    SetAssocCache &llc() { return *llc_; }
+    TwoLevelTlb &itlb() { return *itlb_; }
+    TwoLevelTlb &dtlb() { return *dtlb_; }
+    const DramModel &dram() const { return *dram_; }
+
+    /** Enabled L1-D prefetchers (DCU family). */
+    std::vector<Prefetcher *> l1Prefetchers();
+    /** Enabled L2 prefetchers. */
+    std::vector<Prefetcher *> l2Prefetchers();
+
+    /** The actuation surfaces (exposed for tests and μSKU). */
+    MsrFile &msr() { return msr_; }
+    KernelFs &kernelFs() { return fs_; }
+
+    /** Reset all cache/TLB/predictor state (fresh boot). */
+    void flushAll();
+
+  private:
+    const PlatformSpec &platform_;
+    MsrFile msr_;
+    KernelFs fs_;
+    KnobConfig effective_;
+    int activeCores_;
+
+    std::unique_ptr<SetAssocCache> l1i_;
+    std::unique_ptr<SetAssocCache> l1d_;
+    std::unique_ptr<SetAssocCache> l2_;
+    std::unique_ptr<SetAssocCache> llc_;
+    std::unique_ptr<TwoLevelTlb> itlb_;
+    std::unique_ptr<TwoLevelTlb> dtlb_;
+    std::unique_ptr<DramModel> dram_;
+
+    std::unique_ptr<DcuNextLinePrefetcher> dcuNext_;
+    std::unique_ptr<DcuIpPrefetcher> dcuIp_;
+    std::unique_ptr<L2AdjacentPrefetcher> l2Adjacent_;
+    std::unique_ptr<L2StreamPrefetcher> l2Stream_;
+    PrefetcherSet enabledPf_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_SIM_MACHINE_HH

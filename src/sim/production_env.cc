@@ -1,0 +1,98 @@
+#include "sim/production_env.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+ProductionEnvironment::ProductionEnvironment(const WorkloadProfile &profile,
+                                             const PlatformSpec &platform,
+                                             std::uint64_t seed,
+                                             const SimOptions &simOpts)
+    : profile_(profile), platform_(platform), seed_(seed),
+      simOpts_(simOpts), rng_(seed ^ 0xE4)
+{
+}
+
+const CounterSet &
+ProductionEnvironment::counters(const KnobConfig &config)
+{
+    std::string key = config.describe();
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    SimOptions opts = simOpts_;
+    opts.seed = seed_;
+    CounterSet result = simulateService(profile_, platform_, config, opts);
+    return cache_.emplace(std::move(key), result).first->second;
+}
+
+double
+ProductionEnvironment::trueMips(const KnobConfig &config)
+{
+    return counters(config).platformMips;
+}
+
+double
+ProductionEnvironment::loadFactor(double timeSec) const
+{
+    // Diurnal curve plus a slow traffic-mix wobble; both are shared by
+    // every server in the fleet slice.
+    double day = 2.0 * M_PI * timeSec / 86400.0;
+    double hour = 2.0 * M_PI * timeSec / 3600.0;
+    return 1.0 + noise_.diurnalAmplitude * 0.5 * std::sin(day) +
+           noise_.diurnalAmplitude * 0.15 * std::sin(3.7 * hour + 1.3);
+}
+
+double
+ProductionEnvironment::codePushFactor(double timeSec) const
+{
+    if (noise_.codePushSigma <= 0.0 || noise_.codePushIntervalSec <= 0.0)
+        return 1.0;
+    auto epoch = static_cast<std::uint64_t>(
+        timeSec / noise_.codePushIntervalSec);
+    // Deterministic per-epoch perturbation around 1.
+    double u = static_cast<double>(mix64(epoch ^ seed_) >> 11) * 0x1.0p-53;
+    return 1.0 + noise_.codePushSigma * (2.0 * u - 1.0);
+}
+
+PairedSample
+ProductionEnvironment::samplePair(const KnobConfig &a, const KnobConfig &b,
+                                  double timeSec)
+{
+    PairedSample sample;
+    double shared = loadFactor(timeSec) * codePushFactor(timeSec);
+    sample.loadFactor = shared;
+    sample.mipsA = trueMips(a) * shared *
+                   rng_.logNormalMean(1.0, noise_.measurementSigma);
+    sample.mipsB = trueMips(b) * shared *
+                   rng_.logNormalMean(1.0, noise_.measurementSigma);
+    return sample;
+}
+
+double
+ProductionEnvironment::sampleMips(const KnobConfig &config, double timeSec)
+{
+    double shared = loadFactor(timeSec) * codePushFactor(timeSec);
+    return trueMips(config) * shared *
+           rng_.logNormalMean(1.0, noise_.measurementSigma);
+}
+
+} // namespace softsku

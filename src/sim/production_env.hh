@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The production measurement environment μSKU's A/B tests run in.
+ *
+ * A/B testing on live traffic (paper Sec. 4) means: two identical
+ * servers in the same fleet face the same diurnally varying load; each
+ * EMON sample carries measurement noise; service code is pushed every
+ * few hours, perturbing behaviour.  The environment models all three so
+ * μSKU's statistics machinery — warm-up discard, sample spacing, 95%
+ * confidence, the ~30 k-sample cutoff — has real work to do.
+ *
+ * Ground-truth performance per knob configuration comes from one
+ * deterministic run of the trace-driven simulator and is cached; A/B
+ * samples are drawn around the truth with shared (common-mode) load
+ * factors and independent per-server noise, exactly the structure that
+ * makes paired A/B measurement beat naive comparison.
+ */
+
+#ifndef SOFTSKU_SIM_PRODUCTION_ENV_HH
+#define SOFTSKU_SIM_PRODUCTION_ENV_HH
+
+#include <map>
+#include <string>
+
+#include "arch/platform.hh"
+#include "core/knobs.hh"
+#include "sim/counters.hh"
+#include "sim/service_sim.hh"
+#include "stats/rng.hh"
+#include "workload/profile.hh"
+
+namespace softsku {
+
+/** One paired A/B observation (same instant, same fleet load). */
+struct PairedSample
+{
+    double mipsA = 0.0;
+    double mipsB = 0.0;
+    double loadFactor = 1.0;    //!< common-mode diurnal load at sample time
+};
+
+/** Tunable noise characteristics of the environment. */
+struct EnvironmentNoise
+{
+    /** Peak-to-trough amplitude of the diurnal load curve. */
+    double diurnalAmplitude = 0.06;
+    /** Log-normal sigma of per-sample EMON measurement noise. */
+    double measurementSigma = 0.012;
+    /** Relative behaviour perturbation applied at each code push. */
+    double codePushSigma = 0.004;
+    /** Seconds between code pushes (O(hours), Sec. 4). */
+    double codePushIntervalSec = 4.0 * 3600.0;
+};
+
+/** A simulated fleet slice serving live traffic for one microservice. */
+class ProductionEnvironment
+{
+  public:
+    /**
+     * @param profile  the microservice under test
+     * @param platform the server SKU
+     * @param seed     environment seed (fleet noise streams)
+     * @param simOpts  window sizing for ground-truth simulations
+     */
+    ProductionEnvironment(const WorkloadProfile &profile,
+                          const PlatformSpec &platform,
+                          std::uint64_t seed = 1,
+                          const SimOptions &simOpts = SimOptions{});
+
+    /**
+     * Ground-truth platform MIPS for a configuration at peak load.
+     * Simulated once per distinct configuration, then cached.
+     */
+    double trueMips(const KnobConfig &config);
+
+    /** Full counter set for a configuration (cached with the truth). */
+    const CounterSet &counters(const KnobConfig &config);
+
+    /** Diurnal load multiplier at wall-clock time @p timeSec. */
+    double loadFactor(double timeSec) const;
+
+    /**
+     * Draw one paired A/B sample at time @p timeSec: both servers see
+     * the same instantaneous load; measurement noise is independent.
+     */
+    PairedSample samplePair(const KnobConfig &a, const KnobConfig &b,
+                            double timeSec);
+
+    /** Draw one single-server sample (used by the validation phase). */
+    double sampleMips(const KnobConfig &config, double timeSec);
+
+    /** Number of distinct configurations simulated so far. */
+    size_t configsSimulated() const { return cache_.size(); }
+
+    const WorkloadProfile &profile() const { return profile_; }
+    const PlatformSpec &platform() const { return platform_; }
+
+    EnvironmentNoise &noise() { return noise_; }
+
+  private:
+    double codePushFactor(double timeSec) const;
+
+    const WorkloadProfile &profile_;
+    const PlatformSpec &platform_;
+    std::uint64_t seed_;
+    SimOptions simOpts_;
+    EnvironmentNoise noise_;
+    Rng rng_;
+    std::map<std::string, CounterSet> cache_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_SIM_PRODUCTION_ENV_HH

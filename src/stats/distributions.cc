@@ -1,0 +1,115 @@
+#include "stats/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double skew)
+    : n_(n), skew_(skew)
+{
+    SOFTSKU_ASSERT(n > 0);
+    SOFTSKU_ASSERT(skew >= 0.0);
+    // For very large n the CDF table is capped and the tail is sampled
+    // uniformly; working sets in the workload models stay well below
+    // the cap.
+    const std::uint64_t tableMax = 1u << 20;
+    std::uint64_t m = std::min(n_, tableMax);
+    cdf_.resize(m);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < m; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), skew_);
+        cdf_[i] = sum;
+    }
+    for (auto &c : cdf_)
+        c /= sum;
+}
+
+std::uint64_t
+ZipfDistribution::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
+    if (rank >= cdf_.size())
+        rank = cdf_.size() - 1;
+    if (cdf_.size() < n_ && rank == cdf_.size() - 1) {
+        // Tail beyond the table: spread uniformly.
+        rank += rng.below(n_ - cdf_.size() + 1);
+    }
+    return rank;
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double> &weights)
+{
+    SOFTSKU_ASSERT(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        SOFTSKU_ASSERT(w >= 0.0);
+        total += w;
+    }
+    SOFTSKU_ASSERT(total > 0.0);
+
+    size_t n = weights.size();
+    normalized_.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        normalized_[i] = weights[i] / total;
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+
+    std::deque<std::uint32_t> small, large;
+    std::vector<double> scaled(n);
+    for (size_t i = 0; i < n; ++i) {
+        scaled[i] = normalized_[i] * static_cast<double>(n);
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<std::uint32_t>(i));
+        else
+            large.push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        std::uint32_t s = small.front();
+        small.pop_front();
+        std::uint32_t l = large.front();
+        large.pop_front();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = scaled[l] + scaled[s] - 1.0;
+        if (scaled[l] < 1.0)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    while (!large.empty()) {
+        prob_[large.front()] = 1.0;
+        large.pop_front();
+    }
+    while (!small.empty()) {
+        prob_[small.front()] = 1.0;
+        small.pop_front();
+    }
+}
+
+std::uint32_t
+DiscreteDistribution::sample(Rng &rng) const
+{
+    auto i = static_cast<std::uint32_t>(rng.below(prob_.size()));
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+double
+Ewma::add(double x)
+{
+    if (empty_) {
+        value_ = x;
+        empty_ = false;
+    } else {
+        value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+} // namespace softsku

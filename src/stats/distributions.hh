@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Discrete sampling distributions used by the synthetic workload
+ * generators: Zipf (hot/cold working-set skew), alias-method weighted
+ * choice (instruction mix, region selection), and EWMA smoothing.
+ */
+
+#ifndef SOFTSKU_STATS_DISTRIBUTIONS_HH
+#define SOFTSKU_STATS_DISTRIBUTIONS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hh"
+
+namespace softsku {
+
+/**
+ * Zipfian distribution over {0 .. n-1} with skew parameter s, sampled by
+ * inverse transform over a precomputed CDF.  Rank 0 is the hottest item.
+ */
+class ZipfDistribution
+{
+  public:
+    ZipfDistribution(std::uint64_t n, double skew);
+
+    /** Draw one rank. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t size() const { return n_; }
+    double skew() const { return skew_; }
+
+  private:
+    std::uint64_t n_;
+    double skew_;
+    std::vector<double> cdf_;
+};
+
+/**
+ * Weighted discrete choice over {0 .. n-1} using Vose's alias method:
+ * O(1) sampling regardless of the number of outcomes.
+ */
+class DiscreteDistribution
+{
+  public:
+    explicit DiscreteDistribution(const std::vector<double> &weights);
+
+    /** Draw one index. */
+    std::uint32_t sample(Rng &rng) const;
+
+    size_t size() const { return prob_.size(); }
+
+    /** Normalized probability of outcome i. */
+    double probability(size_t i) const { return normalized_[i]; }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+    std::vector<double> normalized_;
+};
+
+/** Exponentially weighted moving average. */
+class Ewma
+{
+  public:
+    explicit Ewma(double alpha) : alpha_(alpha) {}
+
+    /** Fold in one observation and return the new average. */
+    double add(double x);
+
+    /** Current smoothed value. */
+    double value() const { return value_; }
+
+    bool empty() const { return empty_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool empty_ = true;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_STATS_DISTRIBUTIONS_HH

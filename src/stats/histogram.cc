@@ -1,0 +1,85 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+LogHistogram::LogHistogram(double minValue, double maxValue,
+                           int binsPerDecade)
+    : minValue_(minValue), maxValue_(maxValue),
+      logMin_(std::log10(minValue)),
+      binsPerDecade_(static_cast<double>(binsPerDecade))
+{
+    SOFTSKU_ASSERT(minValue > 0.0 && maxValue > minValue);
+    SOFTSKU_ASSERT(binsPerDecade > 0);
+    double decades = std::log10(maxValue) - logMin_;
+    bins_.assign(static_cast<size_t>(decades * binsPerDecade_) + 2, 0);
+}
+
+size_t
+LogHistogram::binFor(double value) const
+{
+    double v = std::clamp(value, minValue_, maxValue_);
+    auto bin = static_cast<size_t>((std::log10(v) - logMin_) *
+                                   binsPerDecade_);
+    return std::min(bin, bins_.size() - 1);
+}
+
+double
+LogHistogram::binCenter(size_t bin) const
+{
+    double logLo = logMin_ + static_cast<double>(bin) / binsPerDecade_;
+    return std::pow(10.0, logLo + 0.5 / binsPerDecade_);
+}
+
+void
+LogHistogram::add(double value)
+{
+    add(value, 1);
+}
+
+void
+LogHistogram::add(double value, std::uint64_t count)
+{
+    bins_[binFor(value)] += count;
+    total_ += count;
+    sum_ += value * static_cast<double>(count);
+}
+
+double
+LogHistogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (size_t i = 0; i < bins_.size(); ++i) {
+        seen += bins_[i];
+        if (seen > target)
+            return binCenter(i);
+    }
+    return binCenter(bins_.size() - 1);
+}
+
+double
+LogHistogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(total_);
+}
+
+void
+LogHistogram::clear()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace softsku

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reservoir-free percentile estimation for latency distributions.
+ *
+ * Request latencies in the QoS solver span microseconds to seconds
+ * across services (Table 2 of the paper), so the histogram uses
+ * log-spaced bins with bounded relative error, similar in spirit to
+ * HdrHistogram.
+ */
+
+#ifndef SOFTSKU_STATS_HISTOGRAM_HH
+#define SOFTSKU_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace softsku {
+
+/** Log-binned histogram over positive values with percentile queries. */
+class LogHistogram
+{
+  public:
+    /**
+     * @param minValue     smallest distinguishable value (> 0)
+     * @param maxValue     largest representable value
+     * @param binsPerDecade resolution; 100 → ~2.3% relative error
+     */
+    LogHistogram(double minValue = 1e-9, double maxValue = 1e6,
+                 int binsPerDecade = 100);
+
+    /** Record one observation (clamped to the representable range). */
+    void add(double value);
+
+    /** Record @p count observations of the same value. */
+    void add(double value, std::uint64_t count);
+
+    /** Total recorded observations. */
+    std::uint64_t count() const { return total_; }
+
+    /** Approximate value at quantile @p q in [0, 1]. */
+    double percentile(double q) const;
+
+    /** Arithmetic mean of recorded observations (exact). */
+    double mean() const;
+
+    /** Reset all bins. */
+    void clear();
+
+  private:
+    size_t binFor(double value) const;
+    double binCenter(size_t bin) const;
+
+    double minValue_;
+    double maxValue_;
+    double logMin_;
+    double binsPerDecade_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_STATS_HISTOGRAM_HH

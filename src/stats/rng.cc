@@ -1,0 +1,145 @@
+#include "stats/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &lane : s_)
+        lane = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits → double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    SOFTSKU_ASSERT(bound > 0);
+    // Lemire's multiply-shift rejection method, unbiased.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    SOFTSKU_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpareGauss_) {
+        hasSpareGauss_ = false;
+        return spareGauss_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spareGauss_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpareGauss_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::exponential(double rate)
+{
+    SOFTSKU_ASSERT(rate > 0.0);
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::logNormalMean(double mean, double sigma)
+{
+    SOFTSKU_ASSERT(mean > 0.0);
+    // Pick mu so the log-normal's expected value equals `mean`.
+    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::exp(mu + sigma * gaussian());
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace softsku

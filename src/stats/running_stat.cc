@@ -1,0 +1,80 @@
+#include "stats/running_stat.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/students_t.hh"
+
+namespace softsku {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel variance combination.
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::clear()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::standardError() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double
+RunningStat::confidenceHalfWidth(double confidence) const
+{
+    if (count_ < 2)
+        return std::numeric_limits<double>::infinity();
+    double t = studentTQuantile(confidence,
+                                static_cast<double>(count_ - 1));
+    return t * standardError();
+}
+
+} // namespace softsku

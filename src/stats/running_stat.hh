@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Numerically stable streaming statistics (Welford's algorithm).
+ *
+ * μSKU's A/B tester streams tens of thousands of EMON samples per knob
+ * configuration (Sec. 4 of the paper) and needs the running mean,
+ * variance, and confidence interval without storing the samples.
+ */
+
+#ifndef SOFTSKU_STATS_RUNNING_STAT_HH
+#define SOFTSKU_STATS_RUNNING_STAT_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace softsku {
+
+/** Streaming mean/variance/min/max accumulator. */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator (parallel reduction). */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void clear();
+
+    /** Number of observations folded in so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return mean_; }
+
+    /** Unbiased sample variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Standard error of the mean (stddev / sqrt(n)). */
+    double standardError() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /**
+     * Half-width of the two-sided confidence interval on the mean at the
+     * given confidence level (e.g., 0.95), using Student's t quantile.
+     */
+    double confidenceHalfWidth(double confidence = 0.95) const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_STATS_RUNNING_STAT_HH

@@ -1,0 +1,190 @@
+#include "stats/students_t.hh"
+
+#include <cmath>
+
+#include "stats/running_stat.hh"
+#include "util/logging.hh"
+
+namespace softsku {
+
+double
+normalQuantile(double p)
+{
+    SOFTSKU_ASSERT(p > 0.0 && p < 1.0);
+    // Acklam's rational approximation, |error| < 1.15e-9.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double pLow = 0.02425;
+
+    if (p < pLow) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - pLow) {
+        double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                 c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    double q = p - 0.5;
+    double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+}
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double
+studentTQuantile(double confidence, double dof)
+{
+    SOFTSKU_ASSERT(confidence > 0.0 && confidence < 1.0);
+    SOFTSKU_ASSERT(dof >= 1.0);
+    // Peiser/Cornish–Fisher expansion of the t quantile around the
+    // normal quantile; excellent for dof >= 3 and still within a few
+    // percent at dof == 1-2, which only affects the first samples of a
+    // warm-up phase.
+    double p = 0.5 + confidence / 2.0;
+    double z = normalQuantile(p);
+    double z2 = z * z;
+    double g1 = (z2 + 1.0) * z / 4.0;
+    double g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+    double g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+    double g4 =
+        ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) *
+        z / 92160.0;
+    double d = dof;
+    return z + g1 / d + g2 / (d * d) + g3 / (d * d * d) +
+           g4 / (d * d * d * d);
+}
+
+namespace {
+
+/** Regularized incomplete beta via continued fraction (Lentz). */
+double
+incompleteBeta(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+
+    double lbeta = std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+    double front = std::exp(std::log(x) * a + std::log(1.0 - x) * b - lbeta) / a;
+
+    // Lentz continued fraction.
+    const double tiny = 1e-30;
+    double f = 1.0, c = 1.0, d = 0.0;
+    for (int i = 0; i <= 300; ++i) {
+        int m = i / 2;
+        double numerator;
+        if (i == 0) {
+            numerator = 1.0;
+        } else if (i % 2 == 0) {
+            numerator = (m * (b - m) * x) /
+                        ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+        } else {
+            numerator = -((a + m) * (a + b + m) * x) /
+                        ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+        }
+        d = 1.0 + numerator * d;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        d = 1.0 / d;
+        c = 1.0 + numerator / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        double delta = c * d;
+        f *= delta;
+        if (std::fabs(1.0 - delta) < 1e-12)
+            break;
+    }
+    return front * (f - 1.0);
+}
+
+} // namespace
+
+double
+studentTCdf(double t, double dof)
+{
+    SOFTSKU_ASSERT(dof >= 1.0);
+    double x = dof / (dof + t * t);
+    double prob = 0.5 * incompleteBeta(dof / 2.0, 0.5, x);
+    return t > 0.0 ? 1.0 - prob : prob;
+}
+
+WelchResult
+pairedTTest(const RunningStat &differences, double confidence)
+{
+    WelchResult res;
+    if (differences.count() < 2)
+        return res;
+    res.meanDiff = differences.mean();
+    double se = differences.standardError();
+    res.dof = static_cast<double>(differences.count() - 1);
+    if (se <= 0.0) {
+        res.significant = res.meanDiff != 0.0;
+        res.pValue = res.significant ? 0.0 : 1.0;
+        return res;
+    }
+    res.tStatistic = res.meanDiff / se;
+    double cdf = studentTCdf(std::fabs(res.tStatistic), res.dof);
+    res.pValue = 2.0 * (1.0 - cdf);
+    res.diffHalfWidth = studentTQuantile(confidence, res.dof) * se;
+    res.significant = res.pValue < (1.0 - confidence);
+    return res;
+}
+
+WelchResult
+welchTTest(const RunningStat &a, const RunningStat &b, double confidence)
+{
+    WelchResult res;
+    if (a.count() < 2 || b.count() < 2)
+        return res;
+
+    double va = a.variance() / static_cast<double>(a.count());
+    double vb = b.variance() / static_cast<double>(b.count());
+    double se2 = va + vb;
+    res.meanDiff = b.mean() - a.mean();
+    if (se2 <= 0.0) {
+        // Zero variance in both groups: any nonzero difference is exact.
+        res.significant = res.meanDiff != 0.0;
+        res.pValue = res.significant ? 0.0 : 1.0;
+        res.dof = static_cast<double>(a.count() + b.count() - 2);
+        return res;
+    }
+    double se = std::sqrt(se2);
+    res.tStatistic = res.meanDiff / se;
+
+    double na = static_cast<double>(a.count());
+    double nb = static_cast<double>(b.count());
+    res.dof = se2 * se2 /
+              (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    if (res.dof < 1.0)
+        res.dof = 1.0;
+
+    double cdf = studentTCdf(std::fabs(res.tStatistic), res.dof);
+    res.pValue = 2.0 * (1.0 - cdf);
+    res.diffHalfWidth = studentTQuantile(confidence, res.dof) * se;
+    res.significant = res.pValue < (1.0 - confidence);
+    return res;
+}
+
+} // namespace softsku

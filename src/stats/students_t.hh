@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Student's t distribution quantiles and Welch's unequal-variance t-test.
+ *
+ * The paper's A/B tester declares a knob configuration a winner only when
+ * the throughput difference is significant at 95% confidence, falling
+ * back to "no difference" after ~30,000 samples (Sec. 4).  These are the
+ * statistical primitives that decision rests on.
+ */
+
+#ifndef SOFTSKU_STATS_STUDENTS_T_HH
+#define SOFTSKU_STATS_STUDENTS_T_HH
+
+namespace softsku {
+
+class RunningStat;
+
+/**
+ * Two-sided Student's t quantile: the value t such that
+ * P(-t < T < t) = confidence for @p dof degrees of freedom.
+ * Uses the Cornish–Fisher style expansion from the normal quantile,
+ * accurate to ~1e-3 for dof >= 3, which far exceeds what a sampling
+ * experiment can resolve.
+ */
+double studentTQuantile(double confidence, double dof);
+
+/** Inverse standard normal CDF (Acklam's rational approximation). */
+double normalQuantile(double p);
+
+/** Standard normal CDF. */
+double normalCdf(double x);
+
+/** CDF of Student's t distribution with @p dof degrees of freedom. */
+double studentTCdf(double t, double dof);
+
+/** Outcome of a two-sample comparison. */
+struct WelchResult
+{
+    double tStatistic = 0.0;       //!< Welch t statistic (b vs a).
+    double dof = 0.0;              //!< Welch–Satterthwaite dof.
+    double pValue = 1.0;           //!< two-sided p-value.
+    double meanDiff = 0.0;         //!< mean(b) - mean(a).
+    double diffHalfWidth = 0.0;    //!< CI half-width on the difference.
+    bool significant = false;      //!< p < 1 - confidence.
+};
+
+/**
+ * Welch's unequal-variance t-test comparing two accumulated sample sets.
+ * @param a          baseline samples
+ * @param b          treatment samples
+ * @param confidence e.g., 0.95
+ */
+WelchResult welchTTest(const RunningStat &a, const RunningStat &b,
+                       double confidence = 0.95);
+
+/**
+ * Paired t-test on accumulated per-pair differences (B − A).  The right
+ * tool for simultaneous A/B measurement: common-mode load variation
+ * cancels inside each difference, so the test only sees genuine
+ * configuration effects plus independent measurement noise.
+ */
+WelchResult pairedTTest(const RunningStat &differences,
+                        double confidence = 0.95);
+
+} // namespace softsku
+
+#endif // SOFTSKU_STATS_STUDENTS_T_HH

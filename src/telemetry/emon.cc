@@ -1,0 +1,76 @@
+#include "telemetry/emon.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+EmonSampler::EmonSampler(const CounterSet &truth, std::uint64_t seed,
+                         int counterGroups, double relativeError)
+    : truth_(truth), rng_(seed), groups_(std::max(counterGroups, 1)),
+      relativeError_(relativeError)
+{
+}
+
+double
+EmonSampler::perturb(double value, int intervals)
+{
+    double observed = std::max(1.0, static_cast<double>(intervals) /
+                                        groups_);
+    double sigma = relativeError_ / std::sqrt(observed);
+    return value * rng_.logNormalMean(1.0, sigma);
+}
+
+std::uint64_t
+EmonSampler::perturbCount(std::uint64_t value, int intervals)
+{
+    if (value == 0)
+        return 0;
+    double noisy = perturb(static_cast<double>(value), intervals);
+    return static_cast<std::uint64_t>(std::llround(std::max(noisy, 0.0)));
+}
+
+CounterSet
+EmonSampler::sampledView(int intervals)
+{
+    CounterSet view = truth_;
+
+    auto noisyCache = [&](CacheStats &stats) {
+        for (int t = 0; t < 2; ++t) {
+            stats.accesses[t] = perturbCount(stats.accesses[t], intervals);
+            stats.misses[t] = perturbCount(stats.misses[t], intervals);
+        }
+        stats.prefetchFills = perturbCount(stats.prefetchFills, intervals);
+        stats.prefetchUseful =
+            perturbCount(stats.prefetchUseful, intervals);
+    };
+    noisyCache(view.l1i);
+    noisyCache(view.l1d);
+    noisyCache(view.l2);
+    noisyCache(view.llc);
+
+    view.itlbL1.misses = perturbCount(view.itlbL1.misses, intervals);
+    view.dtlbL1.misses = perturbCount(view.dtlbL1.misses, intervals);
+    view.itlbWalks = perturbCount(view.itlbWalks, intervals);
+    view.dtlbWalks = perturbCount(view.dtlbWalks, intervals);
+    view.branches = perturbCount(view.branches, intervals);
+    view.mispredicts = perturbCount(view.mispredicts, intervals);
+
+    view.ipc = perturb(view.ipc, intervals);
+    view.coreIpc = perturb(view.coreIpc, intervals);
+    view.mipsPerCore = perturb(view.mipsPerCore, intervals);
+    view.platformMips = perturb(view.platformMips, intervals);
+    view.memBandwidthGBs = perturb(view.memBandwidthGBs, intervals);
+    view.memLatencyNs = perturb(view.memLatencyNs, intervals);
+    return view;
+}
+
+double
+EmonSampler::sampleMips(int intervals)
+{
+    return perturb(truth_.platformMips, intervals);
+}
+
+} // namespace softsku

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * EMON-style multiplexed performance-counter sampling.
+ *
+ * Real CPUs expose a handful of counter registers; EMON rotates event
+ * groups through them, so each event is only observed for a slice of
+ * the measurement interval and its extrapolated value carries
+ * multiplexing error that shrinks with observation time (paper
+ * Sec. 2.2).  The sampler wraps a ground-truth CounterSet and produces
+ * exactly such noisy extrapolated views — what μSKU actually consumes.
+ */
+
+#ifndef SOFTSKU_TELEMETRY_EMON_HH
+#define SOFTSKU_TELEMETRY_EMON_HH
+
+#include "sim/counters.hh"
+#include "stats/rng.hh"
+
+namespace softsku {
+
+/** Multiplexed sampler over one ground-truth counter set. */
+class EmonSampler
+{
+  public:
+    /**
+     * @param truth          ground-truth counters for the window
+     * @param seed           noise stream seed
+     * @param counterGroups  groups rotated through the PMU (time share
+     *                       per event = 1/groups)
+     * @param relativeError  1-sigma relative error of a single
+     *                       multiplexing interval
+     */
+    EmonSampler(const CounterSet &truth, std::uint64_t seed = 1,
+                int counterGroups = 4, double relativeError = 0.05);
+
+    /**
+     * A sampled view of the counters after @p intervals multiplexing
+     * rotations: every event estimate is perturbed independently with
+     * error ∝ 1/sqrt(intervals / groups).
+     */
+    CounterSet sampledView(int intervals);
+
+    /** One noisy MIPS observation (the metric μSKU's A/B tester uses). */
+    double sampleMips(int intervals = 1);
+
+    const CounterSet &truth() const { return truth_; }
+
+  private:
+    double perturb(double value, int intervals);
+    std::uint64_t perturbCount(std::uint64_t value, int intervals);
+
+    CounterSet truth_;
+    Rng rng_;
+    int groups_;
+    double relativeError_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_TELEMETRY_EMON_HH

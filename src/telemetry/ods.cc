@@ -1,0 +1,103 @@
+#include "telemetry/ods.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+void
+OdsStore::append(const std::string &series, double timeSec, double value)
+{
+    auto &points = series_[series];
+    if (!points.empty() && timeSec < points.back().timeSec) {
+        fatal("ODS series '%s': non-monotonic append (%.3f after %.3f)",
+              series.c_str(), timeSec, points.back().timeSec);
+    }
+    points.push_back({timeSec, value});
+}
+
+bool
+OdsStore::has(const std::string &series) const
+{
+    auto it = series_.find(series);
+    return it != series_.end() && !it->second.empty();
+}
+
+std::vector<OdsPoint>
+OdsStore::query(const std::string &series, double fromSec,
+                double toSec) const
+{
+    std::vector<OdsPoint> out;
+    auto it = series_.find(series);
+    if (it == series_.end())
+        return out;
+    const auto &points = it->second;
+    auto lo = std::lower_bound(points.begin(), points.end(), fromSec,
+                               [](const OdsPoint &p, double t) {
+                                   return p.timeSec < t;
+                               });
+    for (auto p = lo; p != points.end() && p->timeSec <= toSec; ++p)
+        out.push_back(*p);
+    return out;
+}
+
+OdsAggregate
+OdsStore::aggregate(const std::string &series, double fromSec,
+                    double toSec) const
+{
+    OdsAggregate agg;
+    auto points = query(series, fromSec, toSec);
+    if (points.empty())
+        return agg;
+
+    std::vector<double> values;
+    values.reserve(points.size());
+    double sum = 0.0;
+    for (const OdsPoint &p : points) {
+        values.push_back(p.value);
+        sum += p.value;
+    }
+    std::sort(values.begin(), values.end());
+    agg.count = values.size();
+    agg.mean = sum / static_cast<double>(values.size());
+    agg.min = values.front();
+    agg.max = values.back();
+    auto at = [&](double q) {
+        auto idx = static_cast<size_t>(q * static_cast<double>(
+                                               values.size() - 1));
+        return values[idx];
+    };
+    agg.p50 = at(0.50);
+    agg.p99 = at(0.99);
+    return agg;
+}
+
+std::vector<std::string>
+OdsStore::seriesNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(series_.size());
+    for (const auto &[name, points] : series_) {
+        (void)points;
+        names.push_back(name);
+    }
+    return names;
+}
+
+void
+OdsStore::retain(double horizonSec)
+{
+    for (auto &[name, points] : series_) {
+        (void)name;
+        if (points.empty())
+            continue;
+        double cutoff = points.back().timeSec - horizonSec;
+        auto keepFrom = std::lower_bound(
+            points.begin(), points.end(), cutoff,
+            [](const OdsPoint &p, double t) { return p.timeSec < t; });
+        points.erase(points.begin(), keepFrom);
+    }
+}
+
+} // namespace softsku

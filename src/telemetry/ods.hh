@@ -1,0 +1,76 @@
+/**
+ * @file
+ * An Operational Data Store (ODS) style time-series facility.
+ *
+ * The paper's fleet telemetry system stores sampled metrics from every
+ * machine and supports retrieval/aggregation (Sec. 2.2); μSKU uses it
+ * for the prolonged soft-SKU validation phase, comparing fleet QPS of
+ * soft-SKU servers against production servers across code pushes and
+ * diurnal load (Sec. 4, "Soft SKU generator").
+ */
+
+#ifndef SOFTSKU_TELEMETRY_ODS_HH
+#define SOFTSKU_TELEMETRY_ODS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace softsku {
+
+/** One sample in a series. */
+struct OdsPoint
+{
+    double timeSec = 0.0;
+    double value = 0.0;
+};
+
+/** Aggregate over a queried window. */
+struct OdsAggregate
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * In-memory multi-series store with monotonic-time append and windowed
+ * aggregation.  Series are created on first append.
+ */
+class OdsStore
+{
+  public:
+    /** Append one sample; time must be non-decreasing per series. */
+    void append(const std::string &series, double timeSec, double value);
+
+    /** True when the series exists and has samples. */
+    bool has(const std::string &series) const;
+
+    /** Samples within [fromSec, toSec]; empty when none. */
+    std::vector<OdsPoint> query(const std::string &series, double fromSec,
+                                double toSec) const;
+
+    /** Aggregate statistics over [fromSec, toSec]. */
+    OdsAggregate aggregate(const std::string &series, double fromSec,
+                           double toSec) const;
+
+    /** Names of all stored series. */
+    std::vector<std::string> seriesNames() const;
+
+    /**
+     * Drop samples older than @p horizonSec behind each series' newest
+     * sample (retention, as a fleet store must).
+     */
+    void retain(double horizonSec);
+
+  private:
+    std::map<std::string, std::vector<OdsPoint>> series_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_TELEMETRY_ODS_HH

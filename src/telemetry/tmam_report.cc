@@ -1,0 +1,82 @@
+#include "telemetry/tmam_report.hh"
+
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace softsku {
+
+std::string
+renderTmamReport(const CounterSet &counters, const std::string &title)
+{
+    std::string out;
+    if (!title.empty())
+        out += "TMAM: " + title + "\n";
+
+    double n = static_cast<double>(counters.instructions);
+    if (n <= 0.0)
+        return out + "(no instructions retired)\n";
+
+    const TopDownBreakdown &td = counters.topdown;
+    out += format("  retiring        %5.1f%%  (IPC %.2f per core)\n",
+                  td.retiring * 100.0, counters.coreIpc);
+
+    out += format("  front-end bound %5.1f%%\n", td.frontEnd * 100.0);
+    out += format("    L1-I MPKI %.1f | L2 code MPKI %.1f | "
+                  "LLC code MPKI %.2f | ITLB walks/ki %.2f\n",
+                  counters.mpkiOf(counters.l1i, AccessType::Code),
+                  counters.mpkiOf(counters.l2, AccessType::Code),
+                  counters.mpkiOf(counters.llc, AccessType::Code),
+                  static_cast<double>(counters.itlbWalks) * 1000.0 / n);
+
+    out += format("  bad speculation %5.1f%%\n",
+                  td.badSpeculation * 100.0);
+    out += format("    mispredict MPKI %.2f | BTB miss share %.0f%%\n",
+                  counters.branchMpki(),
+                  counters.branches > 0
+                      ? static_cast<double>(counters.btbMisses) * 100.0 /
+                            static_cast<double>(counters.branches)
+                      : 0.0);
+
+    out += format("  back-end bound  %5.1f%%\n", td.backEnd * 100.0);
+    out += format("    L1-D MPKI %.1f | L2 data MPKI %.1f | "
+                  "LLC data MPKI %.2f | DTLB walks/ki %.2f\n",
+                  counters.mpkiOf(counters.l1d, AccessType::Data),
+                  counters.mpkiOf(counters.l2, AccessType::Data),
+                  counters.mpkiOf(counters.llc, AccessType::Data),
+                  static_cast<double>(counters.dtlbWalks) * 1000.0 / n);
+    out += format("    memory %.0f GB/s @ %.0f ns\n",
+                  counters.memBandwidthGBs, counters.memLatencyNs);
+    return out;
+}
+
+std::string
+suggestKnobs(const CounterSet &counters, double peakBandwidthGBs)
+{
+    std::vector<std::string> hints;
+    double llcCode = counters.mpkiOf(counters.llc, AccessType::Code);
+    double n = static_cast<double>(
+        counters.instructions > 0 ? counters.instructions : 1);
+    double walksPerKi = static_cast<double>(counters.itlbWalks +
+                                            counters.dtlbWalks) *
+                        1000.0 / n;
+    double bwUtil = peakBandwidthGBs > 0.0
+                        ? counters.memBandwidthGBs / peakBandwidthGBs
+                        : 0.0;
+
+    if (llcCode > 0.5)
+        hints.push_back("cdp (off-chip code misses)");
+    if (walksPerKi > 1.0)
+        hints.push_back("thp/shp (page-walk pressure)");
+    if (bwUtil > 0.75)
+        hints.push_back("prefetcher (bandwidth near saturation)");
+    if (counters.topdown.backEnd > 0.5)
+        hints.push_back("uncore_freq (memory-latency bound)");
+    if (counters.topdown.retiring > 0.35)
+        hints.push_back("core_freq (core bound: frequency pays off)");
+    if (hints.empty())
+        hints.push_back("core_freq (no dominant architectural bottleneck)");
+
+    return "suggested knobs: " + join(hints, "; ");
+}
+
+} // namespace softsku

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text rendering of a Top-down Microarchitecture Analysis report from a
+ * simulated counter set — the drill-down view a performance engineer
+ * reads before deciding which knobs are worth sweeping.
+ */
+
+#ifndef SOFTSKU_TELEMETRY_TMAM_REPORT_HH
+#define SOFTSKU_TELEMETRY_TMAM_REPORT_HH
+
+#include <string>
+
+#include "sim/counters.hh"
+
+namespace softsku {
+
+/**
+ * Multi-line TMAM drill-down: the four level-1 categories with the
+ * level-2 contributors the simulator can attribute (fetch misses by
+ * level, ITLB walks, branch mispredicts, data misses by level, DTLB
+ * walks), each as a share of pipeline slots.
+ */
+std::string renderTmamReport(const CounterSet &counters,
+                             const std::string &title = "");
+
+/**
+ * One-line knob hints derived from the breakdown — which of μSKU's
+ * seven knobs the counters suggest sweeping first (e.g., high LLC code
+ * misses → CDP; high TLB walks → THP/SHP; bandwidth near peak →
+ * prefetcher configuration).
+ */
+std::string suggestKnobs(const CounterSet &counters,
+                         double peakBandwidthGBs);
+
+} // namespace softsku
+
+#endif // SOFTSKU_TELEMETRY_TMAM_REPORT_HH

@@ -1,0 +1,165 @@
+#include "tlb/tlb.hh"
+
+#include "os/hugepage.hh"
+#include "util/logging.hh"
+
+namespace softsku {
+
+Tlb::Array
+Tlb::makeArray(int entries, int ways)
+{
+    Array arr;
+    if (entries <= 0) {
+        arr.sets = 0;
+        arr.ways = 0;
+        return arr;
+    }
+    arr.ways = std::min(ways, entries);
+    arr.sets = static_cast<std::uint64_t>(entries / arr.ways);
+    if (arr.sets == 0)
+        arr.sets = 1;
+    arr.entries.assign(arr.sets * static_cast<std::uint64_t>(arr.ways),
+                       Entry{});
+    return arr;
+}
+
+Tlb::Tlb(std::string name, const TlbGeometry &geometry)
+    : name_(std::move(name)),
+      array4k_(makeArray(geometry.entries4k, geometry.ways)),
+      array2m_(makeArray(geometry.entries2m, geometry.ways))
+{
+}
+
+bool
+Tlb::lookupIn(Array &arr, std::uint64_t pageNumber, bool allocate)
+{
+    if (arr.sets == 0)
+        return false;
+    std::uint64_t setIndex = pageNumber % arr.sets;
+    Entry *set = &arr.entries[setIndex * static_cast<std::uint64_t>(arr.ways)];
+    ++useClock_;
+
+    for (int w = 0; w < arr.ways; ++w) {
+        if (set[w].valid && set[w].pageNumber == pageNumber) {
+            set[w].lastUse = useClock_;
+            return true;
+        }
+    }
+    if (!allocate)
+        return false;
+
+    int victim = 0;
+    std::uint64_t oldest = ~0ULL;
+    for (int w = 0; w < arr.ways; ++w) {
+        if (!set[w].valid) {
+            victim = w;
+            break;
+        }
+        if (set[w].lastUse < oldest) {
+            oldest = set[w].lastUse;
+            victim = w;
+        }
+    }
+    set[victim] = {pageNumber, useClock_, true};
+    return false;
+}
+
+bool
+Tlb::access(std::uint64_t vaddr, std::uint64_t pageBytes)
+{
+    SOFTSKU_ASSERT(pageBytes == kPage4k || pageBytes == kPage2m);
+    ++stats_.accesses;
+    bool huge = pageBytes == kPage2m;
+    std::uint64_t pageNumber = vaddr / pageBytes;
+    bool hit = lookupIn(huge ? array2m_ : array4k_, pageNumber, true);
+    if (!hit) {
+        ++stats_.misses;
+        if (huge)
+            ++stats_.misses2m;
+        else
+            ++stats_.misses4k;
+    }
+    return hit;
+}
+
+bool
+Tlb::probe(std::uint64_t vaddr, std::uint64_t pageBytes) const
+{
+    bool huge = pageBytes == kPage2m;
+    const Array &arr = huge ? array2m_ : array4k_;
+    if (arr.sets == 0)
+        return false;
+    std::uint64_t pageNumber = vaddr / pageBytes;
+    std::uint64_t setIndex = pageNumber % arr.sets;
+    const Entry *set =
+        &arr.entries[setIndex * static_cast<std::uint64_t>(arr.ways)];
+    for (int w = 0; w < arr.ways; ++w) {
+        if (set[w].valid && set[w].pageNumber == pageNumber)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &e : array4k_.entries)
+        e.valid = false;
+    for (Entry &e : array2m_.entries)
+        e.valid = false;
+}
+
+void
+Tlb::disturb(double fraction, Rng &rng)
+{
+    if (fraction <= 0.0)
+        return;
+    for (Entry &e : array4k_.entries) {
+        if (e.valid && rng.chance(fraction))
+            e.valid = false;
+    }
+    for (Entry &e : array2m_.entries) {
+        if (e.valid && rng.chance(fraction))
+            e.valid = false;
+    }
+}
+
+std::uint64_t
+Tlb::reachBytes() const
+{
+    return array4k_.entries.size() * kPage4k +
+           array2m_.entries.size() * kPage2m;
+}
+
+TwoLevelTlb::TwoLevelTlb(std::string name, const TlbGeometry &l1Geometry,
+                         const TlbGeometry &stlbGeometry)
+    : l1_(name + ".l1", l1Geometry), stlb_(name + ".stlb", stlbGeometry)
+{
+}
+
+TwoLevelTlb::Outcome
+TwoLevelTlb::access(std::uint64_t vaddr, std::uint64_t pageBytes)
+{
+    if (l1_.access(vaddr, pageBytes))
+        return Outcome::L1Hit;
+    if (stlb_.access(vaddr, pageBytes))
+        return Outcome::StlbHit;
+    ++walks_;
+    return Outcome::PageWalk;
+}
+
+void
+TwoLevelTlb::flush()
+{
+    l1_.flush();
+    stlb_.flush();
+}
+
+void
+TwoLevelTlb::disturb(double fraction, Rng &rng)
+{
+    l1_.disturb(fraction, rng);
+    stlb_.disturb(fraction, rng);
+}
+
+} // namespace softsku

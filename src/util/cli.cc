@@ -1,0 +1,69 @@
+#include "util/cli.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            flags_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+            flags_[body] = argv[++i];
+        } else {
+            flags_[body] = "true";
+        }
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CliArgs::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+long long
+CliArgs::getInt(const std::string &name, long long fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    auto parsed = parseInt(it->second);
+    if (!parsed)
+        fatal("flag --%s expects an integer, got '%s'", name.c_str(),
+              it->second.c_str());
+    return *parsed;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    auto parsed = parseDouble(it->second);
+    if (!parsed)
+        fatal("flag --%s expects a number, got '%s'", name.c_str(),
+              it->second.c_str());
+    return *parsed;
+}
+
+} // namespace softsku

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A minimal command-line flag parser for the examples and bench
+ * harnesses.  Flags take the forms --name=value, --name value, and
+ * boolean --name.
+ */
+
+#ifndef SOFTSKU_UTIL_CLI_HH
+#define SOFTSKU_UTIL_CLI_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace softsku {
+
+/** Parsed command line: named flags plus positional arguments. */
+class CliArgs
+{
+  public:
+    /** Parse argv; unknown flags are accepted (harnesses are permissive). */
+    CliArgs(int argc, const char *const *argv);
+
+    /** True when --name was present at all. */
+    bool has(const std::string &name) const;
+
+    /** Flag value as string, or @p fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Flag value as integer; fatal() on malformed input. */
+    long long getInt(const std::string &name, long long fallback) const;
+
+    /** Flag value as double; fatal() on malformed input. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_UTIL_CLI_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in the
+ *            library itself.  Aborts so a debugger/core dump is useful.
+ * fatal()  — the *user's* input (configuration, arguments) makes it
+ *            impossible to continue.  Exits with status 1.
+ * warn()   — something is off but execution can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef SOFTSKU_UTIL_LOGGING_HH
+#define SOFTSKU_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace softsku {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent, Error, Warn, Info, Debug };
+
+/** Set the global log threshold; messages above it are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in this library.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad arguments)
+ * and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a recoverable anomaly. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose diagnostics, suppressed unless LogLevel::Debug is active. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Cheap always-on assertion that panics with a message on failure.
+ * Unlike assert(), it is active in release builds; simulator state is
+ * too expensive to reproduce to let invariant violations slide.
+ */
+#define SOFTSKU_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::softsku::panic("assertion failed: %s @ %s:%d " __VA_ARGS__,  \
+                             #cond, __FILE__, __LINE__);                   \
+        }                                                                  \
+    } while (0)
+
+} // namespace softsku
+
+#endif // SOFTSKU_UTIL_LOGGING_HH

@@ -1,0 +1,123 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hh"
+
+namespace softsku {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::separator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+TextTable::render() const
+{
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> widths(cols, 0);
+    auto account = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    account(header_);
+    for (const auto &r : rows_)
+        account(r);
+
+    auto renderRow = [&](const std::vector<std::string> &r) {
+        std::string line;
+        for (size_t i = 0; i < cols; ++i) {
+            const std::string cell = i < r.size() ? r[i] : "";
+            line += cell;
+            if (i + 1 < cols)
+                line += std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string sepLine;
+    size_t total = 0;
+    for (size_t i = 0; i < cols; ++i)
+        total += widths[i] + (i + 1 < cols ? 2 : 0);
+    sepLine = std::string(total, '-') + "\n";
+
+    std::string out;
+    if (!header_.empty()) {
+        out += renderRow(header_);
+        out += sepLine;
+    }
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        if (std::count(separators_.begin(), separators_.end(), i) > 0)
+            out += sepLine;
+        out += renderRow(rows_[i]);
+    }
+    return out;
+}
+
+std::string
+barRow(const std::string &label, double value, double maxValue, int width,
+       const std::string &suffix)
+{
+    double frac = maxValue > 0.0 ? value / maxValue : 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    int fill = static_cast<int>(std::lround(frac * width));
+    std::string bar;
+    for (int i = 0; i < width; ++i)
+        bar += i < fill ? "#" : ".";
+    return format("%-22s |%s| %s", label.c_str(), bar.c_str(),
+                  suffix.c_str());
+}
+
+std::string
+stackedBarRow(const std::string &label, const std::vector<double> &parts,
+              int width)
+{
+    // One glyph per segment, cycling; sums are normalized to the bar.
+    static const char glyphs[] = {'#', '=', '+', ':', '~', '-'};
+    double total = 0.0;
+    for (double p : parts)
+        total += p;
+    if (total <= 0.0)
+        total = 1.0;
+
+    std::string bar;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        int cells = static_cast<int>(std::lround(parts[i] / total * width));
+        bar += std::string(static_cast<size_t>(std::max(cells, 0)),
+                           glyphs[i % sizeof(glyphs)]);
+    }
+    if (static_cast<int>(bar.size()) > width)
+        bar.resize(static_cast<size_t>(width));
+    while (static_cast<int>(bar.size()) < width)
+        bar += ' ';
+    return format("%-22s |%s|", label.c_str(), bar.c_str());
+}
+
+void
+printBanner(const std::string &experimentId, const std::string &title)
+{
+    std::printf("\n=== SoftSKU reproduction: %s — %s ===\n\n",
+                experimentId.c_str(), title.c_str());
+}
+
+} // namespace softsku

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table and bar-chart rendering for the benchmark harnesses.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures; the
+ * renderers here keep their output format uniform: aligned columns for
+ * tables and unicode bar rows for figures.
+ */
+
+#ifndef SOFTSKU_UTIL_TABLE_HH
+#define SOFTSKU_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace softsku {
+
+/** A column-aligned text table builder. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator after the current last row. */
+    void separator();
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separators_;
+};
+
+/**
+ * Render one labelled horizontal bar scaled against @p maxValue over
+ * @p width character cells.  Used by the figure benches.
+ */
+std::string barRow(const std::string &label, double value, double maxValue,
+                   int width = 40, const std::string &suffix = "");
+
+/**
+ * Render a stacked-percentage bar (e.g., the top-down or instruction-mix
+ * breakdowns).  @p parts must sum to roughly 100.
+ */
+std::string stackedBarRow(const std::string &label,
+                          const std::vector<double> &parts, int width = 50);
+
+/** Print a figure/table banner with the paper reference. */
+void printBanner(const std::string &experimentId, const std::string &title);
+
+} // namespace softsku
+
+#endif // SOFTSKU_UTIL_TABLE_HH

@@ -1,0 +1,52 @@
+#include "workload/address_space.hh"
+
+namespace softsku {
+
+namespace {
+
+/** Round @p value up to a 2 MiB boundary so regions are THP-alignable. */
+std::uint64_t
+alignHuge(std::uint64_t value)
+{
+    return (value + kPage2m - 1) & ~(kPage2m - 1);
+}
+
+} // namespace
+
+AddressSpace
+layoutAddressSpace(const WorkloadProfile &profile)
+{
+    AddressSpace space;
+    std::uint64_t cursor = 0x0000'4000'0000ull;
+
+    space.codeBase = cursor;
+    space.codeSize = alignHuge(profile.codeFootprintBytes);
+    VirtualRegion code;
+    code.name = profile.name + ".text";
+    code.kind = RegionKind::Code;
+    code.base = space.codeBase;
+    code.sizeBytes = space.codeSize;
+    code.madviseHuge = profile.codeMadviseHuge;
+    code.usesShpApi = profile.codeUsesShpApi;
+    code.thpFriendliness = profile.codeThpFriendliness;
+    space.pageRegions.push_back(code);
+    cursor += space.codeSize + (64ull << 20);   // guard gap
+
+    for (const DataRegionSpec &spec : profile.dataRegions) {
+        std::uint64_t size = alignHuge(spec.sizeBytes);
+        space.dataBases.push_back(cursor);
+        VirtualRegion region;
+        region.name = profile.name + "." + spec.name;
+        region.kind = RegionKind::Heap;
+        region.base = cursor;
+        region.sizeBytes = size;
+        region.madviseHuge = spec.madviseHuge;
+        region.usesShpApi = false;
+        region.thpFriendliness = spec.thpFriendliness;
+        space.pageRegions.push_back(region);
+        cursor += size + (64ull << 20);
+    }
+    return space;
+}
+
+} // namespace softsku

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Canonical virtual-address-space layout for a workload profile.
+ *
+ * The code region and each data region get fixed, well-separated bases
+ * so the stream generators, the page mapper, and the TLB all agree on
+ * where everything lives.
+ */
+
+#ifndef SOFTSKU_WORKLOAD_ADDRESS_SPACE_HH
+#define SOFTSKU_WORKLOAD_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "os/hugepage.hh"
+#include "workload/profile.hh"
+
+namespace softsku {
+
+/** Resolved layout: one code region plus the profile's data regions. */
+struct AddressSpace
+{
+    std::uint64_t codeBase = 0;
+    std::uint64_t codeSize = 0;
+    /** Base address of data region i (profile order). */
+    std::vector<std::uint64_t> dataBases;
+
+    /**
+     * Regions in PageMapper form: element 0 is code, elements 1..N are
+     * the data regions in profile order.
+     */
+    std::vector<VirtualRegion> pageRegions;
+};
+
+/** Lay out @p profile's address space deterministically. */
+AddressSpace layoutAddressSpace(const WorkloadProfile &profile);
+
+} // namespace softsku
+
+#endif // SOFTSKU_WORKLOAD_ADDRESS_SPACE_HH

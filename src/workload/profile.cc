@@ -1,0 +1,49 @@
+#include "workload/profile.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+std::uint64_t
+WorkloadProfile::dataFootprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const DataRegionSpec &region : dataRegions)
+        total += region.sizeBytes;
+    return total;
+}
+
+void
+WorkloadProfile::validate() const
+{
+    if (name.empty())
+        fatal("workload profile has no name");
+    if (std::fabs(mix.sum() - 1.0) > 0.02) {
+        fatal("profile '%s': instruction mix sums to %.3f, expected ~1",
+              name.c_str(), mix.sum());
+    }
+    if (codeFootprintBytes == 0)
+        fatal("profile '%s': zero code footprint", name.c_str());
+    if (dataRegions.empty())
+        fatal("profile '%s': no data regions", name.c_str());
+    double weightSum = 0.0;
+    for (const DataRegionSpec &region : dataRegions) {
+        if (region.sizeBytes == 0) {
+            fatal("profile '%s': region '%s' has zero size", name.c_str(),
+                  region.name.c_str());
+        }
+        weightSum += region.weight;
+    }
+    if (weightSum <= 0.0)
+        fatal("profile '%s': data region weights sum to zero", name.c_str());
+    if (request.pathLengthInsns <= 0.0)
+        fatal("profile '%s': non-positive path length", name.c_str());
+    if (baseCpi <= 0.0)
+        fatal("profile '%s': non-positive base CPI", name.c_str());
+    if (dataMlp < 1.0)
+        fatal("profile '%s': data MLP must be >= 1", name.c_str());
+}
+
+} // namespace softsku

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The microservice workload profile schema.
+ *
+ * The paper's seven production services are proprietary; what the paper
+ * publishes is their *characterization* — path length, instruction mix,
+ * working-set structure, blocking behaviour, context-switch rate, QoS
+ * posture (Sec. 2).  A WorkloadProfile captures exactly those published
+ * traits, and the synthetic stream generators (codegen/datagen) plus
+ * the machine model turn a profile back into architectural behaviour.
+ * The seven calibrated profiles live in src/services/.
+ */
+
+#ifndef SOFTSKU_WORKLOAD_PROFILE_HH
+#define SOFTSKU_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/context_switch.hh"
+
+namespace softsku {
+
+/** Retired-instruction classes (the paper's Fig 5 categories). */
+enum class InsnClass { Branch = 0, Float, Arith, Load, Store };
+
+/** Instruction mix as fractions; should sum to ~1. */
+struct InstructionMix
+{
+    double branch = 0.15;
+    double floating = 0.0;
+    double arith = 0.40;
+    double load = 0.30;
+    double store = 0.15;
+
+    double sum() const
+    {
+        return branch + floating + arith + load + store;
+    }
+};
+
+/** Data-access pattern of one region. */
+enum class DataPattern
+{
+    Sequential,    //!< streaming: high spatial locality, high MLP
+    Strided,       //!< fixed stride (feature vectors, column scans)
+    Random,        //!< Zipf-weighted random chunks (hash tables)
+    PointerChase,  //!< dependent loads: no MLP, full exposed latency
+};
+
+/** One logical data region of the service's address space. */
+struct DataRegionSpec
+{
+    std::string name;
+    std::uint64_t sizeBytes = 0;
+    DataPattern pattern = DataPattern::Random;
+    std::uint64_t strideBytes = 64;    //!< for Strided
+    double weight = 1.0;               //!< share of data accesses
+    double zipfSkew = 0.8;             //!< line locality for Random
+    /**
+     * For Random/PointerChase: the popularity-ranked hot subset the
+     * Zipf spans (0 = whole region).  Sized against the LLC, this is
+     * what makes services capacity-sensitive (Figs 10/15): the hot set
+     * fits when few cores share the LLC and thrashes when many do.
+     */
+    std::uint64_t hotBytes = 0;
+    /** Probability a fresh access goes to the uniform cold remainder. */
+    double coldFraction = 0.0;
+    bool madviseHuge = false;          //!< calls madvise(MADV_HUGEPAGE)
+    double thpFriendliness = 0.8;      //!< THP assembly success odds
+};
+
+/** How the service relates requests to CPU work and blocking. */
+struct RequestBehavior
+{
+    /** Peak-load throughput order (queries per second). */
+    double peakQps = 100.0;
+    /** Mean request latency at peak (seconds). */
+    double requestLatencySec = 1e-3;
+    /** Path length: instructions per query. */
+    double pathLengthInsns = 1e6;
+    /** Fraction of request lifetime spent running (Fig 2a). */
+    double runningFraction = 1.0;
+    /** Downstream calls per request (blocking phases). */
+    int blockingPhases = 0;
+    /**
+     * Share of request lifetime blocked on downstream I/O specifically
+     * (the rest of the blocked share is queue/scheduler contention that
+     * emerges in the thread-pool model).  Negative = all blocked time
+     * is I/O.
+     */
+    double ioFraction = -1.0;
+    /** Worker threads per core (>1 models over-subscription). */
+    double workersPerCore = 1.0;
+    /** p99 latency SLO as a multiple of the mean request latency. */
+    double sloLatencyMultiplier = 5.0;
+};
+
+/** Everything the simulator needs to reproduce one microservice. */
+struct WorkloadProfile
+{
+    std::string name;            //!< e.g. "web"
+    std::string displayName;     //!< e.g. "Web"
+    std::string domain;          //!< service domain (web/feed/ads/cache)
+    std::string defaultPlatform; //!< fleet deployment (Table 1 mapping)
+
+    InstructionMix mix;
+    RequestBehavior request;
+
+    // -- code side --------------------------------------------------------
+    /** Total instruction footprint (bytes of distinct code). */
+    std::uint64_t codeFootprintBytes = 4ull << 20;
+    /** Zipf skew for function popularity; higher = tighter hot set. */
+    double codeZipfSkew = 1.0;
+    /**
+     * Size of the hot function set the Zipf ranking spans; 0 means the
+     * whole footprint.  Functions beyond it are only reached via the
+     * cold-call fraction below — this separates the steady hot working
+     * set (L1-I/L2/LLC residence) from the long cold tail (LLC code
+     * misses).
+     */
+    std::uint64_t codeHotFunctions = 0;
+    /** Probability a call targets the uniform cold tail. */
+    double codeColdCallFraction = 0.0;
+    /** Mean function size in bytes. */
+    std::uint64_t avgFunctionBytes = 512;
+    /** Mean basic-block run between branches (bytes). */
+    std::uint64_t avgBasicBlockBytes = 32;
+    /** Probability a taken branch is a call to another function. */
+    double callFraction = 0.25;
+    /** Fraction of functions remapped per million instructions (JIT). */
+    double jitChurnPerMInsn = 0.0;
+    /** Code region honours madvise(MADV_HUGEPAGE). */
+    bool codeMadviseHuge = false;
+    /** Code cache is allocated via the SHP (hugetlbfs) API. */
+    bool codeUsesShpApi = false;
+    /** THP assembly success odds for the code region. */
+    double codeThpFriendliness = 0.85;
+
+    // -- branch behaviour --------------------------------------------------
+    /** Baseline per-branch misprediction probability. */
+    double branchMispredictRate = 0.02;
+    /** Fraction of branches that are taken (redirect fetch). */
+    double branchTakenFraction = 0.55;
+
+    // -- data side ----------------------------------------------------------
+    std::vector<DataRegionSpec> dataRegions;
+    /**
+     * Temporal locality: fraction of data accesses that re-touch one of
+     * the last few distinct lines (stack slots, the current object)
+     * instead of generating a fresh address.  Directly sets the L1-D
+     * hit rate; fresh accesses (by region pattern) drive the
+     * L2/LLC/DRAM miss profile.
+     */
+    double dataReuseFraction = 0.93;
+    /**
+     * Fraction of non-near accesses that re-touch request-scoped data
+     * from the recent past (the last ~2 MiB of fresh lines).  These
+     * reuse distances land between L2 and LLC capacity, so this knob
+     * sets how much of the L2 miss stream the LLC can absorb — and,
+     * because the window scales per core, how capacity-sensitive the
+     * service is to LLC sharing (Figs 10 and 15).
+     */
+    double dataMidReuseFraction = 0.55;
+    /**
+     * Fraction of data that is *shared* across cores (common objects,
+     * read-mostly tables) rather than private per-request state.  All
+     * active cores re-touch shared lines, so they stay LLC-resident;
+     * private data from other cores is pure LLC pressure.
+     */
+    double sharedDataFraction = 0.3;
+
+    // -- OS interaction ------------------------------------------------------
+    ContextSwitchModel contextSwitch;
+    /** Kernel-mode share of CPU time beyond direct switch cost. */
+    double kernelTimeShare = 0.02;
+    /** Cache/TLB disturbance per switch (fraction invalidated). */
+    double switchDisturbance = 0.15;
+
+    // -- performance shape ----------------------------------------------------
+    /** Ideal-pipeline CPI (ILP limit with no stalls). */
+    double baseCpi = 0.55;
+    /** Throughput uplift from SMT-2 at saturation. */
+    double smtThroughputScale = 1.25;
+    /** CPU utilization ceiling the load balancer enforces (Fig 3). */
+    double cpuUtilizationCap = 0.95;
+    /** Memory-level parallelism for overlapping data misses. */
+    double dataMlp = 4.0;
+    /** Dirty-line writeback traffic per LLC miss (fraction). */
+    double writebackFraction = 0.3;
+
+    /**
+     * Heavy AVX use eats into the shared core/uncore power budget, so
+     * such services run 0.2 GHz below the platform's sustained turbo
+     * (the paper's Ads1).
+     */
+    bool usesAvx = false;
+
+    // -- μSKU applicability flags (Sec. 4 "input file") -----------------------
+    /** Service requests SHPs at all (Ads1 does not). */
+    bool usesShp = true;
+    /** Service tolerates μSKU-driven reboots on live traffic. */
+    bool toleratesReboot = true;
+    /** MIPS is a valid throughput proxy (false for Cache). */
+    bool mipsValidMetric = true;
+
+    /** Total bytes across data regions. */
+    std::uint64_t dataFootprintBytes() const;
+
+    /** Sanity-check invariants; fatal() with a message when broken. */
+    void validate() const;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_WORKLOAD_PROFILE_HH

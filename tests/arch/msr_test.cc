@@ -1,0 +1,87 @@
+/** @file Tests for the emulated MSR actuation path. */
+
+#include <gtest/gtest.h>
+
+#include "arch/msr.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Msr, ResetValueIsZero)
+{
+    MsrFile msr;
+    EXPECT_EQ(msr.read(msr::IA32_PERF_CTL), 0u);
+    EXPECT_FALSE(msr.touched(msr::IA32_PERF_CTL));
+}
+
+TEST(Msr, ReadBackWrittenValue)
+{
+    MsrFile msr;
+    msr.write(0x123, 0xDEADBEEF);
+    EXPECT_EQ(msr.read(0x123), 0xDEADBEEFu);
+    EXPECT_TRUE(msr.touched(0x123));
+}
+
+TEST(Msr, CoreFrequencyRoundTrip)
+{
+    MsrFile msr;
+    for (double ghz : {1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2}) {
+        msr.setCoreFrequencyGHz(ghz);
+        EXPECT_DOUBLE_EQ(msr.coreFrequencyGHz(0.0), ghz);
+    }
+    // Encoding matches IA32_PERF_CTL bits 15:8 (ratio × 100 MHz).
+    msr.setCoreFrequencyGHz(2.2);
+    EXPECT_EQ((msr.read(msr::IA32_PERF_CTL) >> 8) & 0xFF, 22u);
+}
+
+TEST(Msr, CoreFrequencyFallbackWhenUnset)
+{
+    MsrFile msr;
+    EXPECT_DOUBLE_EQ(msr.coreFrequencyGHz(2.2), 2.2);
+}
+
+TEST(Msr, UncoreFrequencyRoundTrip)
+{
+    MsrFile msr;
+    msr.setUncoreFrequencyGHz(1.4);
+    EXPECT_DOUBLE_EQ(msr.uncoreFrequencyGHz(0.0), 1.4);
+    // Min and max ratio fields pinned to the same value.
+    std::uint64_t reg = msr.read(msr::UNCORE_RATIO_LIMIT);
+    EXPECT_EQ(reg & 0x7F, (reg >> 8) & 0x7F);
+}
+
+TEST(Msr, PrefetcherBitsMatchIntelEncoding)
+{
+    MsrFile msr;
+    // Disable bits: set = disabled.
+    msr.setPrefetchers(false, true, false, true);
+    std::uint64_t reg = msr.read(msr::MISC_FEATURE_CONTROL);
+    EXPECT_EQ(reg & 0b1111, 0b0101u);   // bit0 L2 stream, bit2 DCU off
+
+    auto bits = msr.prefetchers();
+    EXPECT_FALSE(bits.l2Stream);
+    EXPECT_TRUE(bits.l2Adjacent);
+    EXPECT_FALSE(bits.dcuNext);
+    EXPECT_TRUE(bits.dcuIp);
+}
+
+TEST(Msr, PrefetchersDefaultAllEnabled)
+{
+    MsrFile msr;
+    auto bits = msr.prefetchers();
+    EXPECT_TRUE(bits.l2Stream && bits.l2Adjacent && bits.dcuNext &&
+                bits.dcuIp);
+}
+
+TEST(Msr, ResetClearsEverything)
+{
+    MsrFile msr;
+    msr.setCoreFrequencyGHz(1.8);
+    msr.setPrefetchers(false, false, false, false);
+    msr.reset();
+    EXPECT_FALSE(msr.touched(msr::IA32_PERF_CTL));
+    EXPECT_TRUE(msr.prefetchers().l2Stream);
+}
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,72 @@
+/** @file Tests for the Table 1 platform specifications. */
+
+#include <gtest/gtest.h>
+
+#include "arch/platform.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Platform, Table1Attributes)
+{
+    const PlatformSpec &s18 = skylake18();
+    EXPECT_EQ(s18.sockets, 1);
+    EXPECT_EQ(s18.coresPerSocket, 18);
+    EXPECT_EQ(s18.smtWays, 2);
+    EXPECT_EQ(s18.l2.sizeBytes, 1ull << 20);
+    EXPECT_NEAR(static_cast<double>(s18.llc.sizeBytes) / (1 << 20), 24.75,
+                0.01);
+    EXPECT_EQ(s18.llc.ways, 11);
+
+    const PlatformSpec &s20 = skylake20();
+    EXPECT_EQ(s20.sockets, 2);
+    EXPECT_EQ(s20.coresPerSocket, 20);
+    EXPECT_EQ(s20.totalCores(), 40);
+    EXPECT_EQ(s20.llc.sizeBytes, 27ull << 20);
+
+    const PlatformSpec &b16 = broadwell16();
+    EXPECT_EQ(b16.coresPerSocket, 16);
+    EXPECT_EQ(b16.l2.sizeBytes, 256ull << 10);
+    EXPECT_EQ(b16.llc.ways, 12);
+    // Broadwell is the bandwidth-constrained platform.
+    EXPECT_LT(b16.peakMemBandwidthGBs, s18.peakMemBandwidthGBs);
+}
+
+TEST(Platform, CacheGeometrySets)
+{
+    CacheGeometry g{32 * 1024, 8, 64};
+    EXPECT_EQ(g.sets(), 64u);
+    EXPECT_EQ(skylake18().l1i.sets(), 64u);
+    // LLC: 24.75 MiB / 64 B / 11 ways.
+    EXPECT_EQ(skylake18().llc.sets(),
+              skylake18().llc.sizeBytes / (64ull * 11));
+}
+
+TEST(Platform, FrequencySettings)
+{
+    auto core = skylake18().coreFrequencySettings();
+    ASSERT_GE(core.size(), 7u);
+    EXPECT_DOUBLE_EQ(core.front(), 1.6);
+    EXPECT_DOUBLE_EQ(core.back(), 2.2);
+    auto uncore = skylake18().uncoreFrequencySettings();
+    ASSERT_EQ(uncore.size(), 5u);
+    EXPECT_DOUBLE_EQ(uncore.front(), 1.4);
+    EXPECT_DOUBLE_EQ(uncore.back(), 1.8);
+}
+
+TEST(Platform, LookupByName)
+{
+    EXPECT_EQ(&platformByName("skylake18"), &skylake18());
+    EXPECT_EQ(&platformByName("SKYLAKE20"), &skylake20());
+    EXPECT_EQ(&platformByName("Broadwell16"), &broadwell16());
+    EXPECT_EQ(allPlatforms().size(), 3u);
+}
+
+TEST(PlatformDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(platformByName("epyc"), testing::ExitedWithCode(1),
+                "unknown platform");
+}
+
+} // namespace
+} // namespace softsku

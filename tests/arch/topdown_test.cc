@@ -1,0 +1,93 @@
+/** @file Tests for the TMAM slot-accounting model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/topdown.hh"
+
+namespace softsku {
+namespace {
+
+TEST(TopDown, EmptyWindowIsAllZero)
+{
+    PipelineCosts costs;
+    auto td = computeTopDown(costs, 4);
+    EXPECT_DOUBLE_EQ(td.total(), 0.0);
+    EXPECT_DOUBLE_EQ(ipcOf(costs), 0.0);
+}
+
+TEST(TopDown, IdealExecutionRetiresEverything)
+{
+    PipelineCosts costs;
+    costs.instructions = 4000;
+    costs.baseCycles = 1000;   // exactly 4-wide
+    auto td = computeTopDown(costs, 4);
+    EXPECT_NEAR(td.retiring, 1.0, 1e-9);
+    EXPECT_NEAR(td.frontEnd + td.badSpeculation + td.backEnd, 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(ipcOf(costs), 4.0);
+}
+
+TEST(TopDown, CategoriesSumToOne)
+{
+    PipelineCosts costs;
+    costs.instructions = 1'000'000;
+    costs.baseCycles = 500'000;
+    costs.frontEndStallCycles = 300'000;
+    costs.badSpecCycles = 100'000;
+    costs.backEndStallCycles = 400'000;
+    auto td = computeTopDown(costs, 4);
+    EXPECT_NEAR(td.total(), 1.0, 1e-9);
+    EXPECT_GT(td.retiring, 0.0);
+    EXPECT_GT(td.frontEnd, 0.0);
+    EXPECT_GT(td.backEnd, td.badSpeculation);
+}
+
+TEST(TopDown, StallSlotsProportionalToCycles)
+{
+    PipelineCosts costs;
+    costs.instructions = 100'000;
+    costs.baseCycles = 25'000;
+    costs.frontEndStallCycles = 200'000;
+    costs.backEndStallCycles = 100'000;
+    auto td = computeTopDown(costs, 4);
+    // Front-end contributed twice the stall cycles of the back end; the
+    // back end additionally absorbs the ILP shortfall of base cycles.
+    EXPECT_GT(td.frontEnd, td.backEnd * 1.2);
+    EXPECT_DOUBLE_EQ(td.badSpeculation, 0.0);
+}
+
+TEST(TopDown, IlpShortfallChargedToBackEnd)
+{
+    // Base CPI of 1 on a 4-wide machine: 3/4 of slots idle from lack of
+    // ILP, which TMAM attributes to the (core-bound) back end.
+    PipelineCosts costs;
+    costs.instructions = 1000;
+    costs.baseCycles = 1000;
+    auto td = computeTopDown(costs, 4);
+    EXPECT_NEAR(td.retiring, 0.25, 1e-9);
+    EXPECT_NEAR(td.backEnd, 0.75, 1e-9);
+}
+
+TEST(TopDown, IpcReflectsTotalCycles)
+{
+    PipelineCosts costs;
+    costs.instructions = 1000;
+    costs.baseCycles = 400;
+    costs.frontEndStallCycles = 300;
+    costs.badSpecCycles = 100;
+    costs.backEndStallCycles = 200;
+    EXPECT_DOUBLE_EQ(costs.totalCycles(), 1000.0);
+    EXPECT_DOUBLE_EQ(ipcOf(costs), 1.0);
+}
+
+TEST(TopDown, RetiringCappedBySlots)
+{
+    // More instructions than slots cannot yield retiring > 1.
+    PipelineCosts costs;
+    costs.instructions = 10'000;
+    costs.baseCycles = 1000;
+    auto td = computeTopDown(costs, 4);
+    EXPECT_LE(td.retiring, 1.0);
+}
+
+} // namespace
+} // namespace softsku

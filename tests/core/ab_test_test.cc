@@ -1,0 +1,125 @@
+/** @file Tests for the A/B tester's statistics and stopping rules. */
+
+#include <gtest/gtest.h>
+
+#include "core/ab_test.hh"
+#include "services/services.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    return opts;
+}
+
+InputSpec
+webSpec()
+{
+    InputSpec spec;
+    spec.microservice = "web";
+    spec.platform = "skylake18";
+    spec.normalize();
+    return spec;
+}
+
+TEST(ABTest, DetectsClearWinnerQuickly)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    InputSpec spec = webSpec();
+    ABTester tester(env, spec);
+
+    KnobConfig base = productionConfig(skylake18(), webProfile());
+    KnobConfig slow = base;
+    slow.coreFreqGHz = 1.6;   // ~10%+ slower: unambiguous
+
+    ABTestResult result = tester.compare(base, slow);
+    EXPECT_TRUE(result.significant);
+    EXPECT_LT(result.gainPercent(), -5.0);
+    // Early stopping: far fewer samples than the 30k cap.
+    EXPECT_LT(result.samplesUsed, spec.maxSamplesPerTest / 2);
+    EXPECT_GE(result.samplesUsed, spec.minSamplesPerTest);
+}
+
+TEST(ABTest, IdenticalConfigsNotSignificant)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    InputSpec spec = webSpec();
+    spec.maxSamplesPerTest = 3000;   // keep the test fast
+    ABTester tester(env, spec);
+
+    KnobConfig base = productionConfig(skylake18(), webProfile());
+    ABTestResult result = tester.compare(base, base);
+    EXPECT_FALSE(result.significant);
+    EXPECT_EQ(result.samplesUsed, spec.maxSamplesPerTest);
+    EXPECT_NEAR(result.gainPercent(), 0.0, 0.2);
+}
+
+TEST(ABTest, PairingCancelsDiurnalLoad)
+{
+    // Crank diurnal amplitude: an unpaired test would drown in it.
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.noise().diurnalAmplitude = 0.30;
+    InputSpec spec = webSpec();
+    // Spread the samples across days so the diurnal swing actually
+    // enters the raw per-arm statistics.
+    spec.sampleSpacingSec = 900.0;
+    ABTester tester(env, spec);
+
+    KnobConfig base = productionConfig(skylake18(), webProfile());
+    KnobConfig better = base;
+    better.thp = ThpMode::Always;   // few-percent true gain
+    ABTestResult result = tester.compare(base, better);
+    EXPECT_TRUE(result.significant);
+    EXPECT_GT(result.gainPercent(), 0.5);
+    // The paired relative spread is far tighter than the raw per-arm
+    // relative spread (which carries the full diurnal swing).
+    double armRelStd = result.samplesA.stddev() / result.samplesA.mean();
+    EXPECT_LT(result.pairedDiffs.stddev(), armRelStd / 3.0);
+}
+
+TEST(ABTest, MeasurementClockAdvances)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    InputSpec spec = webSpec();
+    spec.maxSamplesPerTest = 1000;
+    ABTester tester(env, spec);
+    KnobConfig base = productionConfig(skylake18(), webProfile());
+
+    EXPECT_DOUBLE_EQ(tester.elapsedSec(), 0.0);
+    ABTestResult first = tester.compare(base, base);
+    double afterFirst = tester.elapsedSec();
+    EXPECT_GT(afterFirst, 0.0);
+    EXPECT_NEAR(first.elapsedSec, afterFirst, 1e-9);
+    tester.compare(base, base);
+    EXPECT_GT(tester.elapsedSec(), afterFirst);
+}
+
+TEST(ABTest, WarmupSamplesDiscarded)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    InputSpec spec = webSpec();
+    spec.warmupSamples = 50;
+    spec.maxSamplesPerTest = 500;
+    ABTester tester(env, spec);
+    KnobConfig base = productionConfig(skylake18(), webProfile());
+    ABTestResult result = tester.compare(base, base);
+    // Recorded samples exclude the warm-up draws.
+    EXPECT_EQ(result.samplesA.count(), result.samplesUsed);
+    EXPECT_NEAR(result.elapsedSec,
+                (result.samplesUsed + spec.warmupSamples) *
+                    spec.sampleSpacingSec,
+                1.0);
+}
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,163 @@
+/** @file Tests for knob domains, applicability, and the input spec. */
+
+#include <gtest/gtest.h>
+
+#include "core/configurator.hh"
+#include "core/design_space.hh"
+#include "core/input_spec.hh"
+#include "services/services.hh"
+
+namespace softsku {
+namespace {
+
+TEST(DesignSpace, DomainsMatchPaperSweeps)
+{
+    auto core = knobDomain(KnobId::CoreFrequency, skylake18(),
+                           webProfile());
+    ASSERT_EQ(core.size(), 7u);   // 1.6..2.2 by 0.1
+    EXPECT_DOUBLE_EQ(core.front().number, 1.6);
+    EXPECT_DOUBLE_EQ(core.back().number, 2.2);
+
+    // AVX cap: Ads1 tops out at 2.0.
+    auto coreAds = knobDomain(KnobId::CoreFrequency, skylake18(),
+                              ads1Profile());
+    EXPECT_DOUBLE_EQ(coreAds.back().number, 2.0);
+
+    auto uncore = knobDomain(KnobId::UncoreFrequency, skylake18(),
+                             webProfile());
+    ASSERT_EQ(uncore.size(), 5u);
+
+    auto cdp = knobDomain(KnobId::Cdp, skylake18(), webProfile());
+    EXPECT_EQ(cdp.size(), 11u);   // off + 10 splits of 11 ways
+    EXPECT_FALSE(cdp.front().cdp.enabled);
+    EXPECT_EQ(cdp.back().cdp.dataWays, 10);
+
+    auto shp = knobDomain(KnobId::Shp, skylake18(), webProfile());
+    ASSERT_EQ(shp.size(), 7u);   // 0..600 by 100
+    EXPECT_DOUBLE_EQ(shp.back().number, 600);
+
+    EXPECT_EQ(knobDomain(KnobId::Prefetcher, skylake18(),
+                         webProfile()).size(), 5u);
+    EXPECT_EQ(knobDomain(KnobId::Thp, skylake18(), webProfile()).size(),
+              3u);
+
+    auto cores = knobDomain(KnobId::CoreCount, skylake18(), webProfile());
+    EXPECT_DOUBLE_EQ(cores.front().number, 2);
+    EXPECT_DOUBLE_EQ(cores.back().number, 18);
+}
+
+TEST(DesignSpace, ApplicabilityRules)
+{
+    std::string reason;
+    // Ads1: no SHP API use and no reboot tolerance.
+    EXPECT_FALSE(knobApplicable(KnobId::Shp, skylake18(), ads1Profile(),
+                                &reason));
+    EXPECT_FALSE(knobApplicable(KnobId::CoreCount, skylake18(),
+                                ads1Profile(), &reason));
+    EXPECT_NE(reason.find("reboot"), std::string::npos);
+    // Non-reboot knobs stay applicable.
+    EXPECT_TRUE(knobApplicable(KnobId::Thp, skylake18(), ads1Profile()));
+    EXPECT_TRUE(knobApplicable(KnobId::Cdp, skylake18(), ads1Profile()));
+    // Web can sweep everything.
+    for (KnobId id : allKnobIds())
+        EXPECT_TRUE(knobApplicable(id, skylake18(), webProfile()));
+}
+
+TEST(DesignSpace, KnobValueApplyAndExtract)
+{
+    KnobConfig config;
+    for (KnobId id : allKnobIds()) {
+        for (const KnobValue &value :
+             knobDomain(id, skylake18(), webProfile())) {
+            KnobConfig modified = config;
+            value.applyTo(modified);
+            KnobValue extracted = KnobValue::fromConfig(id, modified);
+            KnobConfig roundTrip = config;
+            extracted.applyTo(roundTrip);
+            EXPECT_EQ(roundTrip, modified) << value.label;
+        }
+    }
+}
+
+TEST(Configurator, FiltersInapplicableKnobs)
+{
+    InputSpec spec;
+    spec.microservice = "ads1";
+    spec.platform = "skylake18";
+    spec.normalize();
+    TestPlan plan = buildTestPlan(spec, skylake18(), ads1Profile());
+    EXPECT_EQ(plan.knobs.size(), 5u);      // 7 minus core_count and shp
+    EXPECT_EQ(plan.skipped.size(), 2u);
+    for (const KnobPlan &knobPlan : plan.knobs) {
+        EXPECT_NE(knobPlan.id, KnobId::Shp);
+        EXPECT_NE(knobPlan.id, KnobId::CoreCount);
+    }
+    EXPECT_GT(plan.totalCandidates(), 20u);
+}
+
+TEST(ConfiguratorDeathTest, RefusesMipsInvalidServices)
+{
+    InputSpec spec;
+    spec.microservice = "cache1";
+    spec.platform = "skylake20";
+    spec.normalize();
+    EXPECT_EXIT(buildTestPlan(spec, skylake20(), cache1Profile()),
+                testing::ExitedWithCode(1), "not a valid throughput");
+}
+
+TEST(InputSpec, JsonRoundTrip)
+{
+    InputSpec spec;
+    spec.microservice = "web";
+    spec.platform = "skylake18";
+    spec.sweep = SweepMode::HillClimb;
+    spec.knobs = {KnobId::Cdp, KnobId::Thp};
+    spec.confidence = 0.99;
+    spec.maxSamplesPerTest = 5000;
+    spec.seed = 77;
+
+    InputSpec parsed = InputSpec::fromJson(spec.toJson());
+    EXPECT_EQ(parsed.microservice, "web");
+    EXPECT_EQ(parsed.sweep, SweepMode::HillClimb);
+    ASSERT_EQ(parsed.knobs.size(), 2u);
+    EXPECT_EQ(parsed.knobs[1], KnobId::Thp);
+    EXPECT_DOUBLE_EQ(parsed.confidence, 0.99);
+    EXPECT_EQ(parsed.seed, 77u);
+}
+
+TEST(InputSpec, ParseFromText)
+{
+    InputSpec spec = InputSpec::parse(R"({
+        "microservice": "web",
+        "platform": "skylake18",
+        "sweep": {"mode": "independent", "knobs": ["thp", "shp"]}
+    })");
+    EXPECT_EQ(spec.microservice, "web");
+    ASSERT_EQ(spec.knobs.size(), 2u);
+    EXPECT_EQ(spec.knobs[0], KnobId::Thp);
+}
+
+TEST(InputSpecDeathTest, MalformedInputsFatal)
+{
+    EXPECT_EXIT(InputSpec::parse("{nope"), testing::ExitedWithCode(1),
+                "input file");
+    InputSpec spec;
+    spec.platform = "skylake18";
+    EXPECT_EXIT(spec.validate(), testing::ExitedWithCode(1),
+                "microservice");
+    spec.microservice = "web";
+    spec.confidence = 1.5;
+    EXPECT_EXIT(spec.validate(), testing::ExitedWithCode(1), "confidence");
+}
+
+TEST(InputSpec, NormalizeFillsAllKnobs)
+{
+    InputSpec spec;
+    spec.microservice = "web";
+    spec.platform = "skylake18";
+    spec.normalize();
+    EXPECT_EQ(spec.knobs.size(), 7u);
+}
+
+} // namespace
+} // namespace softsku

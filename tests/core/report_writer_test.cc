@@ -1,0 +1,64 @@
+/** @file Tests for the Markdown report writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/report_writer.hh"
+#include "services/services.hh"
+
+namespace softsku {
+namespace {
+
+UskuReport
+smallReport()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    static ProductionEnvironment env(webProfile(), skylake18(), 1, opts);
+    InputSpec spec;
+    spec.microservice = "web";
+    spec.platform = "skylake18";
+    spec.knobs = {KnobId::Thp};
+    spec.validationDurationSec = 3 * 3600.0;
+    spec.normalize();
+    Usku tool(env);
+    return tool.run(spec);
+}
+
+TEST(ReportWriter, MarkdownHasAllSections)
+{
+    std::string md = renderMarkdownReport(smallReport());
+    for (const char *needle :
+         {"# μSKU soft-SKU report: web on skylake18",
+          "## Configurations", "## Design-space map",
+          "## Prolonged validation", "Gain over stock",
+          "| thp | THP always |", "baseline"}) {
+        EXPECT_NE(md.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(ReportWriter, WritesFile)
+{
+    std::string path = testing::TempDir() + "usku_report.md";
+    writeMarkdownReport(smallReport(), path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("soft-SKU report"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ReportWriterDeathTest, UnwritablePathIsFatal)
+{
+    EXPECT_EXIT(writeMarkdownReport(smallReport(),
+                                    "/nonexistent-dir/report.md"),
+                testing::ExitedWithCode(1), "cannot write report");
+}
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,115 @@
+/** @file Tests for the DRAM bandwidth/latency model (Fig 12 substrate). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mem/dram.hh"
+#include "mem/stress.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Dram, UnloadedLatencyAtZeroBandwidth)
+{
+    DramModel dram(skylake18(), 1.8);
+    EXPECT_NEAR(dram.latencyNs(0.0), dram.unloadedLatencyNs(), 1e-9);
+    EXPECT_NEAR(dram.unloadedLatencyNs(),
+                skylake18().unloadedMemLatencyNs, 1e-9);
+}
+
+TEST(Dram, LatencyMonotoneInBandwidth)
+{
+    DramModel dram(skylake18(), 1.8);
+    double last = 0.0;
+    for (double bw = 0.0; bw <= dram.peakBandwidthGBs(); bw += 5.0) {
+        double lat = dram.latencyNs(bw);
+        EXPECT_GE(lat, last);
+        last = lat;
+    }
+}
+
+TEST(Dram, FlatKneeThenSteepTail)
+{
+    DramModel dram(skylake18(), 1.8);
+    double peak = dram.peakBandwidthGBs();
+    double base = dram.unloadedLatencyNs();
+    // Below 60% utilization, latency within ~10% of unloaded.
+    EXPECT_LT(dram.latencyNs(peak * 0.5), base * 1.10);
+    // Near saturation, several times the unloaded latency.
+    EXPECT_GT(dram.latencyNs(peak * 0.96), base * 3.0);
+}
+
+TEST(Dram, UncoreFrequencyStretchesLatency)
+{
+    DramModel fast(skylake18(), 1.8);
+    DramModel slow(skylake18(), 1.4);
+    EXPECT_GT(slow.unloadedLatencyNs(), fast.unloadedLatencyNs());
+    EXPECT_GT(slow.llcLatencyNs(), fast.llcLatencyNs());
+    EXPECT_GT(slow.pageWalkLatencyNs(), fast.pageWalkLatencyNs());
+    EXPECT_LE(slow.peakBandwidthGBs(), fast.peakBandwidthGBs());
+}
+
+TEST(Dram, ResolveWithinCapacity)
+{
+    DramModel dram(skylake18(), 1.8);
+    auto op = dram.resolve(30.0);
+    EXPECT_DOUBLE_EQ(op.achievedGBs, 30.0);
+    EXPECT_DOUBLE_EQ(op.backpressure, 1.0);
+    EXPECT_GT(op.latencyNs, dram.unloadedLatencyNs());
+}
+
+TEST(Dram, ResolveBeyondCapacityBackpressures)
+{
+    DramModel dram(skylake18(), 1.8);
+    double demand = dram.peakBandwidthGBs() * 1.5;
+    auto op = dram.resolve(demand);
+    EXPECT_LT(op.achievedGBs, demand);
+    EXPECT_GT(op.backpressure, 1.3);
+    EXPECT_NEAR(op.achievedGBs * op.backpressure, demand, 1e-6);
+}
+
+TEST(Dram, PlatformOrdering)
+{
+    // Broadwell16 is the bandwidth-starved platform.
+    DramModel bdw(broadwell16(), 1.8);
+    DramModel sky(skylake20(), 1.8);
+    EXPECT_LT(bdw.peakBandwidthGBs(), sky.peakBandwidthGBs() / 2.0);
+}
+
+TEST(Stress, CurveShapeMatchesFig12)
+{
+    auto curve = memoryStressCurve(skylake18(), 20);
+    ASSERT_EQ(curve.size(), 20u);
+    // Bandwidth strictly increasing, latency non-decreasing.
+    for (size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GT(curve[i].bandwidthGBs, curve[i - 1].bandwidthGBs);
+        EXPECT_GE(curve[i].latencyNs, curve[i - 1].latencyNs);
+    }
+    // Horizontal asymptote at the start, exponential blowup at the end.
+    EXPECT_NEAR(curve[0].latencyNs, curve[4].latencyNs,
+                curve[0].latencyNs * 0.05);
+    EXPECT_GT(curve.back().latencyNs, curve.front().latencyNs * 2.5);
+}
+
+/** Property: resolve() never produces negative or NaN outputs. */
+class DramDemandSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(DramDemandSweep, ResolveIsSane)
+{
+    DramModel dram(broadwell16(), 1.6);
+    auto op = dram.resolve(GetParam());
+    EXPECT_GE(op.achievedGBs, 0.0);
+    EXPECT_GE(op.backpressure, 1.0);
+    EXPECT_GE(op.latencyNs, dram.unloadedLatencyNs() * 0.99);
+    EXPECT_TRUE(std::isfinite(op.latencyNs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Demands, DramDemandSweep,
+                         testing::Values(0.0, 1.0, 10.0, 30.0, 50.0,
+                                         100.0, 1000.0));
+
+} // namespace
+} // namespace softsku

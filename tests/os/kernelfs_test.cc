@@ -1,0 +1,104 @@
+/** @file Tests for the emulated kernel configuration filesystem. */
+
+#include <gtest/gtest.h>
+
+#include "os/kernelfs.hh"
+
+namespace softsku {
+namespace {
+
+TEST(KernelFs, FilesRoundTrip)
+{
+    KernelFs fs;
+    EXPECT_FALSE(fs.exists("/proc/x"));
+    EXPECT_FALSE(fs.readFile("/proc/x").has_value());
+    fs.writeFile("/proc/x", "hello");
+    EXPECT_TRUE(fs.exists("/proc/x"));
+    EXPECT_EQ(*fs.readFile("/proc/x"), "hello");
+    fs.reset();
+    EXPECT_FALSE(fs.exists("/proc/x"));
+}
+
+TEST(KernelFs, ThpModeUsesKernelBracketFormat)
+{
+    KernelFs fs;
+    EXPECT_EQ(fs.thpMode(), "madvise");   // kernel default
+    fs.setThpMode("always");
+    EXPECT_EQ(*fs.readFile(kpath::thpEnabled), "[always] madvise never");
+    EXPECT_EQ(fs.thpMode(), "always");
+    fs.setThpMode("never");
+    EXPECT_EQ(*fs.readFile(kpath::thpEnabled), "always madvise [never]");
+}
+
+TEST(KernelFsDeathTest, InvalidThpModeIsFatal)
+{
+    KernelFs fs;
+    EXPECT_EXIT(fs.setThpMode("sometimes"), testing::ExitedWithCode(1),
+                "invalid THP mode");
+}
+
+TEST(KernelFs, NrHugepagesRoundTrip)
+{
+    KernelFs fs;
+    EXPECT_EQ(fs.nrHugepages(), 0);
+    fs.setNrHugepages(300);
+    EXPECT_EQ(fs.nrHugepages(), 300);
+    EXPECT_EQ(*fs.readFile(kpath::nrHugepages), "300");
+}
+
+TEST(KernelFs, CdpSchemataRoundTrip)
+{
+    KernelFs fs;
+    EXPECT_FALSE(fs.cdpConfig(11).enabled);
+
+    fs.setCdpSchemata(5, 6, 11);   // 5 code, 6 data
+    auto cfg = fs.cdpConfig(11);
+    EXPECT_TRUE(cfg.enabled);
+    EXPECT_EQ(cfg.codeWays, 5);
+    EXPECT_EQ(cfg.dataWays, 6);
+
+    // Masks are contiguous and disjoint.
+    std::string contents = *fs.readFile(kpath::resctrlSchemata);
+    EXPECT_NE(contents.find("L3CODE:0=7c0"), std::string::npos);
+    EXPECT_NE(contents.find("L3DATA:0=3f"), std::string::npos);
+
+    fs.clearCdpSchemata();
+    EXPECT_FALSE(fs.cdpConfig(11).enabled);
+}
+
+TEST(KernelFsDeathTest, BadCdpSplitIsFatal)
+{
+    KernelFs fs;
+    EXPECT_EXIT(fs.setCdpSchemata(5, 5, 11), testing::ExitedWithCode(1),
+                "invalid CDP partition");
+    EXPECT_EXIT(fs.setCdpSchemata(0, 11, 11), testing::ExitedWithCode(1),
+                "invalid CDP partition");
+}
+
+TEST(KernelFs, IsolcpusRoundTrip)
+{
+    KernelFs fs;
+    EXPECT_EQ(fs.activeCores(18), 18);   // no cmdline → all cores
+
+    fs.setIsolcpus(8, 18);
+    EXPECT_EQ(fs.activeCores(18), 8);
+    EXPECT_NE(fs.readFile(kpath::cmdline)->find("isolcpus=8-17"),
+              std::string::npos);
+
+    fs.setIsolcpus(18, 18);   // all active → no isolcpus token
+    EXPECT_EQ(fs.readFile(kpath::cmdline)->find("isolcpus"),
+              std::string::npos);
+    EXPECT_EQ(fs.activeCores(18), 18);
+}
+
+TEST(KernelFsDeathTest, IsolcpusRangeChecked)
+{
+    KernelFs fs;
+    EXPECT_EXIT(fs.setIsolcpus(0, 18), testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(fs.setIsolcpus(20, 18), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace softsku

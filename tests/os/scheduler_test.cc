@@ -1,0 +1,138 @@
+/** @file Tests for the thread-pool discrete-event model. */
+
+#include <gtest/gtest.h>
+
+#include "os/scheduler.hh"
+
+namespace softsku {
+namespace {
+
+ThreadPoolParams
+baseParams()
+{
+    ThreadPoolParams p;
+    p.cores = 4;
+    p.workers = 8;
+    p.arrivalRatePerSec = 100.0;
+    p.cpuTimePerRequestSec = 5e-3;
+    p.cpuNoiseSigma = 0.2;
+    p.requestsToSimulate = 8000;
+    p.warmupRequests = 500;
+    return p;
+}
+
+TEST(ThreadPool, CompletesAllCountedRequests)
+{
+    auto result = simulateThreadPool(baseParams(), 1);
+    EXPECT_EQ(result.completed, 8000u);
+    EXPECT_GT(result.throughputPerSec, 0.0);
+}
+
+TEST(ThreadPool, DeterministicUnderSeed)
+{
+    auto a = simulateThreadPool(baseParams(), 42);
+    auto b = simulateThreadPool(baseParams(), 42);
+    EXPECT_DOUBLE_EQ(a.meanLatencySec, b.meanLatencySec);
+    EXPECT_DOUBLE_EQ(a.p99LatencySec, b.p99LatencySec);
+    EXPECT_DOUBLE_EQ(a.coreUtilization, b.coreUtilization);
+}
+
+TEST(ThreadPool, LightLoadIsPureService)
+{
+    ThreadPoolParams p = baseParams();
+    p.arrivalRatePerSec = 5.0;   // utilization ~0.6% of 4 cores
+    auto result = simulateThreadPool(p, 2);
+    EXPECT_GT(result.runningFraction, 0.95);
+    EXPECT_NEAR(result.meanLatencySec, p.cpuTimePerRequestSec,
+                p.cpuTimePerRequestSec * 0.25);
+}
+
+TEST(ThreadPool, LatencyGrowsWithLoad)
+{
+    ThreadPoolParams p = baseParams();
+    p.arrivalRatePerSec = 100.0;
+    double lightLatency = simulateThreadPool(p, 3).meanLatencySec;
+    p.arrivalRatePerSec = 700.0;   // ~87% utilization of 4 cores
+    double heavyLatency = simulateThreadPool(p, 3).meanLatencySec;
+    EXPECT_GT(heavyLatency, lightLatency * 1.5);
+}
+
+TEST(ThreadPool, UtilizationTracksOfferedLoad)
+{
+    ThreadPoolParams p = baseParams();
+    p.arrivalRatePerSec = 400.0;   // offered = 400*5ms / 4 cores = 0.5
+    auto result = simulateThreadPool(p, 4);
+    EXPECT_NEAR(result.coreUtilization, 0.5, 0.08);
+}
+
+TEST(ThreadPool, BlockingCreatesIoShare)
+{
+    ThreadPoolParams p = baseParams();
+    p.blockingPhases = 3;
+    p.blockingTimeSec = 2e-3;      // 6 ms blocked vs 5 ms CPU
+    p.arrivalRatePerSec = 50.0;
+    auto result = simulateThreadPool(p, 5);
+    EXPECT_GT(result.ioFraction, 0.35);
+    EXPECT_NEAR(result.ioFraction + result.runningFraction +
+                    result.queueFraction + result.schedulerFraction,
+                1.0, 1e-9);
+}
+
+TEST(ThreadPool, OverSubscriptionCreatesSchedulerLatency)
+{
+    // Many more workers than cores, enough load that ready workers
+    // queue for the CPU.
+    ThreadPoolParams p = baseParams();
+    p.cores = 2;
+    p.workers = 32;
+    p.blockingPhases = 4;
+    p.blockingTimeSec = 4e-3;
+    p.arrivalRatePerSec = 330.0;
+    auto result = simulateThreadPool(p, 6);
+    EXPECT_GT(result.schedulerFraction, 0.05);
+}
+
+TEST(ThreadPool, WorkerStarvationCreatesQueueLatency)
+{
+    // Few workers, heavy blocking: requests wait for a worker.
+    ThreadPoolParams p = baseParams();
+    p.cores = 8;
+    p.workers = 4;
+    p.blockingPhases = 2;
+    p.blockingTimeSec = 10e-3;
+    p.arrivalRatePerSec = 180.0;
+    auto result = simulateThreadPool(p, 7);
+    EXPECT_GT(result.queueFraction, 0.2);
+}
+
+TEST(ThreadPool, PercentilesOrdered)
+{
+    auto result = simulateThreadPool(baseParams(), 8);
+    EXPECT_LE(result.p50LatencySec, result.p99LatencySec);
+    EXPECT_LE(result.p50LatencySec, result.meanLatencySec * 2.0);
+}
+
+/** Property sweep: conservation and sanity across load levels. */
+class ThreadPoolLoadSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThreadPoolLoadSweep, FractionsSumToOneAndUtilBounded)
+{
+    ThreadPoolParams p = baseParams();
+    p.arrivalRatePerSec = GetParam();
+    auto result = simulateThreadPool(p, 11);
+    EXPECT_NEAR(result.queueFraction + result.schedulerFraction +
+                    result.runningFraction + result.ioFraction,
+                1.0, 1e-9);
+    EXPECT_GE(result.coreUtilization, 0.0);
+    EXPECT_LE(result.coreUtilization, 1.0 + 1e-9);
+    EXPECT_EQ(result.completed, p.requestsToSimulate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ThreadPoolLoadSweep,
+                         testing::Values(10.0, 50.0, 150.0, 300.0, 500.0,
+                                         700.0));
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,126 @@
+/** @file Tests for the service registry and the calibrated profiles'
+ *  paper-mandated traits. */
+
+#include <gtest/gtest.h>
+
+#include "services/reported.hh"
+#include "services/services.hh"
+#include "services/spec_suite.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Services, RegistryHasSevenInPaperOrder)
+{
+    auto fleet = allMicroservices();
+    ASSERT_EQ(fleet.size(), 7u);
+    const char *expected[] = {"web",  "feed1",  "feed2", "ads1",
+                              "ads2", "cache1", "cache2"};
+    for (size_t i = 0; i < 7; ++i)
+        EXPECT_EQ(fleet[i]->name, expected[i]);
+}
+
+TEST(Services, LookupIsCaseInsensitive)
+{
+    EXPECT_EQ(&serviceByName("WEB"), &webProfile());
+    EXPECT_EQ(&serviceByName("Cache1"), &cache1Profile());
+}
+
+TEST(ServicesDeathTest, UnknownServiceFatal)
+{
+    EXPECT_EXIT(serviceByName("search"), testing::ExitedWithCode(1),
+                "unknown microservice");
+}
+
+TEST(Services, FleetPlatformAssignment)
+{
+    // Sec 2.2: Ads2 and Cache1 on Skylake20, the rest on Skylake18.
+    EXPECT_EQ(ads2Profile().defaultPlatform, "skylake20");
+    EXPECT_EQ(cache1Profile().defaultPlatform, "skylake20");
+    EXPECT_EQ(webProfile().defaultPlatform, "skylake18");
+    EXPECT_EQ(feed1Profile().defaultPlatform, "skylake18");
+}
+
+TEST(Services, PaperMandatedTraits)
+{
+    // Feed1 is FP-dominated; Web and Cache have no FP at all.
+    EXPECT_GT(feed1Profile().mix.floating, 0.3);
+    EXPECT_DOUBLE_EQ(webProfile().mix.floating, 0.0);
+    EXPECT_DOUBLE_EQ(cache1Profile().mix.floating, 0.0);
+
+    // Ads1: AVX-heavy (2.0 GHz production cap), no SHP use, no reboots.
+    EXPECT_TRUE(ads1Profile().usesAvx);
+    EXPECT_FALSE(ads1Profile().usesShp);
+    EXPECT_FALSE(ads1Profile().toleratesReboot);
+
+    // Cache: MIPS is not a valid throughput proxy.
+    EXPECT_FALSE(cache1Profile().mipsValidMetric);
+    EXPECT_FALSE(cache2Profile().mipsValidMetric);
+    EXPECT_TRUE(webProfile().mipsValidMetric);
+
+    // Cache switches context far more than anyone else.
+    for (const WorkloadProfile *service : allMicroservices()) {
+        if (service->domain == "cache")
+            continue;
+        EXPECT_LT(service->contextSwitch.switchesPerSecond,
+                  cache2Profile().contextSwitch.switchesPerSecond / 5);
+    }
+
+    // Web has the largest code footprint (JIT cache) and uses SHPs.
+    for (const WorkloadProfile *service : allMicroservices()) {
+        if (service->name != "web") {
+            EXPECT_LT(service->codeFootprintBytes,
+                      webProfile().codeFootprintBytes);
+        }
+    }
+    EXPECT_TRUE(webProfile().codeUsesShpApi);
+}
+
+TEST(Services, RunningFractionsMatchFig2a)
+{
+    EXPECT_NEAR(webProfile().request.runningFraction, 0.28, 0.01);
+    EXPECT_NEAR(feed1Profile().request.runningFraction, 0.95, 0.01);
+    EXPECT_NEAR(feed2Profile().request.runningFraction, 0.69, 0.01);
+    EXPECT_NEAR(ads1Profile().request.runningFraction, 0.62, 0.01);
+    EXPECT_NEAR(ads2Profile().request.runningFraction, 0.90, 0.01);
+}
+
+TEST(SpecSuite, TwelveValidBenchmarks)
+{
+    auto suite = specSuite();
+    ASSERT_EQ(suite.size(), 12u);
+    for (const WorkloadProfile *p : suite) {
+        SCOPED_TRACE(p->name);
+        p->validate();
+        // SPEC runs batch: no blocking, negligible OS interaction.
+        EXPECT_EQ(p->request.blockingPhases, 0);
+        EXPECT_LT(p->contextSwitch.switchesPerSecond, 100.0);
+        // Small code footprints relative to the services.
+        EXPECT_LE(p->codeFootprintBytes, 4ull << 20);
+    }
+    EXPECT_EQ(&specByName("429.mcf"), suite[3]);
+}
+
+TEST(SpecSuiteDeathTest, UnknownBenchmarkFatal)
+{
+    EXPECT_EXIT(specByName("999.nope"), testing::ExitedWithCode(1),
+                "unknown SPEC benchmark");
+}
+
+TEST(Reported, LiteratureTablesPopulated)
+{
+    EXPECT_EQ(googleKanev15().size(), 12u);
+    EXPECT_EQ(googleAyers18().size(), 1u);
+    EXPECT_EQ(cloudSuiteFerdman12().size(), 6u);
+    EXPECT_EQ(spec2017Limaye18().size(), 4u);
+    for (const auto &w : googleKanev15()) {
+        EXPECT_GT(w.ipc, 0.0);
+        EXPECT_NEAR(w.retiringPct + w.frontEndPct + w.badSpecPct +
+                        w.backEndPct,
+                    100.0, 2.0);
+    }
+    EXPECT_GT(googleAyers18()[0].l1iMpki, 0.0);
+}
+
+} // namespace
+} // namespace softsku

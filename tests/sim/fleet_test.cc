@@ -1,0 +1,114 @@
+/** @file Tests for the fleet deployment / staged rollout model. */
+
+#include <gtest/gtest.h>
+
+#include "services/services.hh"
+#include "sim/fleet.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    return opts;
+}
+
+TEST(Fleet, RebootRules)
+{
+    KnobConfig a = productionConfig(skylake18(), webProfile());
+    KnobConfig b = a;
+    b.thp = ThpMode::Always;
+    EXPECT_FALSE(reconfigurationNeedsReboot(a, b));   // runtime knob
+    b.shpCount = 300;
+    EXPECT_TRUE(reconfigurationNeedsReboot(a, b));    // boot parameter
+    KnobConfig c = a;
+    c.activeCores = 8;
+    EXPECT_TRUE(reconfigurationNeedsReboot(a, c));    // isolcpus
+}
+
+TEST(Fleet, ReconfigureChargesDowntime)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    FleetSlice fleet(env, 4, production);
+    EXPECT_EQ(fleet.onlineServers(0.0), 4);
+
+    KnobConfig shpChange = production;
+    shpChange.shpCount = 300;
+    EXPECT_TRUE(fleet.reconfigure(0, shpChange, 100.0, 300.0));
+    EXPECT_EQ(fleet.onlineServers(150.0), 3);   // rebooting
+    EXPECT_EQ(fleet.onlineServers(500.0), 4);   // back
+
+    KnobConfig thpChange = production;
+    thpChange.thp = ThpMode::Always;
+    EXPECT_FALSE(fleet.reconfigure(1, thpChange, 100.0, 300.0));
+    EXPECT_EQ(fleet.servers()[1].config.thp, ThpMode::Always);
+}
+
+TEST(Fleet, FleetMipsScalesWithServers)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.noise().diurnalAmplitude = 0.0;
+    env.noise().measurementSigma = 1e-6;
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    FleetSlice small(env, 2, production);
+    FleetSlice large(env, 8, production);
+    EXPECT_NEAR(large.fleetMips(0.0) / small.fleetMips(0.0), 4.0, 0.05);
+}
+
+TEST(Fleet, RolloutCompletesAndLogsTelemetry)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig softSku = production;
+    softSku.thp = ThpMode::Always;   // a genuine winner
+
+    FleetSlice fleet(env, 8, production);
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.canarySoakSec = 1800.0;
+    policy.waveIntervalSec = 600.0;
+
+    RolloutResult result = fleet.rollout(softSku, policy, ods);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.aborted);
+    EXPECT_EQ(result.serversConverted, 8);
+    EXPECT_GT(result.fleetGainPercent, 0.5);
+    for (const FleetServer &server : fleet.servers())
+        EXPECT_EQ(server.config.thp, ThpMode::Always);
+    EXPECT_TRUE(ods.has("fleet.web.mips"));
+    EXPECT_TRUE(ods.has("fleet.web.online"));
+    EXPECT_GT(ods.aggregate("fleet.web.mips", 0, 1e9).count, 5u);
+}
+
+TEST(Fleet, RolloutAbortsOnCanaryRegression)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig bad = production;
+    bad.coreFreqGHz = 1.6;   // ~10% regression
+
+    FleetSlice fleet(env, 8, production);
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.canarySoakSec = 600.0;
+
+    RolloutResult result = fleet.rollout(bad, policy, ods);
+    EXPECT_TRUE(result.aborted);
+    EXPECT_FALSE(result.completed);
+    EXPECT_LT(result.canaryGainPercent, -1.0);
+    // Every server is back on the production configuration.
+    for (const FleetServer &server : fleet.servers())
+        EXPECT_EQ(server.config, production);
+}
+
+} // namespace
+} // namespace softsku

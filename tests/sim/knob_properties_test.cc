@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Property tests on knob responses — the invariants the evaluation
+ * figures rest on, checked structurally rather than by magnitude:
+ * frequency responses are monotone, CAT capacity responses are
+ * monotone, SHP has a waste-side penalty, THP never cannot beat THP
+ * always on TLB pressure, and knob changes leave the generated
+ * instruction stream untouched (the variance-control invariant).
+ */
+
+#include <gtest/gtest.h>
+
+#include "services/services.hh"
+#include "sim/service_sim.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 200'000;
+    opts.measureInstructions = 300'000;
+    return opts;
+}
+
+double
+mipsWith(const WorkloadProfile &service, const PlatformSpec &platform,
+         const KnobConfig &knobs, int catWays = 0)
+{
+    SimOptions opts = fastOptions();
+    opts.catWays = catWays;
+    return simulateService(service, platform, knobs, opts).platformMips;
+}
+
+/** Sweep each service on its fleet platform. */
+class ServiceParam : public testing::TestWithParam<int>
+{
+  protected:
+    const WorkloadProfile &service() const
+    {
+        return *allMicroservices()[GetParam()];
+    }
+    const PlatformSpec &platform() const
+    {
+        return platformByName(service().defaultPlatform);
+    }
+};
+
+TEST_P(ServiceParam, CoreFrequencyMonotone)
+{
+    KnobConfig knobs = productionConfig(platform(), service());
+    double last = 0.0;
+    for (double f : {1.6, 1.8, 2.0}) {
+        knobs.coreFreqGHz = f;
+        double mips = mipsWith(service(), platform(), knobs);
+        EXPECT_GT(mips, last * 0.995)
+            << service().name << " @ " << f << " GHz";
+        last = mips;
+    }
+}
+
+TEST_P(ServiceParam, UncoreFrequencyMonotone)
+{
+    KnobConfig knobs = productionConfig(platform(), service());
+    knobs.uncoreFreqGHz = 1.4;
+    double slow = mipsWith(service(), platform(), knobs);
+    knobs.uncoreFreqGHz = 1.8;
+    double fast = mipsWith(service(), platform(), knobs);
+    EXPECT_GE(fast, slow * 0.998) << service().name;
+}
+
+TEST_P(ServiceParam, CatCapacityMonotone)
+{
+    KnobConfig knobs = productionConfig(platform(), service());
+    SimOptions opts = fastOptions();
+    opts.catWays = 2;
+    auto few = simulateService(service(), platform(), knobs, opts);
+    opts.catWays = 0;
+    auto all = simulateService(service(), platform(), knobs, opts);
+    EXPECT_GE(few.llc.totalMisses(), all.llc.totalMisses())
+        << service().name;
+}
+
+TEST_P(ServiceParam, MoreCoresMorePlatformThroughput)
+{
+    if (!service().toleratesReboot)
+        GTEST_SKIP() << "service cannot take core-count reboots";
+    KnobConfig knobs = productionConfig(platform(), service());
+    knobs.activeCores = 4;
+    double few = mipsWith(service(), platform(), knobs);
+    knobs.activeCores = 0;
+    double all = mipsWith(service(), platform(), knobs);
+    EXPECT_GT(all, few * 1.5) << service().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fleet, ServiceParam, testing::Range(0, 7));
+
+TEST(KnobProperties, ThpOrderOnTlbWalks)
+{
+    // never >= madvise >= always in page-walk pressure, for every
+    // service (the throughput order may vary; walk pressure may not).
+    for (const WorkloadProfile *service : allMicroservices()) {
+        const PlatformSpec &platform =
+            platformByName(service->defaultPlatform);
+        KnobConfig knobs = productionConfig(platform, *service);
+        SimOptions opts = fastOptions();
+
+        auto walks = [&](ThpMode mode) {
+            KnobConfig k = knobs;
+            k.thp = mode;
+            CounterSet c = simulateService(*service, platform, k, opts);
+            return c.dtlbWalks + c.itlbWalks;
+        };
+        std::uint64_t never = walks(ThpMode::Never);
+        std::uint64_t madvise = walks(ThpMode::Madvise);
+        std::uint64_t always = walks(ThpMode::Always);
+        EXPECT_GE(never + 50, madvise) << service->name;
+        EXPECT_GE(madvise + 50, always) << service->name;
+    }
+}
+
+TEST(KnobProperties, ShpWasteIsPenalized)
+{
+    // For Web, a wildly over-reserved SHP pool must not beat the
+    // fully-covering reservation (pinned memory has a cost).
+    KnobConfig covering = productionConfig(skylake18(), webProfile());
+    covering.shpCount = 300;
+    KnobConfig wasteful = covering;
+    wasteful.shpCount = 600;
+    double good = mipsWith(webProfile(), skylake18(), covering);
+    double bad = mipsWith(webProfile(), skylake18(), wasteful);
+    EXPECT_GT(good, bad);
+}
+
+TEST(KnobProperties, StreamsInvariantAcrossKnobs)
+{
+    // The generated instruction mix (a pure workload property) must be
+    // bit-identical across machine configurations — the variance
+    // control that makes small A/B effects measurable.
+    SimOptions opts = fastOptions();
+    KnobConfig a = productionConfig(skylake18(), webProfile());
+    KnobConfig b = a;
+    b.thp = ThpMode::Never;
+    b.cdp = {true, 6, 5};
+    b.uncoreFreqGHz = 1.4;
+    CounterSet ca = simulateService(webProfile(), skylake18(), a, opts);
+    CounterSet cb = simulateService(webProfile(), skylake18(), b, opts);
+    for (int cls = 0; cls < 5; ++cls)
+        EXPECT_EQ(ca.classCounts[cls], cb.classCounts[cls]);
+    EXPECT_EQ(ca.branches, cb.branches);
+}
+
+TEST(KnobProperties, CdpExtremePartitionsHurt)
+{
+    // Starving code of LLC ways must hurt the front-end-bound Web, and
+    // starving data must structurally inflate LLC data misses (its
+    // throughput verdict depends on window length, so assert the
+    // mechanism, not the MIPS).
+    KnobConfig base = productionConfig(skylake18(), webProfile());
+    SimOptions opts = fastOptions();
+    CounterSet off = simulateService(webProfile(), skylake18(), base,
+                                     opts);
+    KnobConfig starveCode = base;
+    starveCode.cdp = {true, 10, 1};
+    CounterSet codeStarved =
+        simulateService(webProfile(), skylake18(), starveCode, opts);
+    EXPECT_LT(codeStarved.platformMips, off.platformMips);
+    EXPECT_GT(codeStarved.llc.misses[0], off.llc.misses[0]);
+
+    KnobConfig starveData = base;
+    starveData.cdp = {true, 1, 10};
+    CounterSet dataStarved =
+        simulateService(webProfile(), skylake18(), starveData, opts);
+    EXPECT_GT(dataStarved.llc.misses[1], off.llc.misses[1]);
+    EXPECT_LT(dataStarved.llc.misses[0], off.llc.misses[0]);
+}
+
+} // namespace
+} // namespace softsku

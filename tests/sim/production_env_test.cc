@@ -1,0 +1,107 @@
+/** @file Tests for the production measurement environment. */
+
+#include <gtest/gtest.h>
+
+#include "services/services.hh"
+#include "sim/production_env.hh"
+#include "stats/running_stat.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    return opts;
+}
+
+TEST(ProductionEnv, TruthIsCachedPerConfig)
+{
+    ProductionEnvironment env(feed1Profile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig a;
+    double first = env.trueMips(a);
+    EXPECT_EQ(env.configsSimulated(), 1u);
+    EXPECT_DOUBLE_EQ(env.trueMips(a), first);
+    EXPECT_EQ(env.configsSimulated(), 1u);
+
+    KnobConfig b;
+    b.thp = ThpMode::Never;
+    env.trueMips(b);
+    EXPECT_EQ(env.configsSimulated(), 2u);
+}
+
+TEST(ProductionEnv, LoadFactorIsDiurnalAndShared)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    RunningStat factors;
+    for (double t = 0.0; t < 86400.0; t += 600.0)
+        factors.add(env.loadFactor(t));
+    EXPECT_NEAR(factors.mean(), 1.0, 0.01);
+    EXPECT_GT(factors.max() - factors.min(), 0.02);
+    // Pure function of time.
+    EXPECT_DOUBLE_EQ(env.loadFactor(1234.5), env.loadFactor(1234.5));
+}
+
+TEST(ProductionEnv, PairedSamplesShareLoadFactor)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig a;
+    KnobConfig b;
+    b.thp = ThpMode::Never;
+    double truthA = env.trueMips(a);
+    double truthB = env.trueMips(b);
+
+    // The ratio sample/truth differs between arms only by measurement
+    // noise, not by load: correlation of the common-mode factor.
+    RunningStat diffOfLogs;
+    for (int i = 0; i < 400; ++i) {
+        PairedSample s = env.samplePair(a, b, i * 30.0);
+        double normA = s.mipsA / (truthA * s.loadFactor);
+        double normB = s.mipsB / (truthB * s.loadFactor);
+        diffOfLogs.add(normA - normB);
+        EXPECT_NEAR(normA, 1.0, 0.1);
+        EXPECT_NEAR(normB, 1.0, 0.1);
+    }
+    EXPECT_NEAR(diffOfLogs.mean(), 0.0, 0.005);
+}
+
+TEST(ProductionEnv, MeasurementNoiseMatchesSigma)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.noise().diurnalAmplitude = 0.0;
+    env.noise().codePushSigma = 0.0;
+    KnobConfig cfg;
+    double truth = env.trueMips(cfg);
+    RunningStat samples;
+    for (int i = 0; i < 3000; ++i)
+        samples.add(env.sampleMips(cfg, i * 1.0) / truth);
+    EXPECT_NEAR(samples.mean(), 1.0, 0.005);
+    EXPECT_NEAR(samples.stddev(), env.noise().measurementSigma, 0.003);
+}
+
+TEST(ProductionEnv, CodePushesPerturbEpochs)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.noise().diurnalAmplitude = 0.0;
+    env.noise().measurementSigma = 1e-9;
+    env.noise().codePushSigma = 0.01;
+    env.noise().codePushIntervalSec = 3600.0;
+    KnobConfig cfg;
+    double epoch0 = env.sampleMips(cfg, 100.0);
+    double epoch0Again = env.sampleMips(cfg, 200.0);
+    double epoch5 = env.sampleMips(cfg, 5 * 3600.0 + 100.0);
+    EXPECT_NEAR(epoch0, epoch0Again, epoch0 * 1e-6);
+    EXPECT_NE(epoch0, epoch5);
+    EXPECT_NEAR(epoch5, epoch0, epoch0 * 0.025);
+}
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,84 @@
+/** @file Tests for the QoS operating-point solver. */
+
+#include <gtest/gtest.h>
+
+#include "services/services.hh"
+#include "sim/qos.hh"
+#include "sim/service_sim.hh"
+
+namespace softsku {
+namespace {
+
+CounterSet
+countersFor(const WorkloadProfile &service)
+{
+    const PlatformSpec &platform = platformByName(service.defaultPlatform);
+    SimOptions opts;
+    opts.warmupInstructions = 200'000;
+    opts.measureInstructions = 250'000;
+    return simulateService(service, platform,
+                           productionConfig(platform, service), opts);
+}
+
+TEST(Qos, RespectsSloAndUtilizationCap)
+{
+    const WorkloadProfile &service = feed2Profile();
+    CounterSet c = countersFor(service);
+    ServiceOperatingPoint op = solveOperatingPoint(
+        service, platformByName(service.defaultPlatform), c);
+    EXPECT_GT(op.peakQps, 0.0);
+    EXPECT_LE(op.p99LatencySec, op.sloLatencySec * 1.02);
+    EXPECT_LE(op.cpuUtilization, service.cpuUtilizationCap + 0.02);
+    EXPECT_GT(op.userUtilization, op.kernelUtilization);
+}
+
+TEST(Qos, BreakdownFractionsSumToOne)
+{
+    const WorkloadProfile &service = webProfile();
+    CounterSet c = countersFor(service);
+    ServiceOperatingPoint op = solveOperatingPoint(
+        service, platformByName(service.defaultPlatform), c);
+    const ThreadPoolResult &pool = op.pool;
+    EXPECT_NEAR(pool.runningFraction + pool.queueFraction +
+                    pool.schedulerFraction + pool.ioFraction,
+                1.0, 1e-9);
+    // Web spends most of a request blocked (Fig 2a).
+    EXPECT_LT(pool.runningShare(), 0.5);
+}
+
+TEST(Qos, LeafServicesMostlyRunning)
+{
+    const WorkloadProfile &service = feed1Profile();
+    CounterSet c = countersFor(service);
+    ServiceOperatingPoint op = solveOperatingPoint(
+        service, platformByName(service.defaultPlatform), c);
+    EXPECT_GT(op.pool.runningShare(), 0.85);
+}
+
+TEST(Qos, CacheKernelShareHighest)
+{
+    CounterSet cWeb = countersFor(webProfile());
+    CounterSet cCache = countersFor(cache2Profile());
+    ServiceOperatingPoint web =
+        solveOperatingPoint(webProfile(), skylake18(), cWeb);
+    ServiceOperatingPoint cache =
+        solveOperatingPoint(cache2Profile(), skylake18(), cCache);
+    double webKernelShare = web.kernelUtilization / web.cpuUtilization;
+    double cacheKernelShare =
+        cache.kernelUtilization / cache.cpuUtilization;
+    EXPECT_GT(cacheKernelShare, webKernelShare * 2);
+}
+
+TEST(Qos, Deterministic)
+{
+    const WorkloadProfile &service = ads2Profile();
+    CounterSet c = countersFor(service);
+    const PlatformSpec &platform = platformByName(service.defaultPlatform);
+    ServiceOperatingPoint a = solveOperatingPoint(service, platform, c, 5);
+    ServiceOperatingPoint b = solveOperatingPoint(service, platform, c, 5);
+    EXPECT_DOUBLE_EQ(a.peakQps, b.peakQps);
+    EXPECT_DOUBLE_EQ(a.p99LatencySec, b.p99LatencySec);
+}
+
+} // namespace
+} // namespace softsku

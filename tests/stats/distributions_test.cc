@@ -1,0 +1,122 @@
+/** @file Tests for Zipf, alias-method discrete choice, and EWMA. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/distributions.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Zipf, RankZeroIsHottest)
+{
+    ZipfDistribution zipf(1000, 1.0);
+    Rng rng(1);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[10]);
+    EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(Zipf, SkewZeroIsUniform)
+{
+    ZipfDistribution zipf(10, 0.0);
+    Rng rng(2);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, 600);
+}
+
+TEST(Zipf, RatioMatchesTheory)
+{
+    // With s=1, P(rank 0) / P(rank 1) == 2.
+    ZipfDistribution zipf(100, 1.0);
+    Rng rng(3);
+    int c0 = 0, c1 = 0;
+    for (int i = 0; i < 300000; ++i) {
+        auto r = zipf.sample(rng);
+        c0 += r == 0;
+        c1 += r == 1;
+    }
+    EXPECT_NEAR(static_cast<double>(c0) / c1, 2.0, 0.1);
+}
+
+TEST(Zipf, SamplesStayInRange)
+{
+    ZipfDistribution zipf(17, 1.2);
+    Rng rng(4);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(zipf.sample(rng), 17u);
+}
+
+TEST(Discrete, MatchesWeights)
+{
+    DiscreteDistribution d({1.0, 2.0, 7.0});
+    Rng rng(5);
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[d.sample(rng)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(Discrete, NormalizedProbabilities)
+{
+    DiscreteDistribution d({2.0, 2.0, 4.0});
+    EXPECT_DOUBLE_EQ(d.probability(0), 0.25);
+    EXPECT_DOUBLE_EQ(d.probability(2), 0.5);
+}
+
+TEST(Discrete, SingleOutcome)
+{
+    DiscreteDistribution d({3.0});
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(d.sample(rng), 0u);
+}
+
+TEST(Discrete, ZeroWeightNeverSampled)
+{
+    DiscreteDistribution d({0.0, 1.0, 0.0});
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_EQ(d.sample(rng), 1u);
+}
+
+TEST(Ewma, FirstValueTaken)
+{
+    Ewma e(0.1);
+    EXPECT_TRUE(e.empty());
+    e.add(5.0);
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+    EXPECT_FALSE(e.empty());
+}
+
+TEST(Ewma, ConvergesToStep)
+{
+    Ewma e(0.2);
+    e.add(0.0);
+    for (int i = 0; i < 100; ++i)
+        e.add(10.0);
+    EXPECT_NEAR(e.value(), 10.0, 1e-6);
+}
+
+TEST(Ewma, SmoothsNoise)
+{
+    Ewma e(0.05);
+    Rng rng(8);
+    for (int i = 0; i < 2000; ++i)
+        e.add(rng.gaussian(3.0, 1.0));
+    EXPECT_NEAR(e.value(), 3.0, 0.5);
+}
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,104 @@
+/** @file Tests for the log-binned percentile histogram. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+#include "stats/rng.hh"
+
+namespace softsku {
+namespace {
+
+TEST(LogHistogram, EmptyReturnsZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, SingleValue)
+{
+    LogHistogram h;
+    h.add(42.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(h.percentile(0.5), 42.0, 42.0 * 0.03);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+}
+
+TEST(LogHistogram, PercentilesOfUniformData)
+{
+    LogHistogram h(1e-3, 1e4, 200);
+    for (int i = 1; i <= 10000; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(0.5), 5000.0, 5000.0 * 0.05);
+    EXPECT_NEAR(h.percentile(0.99), 9900.0, 9900.0 * 0.05);
+    EXPECT_NEAR(h.percentile(0.0), 1.0, 0.2);
+}
+
+TEST(LogHistogram, MeanIsExact)
+{
+    LogHistogram h;
+    h.add(1.0);
+    h.add(2.0);
+    h.add(3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(LogHistogram, WeightedAdd)
+{
+    LogHistogram h;
+    h.add(10.0, 99);
+    h.add(1000.0, 1);
+    EXPECT_EQ(h.count(), 100u);
+    // p50 dominated by the repeated value.
+    EXPECT_NEAR(h.percentile(0.5), 10.0, 1.0);
+    EXPECT_NEAR(h.percentile(1.0), 1000.0, 100.0);
+}
+
+TEST(LogHistogram, ClampsOutOfRange)
+{
+    LogHistogram h(1.0, 100.0, 50);
+    h.add(1e-6);
+    h.add(1e9);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GE(h.percentile(0.0), 0.9);
+    EXPECT_LE(h.percentile(1.0), 110.0);
+}
+
+TEST(LogHistogram, RelativeErrorBounded)
+{
+    LogHistogram h(1e-9, 1e6, 100);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniform(40.0, 60.0));
+    // Worst-case bin error at 100 bins/decade is ~2.3%.
+    double p50 = h.percentile(0.5);
+    EXPECT_GT(p50, 45.0);
+    EXPECT_LT(p50, 55.0);
+}
+
+TEST(LogHistogram, ClearResets)
+{
+    LogHistogram h;
+    h.add(5.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, MonotonePercentiles)
+{
+    LogHistogram h;
+    Rng rng(6);
+    for (int i = 0; i < 5000; ++i)
+        h.add(rng.logNormalMean(100.0, 1.0));
+    double last = 0.0;
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+        double v = h.percentile(q);
+        EXPECT_GE(v, last);
+        last = v;
+    }
+}
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,137 @@
+/** @file Unit and statistical tests for the seeded RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/rng.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Rng, DeterministicUnderSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform)
+{
+    Rng rng(99);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; ++i) {
+        auto v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        ++counts[v];
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c, 5000, 450);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(3);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.range(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        sawLo |= v == -2;
+        sawHi |= v == 2;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.015);
+}
+
+TEST(Rng, LogNormalMeanIsUnbiased)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.logNormalMean(50.0, 0.2);
+    EXPECT_NEAR(sum / n, 50.0, 0.5);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(5);
+    Rng child = parent.fork();
+    // The child stream should not replay the parent's outputs.
+    Rng parentCopy(5);
+    parentCopy.next(); // account for the draw consumed by fork()
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += child.next() == parentCopy.next();
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace softsku

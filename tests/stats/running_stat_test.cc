@@ -1,0 +1,119 @@
+/** @file Unit tests for the Welford streaming statistics accumulator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hh"
+#include "stats/running_stat.hh"
+
+namespace softsku {
+namespace {
+
+TEST(RunningStat, EmptyState)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(s.confidenceHalfWidth()));
+}
+
+TEST(RunningStat, KnownSmallSample)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Population variance 4 → sample variance 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential)
+{
+    Rng rng(42);
+    RunningStat whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian(3.0, 1.5);
+        whole.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, NumericallyStableWithLargeOffset)
+{
+    RunningStat s;
+    const double offset = 1e9;
+    for (double x : {offset + 1.0, offset + 2.0, offset + 3.0})
+        s.add(x);
+    EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStat, ConfidenceShrinksWithSamples)
+{
+    Rng rng(7);
+    RunningStat small, large;
+    for (int i = 0; i < 10; ++i)
+        small.add(rng.gaussian(0, 1));
+    for (int i = 0; i < 10000; ++i)
+        large.add(rng.gaussian(0, 1));
+    EXPECT_GT(small.confidenceHalfWidth(0.95),
+              large.confidenceHalfWidth(0.95));
+    // ~1.96 / sqrt(10000) ≈ 0.0196 for unit variance.
+    EXPECT_NEAR(large.confidenceHalfWidth(0.95), 0.0196, 0.004);
+}
+
+TEST(RunningStat, CoverageOfConfidenceInterval)
+{
+    // Across many repetitions, the 95% CI should contain the true mean
+    // ~95% of the time.
+    Rng rng(1234);
+    int covered = 0;
+    const int reps = 400;
+    for (int r = 0; r < reps; ++r) {
+        RunningStat s;
+        for (int i = 0; i < 30; ++i)
+            s.add(rng.gaussian(10.0, 3.0));
+        double hw = s.confidenceHalfWidth(0.95);
+        if (std::fabs(s.mean() - 10.0) <= hw)
+            ++covered;
+    }
+    double coverage = static_cast<double>(covered) / reps;
+    EXPECT_GT(coverage, 0.90);
+    EXPECT_LT(coverage, 0.99);
+}
+
+TEST(RunningStat, ClearResets)
+{
+    RunningStat s;
+    s.add(5.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+} // namespace
+} // namespace softsku

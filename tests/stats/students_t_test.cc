@@ -1,0 +1,121 @@
+/** @file Tests for t quantiles and Welch's t-test. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hh"
+#include "stats/running_stat.hh"
+#include "stats/students_t.hh"
+
+namespace softsku {
+namespace {
+
+TEST(NormalQuantile, MatchesKnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-4);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-4);
+}
+
+TEST(NormalCdf, InvertsQuantile)
+{
+    for (double p : {0.01, 0.1, 0.25, 0.5, 0.8, 0.99})
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-6);
+}
+
+TEST(StudentT, QuantileMatchesTables)
+{
+    // Classic two-sided 95% critical values.
+    EXPECT_NEAR(studentTQuantile(0.95, 10), 2.228, 0.01);
+    EXPECT_NEAR(studentTQuantile(0.95, 30), 2.042, 0.01);
+    EXPECT_NEAR(studentTQuantile(0.95, 120), 1.980, 0.005);
+    EXPECT_NEAR(studentTQuantile(0.99, 20), 2.845, 0.02);
+}
+
+TEST(StudentT, ConvergesToNormalForLargeDof)
+{
+    EXPECT_NEAR(studentTQuantile(0.95, 1e6), normalQuantile(0.975), 1e-4);
+}
+
+TEST(StudentT, CdfMatchesKnownValues)
+{
+    // P(T < 2.228 | dof=10) ≈ 0.975.
+    EXPECT_NEAR(studentTCdf(2.228, 10), 0.975, 0.002);
+    EXPECT_NEAR(studentTCdf(0.0, 5), 0.5, 1e-9);
+    EXPECT_NEAR(studentTCdf(-2.228, 10), 0.025, 0.002);
+}
+
+TEST(Welch, DetectsLargeDifference)
+{
+    Rng rng(1);
+    RunningStat a, b;
+    for (int i = 0; i < 200; ++i) {
+        a.add(rng.gaussian(100.0, 5.0));
+        b.add(rng.gaussian(104.0, 5.0));
+    }
+    auto res = welchTTest(a, b, 0.95);
+    EXPECT_TRUE(res.significant);
+    EXPECT_NEAR(res.meanDiff, 4.0, 1.5);
+    EXPECT_LT(res.pValue, 0.01);
+}
+
+TEST(Welch, NoFalsePositiveOnIdenticalMeans)
+{
+    // With identical distributions, significance at 95% should appear
+    // in roughly 5% of repeated experiments.
+    Rng rng(2);
+    int falsePositives = 0;
+    const int reps = 300;
+    for (int r = 0; r < reps; ++r) {
+        RunningStat a, b;
+        for (int i = 0; i < 50; ++i) {
+            a.add(rng.gaussian(10.0, 2.0));
+            b.add(rng.gaussian(10.0, 2.0));
+        }
+        falsePositives += welchTTest(a, b, 0.95).significant;
+    }
+    double rate = static_cast<double>(falsePositives) / reps;
+    EXPECT_LT(rate, 0.10);
+}
+
+TEST(Welch, HandlesUnequalVariances)
+{
+    Rng rng(3);
+    RunningStat a, b;
+    for (int i = 0; i < 500; ++i) {
+        a.add(rng.gaussian(50.0, 1.0));
+        b.add(rng.gaussian(50.5, 10.0));
+    }
+    auto res = welchTTest(a, b, 0.95);
+    // Satterthwaite dof must be pulled toward the noisier sample.
+    EXPECT_LT(res.dof, 600.0);
+    EXPECT_GT(res.dof, 400.0);
+}
+
+TEST(Welch, InsufficientSamples)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    b.add(2.0);
+    auto res = welchTTest(a, b);
+    EXPECT_FALSE(res.significant);
+    EXPECT_DOUBLE_EQ(res.pValue, 1.0);
+}
+
+TEST(Welch, DirectionOfDifference)
+{
+    Rng rng(4);
+    RunningStat a, b;
+    for (int i = 0; i < 100; ++i) {
+        a.add(rng.gaussian(10.0, 0.5));
+        b.add(rng.gaussian(8.0, 0.5));
+    }
+    auto res = welchTTest(a, b);
+    EXPECT_LT(res.meanDiff, 0.0);
+    EXPECT_LT(res.tStatistic, 0.0);
+}
+
+} // namespace
+} // namespace softsku

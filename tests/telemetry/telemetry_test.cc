@@ -1,0 +1,132 @@
+/** @file Tests for the ODS time-series store and the EMON sampler. */
+
+#include <gtest/gtest.h>
+
+#include "services/services.hh"
+#include "sim/service_sim.hh"
+#include "stats/running_stat.hh"
+#include "telemetry/emon.hh"
+#include "telemetry/ods.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Ods, AppendAndQuery)
+{
+    OdsStore ods;
+    EXPECT_FALSE(ods.has("qps"));
+    for (int i = 0; i < 100; ++i)
+        ods.append("qps", i * 60.0, 1000.0 + i);
+    EXPECT_TRUE(ods.has("qps"));
+
+    auto window = ods.query("qps", 600.0, 1200.0);
+    ASSERT_EQ(window.size(), 11u);
+    EXPECT_DOUBLE_EQ(window.front().timeSec, 600.0);
+    EXPECT_DOUBLE_EQ(window.back().timeSec, 1200.0);
+    EXPECT_TRUE(ods.query("missing", 0, 1e9).empty());
+}
+
+TEST(Ods, AggregateStatistics)
+{
+    OdsStore ods;
+    for (int i = 1; i <= 100; ++i)
+        ods.append("v", i, static_cast<double>(i));
+    auto agg = ods.aggregate("v", 1, 100);
+    EXPECT_EQ(agg.count, 100u);
+    EXPECT_DOUBLE_EQ(agg.mean, 50.5);
+    EXPECT_DOUBLE_EQ(agg.min, 1.0);
+    EXPECT_DOUBLE_EQ(agg.max, 100.0);
+    EXPECT_NEAR(agg.p50, 50.0, 1.0);
+    EXPECT_NEAR(agg.p99, 99.0, 1.0);
+}
+
+TEST(Ods, AggregateEmptyWindow)
+{
+    OdsStore ods;
+    ods.append("v", 100.0, 1.0);
+    auto agg = ods.aggregate("v", 0.0, 50.0);
+    EXPECT_EQ(agg.count, 0u);
+}
+
+TEST(OdsDeathTest, NonMonotonicAppendIsFatal)
+{
+    OdsStore ods;
+    ods.append("v", 100.0, 1.0);
+    EXPECT_EXIT(ods.append("v", 50.0, 2.0), testing::ExitedWithCode(1),
+                "non-monotonic");
+}
+
+TEST(Ods, RetentionDropsOldSamples)
+{
+    OdsStore ods;
+    for (int i = 0; i < 100; ++i)
+        ods.append("v", i * 60.0, 1.0);
+    ods.retain(600.0);
+    auto points = ods.query("v", 0.0, 1e9);
+    ASSERT_FALSE(points.empty());
+    EXPECT_GE(points.front().timeSec, 99 * 60.0 - 600.0);
+}
+
+TEST(Ods, SeriesNamesSorted)
+{
+    OdsStore ods;
+    ods.append("b", 0, 1);
+    ods.append("a", 0, 1);
+    auto names = ods.seriesNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+}
+
+class EmonTest : public testing::Test
+{
+  protected:
+    static const CounterSet &
+    truth()
+    {
+        static const CounterSet counters = [] {
+            SimOptions opts;
+            opts.warmupInstructions = 120'000;
+            opts.measureInstructions = 150'000;
+            return simulateService(feed1Profile(), skylake18(),
+                                   KnobConfig{}, opts);
+        }();
+        return counters;
+    }
+};
+
+TEST_F(EmonTest, SampledViewNearTruth)
+{
+    EmonSampler sampler(truth(), 1, 4, 0.05);
+    CounterSet view = sampler.sampledView(64);
+    EXPECT_NEAR(static_cast<double>(view.l1d.misses[1]),
+                static_cast<double>(truth().l1d.misses[1]),
+                static_cast<double>(truth().l1d.misses[1]) * 0.2);
+    EXPECT_NEAR(view.platformMips, truth().platformMips,
+                truth().platformMips * 0.1);
+}
+
+TEST_F(EmonTest, ErrorShrinksWithObservationTime)
+{
+    RunningStat shortErr, longErr;
+    for (int trial = 0; trial < 200; ++trial) {
+        EmonSampler sampler(truth(), 100 + trial, 4, 0.05);
+        shortErr.add(std::abs(sampler.sampleMips(4) /
+                                  truth().platformMips -
+                              1.0));
+        longErr.add(std::abs(sampler.sampleMips(400) /
+                                 truth().platformMips -
+                             1.0));
+    }
+    EXPECT_LT(longErr.mean(), shortErr.mean() / 2.0);
+}
+
+TEST_F(EmonTest, DeterministicPerSeed)
+{
+    EmonSampler a(truth(), 7);
+    EmonSampler b(truth(), 7);
+    EXPECT_DOUBLE_EQ(a.sampleMips(), b.sampleMips());
+}
+
+} // namespace
+} // namespace softsku

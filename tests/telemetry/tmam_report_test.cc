@@ -1,0 +1,72 @@
+/** @file Tests for the TMAM report renderer and knob suggestions. */
+
+#include <gtest/gtest.h>
+
+#include "services/services.hh"
+#include "sim/service_sim.hh"
+#include "telemetry/tmam_report.hh"
+
+namespace softsku {
+namespace {
+
+const CounterSet &
+webCounters()
+{
+    static const CounterSet counters = [] {
+        SimOptions opts;
+        opts.warmupInstructions = 200'000;
+        opts.measureInstructions = 250'000;
+        return simulateService(webProfile(), skylake18(),
+                               productionConfig(skylake18(), webProfile()),
+                               opts);
+    }();
+    return counters;
+}
+
+TEST(TmamReport, ContainsAllFourCategories)
+{
+    std::string report = renderTmamReport(webCounters(), "web");
+    for (const char *needle :
+         {"retiring", "front-end bound", "bad speculation",
+          "back-end bound", "L1-I MPKI", "LLC code MPKI",
+          "mispredict MPKI", "GB/s"}) {
+        EXPECT_NE(report.find(needle), std::string::npos) << needle;
+    }
+    EXPECT_NE(report.find("TMAM: web"), std::string::npos);
+}
+
+TEST(TmamReport, EmptyCountersHandled)
+{
+    CounterSet empty;
+    std::string report = renderTmamReport(empty);
+    EXPECT_NE(report.find("no instructions"), std::string::npos);
+}
+
+TEST(TmamReport, WebSuggestsCdp)
+{
+    // Web's off-chip code misses should point the engineer at CDP.
+    std::string hints = suggestKnobs(webCounters(),
+                                     skylake18().peakMemBandwidthGBs);
+    EXPECT_NE(hints.find("cdp"), std::string::npos);
+}
+
+TEST(TmamReport, BandwidthSaturationSuggestsPrefetcher)
+{
+    CounterSet c = webCounters();
+    c.memBandwidthGBs = skylake18().peakMemBandwidthGBs * 0.9;
+    std::string hints = suggestKnobs(c, skylake18().peakMemBandwidthGBs);
+    EXPECT_NE(hints.find("prefetcher"), std::string::npos);
+}
+
+TEST(TmamReport, QuietCountersSuggestFrequency)
+{
+    CounterSet quiet;
+    quiet.instructions = 1'000'000;
+    quiet.topdown.retiring = 0.9;
+    quiet.topdown.backEnd = 0.1;
+    std::string hints = suggestKnobs(quiet, 100.0);
+    EXPECT_NE(hints.find("core_freq"), std::string::npos);
+}
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,152 @@
+/** @file Tests for the two-level TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "os/hugepage.hh"
+#include "tlb/tlb.hh"
+
+namespace softsku {
+namespace {
+
+TlbGeometry
+smallL1()
+{
+    return {16, 4, 4};   // 16× 4 KiB entries, 4× 2 MiB, 4-way
+}
+
+TlbGeometry
+smallStlb()
+{
+    return {128, 128, 8};
+}
+
+TEST(Tlb, HitAfterInstall)
+{
+    Tlb tlb("t", smallL1());
+    EXPECT_FALSE(tlb.access(0x1000, kPage4k));
+    EXPECT_TRUE(tlb.access(0x1000, kPage4k));
+    // Same page, different offset → hit.
+    EXPECT_TRUE(tlb.access(0x1FFF, kPage4k));
+    // Next page → miss.
+    EXPECT_FALSE(tlb.access(0x2000, kPage4k));
+}
+
+TEST(Tlb, SeparateArraysPerPageSize)
+{
+    Tlb tlb("t", smallL1());
+    tlb.access(0x200000, kPage2m);
+    EXPECT_TRUE(tlb.probe(0x200000, kPage2m));
+    EXPECT_FALSE(tlb.probe(0x200000, kPage4k));
+    EXPECT_EQ(tlb.stats().misses2m, 1u);
+    EXPECT_EQ(tlb.stats().misses4k, 0u);
+}
+
+TEST(Tlb, HugePagesMultiplyReach)
+{
+    Tlb tlb("t", smallL1());
+    // 16 distinct 4 KiB pages fit; the 17th conflicts somewhere.
+    // 4× 2 MiB entries cover 8 MiB: accesses within that never miss
+    // after warmup.
+    for (int round = 0; round < 2; ++round) {
+        for (std::uint64_t addr = 0; addr < 4 * kPage2m;
+             addr += kPage2m) {
+            tlb.access(addr, kPage2m);
+        }
+    }
+    EXPECT_EQ(tlb.stats().misses2m, 4u);   // only the cold misses
+    EXPECT_GT(tlb.reachBytes(), 16 * kPage4k);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb tlb("t", smallL1());
+    // Touch 64 pages (4x capacity); re-touch the first: must miss.
+    for (std::uint64_t p = 0; p < 64; ++p)
+        tlb.access(p * kPage4k, kPage4k);
+    EXPECT_FALSE(tlb.access(0, kPage4k));
+}
+
+TEST(Tlb, FlushAndDisturb)
+{
+    Tlb tlb("t", smallL1());
+    tlb.access(0x5000, kPage4k);
+    tlb.flush();
+    EXPECT_FALSE(tlb.probe(0x5000, kPage4k));
+
+    for (std::uint64_t p = 0; p < 12; ++p)
+        tlb.access(p * kPage4k, kPage4k);
+    Rng rng(3);
+    tlb.disturb(1.0, rng);   // fraction 1 → all gone
+    for (std::uint64_t p = 0; p < 12; ++p)
+        EXPECT_FALSE(tlb.probe(p * kPage4k, kPage4k));
+}
+
+TEST(TwoLevelTlb, OutcomeLevels)
+{
+    TwoLevelTlb tlb("t", smallL1(), smallStlb());
+    // Cold: page walk, installed in both levels.
+    EXPECT_EQ(tlb.access(0x3000, kPage4k), TwoLevelTlb::Outcome::PageWalk);
+    EXPECT_EQ(tlb.walks(), 1u);
+    // Warm: L1 hit.
+    EXPECT_EQ(tlb.access(0x3000, kPage4k), TwoLevelTlb::Outcome::L1Hit);
+
+    // Evict from L1 by touching 32 other pages; STLB still holds it.
+    for (std::uint64_t p = 16; p < 48; ++p)
+        tlb.access(p * kPage4k, kPage4k);
+    EXPECT_EQ(tlb.access(0x3000, kPage4k), TwoLevelTlb::Outcome::StlbHit);
+}
+
+TEST(TwoLevelTlb, WalkCountsOnlyFullMisses)
+{
+    TwoLevelTlb tlb("t", smallL1(), smallStlb());
+    for (std::uint64_t p = 0; p < 8; ++p)
+        tlb.access(p * kPage4k, kPage4k);
+    std::uint64_t walks = tlb.walks();
+    for (std::uint64_t p = 0; p < 8; ++p)
+        tlb.access(p * kPage4k, kPage4k);
+    EXPECT_EQ(tlb.walks(), walks);   // all warm now
+}
+
+/** Property: TLB miss rate falls as huge-page coverage rises. */
+class TlbCoverageSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(TlbCoverageSweep, MissRateFallsWithHugeCoverage)
+{
+    double fraction = GetParam();
+    VirtualRegion region;
+    region.name = "r";
+    region.base = 0;
+    region.sizeBytes = 512ull << 20;
+
+    Tlb tlb("t", TlbGeometry{64, 32, 4});
+    Rng rng(7);
+    // Deterministic per-chunk huge/4k split at the given fraction.
+    RegionMapping mapping;
+    mapping.region = &region;
+    mapping.hugeFraction = fraction;
+
+    std::uint64_t misses = 0;
+    const int accesses = 20000;
+    for (int i = 0; i < accesses; ++i) {
+        std::uint64_t addr = rng.below(region.sizeBytes);
+        bool huge = mapping.isHugeAddress(addr);
+        if (!tlb.access(addr, huge ? kPage2m : kPage4k))
+            ++misses;
+    }
+    // Record for cross-param monotonicity via a static.
+    static double lastFraction = -1.0;
+    static std::uint64_t lastMisses = ~0ull;
+    if (fraction > lastFraction && lastFraction >= 0.0) {
+        EXPECT_LT(misses, lastMisses);
+    }
+    lastFraction = fraction;
+    lastMisses = misses;
+}
+
+INSTANTIATE_TEST_SUITE_P(Coverage, TlbCoverageSweep,
+                         testing::Values(0.0, 0.5, 1.0));
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,61 @@
+/** @file Unit tests for the command-line flag parser. */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+
+namespace softsku {
+namespace {
+
+CliArgs
+makeArgs(std::vector<const char *> argv)
+{
+    return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm)
+{
+    auto args = makeArgs({"prog", "--service=web", "--seed=42"});
+    EXPECT_EQ(args.get("service"), "web");
+    EXPECT_EQ(args.getInt("seed", 0), 42);
+}
+
+TEST(Cli, ParsesSpaceForm)
+{
+    auto args = makeArgs({"prog", "--platform", "skylake18"});
+    EXPECT_EQ(args.get("platform"), "skylake18");
+}
+
+TEST(Cli, BooleanFlags)
+{
+    auto args = makeArgs({"prog", "--verbose", "--json"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_TRUE(args.has("json"));
+    EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(Cli, PositionalArguments)
+{
+    auto args = makeArgs({"prog", "input.json", "--x=1", "out.json"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "input.json");
+    EXPECT_EQ(args.positional()[1], "out.json");
+}
+
+TEST(Cli, Defaults)
+{
+    auto args = makeArgs({"prog"});
+    EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+    EXPECT_EQ(args.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(args.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, DoubleParsing)
+{
+    auto args = makeArgs({"prog", "--freq=2.2"});
+    EXPECT_DOUBLE_EQ(args.getDouble("freq", 0.0), 2.2);
+}
+
+} // namespace
+} // namespace softsku

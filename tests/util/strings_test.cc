@@ -1,0 +1,76 @@
+/** @file Unit tests for string helpers. */
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Strings, SplitPreservesEmptyFields)
+{
+    auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField)
+{
+    auto parts = split("solo", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "solo");
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t "), "");
+    EXPECT_EQ(trim("noop"), "noop");
+}
+
+TEST(Strings, CaseAndAffixes)
+{
+    EXPECT_EQ(toLower("MiXeD123"), "mixed123");
+    EXPECT_TRUE(startsWith("skylake18", "sky"));
+    EXPECT_FALSE(startsWith("sky", "skylake18"));
+    EXPECT_TRUE(endsWith("design.json", ".json"));
+    EXPECT_FALSE(endsWith("x", "longer"));
+}
+
+TEST(Strings, ParseIntAcceptsOnlyFullNumbers)
+{
+    EXPECT_EQ(parseInt("42").value(), 42);
+    EXPECT_EQ(parseInt(" -7 ").value(), -7);
+    EXPECT_FALSE(parseInt("42x").has_value());
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt("3.5").has_value());
+}
+
+TEST(Strings, ParseDoubleAcceptsOnlyFullNumbers)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("2.5").value(), 2.5);
+    EXPECT_DOUBLE_EQ(parseDouble("1e3").value(), 1000.0);
+    EXPECT_FALSE(parseDouble("1.2.3").has_value());
+    EXPECT_FALSE(parseDouble("abc").has_value());
+}
+
+TEST(Strings, FormatMatchesPrintf)
+{
+    EXPECT_EQ(format("%s=%d (%.1f%%)", "cores", 18, 95.25),
+              "cores=18 (95.2%)");
+    EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Strings, JoinConcatenatesWithSeparator)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+} // namespace
+} // namespace softsku

@@ -1,0 +1,89 @@
+/** @file Unit tests for the text table/figure renderers. */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace softsku {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"service", "qps"});
+    t.row({"web", "100"});
+    t.row({"cache1", "100000"});
+    std::string out = t.render();
+    // Each rendered line is left-aligned on the same column boundary.
+    EXPECT_NE(out.find("service"), std::string::npos);
+    EXPECT_NE(out.find("cache1"), std::string::npos);
+    auto lineStart = out.find("web");
+    auto line2Start = out.find("cache1");
+    ASSERT_NE(lineStart, std::string::npos);
+    ASSERT_NE(line2Start, std::string::npos);
+    // Column two starts at the same offset in both data rows.
+    auto row1 = out.substr(out.find("web"));
+    auto row2 = out.substr(out.find("cache1"));
+    EXPECT_EQ(row1.find("100"), row2.find("100000"));
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"x"});
+    std::string out = t.render();
+    EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(TextTable, SeparatorInsertedBetweenGroups)
+{
+    TextTable t;
+    t.header({"k"});
+    t.row({"one"});
+    t.separator();
+    t.row({"two"});
+    std::string out = t.render();
+    // Header separator plus the requested one.
+    size_t dashes = 0;
+    for (size_t pos = out.find("---"); pos != std::string::npos;
+         pos = out.find("---", pos + 1)) {
+        ++dashes;
+    }
+    EXPECT_GE(dashes, 2u);
+}
+
+TEST(BarRow, ScalesAndClamps)
+{
+    std::string full = barRow("x", 10.0, 10.0, 10);
+    std::string half = barRow("x", 5.0, 10.0, 10);
+    std::string over = barRow("x", 20.0, 10.0, 10);
+    auto countHash = [](const std::string &s) {
+        size_t n = 0;
+        for (char c : s)
+            if (c == '#')
+                ++n;
+        return n;
+    };
+    EXPECT_EQ(countHash(full), 10u);
+    EXPECT_EQ(countHash(half), 5u);
+    EXPECT_EQ(countHash(over), 10u);
+}
+
+TEST(StackedBarRow, NormalizesToWidth)
+{
+    std::string bar = stackedBarRow("svc", {50.0, 30.0, 20.0}, 20);
+    auto open = bar.find('|');
+    auto close = bar.rfind('|');
+    ASSERT_NE(open, std::string::npos);
+    EXPECT_EQ(close - open - 1, 20u);
+}
+
+TEST(StackedBarRow, HandlesZeroTotal)
+{
+    std::string bar = stackedBarRow("svc", {0.0, 0.0}, 10);
+    EXPECT_NE(bar.find('|'), std::string::npos);
+}
+
+} // namespace
+} // namespace softsku
