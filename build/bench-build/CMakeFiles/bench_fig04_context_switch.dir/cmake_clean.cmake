@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_context_switch"
+  "../bench/bench_fig04_context_switch.pdb"
+  "CMakeFiles/bench_fig04_context_switch.dir/bench_fig04_context_switch.cc.o"
+  "CMakeFiles/bench_fig04_context_switch.dir/bench_fig04_context_switch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

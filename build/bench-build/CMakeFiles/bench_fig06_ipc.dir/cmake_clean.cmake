@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_ipc"
+  "../bench/bench_fig06_ipc.pdb"
+  "CMakeFiles/bench_fig06_ipc.dir/bench_fig06_ipc.cc.o"
+  "CMakeFiles/bench_fig06_ipc.dir/bench_fig06_ipc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_topdown"
+  "../bench/bench_fig07_topdown.pdb"
+  "CMakeFiles/bench_fig07_topdown.dir/bench_fig07_topdown.cc.o"
+  "CMakeFiles/bench_fig07_topdown.dir/bench_fig07_topdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_topdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

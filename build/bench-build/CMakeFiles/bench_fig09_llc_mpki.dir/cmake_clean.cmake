@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_llc_mpki"
+  "../bench/bench_fig09_llc_mpki.pdb"
+  "CMakeFiles/bench_fig09_llc_mpki.dir/bench_fig09_llc_mpki.cc.o"
+  "CMakeFiles/bench_fig09_llc_mpki.dir/bench_fig09_llc_mpki.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_llc_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_llc_ways"
+  "../bench/bench_fig10_llc_ways.pdb"
+  "CMakeFiles/bench_fig10_llc_ways.dir/bench_fig10_llc_ways.cc.o"
+  "CMakeFiles/bench_fig10_llc_ways.dir/bench_fig10_llc_ways.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_llc_ways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

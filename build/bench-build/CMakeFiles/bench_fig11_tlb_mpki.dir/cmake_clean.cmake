@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_tlb_mpki"
+  "../bench/bench_fig11_tlb_mpki.pdb"
+  "CMakeFiles/bench_fig11_tlb_mpki.dir/bench_fig11_tlb_mpki.cc.o"
+  "CMakeFiles/bench_fig11_tlb_mpki.dir/bench_fig11_tlb_mpki.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tlb_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

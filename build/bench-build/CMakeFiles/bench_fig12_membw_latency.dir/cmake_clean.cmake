@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_membw_latency"
+  "../bench/bench_fig12_membw_latency.pdb"
+  "CMakeFiles/bench_fig12_membw_latency.dir/bench_fig12_membw_latency.cc.o"
+  "CMakeFiles/bench_fig12_membw_latency.dir/bench_fig12_membw_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_membw_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

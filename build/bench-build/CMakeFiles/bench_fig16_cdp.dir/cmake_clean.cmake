@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_cdp"
+  "../bench/bench_fig16_cdp.pdb"
+  "CMakeFiles/bench_fig16_cdp.dir/bench_fig16_cdp.cc.o"
+  "CMakeFiles/bench_fig16_cdp.dir/bench_fig16_cdp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

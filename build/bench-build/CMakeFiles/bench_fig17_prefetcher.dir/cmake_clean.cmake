@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_prefetcher"
+  "../bench/bench_fig17_prefetcher.pdb"
+  "CMakeFiles/bench_fig17_prefetcher.dir/bench_fig17_prefetcher.cc.o"
+  "CMakeFiles/bench_fig17_prefetcher.dir/bench_fig17_prefetcher.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

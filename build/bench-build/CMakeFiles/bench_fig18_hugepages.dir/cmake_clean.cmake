@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_hugepages"
+  "../bench/bench_fig18_hugepages.pdb"
+  "CMakeFiles/bench_fig18_hugepages.dir/bench_fig18_hugepages.cc.o"
+  "CMakeFiles/bench_fig18_hugepages.dir/bench_fig18_hugepages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

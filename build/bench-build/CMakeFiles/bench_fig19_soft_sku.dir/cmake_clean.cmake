@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_soft_sku"
+  "../bench/bench_fig19_soft_sku.pdb"
+  "CMakeFiles/bench_fig19_soft_sku.dir/bench_fig19_soft_sku.cc.o"
+  "CMakeFiles/bench_fig19_soft_sku.dir/bench_fig19_soft_sku.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_soft_sku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_service_scales"
+  "../bench/bench_table2_service_scales.pdb"
+  "CMakeFiles/bench_table2_service_scales.dir/bench_table2_service_scales.cc.o"
+  "CMakeFiles/bench_table2_service_scales.dir/bench_table2_service_scales.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_service_scales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_findings"
+  "../bench/bench_table3_findings.pdb"
+  "CMakeFiles/bench_table3_findings.dir/bench_table3_findings.cc.o"
+  "CMakeFiles/bench_table3_findings.dir/bench_table3_findings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

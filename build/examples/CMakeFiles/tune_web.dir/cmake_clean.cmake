@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_web.dir/tune_web.cpp.o"
+  "CMakeFiles/tune_web.dir/tune_web.cpp.o.d"
+  "tune_web"
+  "tune_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

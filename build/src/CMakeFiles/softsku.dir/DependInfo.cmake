@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/msr.cc" "src/CMakeFiles/softsku.dir/arch/msr.cc.o" "gcc" "src/CMakeFiles/softsku.dir/arch/msr.cc.o.d"
+  "/root/repo/src/arch/platform.cc" "src/CMakeFiles/softsku.dir/arch/platform.cc.o" "gcc" "src/CMakeFiles/softsku.dir/arch/platform.cc.o.d"
+  "/root/repo/src/arch/topdown.cc" "src/CMakeFiles/softsku.dir/arch/topdown.cc.o" "gcc" "src/CMakeFiles/softsku.dir/arch/topdown.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/softsku.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/softsku.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/cdp.cc" "src/CMakeFiles/softsku.dir/cache/cdp.cc.o" "gcc" "src/CMakeFiles/softsku.dir/cache/cdp.cc.o.d"
+  "/root/repo/src/core/ab_test.cc" "src/CMakeFiles/softsku.dir/core/ab_test.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/ab_test.cc.o.d"
+  "/root/repo/src/core/configurator.cc" "src/CMakeFiles/softsku.dir/core/configurator.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/configurator.cc.o.d"
+  "/root/repo/src/core/design_space.cc" "src/CMakeFiles/softsku.dir/core/design_space.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/design_space.cc.o.d"
+  "/root/repo/src/core/design_space_map.cc" "src/CMakeFiles/softsku.dir/core/design_space_map.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/design_space_map.cc.o.d"
+  "/root/repo/src/core/input_spec.cc" "src/CMakeFiles/softsku.dir/core/input_spec.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/input_spec.cc.o.d"
+  "/root/repo/src/core/knobs.cc" "src/CMakeFiles/softsku.dir/core/knobs.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/knobs.cc.o.d"
+  "/root/repo/src/core/report_writer.cc" "src/CMakeFiles/softsku.dir/core/report_writer.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/report_writer.cc.o.d"
+  "/root/repo/src/core/soft_sku.cc" "src/CMakeFiles/softsku.dir/core/soft_sku.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/soft_sku.cc.o.d"
+  "/root/repo/src/core/usku.cc" "src/CMakeFiles/softsku.dir/core/usku.cc.o" "gcc" "src/CMakeFiles/softsku.dir/core/usku.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/softsku.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/softsku.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/stress.cc" "src/CMakeFiles/softsku.dir/mem/stress.cc.o" "gcc" "src/CMakeFiles/softsku.dir/mem/stress.cc.o.d"
+  "/root/repo/src/os/context_switch.cc" "src/CMakeFiles/softsku.dir/os/context_switch.cc.o" "gcc" "src/CMakeFiles/softsku.dir/os/context_switch.cc.o.d"
+  "/root/repo/src/os/hugepage.cc" "src/CMakeFiles/softsku.dir/os/hugepage.cc.o" "gcc" "src/CMakeFiles/softsku.dir/os/hugepage.cc.o.d"
+  "/root/repo/src/os/kernelfs.cc" "src/CMakeFiles/softsku.dir/os/kernelfs.cc.o" "gcc" "src/CMakeFiles/softsku.dir/os/kernelfs.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/softsku.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/softsku.dir/os/scheduler.cc.o.d"
+  "/root/repo/src/prefetch/config.cc" "src/CMakeFiles/softsku.dir/prefetch/config.cc.o" "gcc" "src/CMakeFiles/softsku.dir/prefetch/config.cc.o.d"
+  "/root/repo/src/prefetch/prefetcher.cc" "src/CMakeFiles/softsku.dir/prefetch/prefetcher.cc.o" "gcc" "src/CMakeFiles/softsku.dir/prefetch/prefetcher.cc.o.d"
+  "/root/repo/src/services/ads.cc" "src/CMakeFiles/softsku.dir/services/ads.cc.o" "gcc" "src/CMakeFiles/softsku.dir/services/ads.cc.o.d"
+  "/root/repo/src/services/caches.cc" "src/CMakeFiles/softsku.dir/services/caches.cc.o" "gcc" "src/CMakeFiles/softsku.dir/services/caches.cc.o.d"
+  "/root/repo/src/services/feeds.cc" "src/CMakeFiles/softsku.dir/services/feeds.cc.o" "gcc" "src/CMakeFiles/softsku.dir/services/feeds.cc.o.d"
+  "/root/repo/src/services/registry.cc" "src/CMakeFiles/softsku.dir/services/registry.cc.o" "gcc" "src/CMakeFiles/softsku.dir/services/registry.cc.o.d"
+  "/root/repo/src/services/reported.cc" "src/CMakeFiles/softsku.dir/services/reported.cc.o" "gcc" "src/CMakeFiles/softsku.dir/services/reported.cc.o.d"
+  "/root/repo/src/services/spec_suite.cc" "src/CMakeFiles/softsku.dir/services/spec_suite.cc.o" "gcc" "src/CMakeFiles/softsku.dir/services/spec_suite.cc.o.d"
+  "/root/repo/src/services/web.cc" "src/CMakeFiles/softsku.dir/services/web.cc.o" "gcc" "src/CMakeFiles/softsku.dir/services/web.cc.o.d"
+  "/root/repo/src/sim/btb.cc" "src/CMakeFiles/softsku.dir/sim/btb.cc.o" "gcc" "src/CMakeFiles/softsku.dir/sim/btb.cc.o.d"
+  "/root/repo/src/sim/fleet.cc" "src/CMakeFiles/softsku.dir/sim/fleet.cc.o" "gcc" "src/CMakeFiles/softsku.dir/sim/fleet.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/softsku.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/softsku.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/production_env.cc" "src/CMakeFiles/softsku.dir/sim/production_env.cc.o" "gcc" "src/CMakeFiles/softsku.dir/sim/production_env.cc.o.d"
+  "/root/repo/src/sim/qos.cc" "src/CMakeFiles/softsku.dir/sim/qos.cc.o" "gcc" "src/CMakeFiles/softsku.dir/sim/qos.cc.o.d"
+  "/root/repo/src/sim/service_sim.cc" "src/CMakeFiles/softsku.dir/sim/service_sim.cc.o" "gcc" "src/CMakeFiles/softsku.dir/sim/service_sim.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/softsku.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/softsku.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/softsku.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/softsku.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/CMakeFiles/softsku.dir/stats/rng.cc.o" "gcc" "src/CMakeFiles/softsku.dir/stats/rng.cc.o.d"
+  "/root/repo/src/stats/running_stat.cc" "src/CMakeFiles/softsku.dir/stats/running_stat.cc.o" "gcc" "src/CMakeFiles/softsku.dir/stats/running_stat.cc.o.d"
+  "/root/repo/src/stats/students_t.cc" "src/CMakeFiles/softsku.dir/stats/students_t.cc.o" "gcc" "src/CMakeFiles/softsku.dir/stats/students_t.cc.o.d"
+  "/root/repo/src/telemetry/emon.cc" "src/CMakeFiles/softsku.dir/telemetry/emon.cc.o" "gcc" "src/CMakeFiles/softsku.dir/telemetry/emon.cc.o.d"
+  "/root/repo/src/telemetry/ods.cc" "src/CMakeFiles/softsku.dir/telemetry/ods.cc.o" "gcc" "src/CMakeFiles/softsku.dir/telemetry/ods.cc.o.d"
+  "/root/repo/src/telemetry/tmam_report.cc" "src/CMakeFiles/softsku.dir/telemetry/tmam_report.cc.o" "gcc" "src/CMakeFiles/softsku.dir/telemetry/tmam_report.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/CMakeFiles/softsku.dir/tlb/tlb.cc.o" "gcc" "src/CMakeFiles/softsku.dir/tlb/tlb.cc.o.d"
+  "/root/repo/src/util/cli.cc" "src/CMakeFiles/softsku.dir/util/cli.cc.o" "gcc" "src/CMakeFiles/softsku.dir/util/cli.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/CMakeFiles/softsku.dir/util/json.cc.o" "gcc" "src/CMakeFiles/softsku.dir/util/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/softsku.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/softsku.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/softsku.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/softsku.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/softsku.dir/util/table.cc.o" "gcc" "src/CMakeFiles/softsku.dir/util/table.cc.o.d"
+  "/root/repo/src/workload/address_space.cc" "src/CMakeFiles/softsku.dir/workload/address_space.cc.o" "gcc" "src/CMakeFiles/softsku.dir/workload/address_space.cc.o.d"
+  "/root/repo/src/workload/codegen.cc" "src/CMakeFiles/softsku.dir/workload/codegen.cc.o" "gcc" "src/CMakeFiles/softsku.dir/workload/codegen.cc.o.d"
+  "/root/repo/src/workload/datagen.cc" "src/CMakeFiles/softsku.dir/workload/datagen.cc.o" "gcc" "src/CMakeFiles/softsku.dir/workload/datagen.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/softsku.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/softsku.dir/workload/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/msr_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/msr_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/platform_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/platform_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/topdown_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/topdown_test.cc.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

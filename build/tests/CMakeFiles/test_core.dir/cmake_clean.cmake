@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/ab_test_test.cc.o"
+  "CMakeFiles/test_core.dir/core/ab_test_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/design_space_test.cc.o"
+  "CMakeFiles/test_core.dir/core/design_space_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/report_writer_test.cc.o"
+  "CMakeFiles/test_core.dir/core/report_writer_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/usku_test.cc.o"
+  "CMakeFiles/test_core.dir/core/usku_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

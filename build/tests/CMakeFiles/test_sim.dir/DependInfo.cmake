@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/fleet_test.cc" "tests/CMakeFiles/test_sim.dir/sim/fleet_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/fleet_test.cc.o.d"
+  "/root/repo/tests/sim/knob_properties_test.cc" "tests/CMakeFiles/test_sim.dir/sim/knob_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/knob_properties_test.cc.o.d"
+  "/root/repo/tests/sim/machine_test.cc" "tests/CMakeFiles/test_sim.dir/sim/machine_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/machine_test.cc.o.d"
+  "/root/repo/tests/sim/production_env_test.cc" "tests/CMakeFiles/test_sim.dir/sim/production_env_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/production_env_test.cc.o.d"
+  "/root/repo/tests/sim/qos_test.cc" "tests/CMakeFiles/test_sim.dir/sim/qos_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/qos_test.cc.o.d"
+  "/root/repo/tests/sim/service_sim_test.cc" "tests/CMakeFiles/test_sim.dir/sim/service_sim_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/service_sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/softsku.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

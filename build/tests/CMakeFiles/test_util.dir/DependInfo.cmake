@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/cli_test.cc" "tests/CMakeFiles/test_util.dir/util/cli_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/cli_test.cc.o.d"
+  "/root/repo/tests/util/json_test.cc" "tests/CMakeFiles/test_util.dir/util/json_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/json_test.cc.o.d"
+  "/root/repo/tests/util/strings_test.cc" "tests/CMakeFiles/test_util.dir/util/strings_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/strings_test.cc.o.d"
+  "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/test_util.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/test_util.dir/util/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/softsku.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
