@@ -8,6 +8,10 @@
  *   tune_web [--service=web] [--platform=skylake18]
  *            [--sweep=independent|exhaustive|hillclimb]
  *            [--knobs=cdp,thp,shp] [--seed=1] [--json]
+ *            [--jobs=N|auto]
+ *
+ * --jobs parallelizes the A/B sweep across N worker threads; the
+ * report is bit-identical for every N (deterministic replay).
  */
 
 #include <cstdio>
@@ -45,7 +49,10 @@ main(int argc, char **argv)
     simOpts.measureInstructions = 900'000;
     ProductionEnvironment env(service, platform, spec.seed, simOpts);
 
-    Usku tool(env);
+    UskuOptions options;
+    options.jobs = args.getJobs(1);
+
+    Usku tool(env, options);
     UskuReport report = tool.run(spec);
 
     if (args.has("json")) {

@@ -30,18 +30,39 @@ ABTester::ABTester(ProductionEnvironment &env, const InputSpec &spec)
 ABTestResult
 ABTester::compare(const KnobConfig &baseline, const KnobConfig &candidate)
 {
+    ABTestResult result = measure(baseline, candidate, clockSec_);
+    clockSec_ += result.elapsedSec;
+    return result;
+}
+
+ABTestResult
+ABTester::compareAt(const KnobConfig &baseline, const KnobConfig &candidate,
+                    double startSec)
+{
+    return measure(baseline, candidate, startSec);
+}
+
+ABTestResult
+ABTester::measure(const KnobConfig &baseline, const KnobConfig &candidate,
+                  double startSec)
+{
     ABTestResult result;
     result.configA = baseline;
     result.configB = candidate;
 
     const double spacing = spec_.sampleSpacingSec;
-    double start = clockSec_;
+    double clock = startSec;
+
+    // Resolve the ground truths once per test: samplePairTruth keeps
+    // the tens-of-thousands-samples loop free of config hashing.
+    const double trueA = env_.trueMips(baseline);
+    const double trueB = env_.trueMips(candidate);
 
     // Warm-up: both servers run the new configuration for a few
     // minutes before observations count (cold-start bias, Sec. 4).
     for (std::uint64_t i = 0; i < spec_.warmupSamples; ++i) {
-        clockSec_ += spacing;
-        (void)env_.samplePair(baseline, candidate, clockSec_);
+        clock += spacing;
+        (void)env_.samplePairTruth(trueA, trueB, clock);
     }
 
     // Sequential sampling in batches; stop early once the difference
@@ -49,9 +70,9 @@ ABTester::compare(const KnobConfig &baseline, const KnobConfig &candidate)
     const std::uint64_t batch = 100;
     while (result.samplesUsed < spec_.maxSamplesPerTest) {
         for (std::uint64_t i = 0; i < batch; ++i) {
-            clockSec_ += spacing;
+            clock += spacing;
             PairedSample sample =
-                env_.samplePair(baseline, candidate, clockSec_);
+                env_.samplePairTruth(trueA, trueB, clock);
             result.samplesA.add(sample.mipsA);
             result.samplesB.add(sample.mipsB);
             // Simultaneous measurement is what pairing buys: the
@@ -76,7 +97,7 @@ ABTester::compare(const KnobConfig &baseline, const KnobConfig &candidate)
         result.welch = pairedTTest(result.pairedDiffs, spec_.confidence);
         result.significant = result.welch.significant;
     }
-    result.elapsedSec = clockSec_ - start;
+    result.elapsedSec = clock - startSec;
     return result;
 }
 

@@ -61,10 +61,24 @@ class ABTester
     ABTestResult compare(const KnobConfig &baseline,
                          const KnobConfig &candidate);
 
+    /**
+     * Run one comparison in a fixed measurement window starting at
+     * @p startSec, without touching the shared monotonic clock.  This
+     * is the parallel sweep engine's entry point: the window start is
+     * derived deterministically per arm, so the result depends only on
+     * (environment seed, spec, configs, startSec) — never on which
+     * thread runs it or in what order.
+     */
+    ABTestResult compareAt(const KnobConfig &baseline,
+                           const KnobConfig &candidate, double startSec);
+
     /** Simulated wall-clock spent measuring so far. */
     double elapsedSec() const { return clockSec_; }
 
   private:
+    ABTestResult measure(const KnobConfig &baseline,
+                         const KnobConfig &candidate, double startSec);
+
     ProductionEnvironment &env_;
     const InputSpec &spec_;
     double clockSec_ = 0.0;

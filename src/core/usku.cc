@@ -43,6 +43,9 @@ UskuReport::toJson() const
     doc.set("measurement_hours", Json(measurementHours));
     doc.set("configs_evaluated",
             Json(static_cast<long long>(configsEvaluated)));
+    doc.set("ab_comparisons",
+            Json(static_cast<long long>(abComparisons)));
+    doc.set("cache_hits", Json(static_cast<long long>(cacheHits)));
     Json validationDoc = Json::object();
     validationDoc.set("duration_sec", Json(validation.durationSec));
     validationDoc.set("samples",
@@ -71,65 +74,14 @@ UskuReport::summary() const
     out += format("  configs evaluated: %llu, measurement time: %.1f h\n",
                   static_cast<unsigned long long>(configsEvaluated),
                   measurementHours);
+    out += format("  A/B comparisons: %llu (%llu served from cache)\n",
+                  static_cast<unsigned long long>(abComparisons),
+                  static_cast<unsigned long long>(cacheHits));
     out += format("  validation: %+.2f%% ± %.2f%% over %.1f days (%s)\n",
                   validation.meanGainPercent, validation.gainCiPercent,
                   validation.durationSec / 86400.0,
                   validation.stable ? "stable" : "not significant");
     return out;
-}
-
-Usku::Usku(ProductionEnvironment &env) : env_(env) {}
-
-UskuReport
-Usku::run(const InputSpec &specIn)
-{
-    InputSpec spec = specIn;
-    spec.normalize();
-    spec.validate();
-
-    const WorkloadProfile &profile = env_.profile();
-    const PlatformSpec &platform = env_.platform();
-    if (profile.name != toLower(spec.microservice)) {
-        fatal("μSKU: environment simulates '%s' but the spec targets "
-              "'%s'", profile.name.c_str(), spec.microservice.c_str());
-    }
-
-    UskuReport report;
-    report.spec = spec;
-    report.plan = buildTestPlan(spec, platform, profile);
-    report.production = productionConfig(platform, profile);
-    report.stock = stockConfig(platform, profile);
-
-    ABTester tester(env_, spec);
-    switch (spec.sweep) {
-      case SweepMode::Independent:
-        report.map = sweepIndependent(tester, report.plan,
-                                      report.production);
-        break;
-      case SweepMode::Exhaustive:
-        report.map = sweepExhaustive(tester, report.plan,
-                                     report.production);
-        break;
-      case SweepMode::HillClimb:
-        report.map = sweepHillClimb(tester, report.plan,
-                                    report.production);
-        break;
-    }
-
-    SoftSkuGenerator generator;
-    report.softSku = generator.compose(report.map);
-
-    report.productionMips = env_.trueMips(report.production);
-    report.stockMips = env_.trueMips(report.stock);
-    report.softSkuMips = env_.trueMips(report.softSku);
-    report.measurementHours = tester.elapsedSec() / 3600.0;
-    report.configsEvaluated = env_.configsSimulated();
-
-    OdsStore ods;
-    report.validation = generator.validate(
-        env_, report.softSku, report.production,
-        spec.validationDurationSec, ods);
-    return report;
 }
 
 namespace {
@@ -148,28 +100,211 @@ makeOutcome(const KnobValue &value, const ABTestResult &test)
     return outcome;
 }
 
+/** Stable 64-bit id for a comparison key (FNV-1a). */
+std::uint64_t
+streamIdFor(const std::string &key)
+{
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (unsigned char c : key) {
+        hash ^= c;
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+/**
+ * Deterministic measurement-window start for a task: spread arms
+ * across a simulated week of diurnal phases in half-hour steps, so
+ * different knob tests still see different load regimes — as the
+ * serial multi-hour sweep did — without sharing a clock.
+ */
+double
+phaseOffsetSec(std::uint64_t streamId)
+{
+    return static_cast<double>(streamId % 336) * 1800.0;
+}
+
 } // namespace
 
+Usku::Usku(ProductionEnvironment &env, UskuOptions options)
+    : env_(env), options_(options)
+{
+    if (options_.jobs != 1)
+        pool_ = std::make_unique<ThreadPool>(options_.jobs);
+}
+
+Usku::~Usku() = default;
+
+UskuReport
+Usku::run(const InputSpec &specIn)
+{
+    InputSpec spec = specIn;
+    spec.normalize();
+    spec.validate();
+
+    const WorkloadProfile &profile = env_.profile();
+    const PlatformSpec &platform = env_.platform();
+    if (profile.name != toLower(spec.microservice)) {
+        fatal("μSKU: environment simulates '%s' but the spec targets "
+              "'%s'", profile.name.c_str(), spec.microservice.c_str());
+    }
+
+    comparisons_ = 0;
+    cacheHits_ = 0;
+    measuredSec_ = 0.0;
+
+    UskuReport report;
+    report.spec = spec;
+    report.plan = buildTestPlan(spec, platform, profile);
+    report.production = productionConfig(platform, profile);
+    report.stock = stockConfig(platform, profile);
+
+    switch (spec.sweep) {
+      case SweepMode::Independent:
+        report.map = sweepIndependent(report.plan, report.production,
+                                      spec);
+        break;
+      case SweepMode::Exhaustive:
+        report.map = sweepExhaustive(report.plan, report.production,
+                                     spec);
+        break;
+      case SweepMode::HillClimb:
+        report.map = sweepHillClimb(report.plan, report.production,
+                                    spec);
+        break;
+    }
+
+    SoftSkuGenerator generator;
+    report.softSku = generator.compose(report.map);
+
+    report.productionMips = env_.trueMips(report.production);
+    report.stockMips = env_.trueMips(report.stock);
+    report.softSkuMips = env_.trueMips(report.softSku);
+    report.measurementHours = measuredSec_ / 3600.0;
+    report.configsEvaluated = env_.configsSimulated();
+    report.abComparisons = comparisons_;
+    report.cacheHits = cacheHits_;
+
+    OdsStore ods;
+    report.validation = generator.validate(
+        env_, report.softSku, report.production,
+        spec.validationDurationSec, ods);
+    return report;
+}
+
+std::vector<ABTestResult>
+Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
+{
+    comparisons_ += batch.size();
+    std::vector<ABTestResult> results(batch.size());
+
+    // Sort out which slots need measurement: memo hits and in-batch
+    // duplicates resolve without touching the simulator.  Stream ids
+    // derive from the comparison key itself, so a given comparison
+    // replays the same noise stream no matter where it appears.
+    struct Pending
+    {
+        size_t slot;
+        std::string key;
+        std::uint64_t stream;
+    };
+    std::vector<Pending> pending;
+    std::unordered_map<std::string, size_t> seenInBatch;
+    std::vector<std::pair<size_t, size_t>> aliases;  // (dup, source)
+
+    const PlatformSpec &platform = env_.platform();
+    for (size_t i = 0; i < batch.size(); ++i) {
+        std::string key =
+            batch[i].baseline.canonical(platform).describe() + " vs " +
+            batch[i].candidate.canonical(platform).describe();
+        auto hit = memo_.find(key);
+        if (hit != memo_.end()) {
+            results[i] = hit->second;
+            ++cacheHits_;
+            continue;
+        }
+        auto first = seenInBatch.find(key);
+        if (first != seenInBatch.end()) {
+            aliases.emplace_back(i, first->second);
+            ++cacheHits_;
+            continue;
+        }
+        seenInBatch.emplace(key, i);
+        std::uint64_t stream = streamIdFor(key);
+        pending.push_back(Pending{i, std::move(key), stream});
+    }
+
+    auto evaluateOne = [&](size_t p) {
+        const Comparison &task = batch[pending[p].slot];
+        // A private fleet slice per task: shared truth cache, private
+        // noise substream.  Nothing here mutates engine state.
+        ProductionEnvironment slice = env_.clone(pending[p].stream);
+        ABTester tester(slice, spec);
+        results[pending[p].slot] =
+            tester.compareAt(task.baseline, task.candidate,
+                             phaseOffsetSec(pending[p].stream));
+    };
+
+    if (pool_ && pending.size() > 1) {
+        pool_->parallelFor(pending.size(), evaluateOne);
+    } else {
+        for (size_t p = 0; p < pending.size(); ++p)
+            evaluateOne(p);
+    }
+
+    // Commit sequentially in batch order so memo contents and the
+    // floating-point accumulation order are thread-count-invariant.
+    for (Pending &p : pending) {
+        measuredSec_ += results[p.slot].elapsedSec;
+        memo_.emplace(std::move(p.key), results[p.slot]);
+    }
+    for (const auto &[dup, source] : aliases)
+        results[dup] = results[source];
+    return results;
+}
+
 DesignSpaceMap
-Usku::sweepIndependent(ABTester &tester, const TestPlan &plan,
-                       const KnobConfig &baseline)
+Usku::sweepIndependent(const TestPlan &plan, const KnobConfig &baseline,
+                       const InputSpec &spec)
 {
     DesignSpaceMap map;
     map.baseline = baseline;
     map.baselineMips = env_.trueMips(baseline);
 
-    for (const KnobPlan &knobPlan : plan.knobs) {
-        KnobSweep sweep;
-        sweep.id = knobPlan.id;
-        KnobValue baselineValue =
-            KnobValue::fromConfig(knobPlan.id, baseline);
-
-        const PlatformSpec &platform = env_.platform();
-        for (const KnobValue &value : knobPlan.values) {
+    // Every non-baseline arm of every knob is one independent task.
+    struct Slot
+    {
+        const KnobValue *value;
+        bool isBaseline;
+        size_t batchIndex;
+    };
+    const PlatformSpec &platform = env_.platform();
+    std::vector<Comparison> batch;
+    std::vector<std::vector<Slot>> slots(plan.knobs.size());
+    for (size_t k = 0; k < plan.knobs.size(); ++k) {
+        for (const KnobValue &value : plan.knobs[k].values) {
             KnobConfig candidate = baseline;
             value.applyTo(candidate);
             if (candidate.canonical(platform) ==
                 baseline.canonical(platform)) {
+                slots[k].push_back(Slot{&value, true, 0});
+            } else {
+                slots[k].push_back(Slot{&value, false, batch.size()});
+                batch.push_back(Comparison{baseline, candidate});
+            }
+        }
+    }
+
+    std::vector<ABTestResult> results = evaluate(batch, spec);
+
+    for (size_t k = 0; k < plan.knobs.size(); ++k) {
+        const KnobPlan &knobPlan = plan.knobs[k];
+        KnobSweep sweep;
+        sweep.id = knobPlan.id;
+        KnobValue baselineValue =
+            KnobValue::fromConfig(knobPlan.id, baseline);
+        for (const Slot &slot : slots[k]) {
+            if (slot.isBaseline) {
                 KnobOutcome outcome;
                 outcome.value = baselineValue;
                 outcome.meanMips = map.baselineMips;
@@ -177,10 +312,10 @@ Usku::sweepIndependent(ABTester &tester, const TestPlan &plan,
                 sweep.outcomes.push_back(outcome);
                 continue;
             }
-            ABTestResult test = tester.compare(baseline, candidate);
-            sweep.outcomes.push_back(makeOutcome(value, test));
+            const ABTestResult &test = results[slot.batchIndex];
+            sweep.outcomes.push_back(makeOutcome(*slot.value, test));
             debug("μSKU A/B: %s = %s → %+0.2f%% (p=%.3g, n=%llu)",
-                  knobKey(knobPlan.id).c_str(), value.label.c_str(),
+                  knobKey(knobPlan.id).c_str(), slot.value->label.c_str(),
                   test.gainPercent(), test.welch.pValue,
                   static_cast<unsigned long long>(test.samplesUsed));
         }
@@ -190,8 +325,8 @@ Usku::sweepIndependent(ABTester &tester, const TestPlan &plan,
 }
 
 DesignSpaceMap
-Usku::sweepExhaustive(ABTester &tester, const TestPlan &plan,
-                      const KnobConfig &baseline)
+Usku::sweepExhaustive(const TestPlan &plan, const KnobConfig &baseline,
+                      const InputSpec &spec)
 {
     // Bound the cross product: the paper observes exhaustive sweeps
     // cannot complete between code pushes; the limit keeps runs honest.
@@ -211,25 +346,20 @@ Usku::sweepExhaustive(ABTester &tester, const TestPlan &plan,
     map.baseline = baseline;
     map.baselineMips = env_.trueMips(baseline);
 
-    // Enumerate the cross product; track the best configuration seen
-    // and report it as a single-knob-sweep-like map entry per knob so
-    // composition picks exactly the winning combination.
+    // Enumerate the cross product as one task batch; the reduction to
+    // the best configuration happens in enumeration order afterwards,
+    // so the winner is independent of evaluation schedule.
     std::vector<size_t> index(plan.knobs.size(), 0);
-    KnobConfig bestConfig = baseline;
-    double bestMean = map.baselineMips;
+    std::vector<Comparison> batch;
+    std::vector<KnobConfig> candidates;
     bool done = plan.knobs.empty();
     while (!done) {
         KnobConfig candidate = baseline;
         for (size_t k = 0; k < plan.knobs.size(); ++k)
             plan.knobs[k].values[index[k]].applyTo(candidate);
-
         if (!(candidate == baseline)) {
-            ABTestResult test = tester.compare(baseline, candidate);
-            if (test.significant && test.welch.meanDiff > 0.0 &&
-                test.samplesB.mean() > bestMean) {
-                bestMean = test.samplesB.mean();
-                bestConfig = candidate;
-            }
+            batch.push_back(Comparison{baseline, candidate});
+            candidates.push_back(candidate);
         }
 
         // Advance the mixed-radix counter.
@@ -241,6 +371,19 @@ Usku::sweepExhaustive(ABTester &tester, const TestPlan &plan,
             ++k;
         }
         done = k == index.size();
+    }
+
+    std::vector<ABTestResult> results = evaluate(batch, spec);
+
+    KnobConfig bestConfig = baseline;
+    double bestMean = map.baselineMips;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ABTestResult &test = results[i];
+        if (test.significant && test.welch.meanDiff > 0.0 &&
+            test.samplesB.mean() > bestMean) {
+            bestMean = test.samplesB.mean();
+            bestConfig = candidates[i];
+        }
     }
 
     for (const KnobPlan &knobPlan : plan.knobs) {
@@ -262,8 +405,8 @@ Usku::sweepExhaustive(ABTester &tester, const TestPlan &plan,
 }
 
 DesignSpaceMap
-Usku::sweepHillClimb(ABTester &tester, const TestPlan &plan,
-                     const KnobConfig &baseline)
+Usku::sweepHillClimb(const TestPlan &plan, const KnobConfig &baseline,
+                     const InputSpec &spec)
 {
     DesignSpaceMap map;
     map.baseline = baseline;
@@ -274,18 +417,30 @@ Usku::sweepHillClimb(ABTester &tester, const TestPlan &plan,
     for (int pass = 0; pass < maxPasses; ++pass) {
         bool moved = false;
         for (const KnobPlan &knobPlan : plan.knobs) {
-            const KnobValue *bestValue = nullptr;
-            double bestGain = 0.0;
-            ABTestResult bestTest;
+            // All neighbor probes for one knob run as a parallel
+            // batch; `current` only advances between batches, so the
+            // climb's trajectory is schedule-independent.  Re-probes
+            // of unchanged neighbors hit the memo cache.
+            std::vector<const KnobValue *> probed;
+            std::vector<Comparison> batch;
             for (const KnobValue &value : knobPlan.values) {
                 KnobConfig candidate = current;
                 value.applyTo(candidate);
                 if (candidate == current)
                     continue;
-                ABTestResult test = tester.compare(current, candidate);
+                probed.push_back(&value);
+                batch.push_back(Comparison{current, candidate});
+            }
+            std::vector<ABTestResult> results = evaluate(batch, spec);
+
+            const KnobValue *bestValue = nullptr;
+            double bestGain = 0.0;
+            ABTestResult bestTest;
+            for (size_t i = 0; i < results.size(); ++i) {
+                const ABTestResult &test = results[i];
                 if (test.significant && test.gainPercent() > bestGain) {
                     bestGain = test.gainPercent();
-                    bestValue = &value;
+                    bestValue = probed[i];
                     bestTest = test;
                 }
             }

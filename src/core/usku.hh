@@ -9,12 +9,24 @@
  * product (bounded — the paper notes it cannot finish between code
  * pushes), and greedy hill climbing (the discussion-section
  * extension).
+ *
+ * The sweep engine evaluates A/B comparisons as independent tasks on a
+ * work-stealing thread pool (UskuOptions::jobs).  Every task measures
+ * in its own ProductionEnvironment clone whose noise RNG is a
+ * substream keyed by the comparison itself, so the reduced design-space
+ * map and report are bit-identical at any thread count — a parallel
+ * sweep that changed results would be useless for A/B science.
+ * Repeated comparisons (hill-climb revisits, baseline re-tests) are
+ * served from a memo cache and skip measurement entirely.
  */
 
 #ifndef SOFTSKU_CORE_USKU_HH
 #define SOFTSKU_CORE_USKU_HH
 
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/configurator.hh"
 #include "core/design_space_map.hh"
@@ -22,6 +34,7 @@
 #include "core/soft_sku.hh"
 #include "sim/production_env.hh"
 #include "telemetry/ods.hh"
+#include "util/thread_pool.hh"
 
 namespace softsku {
 
@@ -41,6 +54,8 @@ struct UskuReport
     double softSkuMips = 0.0;
     double measurementHours = 0.0;  //!< simulated A/B wall clock
     std::uint64_t configsEvaluated = 0;
+    std::uint64_t abComparisons = 0;  //!< comparisons the sweep asked for
+    std::uint64_t cacheHits = 0;      //!< served from the memo cache
 
     /** Gain of the soft SKU over the hand-tuned production config. */
     double gainOverProductionPercent() const;
@@ -55,28 +70,72 @@ struct UskuReport
     std::string summary() const;
 };
 
+/**
+ * Execution policy for the sweep engine.  Deliberately *not* part of
+ * InputSpec: thread count is an operational choice, never a scientific
+ * one, and must not influence any reported number.
+ */
+struct UskuOptions
+{
+    /**
+     * Worker threads evaluating sweep tasks.  1 runs inline (no pool);
+     * 0 asks for the hardware concurrency.  Reports are bit-identical
+     * for every value.
+     */
+    unsigned jobs = 1;
+};
+
 /** The tool facade. */
 class Usku
 {
   public:
     /**
-     * @param env the production environment to measure in; the caller
-     *            owns it so benches can reuse simulation caches
+     * @param env     the production environment to measure in; the
+     *                caller owns it so benches can reuse simulation
+     *                caches
+     * @param options sweep execution policy (--jobs)
      */
-    explicit Usku(ProductionEnvironment &env);
+    explicit Usku(ProductionEnvironment &env, UskuOptions options = {});
+    ~Usku();
 
     /** Run the full pipeline for @p spec. */
     UskuReport run(const InputSpec &spec);
 
   private:
-    DesignSpaceMap sweepIndependent(ABTester &tester, const TestPlan &plan,
-                                    const KnobConfig &baseline);
-    DesignSpaceMap sweepExhaustive(ABTester &tester, const TestPlan &plan,
-                                   const KnobConfig &baseline);
-    DesignSpaceMap sweepHillClimb(ABTester &tester, const TestPlan &plan,
-                                  const KnobConfig &baseline);
+    /** One A/B task: measure @p candidate against @p baseline. */
+    struct Comparison
+    {
+        KnobConfig baseline;
+        KnobConfig candidate;
+    };
+
+    /**
+     * Evaluate a batch of comparisons — in parallel when a pool is
+     * configured — and return results in batch order.  Duplicate
+     * comparisons (within the batch or remembered from earlier
+     * batches) are served from the memo cache.
+     */
+    std::vector<ABTestResult> evaluate(const std::vector<Comparison> &batch,
+                                       const InputSpec &spec);
+
+    DesignSpaceMap sweepIndependent(const TestPlan &plan,
+                                    const KnobConfig &baseline,
+                                    const InputSpec &spec);
+    DesignSpaceMap sweepExhaustive(const TestPlan &plan,
+                                   const KnobConfig &baseline,
+                                   const InputSpec &spec);
+    DesignSpaceMap sweepHillClimb(const TestPlan &plan,
+                                  const KnobConfig &baseline,
+                                  const InputSpec &spec);
 
     ProductionEnvironment &env_;
+    UskuOptions options_;
+    std::unique_ptr<ThreadPool> pool_;
+    /** Comparison key → measured result; lives as long as the tool. */
+    std::unordered_map<std::string, ABTestResult> memo_;
+    std::uint64_t comparisons_ = 0;
+    std::uint64_t cacheHits_ = 0;
+    double measuredSec_ = 0.0;
 };
 
 } // namespace softsku

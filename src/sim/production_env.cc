@@ -26,22 +26,52 @@ ProductionEnvironment::ProductionEnvironment(const WorkloadProfile &profile,
                                              std::uint64_t seed,
                                              const SimOptions &simOpts)
     : profile_(profile), platform_(platform), seed_(seed),
-      simOpts_(simOpts), rng_(seed ^ 0xE4)
+      simOpts_(simOpts), rng_(seed ^ 0xE4),
+      cache_(std::make_shared<SimulationCache>())
 {
 }
 
 const CounterSet &
 ProductionEnvironment::counters(const KnobConfig &config)
 {
-    std::string key = config.describe();
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    // Canonical key: "all cores" and "18 cores" are one simulation on
+    // an 18-core platform.  Entries are immutable once inserted and
+    // std::map nodes are stable, so returning a reference after the
+    // lock drops is safe.
+    KnobConfig canonical = config.canonical(platform_);
+    std::string key = canonical.describe();
+    {
+        std::lock_guard<std::mutex> lock(cache_->mutex);
+        auto it = cache_->entries.find(key);
+        if (it != cache_->entries.end())
+            return it->second;
+    }
 
+    // Simulate outside the lock so concurrent sweep tasks overlap
+    // distinct configurations; a duplicate race wastes one simulation
+    // but the first insert wins and results are deterministic anyway.
     SimOptions opts = simOpts_;
     opts.seed = seed_;
-    CounterSet result = simulateService(profile_, platform_, config, opts);
-    return cache_.emplace(std::move(key), result).first->second;
+    CounterSet result =
+        simulateService(profile_, platform_, canonical, opts);
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    return cache_->entries.emplace(std::move(key), result).first->second;
+}
+
+size_t
+ProductionEnvironment::configsSimulated() const
+{
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    return cache_->entries.size();
+}
+
+ProductionEnvironment
+ProductionEnvironment::clone(std::uint64_t streamId) const
+{
+    ProductionEnvironment slice(*this);
+    // Same construction-time root as rng_, rebased onto the substream.
+    slice.rng_ = Rng(seed_ ^ 0xE4).split(streamId);
+    return slice;
 }
 
 double
@@ -77,12 +107,19 @@ PairedSample
 ProductionEnvironment::samplePair(const KnobConfig &a, const KnobConfig &b,
                                   double timeSec)
 {
+    return samplePairTruth(trueMips(a), trueMips(b), timeSec);
+}
+
+PairedSample
+ProductionEnvironment::samplePairTruth(double trueA, double trueB,
+                                       double timeSec)
+{
     PairedSample sample;
     double shared = loadFactor(timeSec) * codePushFactor(timeSec);
     sample.loadFactor = shared;
-    sample.mipsA = trueMips(a) * shared *
+    sample.mipsA = trueA * shared *
                    rng_.logNormalMean(1.0, noise_.measurementSigma);
-    sample.mipsB = trueMips(b) * shared *
+    sample.mipsB = trueB * shared *
                    rng_.logNormalMean(1.0, noise_.measurementSigma);
     return sample;
 }

@@ -20,6 +20,8 @@
 #define SOFTSKU_SIM_PRODUCTION_ENV_HH
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "arch/platform.hh"
@@ -69,12 +71,25 @@ class ProductionEnvironment
 
     /**
      * Ground-truth platform MIPS for a configuration at peak load.
-     * Simulated once per distinct configuration, then cached.
+     * Simulated once per distinct *canonical* configuration, then
+     * cached; the cache is shared with every clone() of this
+     * environment and is safe to populate from concurrent sweep tasks.
      */
     double trueMips(const KnobConfig &config);
 
     /** Full counter set for a configuration (cached with the truth). */
     const CounterSet &counters(const KnobConfig &config);
+
+    /**
+     * An independent measurement slice of the same fleet: identical
+     * service, platform, noise model, and ground-truth cache (shared,
+     * so a configuration is never simulated twice across slices), but
+     * with its noise RNG on the substream @p streamId.  Two clones
+     * with the same id replay identical sample sequences; clones with
+     * different ids are statistically independent.  This is what each
+     * parallel sweep task measures in.
+     */
+    ProductionEnvironment clone(std::uint64_t streamId) const;
 
     /** Diurnal load multiplier at wall-clock time @p timeSec. */
     double loadFactor(double timeSec) const;
@@ -86,11 +101,19 @@ class ProductionEnvironment
     PairedSample samplePair(const KnobConfig &a, const KnobConfig &b,
                             double timeSec);
 
+    /**
+     * Same draw, with the ground truths already in hand — the sweep
+     * hot path: one truth lookup per A/B test instead of two string
+     * builds and map probes per sample.
+     */
+    PairedSample samplePairTruth(double trueA, double trueB,
+                                 double timeSec);
+
     /** Draw one single-server sample (used by the validation phase). */
     double sampleMips(const KnobConfig &config, double timeSec);
 
     /** Number of distinct configurations simulated so far. */
-    size_t configsSimulated() const { return cache_.size(); }
+    size_t configsSimulated() const;
 
     const WorkloadProfile &profile() const { return profile_; }
     const PlatformSpec &platform() const { return platform_; }
@@ -98,6 +121,13 @@ class ProductionEnvironment
     EnvironmentNoise &noise() { return noise_; }
 
   private:
+    /** Truth cache shared between an environment and all its clones. */
+    struct SimulationCache
+    {
+        std::mutex mutex;
+        std::map<std::string, CounterSet> entries;
+    };
+
     double codePushFactor(double timeSec) const;
 
     const WorkloadProfile &profile_;
@@ -106,7 +136,7 @@ class ProductionEnvironment
     SimOptions simOpts_;
     EnvironmentNoise noise_;
     Rng rng_;
-    std::map<std::string, CounterSet> cache_;
+    std::shared_ptr<SimulationCache> cache_;
 };
 
 } // namespace softsku

@@ -25,7 +25,7 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
-Rng::Rng(std::uint64_t seed)
+Rng::Rng(std::uint64_t seed) : seed_(seed)
 {
     std::uint64_t sm = seed;
     for (auto &lane : s_)
@@ -140,6 +140,17 @@ Rng
 Rng::fork()
 {
     return Rng(next());
+}
+
+Rng
+Rng::split(std::uint64_t streamId) const
+{
+    // Domain-separate from plain seeding and from sibling streams: the
+    // Weyl increment decorrelates consecutive ids, SplitMix avalanches
+    // the result.  Depends only on (seed_, streamId), never on state.
+    std::uint64_t sm = seed_ ^ 0x6A09E667F3BCC909ULL;
+    sm += (streamId + 1) * 0x9E3779B97F4A7C15ULL;
+    return Rng(splitMix64(sm));
 }
 
 } // namespace softsku

@@ -59,7 +59,23 @@ class Rng
     /** Derive an independent child generator (for per-component streams). */
     Rng fork();
 
+    /**
+     * Derive an independent substream identified by @p streamId.
+     *
+     * Unlike fork(), split() depends only on the construction seed and
+     * the stream id — never on how many values have been drawn — so
+     * `rng.split(k)` is the same generator no matter when, or on which
+     * thread, it is requested.  This is the anchor of the parallel
+     * sweep engine's determinism: every A/B task derives its noise
+     * stream from a stable id instead of from shared draw order.
+     */
+    Rng split(std::uint64_t streamId) const;
+
+    /** The seed this generator was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
   private:
+    std::uint64_t seed_ = 0;
     std::uint64_t s_[4];
     bool hasSpareGauss_ = false;
     double spareGauss_ = 0.0;

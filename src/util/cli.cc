@@ -2,6 +2,7 @@
 
 #include "util/logging.hh"
 #include "util/strings.hh"
+#include "util/thread_pool.hh"
 
 namespace softsku {
 
@@ -51,6 +52,23 @@ CliArgs::getInt(const std::string &name, long long fallback) const
         fatal("flag --%s expects an integer, got '%s'", name.c_str(),
               it->second.c_str());
     return *parsed;
+}
+
+unsigned
+CliArgs::getJobs(unsigned fallback, const std::string &name) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    if (it->second == "auto")
+        return ThreadPool::hardwareThreads();
+    auto parsed = parseInt(it->second);
+    if (!parsed || *parsed < 0)
+        fatal("flag --%s expects a thread count or 'auto', got '%s'",
+              name.c_str(), it->second.c_str());
+    if (*parsed == 0)
+        return ThreadPool::hardwareThreads();
+    return static_cast<unsigned>(*parsed);
 }
 
 double

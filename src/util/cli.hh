@@ -35,6 +35,14 @@ class CliArgs
     /** Flag value as double; fatal() on malformed input. */
     double getDouble(const std::string &name, double fallback) const;
 
+    /**
+     * Parse the conventional --jobs flag: a positive thread count, or
+     * "auto"/"0" for the hardware concurrency.  Returns @p fallback
+     * when the flag is absent; fatal() on malformed input.
+     */
+    unsigned getJobs(unsigned fallback = 1,
+                     const std::string &name = "jobs") const;
+
     /** Positional (non-flag) arguments in order. */
     const std::vector<std::string> &positional() const { return positional_; }
 

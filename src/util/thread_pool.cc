@@ -1,0 +1,169 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+namespace {
+
+/** Identity of the pool worker running on this thread, if any. */
+thread_local ThreadPool *tlPool = nullptr;
+thread_local std::size_t tlIndex = 0;
+
+} // namespace
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    deques_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        deques_.push_back(std::make_unique<Deque>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    // Workers feed their own deque (LIFO hot path); external threads
+    // spread round-robin so stealing has somewhere to start.
+    std::size_t target = tlPool == this
+                             ? tlIndex
+                             : nextDeque_.fetch_add(1) % deques_.size();
+    {
+        std::lock_guard<std::mutex> lock(deques_[target]->mutex);
+        deques_[target]->tasks.push_back(std::move(task));
+    }
+    {
+        // Publishing the count under wakeMutex_ closes the window
+        // between a sleeper's predicate check and its actual wait.
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        queued_.fetch_add(1);
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::tryAcquire(std::size_t self, std::function<void()> &out)
+{
+    {
+        Deque &own = *deques_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            queued_.fetch_sub(1);
+            return true;
+        }
+    }
+    // Steal the oldest task from the first non-empty victim.
+    for (std::size_t k = 1; k < deques_.size(); ++k) {
+        Deque &victim = *deques_[(self + k) % deques_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            queued_.fetch_sub(1);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    tlPool = this;
+    tlIndex = index;
+    for (;;) {
+        std::function<void()> task;
+        if (tryAcquire(index, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(wakeMutex_);
+        if (stop_ && queued_.load() == 0)
+            return;
+        wake_.wait(lock,
+                   [this] { return stop_ || queued_.load() > 0; });
+        if (stop_ && queued_.load() == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    struct Batch
+    {
+        explicit Batch(std::size_t n) : total(n), remaining(n), errors(n) {}
+        std::size_t total;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> remaining;
+        std::vector<std::exception_ptr> errors;
+        std::mutex mutex;
+        std::condition_variable done;
+    };
+    auto batch = std::make_shared<Batch>(n);
+
+    // Runner tasks claim indices dynamically; the caller runs one too,
+    // so a parallelFor issued from inside a pool task cannot deadlock.
+    auto runner = [batch, &body] {
+        for (;;) {
+            std::size_t index = batch->next.fetch_add(1);
+            if (index >= batch->total)
+                return;
+            try {
+                body(index);
+            } catch (...) {
+                batch->errors[index] = std::current_exception();
+            }
+            if (batch->remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(batch->mutex);
+                batch->done.notify_all();
+            }
+        }
+    };
+
+    std::size_t helpers = std::min<std::size_t>(threadCount(), n);
+    for (std::size_t i = 0; i + 1 < helpers; ++i)
+        enqueue(runner);
+    runner();
+
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->done.wait(lock,
+                     [&] { return batch->remaining.load() == 0; });
+    lock.unlock();
+
+    for (std::exception_ptr &error : batch->errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+} // namespace softsku

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A work-stealing thread pool for the parallel μSKU sweep engine.
+ *
+ * Each worker owns a deque: it pushes and pops its own work LIFO (hot
+ * caches), while idle workers steal FIFO from the opposite end of a
+ * victim's deque (oldest task first, the classic work-stealing
+ * discipline).  External submitters distribute round-robin across the
+ * worker deques.
+ *
+ * Determinism contract: the pool never reorders *results* — callers
+ * that need reproducible output submit independent tasks and reduce
+ * them in submission order (see Usku's sweep engine).  The pool itself
+ * only decides *when* a task runs, never what it computes.
+ */
+
+#ifndef SOFTSKU_UTIL_THREAD_POOL_HH
+#define SOFTSKU_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace softsku {
+
+/** A fixed-size work-stealing pool of worker threads. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks the hardware concurrency
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains nothing: outstanding futures are completed before join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue @p fn and return a future for its result.  Exceptions
+     * thrown by the task surface from future::get().  Safe to call
+     * from worker threads (nested submission feeds the caller's own
+     * deque).
+     */
+    template <typename F>
+    auto submit(F fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> result = task->get_future();
+        enqueue([task] { (*task)(); });
+        return result;
+    }
+
+    /**
+     * Run body(0..n-1) across the pool and wait for all iterations.
+     * The calling thread participates in execution, so a pool is never
+     * deadlocked by parallelFor issued from one of its own tasks.  If
+     * any iteration throws, the lowest-index exception is rethrown
+     * after the batch drains.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Hardware thread count with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct Deque
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void enqueue(std::function<void()> task);
+    bool tryAcquire(std::size_t self, std::function<void()> &out);
+    void workerLoop(std::size_t index);
+
+    std::vector<std::unique_ptr<Deque>> deques_;
+    std::vector<std::thread> workers_;
+    std::mutex wakeMutex_;
+    std::condition_variable wake_;
+    std::atomic<std::size_t> queued_{0};
+    std::atomic<std::size_t> nextDeque_{0};
+    bool stop_ = false;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_UTIL_THREAD_POOL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Golden-file regression tests for the μSKU report: the serialized
+ * JSON and the human-readable summary of a fixed, fully deterministic
+ * run are compared byte-for-byte against reference files under
+ * tests/data/.  Any change to the report schema, the summary wording,
+ * or the sweep results shows up as a readable diff in the test log.
+ *
+ * Regenerating the goldens after an intentional change:
+ *
+ *     SOFTSKU_UPDATE_GOLDENS=1 ./test_core --gtest_filter='UskuGolden.*'
+ *
+ * then review the diff of tests/data/ before committing it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/usku.hh"
+#include "services/services.hh"
+
+namespace softsku {
+namespace {
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(SOFTSKU_TEST_DATA_DIR) + "/" + name;
+}
+
+bool
+updateGoldens()
+{
+    const char *flag = std::getenv("SOFTSKU_UPDATE_GOLDENS");
+    return flag != nullptr && std::string(flag) == "1";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write golden " << path;
+    out << content;
+}
+
+void
+compareAgainstGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    if (updateGoldens()) {
+        writeFile(path, actual);
+        SUCCEED() << "regenerated " << path;
+        return;
+    }
+    const std::string expected = readFile(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden " << path << "; regenerate with "
+        << "SOFTSKU_UPDATE_GOLDENS=1";
+    EXPECT_EQ(actual, expected)
+        << "report drifted from " << path << "; if the change is "
+        << "intentional, regenerate with SOFTSKU_UPDATE_GOLDENS=1 "
+        << "and review the diff";
+}
+
+/** The fixed run every golden derives from: small but end-to-end. */
+UskuReport
+goldenReport()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    ProductionEnvironment env(webProfile(), skylake18(), 1, opts);
+
+    InputSpec spec;
+    spec.microservice = "web";
+    spec.platform = "skylake18";
+    spec.sweep = SweepMode::Independent;
+    spec.knobs = {KnobId::Thp, KnobId::Shp};
+    spec.seed = 1;
+    spec.validationDurationSec = 6 * 3600.0;
+    spec.normalize();
+
+    Usku tool(env);
+    return tool.run(spec);
+}
+
+TEST(UskuGolden, JsonReportMatchesGolden)
+{
+    compareAgainstGolden("usku_web_skylake18_report.json",
+                         goldenReport().toJson().dump(2) + "\n");
+}
+
+TEST(UskuGolden, SummaryMatchesGolden)
+{
+    compareAgainstGolden("usku_web_skylake18_summary.txt",
+                         goldenReport().summary());
+}
+
+} // namespace
+} // namespace softsku

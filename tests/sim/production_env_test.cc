@@ -103,5 +103,58 @@ TEST(ProductionEnv, CodePushesPerturbEpochs)
     EXPECT_NEAR(epoch5, epoch0, epoch0 * 0.025);
 }
 
+TEST(ProductionEnv, ClonesWithSameStreamReplayIdentically)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig a;
+    KnobConfig b;
+    b.thp = ThpMode::Never;
+
+    ProductionEnvironment first = env.clone(7);
+    ProductionEnvironment second = env.clone(7);
+    for (double t = 0.0; t < 600.0; t += 60.0) {
+        PairedSample x = first.samplePair(a, b, t);
+        PairedSample y = second.samplePair(a, b, t);
+        EXPECT_DOUBLE_EQ(x.mipsA, y.mipsA);
+        EXPECT_DOUBLE_EQ(x.mipsB, y.mipsB);
+    }
+}
+
+TEST(ProductionEnv, ClonesWithDifferentStreamsDiverge)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig cfg;
+    ProductionEnvironment s1 = env.clone(1);
+    ProductionEnvironment s2 = env.clone(2);
+    int same = 0;
+    for (double t = 0.0; t < 600.0; t += 60.0)
+        same += s1.samplePair(cfg, cfg, t).mipsA ==
+                s2.samplePair(cfg, cfg, t).mipsA;
+    EXPECT_LT(same, 2);
+}
+
+TEST(ProductionEnv, ClonesShareTheTruthCache)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig a;
+    ProductionEnvironment slice = env.clone(3);
+    double truth = slice.trueMips(a);
+    // The clone's simulation is visible to the parent: no re-simulation.
+    EXPECT_EQ(env.configsSimulated(), 1u);
+    EXPECT_DOUBLE_EQ(env.trueMips(a), truth);
+    EXPECT_EQ(env.configsSimulated(), 1u);
+
+    KnobConfig b;
+    b.thp = ThpMode::Never;
+    env.trueMips(b);
+    // ...and the parent's simulations are visible to later clones.
+    ProductionEnvironment other = env.clone(4);
+    other.trueMips(b);
+    EXPECT_EQ(env.configsSimulated(), 2u);
+}
+
 } // namespace
 } // namespace softsku

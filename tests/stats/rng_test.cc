@@ -120,6 +120,48 @@ TEST(Rng, LogNormalMeanIsUnbiased)
     EXPECT_NEAR(sum / n, 50.0, 0.5);
 }
 
+TEST(Rng, SplitIsDeterministicAndPositionIndependent)
+{
+    // split() must depend only on (seed, streamId) — never on how many
+    // draws the parent has made.  This is what lets parallel sweep
+    // tasks replay identically regardless of scheduling.
+    Rng fresh(42);
+    Rng drained(42);
+    for (int i = 0; i < 1000; ++i)
+        drained.next();
+    Rng a = fresh.split(17);
+    Rng b = drained.split(17);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitStreamsAreDistinct)
+{
+    Rng parent(42);
+    Rng s0 = parent.split(0);
+    Rng s1 = parent.split(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += s0.next() == s1.next();
+    EXPECT_LT(same, 3);
+    // ...and distinct from the parent's own stream.
+    Rng parentCopy(42);
+    Rng s2 = parent.split(2);
+    same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += s2.next() == parentCopy.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent)
+{
+    Rng parent(8);
+    Rng untouched(8);
+    (void)parent.split(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(parent.next(), untouched.next());
+}
+
 TEST(Rng, ForkProducesIndependentStream)
 {
     Rng parent(5);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "stats/rng.hh"
 #include "stats/running_stat.hh"
@@ -113,6 +114,86 @@ TEST(RunningStat, ClearResets)
     s.clear();
     EXPECT_EQ(s.count(), 0u);
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+// ----- merge() property tests: the parallel-reduction contract -------
+//
+// The sweep engine reduces per-thread accumulators with merge(); the
+// property that makes that safe is that ANY partition of a sample
+// stream, merged back together, matches the single-stream fold.
+
+/** Fold @p samples serially. */
+RunningStat
+foldAll(const std::vector<double> &samples)
+{
+    RunningStat all;
+    for (double x : samples)
+        all.add(x);
+    return all;
+}
+
+void
+expectEquivalent(const RunningStat &merged, const RunningStat &serial)
+{
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_NEAR(merged.mean(), serial.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), serial.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+    EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+}
+
+TEST(RunningStat, MergeOfArbitraryPartitionsMatchesSingleStream)
+{
+    Rng rng(99);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i)
+        samples.push_back(rng.gaussian(120.0, 17.0));
+    RunningStat serial = foldAll(samples);
+
+    // Many random partitionings into K pieces, merged left to right.
+    for (int trial = 0; trial < 20; ++trial) {
+        const int k = 1 + static_cast<int>(rng.next() % 16);
+        std::vector<RunningStat> parts(k);
+        for (double x : samples)
+            parts[rng.next() % k].add(x);
+        RunningStat merged;
+        for (const RunningStat &part : parts)
+            merged.merge(part);
+        expectEquivalent(merged, serial);
+    }
+}
+
+TEST(RunningStat, MergeWithEmptyPartitionIsIdentity)
+{
+    Rng rng(7);
+    std::vector<double> samples;
+    for (int i = 0; i < 100; ++i)
+        samples.push_back(rng.gaussian(0.0, 1.0));
+    RunningStat serial = foldAll(samples);
+
+    RunningStat withEmpties;
+    withEmpties.merge(RunningStat{});     // empty into empty
+    RunningStat filled = foldAll(samples);
+    withEmpties.merge(filled);            // filled into empty
+    withEmpties.merge(RunningStat{});     // empty into filled
+    expectEquivalent(withEmpties, serial);
+}
+
+TEST(RunningStat, MergeOfSingleSamplePartitions)
+{
+    // Degenerate partition: every sample its own accumulator.  Each
+    // piece has zero variance; the merged variance must still match.
+    Rng rng(11);
+    std::vector<double> samples;
+    for (int i = 0; i < 64; ++i)
+        samples.push_back(rng.gaussian(5.0, 2.0));
+    RunningStat merged;
+    for (double x : samples) {
+        RunningStat one;
+        one.add(x);
+        merged.merge(one);
+    }
+    expectEquivalent(merged, foldAll(samples));
 }
 
 } // namespace

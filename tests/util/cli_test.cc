@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/cli.hh"
+#include "util/thread_pool.hh"
 
 namespace softsku {
 namespace {
@@ -55,6 +56,26 @@ TEST(Cli, DoubleParsing)
 {
     auto args = makeArgs({"prog", "--freq=2.2"});
     EXPECT_DOUBLE_EQ(args.getDouble("freq", 0.0), 2.2);
+}
+
+TEST(Cli, JobsDefaultsToFallback)
+{
+    auto args = makeArgs({"prog"});
+    EXPECT_EQ(args.getJobs(1), 1u);
+    EXPECT_EQ(args.getJobs(4), 4u);
+}
+
+TEST(Cli, JobsParsesExplicitCount)
+{
+    auto args = makeArgs({"prog", "--jobs=8"});
+    EXPECT_EQ(args.getJobs(1), 8u);
+}
+
+TEST(Cli, JobsAutoAndZeroMeanHardwareConcurrency)
+{
+    const unsigned hw = ThreadPool::hardwareThreads();
+    EXPECT_EQ(makeArgs({"prog", "--jobs=auto"}).getJobs(1), hw);
+    EXPECT_EQ(makeArgs({"prog", "--jobs=0"}).getJobs(1), hw);
 }
 
 } // namespace

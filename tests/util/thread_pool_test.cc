@@ -1,0 +1,148 @@
+/** @file Unit tests for the work-stealing thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace softsku {
+namespace {
+
+TEST(ThreadPool, ReportsThreadCount)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+    ThreadPool automatic(0);
+    EXPECT_EQ(automatic.threadCount(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPool, CompletesAllTasksUnderContention)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<int>> futures;
+    futures.reserve(500);
+    for (int i = 0; i < 500; ++i) {
+        futures.push_back(pool.submit([&counter, i] {
+            counter.fetch_add(1);
+            return i;
+        }));
+    }
+    long long sum = 0;
+    for (auto &future : futures)
+        sum += future.get();
+    EXPECT_EQ(counter.load(), 500);
+    EXPECT_EQ(sum, 499LL * 500 / 2);
+}
+
+TEST(ThreadPool, SubmitReturnsValues)
+{
+    ThreadPool pool(2);
+    auto doubled = pool.submit([] { return 21 * 2; });
+    auto text = pool.submit([] { return std::string("soft-sku"); });
+    EXPECT_EQ(doubled.get(), 42);
+    EXPECT_EQ(text.get(), "soft-sku");
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("task failed");
+    });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(1000,
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(100, [](std::size_t i) {
+            if (i == 13)
+                throw std::out_of_range("thirteen");
+            if (i == 77)
+                throw std::runtime_error("seventy-seven");
+        });
+        FAIL() << "parallelFor must rethrow";
+    } catch (const std::out_of_range &error) {
+        EXPECT_STREQ(error.what(), "thirteen");
+    }
+}
+
+TEST(ThreadPool, ReusableAfterDrain)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 5; ++round) {
+        pool.parallelFor(50, [&](std::size_t) { counter.fetch_add(1); });
+        EXPECT_EQ(counter.load(), (round + 1) * 50);
+    }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    // Outer iterations run on pool workers; each issues an inner batch.
+    // The caller participates in execution, so this must not deadlock
+    // even with more in-flight batches than workers.
+    pool.parallelFor(4, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) { counter.fetch_add(1); });
+    });
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPool, WorkIsActuallyStolen)
+{
+    // One worker is blocked; the other must steal the remaining tasks
+    // even though round-robin parks some on the blocked worker's deque.
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    std::atomic<int> done{0};
+    auto blocker = pool.submit([&] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i)
+        futures.push_back(pool.submit([&] { done.fetch_add(1); }));
+    for (int spin = 0; spin < 5000 && done.load() < 20; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(done.load(), 20);
+    release.store(true);
+    blocker.get();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // All futures abandoned, but queued work still ran before join.
+    EXPECT_EQ(counter.load(), 50);
+}
+
+} // namespace
+} // namespace softsku
