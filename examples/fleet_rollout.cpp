@@ -9,6 +9,14 @@
  *
  * Usage: fleet_rollout [--service=web] [--platform=skylake18]
  *                      [--servers=16] [--seed=1] [--report=path.md]
+ *                      [--faults=off|mild|moderate|severe|k=v,..]
+ *                      [--fault-seed=N]
+ *
+ * --faults runs the whole pipeline — sweep and rollout — in hostile
+ * production mode: crashes, telemetry dropout, surges, apply failures
+ * and stuck reboots, all seeded and replayable.  The rollout falls
+ * back on its health checks: canary judged from paired telemetry,
+ * per-wave load-normalized health gates, automatic rollback.
  */
 
 #include <cstdio>
@@ -39,6 +47,20 @@ main(int argc, char **argv)
     simOpts.measureInstructions = 800'000;
     ProductionEnvironment env(service, platform, seed, simOpts);
 
+    UskuOptions options;
+    FaultPlan plan;
+    if (args.has("faults"))
+        plan = FaultPlan::fromSpec(args.get("faults", "off"));
+    if (plan.any()) {
+        auto faultSeed = static_cast<std::uint64_t>(
+            args.getInt("fault-seed", 1));
+        env.setFaults(plan, faultSeed);
+        options.robustness = RobustnessPolicy::hostile();
+        std::printf("hostile production mode: %s (fault seed %llu)\n\n",
+                    plan.describe().c_str(),
+                    static_cast<unsigned long long>(faultSeed));
+    }
+
     // Step 1: what does the bottleneck picture look like?
     KnobConfig production = productionConfig(platform, service);
     const CounterSet &counters = env.counters(production);
@@ -53,7 +75,7 @@ main(int argc, char **argv)
     spec.platform = platform.name;
     spec.seed = seed;
     spec.normalize();
-    Usku tool(env);
+    Usku tool(env, options);
     UskuReport report = tool.run(spec);
     std::printf("%s\n", report.summary().c_str());
     if (args.has("report"))
@@ -74,6 +96,13 @@ main(int argc, char **argv)
                 rollout.serversConverted, serverCount,
                 rollout.canaryGainPercent, rollout.fleetGainPercent,
                 rollout.finishedAtSec / 3600.0);
+    if (plan.any())
+        std::printf("rollout faults: %d crashes, %d apply failures, "
+                    "%d stuck reboots, %d excluded, %d waves rolled "
+                    "back\n",
+                    rollout.serverCrashes, rollout.applyFailures,
+                    rollout.stuckReboots, rollout.serversExcluded,
+                    rollout.wavesRolledBack);
 
     auto mips = ods.aggregate("fleet." + service.name + ".mips", 0, 1e18);
     std::printf("fleet telemetry: %llu samples, mean %.0f MIPS, "

@@ -8,10 +8,17 @@
  *   tune_web [--service=web] [--platform=skylake18]
  *            [--sweep=independent|exhaustive|hillclimb]
  *            [--knobs=cdp,thp,shp] [--seed=1] [--json]
- *            [--jobs=N|auto]
+ *            [--jobs=N|auto] [--faults=off|mild|moderate|severe|k=v,..]
+ *            [--fault-seed=N]
  *
  * --jobs parallelizes the A/B sweep across N worker threads; the
  * report is bit-identical for every N (deterministic replay).
+ *
+ * --faults arms hostile-production mode: seeded server crashes, EMON
+ * dropout/corruption, load surges, apply failures, and stuck reboots
+ * perturb the sweep, and the tool's fault defenses (retries, robust
+ * filtering, the QoS guardrail) switch on.  Same seed + plan replay
+ * byte-identically at any --jobs value.
  */
 
 #include <cstdio>
@@ -51,6 +58,19 @@ main(int argc, char **argv)
 
     UskuOptions options;
     options.jobs = args.getJobs(1);
+
+    if (args.has("faults")) {
+        FaultPlan plan = FaultPlan::fromSpec(args.get("faults", "off"));
+        auto faultSeed = static_cast<std::uint64_t>(
+            args.getInt("fault-seed", 1));
+        env.setFaults(plan, faultSeed);
+        if (plan.any()) {
+            options.robustness = RobustnessPolicy::hostile();
+            std::printf("hostile production mode: %s (fault seed %llu)\n",
+                        plan.describe().c_str(),
+                        static_cast<unsigned long long>(faultSeed));
+        }
+    }
 
     Usku tool(env, options);
     UskuReport report = tool.run(spec);

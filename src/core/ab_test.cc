@@ -1,10 +1,27 @@
 #include "core/ab_test.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/logging.hh"
 
 namespace softsku {
+
+namespace {
+
+/** Median of a scratch vector (reordered in place). */
+double
+medianOf(std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    return values[mid];
+}
+
+} // namespace
 
 double
 ABTestResult::gainPercent() const
@@ -22,8 +39,9 @@ ABTestResult::gainCiPercent() const
     return welch.diffHalfWidth * 100.0;
 }
 
-ABTester::ABTester(ProductionEnvironment &env, const InputSpec &spec)
-    : env_(env), spec_(spec)
+ABTester::ABTester(ProductionEnvironment &env, const InputSpec &spec,
+                   const RobustnessPolicy &policy)
+    : env_(env), spec_(spec), policy_(policy)
 {
 }
 
@@ -58,6 +76,16 @@ ABTester::measure(const KnobConfig &baseline, const KnobConfig &candidate,
     const double trueA = env_.trueMips(baseline);
     const double trueB = env_.trueMips(candidate);
 
+    // Pushing the candidate config can itself fail on a hostile fleet;
+    // the operator only notices once the warm-up window has elapsed.
+    if (env_.drawApplyFailure()) {
+        result.applyFailed = true;
+        result.faults.applyFailures = 1;
+        result.elapsedSec =
+            static_cast<double>(spec_.warmupSamples) * spacing;
+        return result;
+    }
+
     // Warm-up: both servers run the new configuration for a few
     // minutes before observations count (cold-start bias, Sec. 4).
     for (std::uint64_t i = 0; i < spec_.warmupSamples; ++i) {
@@ -66,22 +94,88 @@ ABTester::measure(const KnobConfig &baseline, const KnobConfig &candidate,
     }
 
     // Sequential sampling in batches; stop early once the difference
-    // is significant and a minimum sample count is reached.
+    // is significant and a minimum sample count is reached.  Dropped
+    // and rejected samples cost wall clock without advancing the
+    // count, so a lossy fleet is bounded by the attempt cap instead.
     const std::uint64_t batch = 100;
-    while (result.samplesUsed < spec_.maxSamplesPerTest) {
+    const std::uint64_t maxAttempts = spec_.maxSamplesPerTest * 4;
+    std::uint64_t attempts = 0;
+
+    // Per-batch scratch for the robust filter.
+    std::vector<double> ratios;
+    std::vector<PairedSample> kept;
+    std::vector<double> deviations;
+
+    while (result.samplesUsed < spec_.maxSamplesPerTest &&
+           attempts < maxAttempts && !result.crashed) {
+        ratios.clear();
+        kept.clear();
         for (std::uint64_t i = 0; i < batch; ++i) {
+            ++attempts;
             clock += spacing;
+            // A server lost mid-pair kills the whole comparison; the
+            // sweep engine re-runs it on a replacement (fresh stream).
+            if (env_.drawCrash(spacing)) {
+                result.crashed = true;
+                result.faults.crashes = 1;
+                break;
+            }
             PairedSample sample =
                 env_.samplePairTruth(trueA, trueB, clock);
-            result.samplesA.add(sample.mipsA);
-            result.samplesB.add(sample.mipsB);
+            if (sample.dropped) {
+                ++result.faults.samplesDropped;
+                continue;
+            }
+            result.faults.samplesCorrupted +=
+                static_cast<std::uint64_t>(sample.corruptedA) +
+                static_cast<std::uint64_t>(sample.corruptedB);
             // Simultaneous measurement is what pairing buys: the
             // common-mode load factor is multiplicative and cancels
             // exactly in the per-pair ratio.
-            result.pairedDiffs.add(sample.mipsB / sample.mipsA - 1.0);
+            double ratio = sample.mipsB / sample.mipsA - 1.0;
+            if (!std::isfinite(ratio)) {
+                // A zeroed reading produces garbage; no real pipeline
+                // would feed it to the t-test.
+                ++result.faults.samplesDropped;
+                continue;
+            }
+            if (policy_.robustFilter) {
+                ratios.push_back(ratio);
+                kept.push_back(sample);
+            } else {
+                result.samplesA.add(sample.mipsA);
+                result.samplesB.add(sample.mipsB);
+                result.pairedDiffs.add(ratio);
+                ++result.samplesUsed;
+            }
         }
-        result.samplesUsed += batch;
 
+        if (policy_.robustFilter && !ratios.empty()) {
+            // Batch-local MAD rejection: corrupted spikes/zeros sit
+            // tens of MADs out while genuine samples survive.
+            deviations = ratios;
+            double median = medianOf(deviations);
+            for (double &d : deviations)
+                d = std::abs(d - median);
+            double mad = medianOf(deviations);
+            // Floor the scale so a freak zero-spread batch cannot
+            // reject everything.
+            double cutoff =
+                policy_.madCutoff * std::max(mad, 1e-6) + 1e-12;
+            for (size_t i = 0; i < ratios.size(); ++i) {
+                if (std::abs(ratios[i] - median) > cutoff) {
+                    ++result.faults.samplesRejected;
+                    continue;
+                }
+                result.samplesA.add(kept[i].mipsA);
+                result.samplesB.add(kept[i].mipsB);
+                result.pairedDiffs.add(ratios[i]);
+                ++result.samplesUsed;
+            }
+        }
+
+        if (result.pairedDiffs.count() < 2)
+            continue;
         result.welch =
             pairedTTest(result.pairedDiffs, spec_.confidence);
         if (result.samplesUsed >= spec_.minSamplesPerTest &&
@@ -91,12 +185,14 @@ ABTester::measure(const KnobConfig &baseline, const KnobConfig &candidate,
         }
     }
 
-    if (!result.significant) {
+    if (!result.significant && result.pairedDiffs.count() >= 2) {
         // The paper's give-up rule: after ~30k observations with no
         // 95%-confidence separation, conclude "no difference".
         result.welch = pairedTTest(result.pairedDiffs, spec_.confidence);
         result.significant = result.welch.significant;
     }
+    if (result.crashed)
+        result.significant = false;
     result.elapsedSec = clock - startSec;
     return result;
 }

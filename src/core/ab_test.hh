@@ -15,11 +15,44 @@
 
 #include "core/input_spec.hh"
 #include "core/knobs.hh"
+#include "sim/faults.hh"
 #include "sim/production_env.hh"
 #include "stats/running_stat.hh"
 #include "stats/students_t.hh"
 
 namespace softsku {
+
+/**
+ * How the measurement machinery defends itself against a hostile
+ * fleet.  Deliberately separate from InputSpec's statistics policy:
+ * these switches change what the tool *does about* faults, and default
+ * to the benign-production behavior (everything off).
+ */
+struct RobustnessPolicy
+{
+    /** Extra measurement attempts after a crashed/failed comparison. */
+    int maxRetries = 0;
+    /** MAD-based outlier rejection on the paired ratios. */
+    bool robustFilter = false;
+    /** Reject pairs beyond this many MADs from the batch median. */
+    double madCutoff = 8.0;
+    /** Abort candidates whose QoS envelope collapses (sweep engine). */
+    bool qosGuardrail = false;
+    /** Tolerated p99 overshoot of the SLO before aborting. */
+    double qosMarginFraction = 0.10;
+    /** Minimum peak-QPS fraction (vs baseline) the SLO solve must keep. */
+    double minPeakQpsFraction = 0.7;
+
+    /** The defaults μSKU uses when a fault plan is active. */
+    static RobustnessPolicy hostile()
+    {
+        RobustnessPolicy policy;
+        policy.maxRetries = 2;
+        policy.robustFilter = true;
+        policy.qosGuardrail = true;
+        return policy;
+    }
+};
 
 /** Outcome of one A-vs-B comparison. */
 struct ABTestResult
@@ -36,6 +69,15 @@ struct ABTestResult
     bool significant = false;
     double elapsedSec = 0.0;        //!< simulated measurement wall clock
 
+    /** Fault/recovery events observed during this comparison. */
+    FaultTelemetry faults;
+    /** The (last) measurement attempt died on a server crash. */
+    bool crashed = false;
+    /** The (last) knob apply failed; no measurement happened. */
+    bool applyFailed = false;
+    /** The QoS guardrail aborted measurement of this candidate. */
+    bool qosAborted = false;
+
     /** Mean throughput difference of B over A, percent. */
     double gainPercent() const;
 
@@ -48,10 +90,13 @@ class ABTester
 {
   public:
     /**
-     * @param env  the production fleet slice to measure in
-     * @param spec statistical policy (confidence, caps, spacing)
+     * @param env    the production fleet slice to measure in
+     * @param spec   statistical policy (confidence, caps, spacing)
+     * @param policy fault-defense policy; the default is the benign
+     *               behavior (no filtering, no retries)
      */
-    ABTester(ProductionEnvironment &env, const InputSpec &spec);
+    ABTester(ProductionEnvironment &env, const InputSpec &spec,
+             const RobustnessPolicy &policy = RobustnessPolicy{});
 
     /**
      * Run one comparison.  Measurement time continues monotonically
@@ -81,6 +126,7 @@ class ABTester
 
     ProductionEnvironment &env_;
     const InputSpec &spec_;
+    RobustnessPolicy policy_;
     double clockSec_ = 0.0;
 };
 

@@ -1,5 +1,12 @@
 #include "core/soft_sku.hh"
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "stats/students_t.hh"
 #include "util/logging.hh"
 
@@ -21,29 +28,147 @@ SoftSkuGenerator::compose(const DesignSpaceMap &map) const
     return config;
 }
 
+namespace {
+
+/** Noise-substream base for validation chunks; far away from the
+ *  FNV-1a comparison stream ids the sweep engine uses. */
+constexpr std::uint64_t kValidationSalt = 0x5A11DA7EDA7A0000ULL;
+
+/** What one validation chunk measured, merged in chunk order. */
+struct ValidationChunk
+{
+    RunningStat diffs;
+    RunningStat refStat;
+    /** (time, refMips, skuMips) in sample order, for the ODS replay. */
+    std::vector<std::array<double, 3>> points;
+    std::uint64_t samples = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t rejected = 0;
+};
+
+/** Median of a scratch vector (reordered in place). */
+double
+medianOf(std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    return values[mid];
+}
+
+} // namespace
+
 ValidationResult
 SoftSkuGenerator::validate(ProductionEnvironment &env,
                            const KnobConfig &softSku,
                            const KnobConfig &reference, double durationSec,
-                           OdsStore &ods, double sampleEverySec) const
+                           OdsStore &ods, double sampleEverySec,
+                           ThreadPool *pool) const
 {
     ValidationResult result;
     result.durationSec = durationSec;
 
+    // Resolve both ground truths once up front; this also warms the
+    // shared simulation cache before chunks fan out across workers.
+    const double trueRef = env.trueMips(reference);
+    const double trueSku = env.trueMips(softSku);
+
     // Fleet QPS tracks MIPS for MIPS-valid services; both sides face
     // identical live load.  Samples land in ODS exactly as the fleet
     // telemetry pipeline would record them.
+    //
+    // The window is cut into fixed ~3 h chunks — the chunk count
+    // depends only on the window, never on the worker count — and each
+    // chunk measures in its own environment substream.  Serial and
+    // parallel runs therefore produce the same per-chunk results and
+    // merge them in the same order: bit-identical at any job count.
+    const std::uint64_t totalSamples = static_cast<std::uint64_t>(
+        std::ceil(durationSec / sampleEverySec));
+    const std::uint64_t perChunk = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(3.0 * 3600.0 / sampleEverySec));
+    const std::uint64_t chunkCount =
+        (totalSamples + perChunk - 1) / perChunk;
+
+    const bool hostile = env.faults().any();
+    std::vector<ValidationChunk> chunks(chunkCount);
+    auto measureChunk = [&](std::size_t c) {
+        ProductionEnvironment slice =
+            env.clone(kValidationSalt + static_cast<std::uint64_t>(c));
+        ValidationChunk &chunk = chunks[c];
+        const std::uint64_t begin = c * perChunk;
+        const std::uint64_t end =
+            std::min(totalSamples, begin + perChunk);
+        std::vector<double> ratios;
+        for (std::uint64_t i = begin; i < end; ++i) {
+            double clock =
+                static_cast<double>(i + 1) * sampleEverySec;
+            PairedSample sample =
+                slice.samplePairTruth(trueRef, trueSku, clock);
+            if (sample.dropped) {
+                ++chunk.dropped;
+                continue;
+            }
+            // Raw telemetry lands in ODS even when the analysis later
+            // rejects it — exactly what a real pipeline records.
+            chunk.points.push_back({clock, sample.mipsA, sample.mipsB});
+            if (hostile)
+                ratios.push_back(sample.mipsA > 0.0
+                                     ? sample.mipsB / sample.mipsA
+                                     : std::numeric_limits<double>::
+                                           infinity());
+        }
+        if (!hostile) {
+            for (const auto &point : chunk.points) {
+                chunk.diffs.add(point[2] - point[1]);
+                chunk.refStat.add(point[1]);
+                ++chunk.samples;
+            }
+            return;
+        }
+        // Hostile fleet: corrupted readings (spikes, zeros) would blow
+        // up the t-test's variance.  Reject pairs whose ratio sits
+        // many MADs from the chunk median — the same defense the A/B
+        // tester applies — before anything reaches the statistics.
+        std::vector<double> deviations;
+        for (double r : ratios)
+            if (std::isfinite(r))
+                deviations.push_back(r);
+        double median = medianOf(deviations);
+        for (double &d : deviations)
+            d = std::abs(d - median);
+        double mad = medianOf(deviations);
+        double cutoff = 8.0 * std::max(mad, 1e-6) + 1e-12;
+        for (size_t i = 0; i < chunk.points.size(); ++i) {
+            if (!std::isfinite(ratios[i]) ||
+                std::abs(ratios[i] - median) > cutoff) {
+                ++chunk.rejected;
+                continue;
+            }
+            chunk.diffs.add(chunk.points[i][2] - chunk.points[i][1]);
+            chunk.refStat.add(chunk.points[i][1]);
+            ++chunk.samples;
+        }
+    };
+
+    if (pool && chunkCount > 1)
+        pool->parallelFor(chunkCount, measureChunk);
+    else
+        for (std::size_t c = 0; c < chunkCount; ++c)
+            measureChunk(c);
+
     RunningStat diffs;
     RunningStat refStat;
-    double clock = 0.0;
-    while (clock < durationSec) {
-        clock += sampleEverySec;
-        PairedSample sample = env.samplePair(reference, softSku, clock);
-        ods.append("qps.reference", clock, sample.mipsA);
-        ods.append("qps.softsku", clock, sample.mipsB);
-        diffs.add(sample.mipsB - sample.mipsA);
-        refStat.add(sample.mipsA);
-        ++result.samples;
+    for (const ValidationChunk &chunk : chunks) {
+        for (const auto &point : chunk.points) {
+            ods.append("qps.reference", point[0], point[1]);
+            ods.append("qps.softsku", point[0], point[2]);
+        }
+        diffs.merge(chunk.diffs);
+        refStat.merge(chunk.refStat);
+        result.samples += chunk.samples;
+        result.samplesDropped += chunk.dropped;
+        result.samplesRejected += chunk.rejected;
     }
 
     WelchResult test = pairedTTest(diffs, 0.95);

@@ -13,6 +13,7 @@
 #include "core/design_space_map.hh"
 #include "sim/production_env.hh"
 #include "telemetry/ods.hh"
+#include "util/thread_pool.hh"
 
 namespace softsku {
 
@@ -24,6 +25,10 @@ struct ValidationResult
     double meanGainPercent = 0.0;   //!< QPS gain over the reference
     double gainCiPercent = 0.0;
     bool stable = false;            //!< gain significant and positive
+    /** Telemetry pairs lost to EMON dropout (fault injection). */
+    std::uint64_t samplesDropped = 0;
+    /** Corrupted pairs rejected by robust filtering before the test. */
+    std::uint64_t samplesRejected = 0;
 };
 
 /** Composes and validates soft SKUs. */
@@ -41,13 +46,20 @@ class SoftSkuGenerator
      * simulated wall clock, logging fleet QPS for both into @p ods
      * (series "qps.softsku" and "qps.reference"), and judge stability.
      *
+     * The window is split into fixed-size chunks, each measured in its
+     * own deterministic ProductionEnvironment substream and merged in
+     * chunk order (RunningStat::merge), so the result is bit-identical
+     * whether the chunks run serially or on @p pool.
+     *
      * @param sampleEverySec telemetry cadence
+     * @param pool           optional worker pool for the chunks
      */
     ValidationResult validate(ProductionEnvironment &env,
                               const KnobConfig &softSku,
                               const KnobConfig &reference,
                               double durationSec, OdsStore &ods,
-                              double sampleEverySec = 60.0) const;
+                              double sampleEverySec = 60.0,
+                              ThreadPool *pool = nullptr) const;
 };
 
 } // namespace softsku

@@ -46,6 +46,12 @@ UskuReport::toJson() const
     doc.set("ab_comparisons",
             Json(static_cast<long long>(abComparisons)));
     doc.set("cache_hits", Json(static_cast<long long>(cacheHits)));
+    if (faultPlan.any() || faults.any()) {
+        Json faultsDoc = Json::object();
+        faultsDoc.set("plan", faultPlan.toJson());
+        faultsDoc.set("telemetry", faults.toJson());
+        doc.set("faults", std::move(faultsDoc));
+    }
     Json validationDoc = Json::object();
     validationDoc.set("duration_sec", Json(validation.durationSec));
     validationDoc.set("samples",
@@ -54,6 +60,16 @@ UskuReport::toJson() const
                       Json(validation.meanGainPercent));
     validationDoc.set("gain_ci_percent", Json(validation.gainCiPercent));
     validationDoc.set("stable", Json(validation.stable));
+    if (validation.samplesDropped > 0) {
+        validationDoc.set(
+            "samples_dropped",
+            Json(static_cast<long long>(validation.samplesDropped)));
+    }
+    if (validation.samplesRejected > 0) {
+        validationDoc.set(
+            "samples_rejected",
+            Json(static_cast<long long>(validation.samplesRejected)));
+    }
     doc.set("validation", std::move(validationDoc));
     return doc;
 }
@@ -77,6 +93,22 @@ UskuReport::summary() const
     out += format("  A/B comparisons: %llu (%llu served from cache)\n",
                   static_cast<unsigned long long>(abComparisons),
                   static_cast<unsigned long long>(cacheHits));
+    if (faultPlan.any() || faults.any()) {
+        out += format("  faults (%s): %llu injected, %llu retries, "
+                      "%llu dropped, %llu rejected, %llu guardrail "
+                      "aborts, %llu abandoned\n",
+                      faultPlan.describe().c_str(),
+                      static_cast<unsigned long long>(
+                          faults.faultsInjected()),
+                      static_cast<unsigned long long>(faults.retries),
+                      static_cast<unsigned long long>(
+                          faults.samplesDropped),
+                      static_cast<unsigned long long>(
+                          faults.samplesRejected),
+                      static_cast<unsigned long long>(
+                          faults.guardrailAborts),
+                      static_cast<unsigned long long>(faults.abandoned));
+    }
     out += format("  validation: %+.2f%% ± %.2f%% over %.1f days (%s)\n",
                   validation.meanGainPercent, validation.gainCiPercent,
                   validation.durationSec / 86400.0,
@@ -152,9 +184,11 @@ Usku::run(const InputSpec &specIn)
     comparisons_ = 0;
     cacheHits_ = 0;
     measuredSec_ = 0.0;
+    faults_ = FaultTelemetry{};
 
     UskuReport report;
     report.spec = spec;
+    report.faultPlan = env_.faults();
     report.plan = buildTestPlan(spec, platform, profile);
     report.production = productionConfig(platform, profile);
     report.stock = stockConfig(platform, profile);
@@ -184,11 +218,14 @@ Usku::run(const InputSpec &specIn)
     report.configsEvaluated = env_.configsSimulated();
     report.abComparisons = comparisons_;
     report.cacheHits = cacheHits_;
+    report.faults = faults_;
 
     OdsStore ods;
     report.validation = generator.validate(
         env_, report.softSku, report.production,
-        spec.validationDurationSec, ods);
+        spec.validationDurationSec, ods, 60.0, pool_.get());
+    report.faults.samplesDropped += report.validation.samplesDropped;
+    report.faults.samplesRejected += report.validation.samplesRejected;
     return report;
 }
 
@@ -234,15 +271,65 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
         pending.push_back(Pending{i, std::move(key), stream});
     }
 
+    const RobustnessPolicy &robust = options_.robustness;
     auto evaluateOne = [&](size_t p) {
         const Comparison &task = batch[pending[p].slot];
+        ABTestResult &out = results[pending[p].slot];
+
+        // QoS guardrail: refuse to measure a candidate whose solved
+        // operating point says the p99 SLO cannot hold at production
+        // traffic — either outright (the solve never met the SLO) or
+        // by capacity collapse (peak QPS under SLO falls so far that
+        // the live load envelope would violate it).
+        if (robust.qosGuardrail) {
+            const ServiceOperatingPoint &base =
+                env_.operatingPoint(task.baseline);
+            const ServiceOperatingPoint &cand =
+                env_.operatingPoint(task.candidate);
+            bool sloBroken =
+                cand.p99LatencySec >
+                cand.sloLatencySec * (1.0 + robust.qosMarginFraction);
+            bool capacityCollapse =
+                base.peakQps > 0.0 &&
+                cand.peakQps <
+                    base.peakQps * robust.minPeakQpsFraction;
+            if (sloBroken || capacityCollapse) {
+                out.configA = task.baseline;
+                out.configB = task.candidate;
+                out.qosAborted = true;
+                out.faults.guardrailAborts = 1;
+                return;
+            }
+        }
+
         // A private fleet slice per task: shared truth cache, private
-        // noise substream.  Nothing here mutates engine state.
-        ProductionEnvironment slice = env_.clone(pending[p].stream);
-        ABTester tester(slice, spec);
-        results[pending[p].slot] =
-            tester.compareAt(task.baseline, task.candidate,
-                             phaseOffsetSec(pending[p].stream));
+        // noise substream.  Nothing here mutates engine state.  A
+        // comparison killed by a crash or apply failure re-runs on a
+        // replacement server — a fresh substream derived from the same
+        // comparison key, so the retry schedule is thread-invariant.
+        FaultTelemetry merged;
+        double elapsed = 0.0;
+        const int attempts = 1 + std::max(0, robust.maxRetries);
+        for (int attempt = 0; attempt < attempts; ++attempt) {
+            std::uint64_t stream =
+                pending[p].stream +
+                0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(
+                                            attempt);
+            ProductionEnvironment slice = env_.clone(stream);
+            ABTester tester(slice, spec, robust);
+            out = tester.compareAt(task.baseline, task.candidate,
+                                   phaseOffsetSec(stream));
+            merged.merge(out.faults);
+            elapsed += out.elapsedSec;
+            if (!out.crashed && !out.applyFailed)
+                break;
+            if (attempt + 1 < attempts)
+                ++merged.retries;
+        }
+        if (out.crashed || out.applyFailed)
+            ++merged.abandoned;
+        out.faults = merged;
+        out.elapsedSec = elapsed;
     };
 
     if (pool_ && pending.size() > 1) {
@@ -252,10 +339,13 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
             evaluateOne(p);
     }
 
-    // Commit sequentially in batch order so memo contents and the
-    // floating-point accumulation order are thread-count-invariant.
+    // Commit sequentially in batch order so memo contents, fault
+    // telemetry, and the floating-point accumulation order are
+    // thread-count-invariant.  Cache hits replay a result without
+    // re-measuring, so their fault events are not re-counted.
     for (Pending &p : pending) {
         measuredSec_ += results[p.slot].elapsedSec;
+        faults_.merge(results[p.slot].faults);
         memo_.emplace(std::move(p.key), results[p.slot]);
     }
     for (const auto &[dup, source] : aliases)

@@ -57,6 +57,13 @@ struct UskuReport
     std::uint64_t abComparisons = 0;  //!< comparisons the sweep asked for
     std::uint64_t cacheHits = 0;      //!< served from the memo cache
 
+    /** The hazards the environment injected during this run. */
+    FaultPlan faultPlan;
+    /** Fault/recovery events the sweep observed and survived.  Only
+     *  serialized when a fault plan was active, so benign-run reports
+     *  are byte-identical to the pre-fault-injection format. */
+    FaultTelemetry faults;
+
     /** Gain of the soft SKU over the hand-tuned production config. */
     double gainOverProductionPercent() const;
 
@@ -73,7 +80,10 @@ struct UskuReport
 /**
  * Execution policy for the sweep engine.  Deliberately *not* part of
  * InputSpec: thread count is an operational choice, never a scientific
- * one, and must not influence any reported number.
+ * one, and must not influence any reported number.  The robustness
+ * policy *is* scientific (it changes which samples count), but it is
+ * an operator's defense posture rather than an experiment parameter —
+ * and with everything off it is bit-for-bit the benign behavior.
  */
 struct UskuOptions
 {
@@ -83,6 +93,9 @@ struct UskuOptions
      * for every value.
      */
     unsigned jobs = 1;
+
+    /** Fault defenses: retries, robust filtering, the QoS guardrail. */
+    RobustnessPolicy robustness;
 };
 
 /** The tool facade. */
@@ -136,6 +149,8 @@ class Usku
     std::uint64_t comparisons_ = 0;
     std::uint64_t cacheHits_ = 0;
     double measuredSec_ = 0.0;
+    /** Fault events accumulated in commit order (thread-invariant). */
+    FaultTelemetry faults_;
 };
 
 } // namespace softsku

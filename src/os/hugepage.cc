@@ -76,14 +76,15 @@ RegionMapping::isHugeAddress(std::uint64_t addr) const
     return u < hugeFraction;
 }
 
-PageMapper::PageMapper(const std::vector<VirtualRegion> &regions,
+PageMapper::PageMapper(std::vector<VirtualRegion> regions,
                        const HugePagePolicy &policy)
+    : regions_(std::move(regions))
 {
     std::uint64_t shpBytesLeft =
         static_cast<std::uint64_t>(std::max(policy.shpCount, 0)) * kPage2m;
 
-    mappings_.reserve(regions.size());
-    for (const VirtualRegion &region : regions) {
+    mappings_.reserve(regions_.size());
+    for (const VirtualRegion &region : regions_) {
         RegionMapping m;
         m.region = &region;
 

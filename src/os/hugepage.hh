@@ -105,8 +105,13 @@ struct RegionMapping
 class PageMapper
 {
   public:
-    PageMapper(const std::vector<VirtualRegion> &regions,
+    PageMapper(std::vector<VirtualRegion> regions,
                const HugePagePolicy &policy);
+
+    // Mappings point into the mapper's own copy of the regions, so the
+    // mapper pins them for its lifetime and must not be copied.
+    PageMapper(const PageMapper &) = delete;
+    PageMapper &operator=(const PageMapper &) = delete;
 
     /** Mapping decisions, one per input region (same order). */
     const std::vector<RegionMapping> &mappings() const { return mappings_; }
@@ -127,6 +132,7 @@ class PageMapper
     std::uint64_t pageSizeAt(std::uint64_t addr) const;
 
   private:
+    std::vector<VirtualRegion> regions_;
     std::vector<RegionMapping> mappings_;
     std::uint64_t wastedShpBytes_ = 0;
 };

@@ -1,0 +1,278 @@
+#include "sim/faults.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Salt separating the fault streams from the measurement-noise ones. */
+constexpr std::uint64_t kFaultSalt = 0xFA17FA17FA17FA17ULL;
+
+FaultPlan
+preset(const std::string &name)
+{
+    FaultPlan plan;
+    if (name == "off")
+        return plan;
+    if (name == "mild") {
+        plan.crashPerHour = 0.005;
+        plan.sampleDropRate = 0.005;
+        plan.sampleCorruptRate = 0.002;
+        plan.surgeWindowRate = 0.02;
+        plan.configApplyFailRate = 0.01;
+        plan.stuckRebootRate = 0.02;
+        return plan;
+    }
+    if (name == "moderate") {
+        plan.crashPerHour = 0.02;
+        plan.sampleDropRate = 0.02;
+        plan.sampleCorruptRate = 0.01;
+        plan.surgeWindowRate = 0.05;
+        plan.configApplyFailRate = 0.03;
+        plan.stuckRebootRate = 0.05;
+        return plan;
+    }
+    if (name == "severe") {
+        plan.crashPerHour = 0.1;
+        plan.sampleDropRate = 0.08;
+        plan.sampleCorruptRate = 0.04;
+        plan.surgeWindowRate = 0.15;
+        plan.configApplyFailRate = 0.1;
+        plan.stuckRebootRate = 0.15;
+        return plan;
+    }
+    fatal("unknown fault preset '%s' (off, mild, moderate, severe)",
+          name.c_str());
+}
+
+} // namespace
+
+bool
+FaultPlan::any() const
+{
+    return crashPerHour > 0.0 || sampleDropRate > 0.0 ||
+           sampleCorruptRate > 0.0 || surgeWindowRate > 0.0 ||
+           configApplyFailRate > 0.0 || stuckRebootRate > 0.0;
+}
+
+FaultPlan
+FaultPlan::fromSpec(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &partRaw : split(spec, ',')) {
+        std::string part(trim(partRaw));
+        if (part.empty())
+            continue;
+        auto eq = part.find('=');
+        if (eq == std::string::npos) {
+            plan = preset(toLower(part));
+            continue;
+        }
+        std::string key = toLower(trim(part.substr(0, eq)));
+        std::string text(trim(part.substr(eq + 1)));
+        auto value = parseDouble(text);
+        if (!value || *value < 0.0)
+            fatal("fault spec: '%s' is not a non-negative number in "
+                  "'%s'", text.c_str(), part.c_str());
+        if (key == "crash")
+            plan.crashPerHour = *value;
+        else if (key == "drop")
+            plan.sampleDropRate = *value;
+        else if (key == "corrupt")
+            plan.sampleCorruptRate = *value;
+        else if (key == "spike")
+            plan.corruptSpikeFactor = *value;
+        else if (key == "surge")
+            plan.surgeWindowRate = *value;
+        else if (key == "surge_mag")
+            plan.surgeMagnitude = *value;
+        else if (key == "apply")
+            plan.configApplyFailRate = *value;
+        else if (key == "stuck")
+            plan.stuckRebootRate = *value;
+        else if (key == "stuck_extra")
+            plan.stuckRebootExtraSec = *value;
+        else if (key == "perf_min")
+            plan.replacementPerfMin = *value;
+        else
+            fatal("fault spec: unknown key '%s' (crash, drop, corrupt, "
+                  "spike, surge, surge_mag, apply, stuck, stuck_extra, "
+                  "perf_min)", key.c_str());
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (!any())
+        return "off";
+    std::vector<std::string> parts;
+    if (crashPerHour > 0.0)
+        parts.push_back(format("crash=%g/h", crashPerHour));
+    if (sampleDropRate > 0.0)
+        parts.push_back(format("drop=%g", sampleDropRate));
+    if (sampleCorruptRate > 0.0)
+        parts.push_back(format("corrupt=%g", sampleCorruptRate));
+    if (surgeWindowRate > 0.0)
+        parts.push_back(format("surge=%g", surgeWindowRate));
+    if (configApplyFailRate > 0.0)
+        parts.push_back(format("apply=%g", configApplyFailRate));
+    if (stuckRebootRate > 0.0)
+        parts.push_back(format("stuck=%g", stuckRebootRate));
+    return join(parts, ",");
+}
+
+Json
+FaultPlan::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("crash_per_hour", Json(crashPerHour));
+    doc.set("sample_drop_rate", Json(sampleDropRate));
+    doc.set("sample_corrupt_rate", Json(sampleCorruptRate));
+    doc.set("surge_window_rate", Json(surgeWindowRate));
+    doc.set("surge_magnitude", Json(surgeMagnitude));
+    doc.set("config_apply_fail_rate", Json(configApplyFailRate));
+    doc.set("stuck_reboot_rate", Json(stuckRebootRate));
+    return doc;
+}
+
+bool
+FaultTelemetry::any() const
+{
+    return faultsInjected() + samplesRejected + retries +
+               guardrailAborts + abandoned >
+           0;
+}
+
+void
+FaultTelemetry::merge(const FaultTelemetry &other)
+{
+    samplesDropped += other.samplesDropped;
+    samplesCorrupted += other.samplesCorrupted;
+    samplesRejected += other.samplesRejected;
+    crashes += other.crashes;
+    applyFailures += other.applyFailures;
+    retries += other.retries;
+    guardrailAborts += other.guardrailAborts;
+    abandoned += other.abandoned;
+}
+
+Json
+FaultTelemetry::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("faults_injected",
+            Json(static_cast<long long>(faultsInjected())));
+    doc.set("samples_dropped",
+            Json(static_cast<long long>(samplesDropped)));
+    doc.set("samples_corrupted",
+            Json(static_cast<long long>(samplesCorrupted)));
+    doc.set("samples_rejected",
+            Json(static_cast<long long>(samplesRejected)));
+    doc.set("crashes", Json(static_cast<long long>(crashes)));
+    doc.set("apply_failures",
+            Json(static_cast<long long>(applyFailures)));
+    doc.set("retries", Json(static_cast<long long>(retries)));
+    doc.set("guardrail_aborts",
+            Json(static_cast<long long>(guardrailAborts)));
+    doc.set("abandoned", Json(static_cast<long long>(abandoned)));
+    return doc;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan, std::uint64_t seed)
+    : plan_(plan), seed_(seed), rng_(seed ^ kFaultSalt)
+{
+}
+
+FaultInjector
+FaultInjector::forStream(std::uint64_t streamId) const
+{
+    FaultInjector child(plan_, seed_);
+    child.rng_ = Rng(seed_ ^ kFaultSalt).split(streamId);
+    return child;
+}
+
+bool
+FaultInjector::dropSample()
+{
+    return plan_.sampleDropRate > 0.0 && rng_.chance(plan_.sampleDropRate);
+}
+
+bool
+FaultInjector::corruptSample()
+{
+    return plan_.sampleCorruptRate > 0.0 &&
+           rng_.chance(plan_.sampleCorruptRate);
+}
+
+double
+FaultInjector::corruptionFactor()
+{
+    // Half the corruptions read back as zeros (a wedged counter), half
+    // as spikes (multiplexing glitch).
+    return rng_.chance(0.5) ? 0.0 : plan_.corruptSpikeFactor;
+}
+
+bool
+FaultInjector::crash(double dtSec)
+{
+    if (plan_.crashPerHour <= 0.0 || dtSec <= 0.0)
+        return false;
+    return rng_.chance(plan_.crashPerHour * dtSec / 3600.0);
+}
+
+bool
+FaultInjector::applyFails()
+{
+    return plan_.configApplyFailRate > 0.0 &&
+           rng_.chance(plan_.configApplyFailRate);
+}
+
+bool
+FaultInjector::rebootSticks()
+{
+    return plan_.stuckRebootRate > 0.0 &&
+           rng_.chance(plan_.stuckRebootRate);
+}
+
+double
+FaultInjector::replacementPerfFactor()
+{
+    return rng_.uniform(plan_.replacementPerfMin, 1.0);
+}
+
+double
+FaultInjector::surgeFactor(double timeSec) const
+{
+    if (plan_.surgeWindowRate <= 0.0 || plan_.surgeWindowSec <= 0.0)
+        return 1.0;
+    auto window =
+        static_cast<std::uint64_t>(timeSec / plan_.surgeWindowSec);
+    double u = static_cast<double>(
+                   mix64(window ^ seed_ ^ kFaultSalt) >> 11) *
+               0x1.0p-53;
+    if (u >= plan_.surgeWindowRate)
+        return 1.0;
+    // Surge height varies per window: reuse the decision draw's
+    // position inside the acceptance band.
+    double height = plan_.surgeWindowRate > 0.0
+                        ? u / plan_.surgeWindowRate
+                        : 0.0;
+    return 1.0 + plan_.surgeMagnitude * (0.5 + 0.5 * height);
+}
+
+} // namespace softsku

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated production fleet.
+ *
+ * μSKU's A/B experiments run on live production servers (paper Sec. 4),
+ * and live fleets are hostile: machines crash and are replaced by
+ * not-quite-identical hardware mid-experiment, EMON samples drop or
+ * come back corrupted, traffic surges past the diurnal envelope, knob
+ * applies fail, and reboots hang.  This module injects exactly those
+ * hazards — seeded and replayable — so the tool's statistics and the
+ * rollout machinery can be exercised (and tested) under adversity.
+ *
+ * Determinism contract: every fault decision is drawn either from an
+ * Rng::split substream (so a ProductionEnvironment clone replays the
+ * identical fault schedule no matter which thread measures in it) or
+ * from a stateless hash of simulated time (load surges), never from
+ * shared mutable state.  The same seed and fault plan reproduce
+ * byte-identical reports at any --jobs value.
+ */
+
+#ifndef SOFTSKU_SIM_FAULTS_HH
+#define SOFTSKU_SIM_FAULTS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "stats/rng.hh"
+#include "util/json.hh"
+
+namespace softsku {
+
+/**
+ * Hazard rates for one hostile-production scenario.  All rates default
+ * to zero; a default-constructed plan is a strict no-op (no RNG draws,
+ * no report changes).
+ */
+struct FaultPlan
+{
+    /** Server crash/replacement rate, per server-hour. */
+    double crashPerHour = 0.0;
+    /** Probability an EMON sample pair is lost entirely. */
+    double sampleDropRate = 0.0;
+    /** Probability one arm's EMON reading is corrupted. */
+    double sampleCorruptRate = 0.0;
+    /** Multiplier a corrupted spike applies (zeros are the other mode). */
+    double corruptSpikeFactor = 8.0;
+    /** Probability any given surge window carries a traffic surge. */
+    double surgeWindowRate = 0.0;
+    /** Extra load during a surge, beyond the diurnal envelope. */
+    double surgeMagnitude = 0.35;
+    /** Length of one surge decision window. */
+    double surgeWindowSec = 900.0;
+    /** Probability a knob apply fails and leaves the old config. */
+    double configApplyFailRate = 0.0;
+    /** Probability a required reboot hangs past its downtime budget. */
+    double stuckRebootRate = 0.0;
+    /** Extra downtime a stuck reboot costs before the host recovers. */
+    double stuckRebootExtraSec = 3600.0;
+    /** Perf floor of a replacement server (hardware-config drift). */
+    double replacementPerfMin = 0.85;
+
+    /** True when any hazard rate is nonzero. */
+    bool any() const;
+
+    /**
+     * Parse a plan from a CLI spec: a preset name ("off", "mild",
+     * "moderate", "severe") or a comma-separated key=value list
+     * ("crash=0.02,drop=0.01,corrupt=0.005,surge=0.05,apply=0.03,
+     * stuck=0.05"), optionally starting from a preset
+     * ("moderate,drop=0.1").  fatal() on unknown keys.
+     */
+    static FaultPlan fromSpec(const std::string &spec);
+
+    /** Canonical one-line description of the nonzero rates. */
+    std::string describe() const;
+
+    Json toJson() const;
+};
+
+/** Fault and recovery event counts, aggregated into reports. */
+struct FaultTelemetry
+{
+    std::uint64_t samplesDropped = 0;    //!< EMON pairs lost
+    std::uint64_t samplesCorrupted = 0;  //!< injected spikes/zeros
+    std::uint64_t samplesRejected = 0;   //!< removed by robust filtering
+    std::uint64_t crashes = 0;           //!< server crashes observed
+    std::uint64_t applyFailures = 0;     //!< knob applies that failed
+    std::uint64_t retries = 0;           //!< comparisons re-measured
+    std::uint64_t guardrailAborts = 0;   //!< QoS-aborted candidates
+    std::uint64_t abandoned = 0;         //!< comparisons lost to faults
+
+    /** Every fault event injected (not counting recoveries). */
+    std::uint64_t faultsInjected() const
+    {
+        return samplesDropped + samplesCorrupted + crashes + applyFailures;
+    }
+
+    bool any() const;
+
+    /** Accumulate another telemetry block (sequential reduction). */
+    void merge(const FaultTelemetry &other);
+
+    Json toJson() const;
+};
+
+/**
+ * Draws fault decisions from a plan.  An injector is cheap to copy;
+ * forStream() rebases the decision stream deterministically the same
+ * way ProductionEnvironment::clone rebases measurement noise.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    FaultInjector(const FaultPlan &plan, std::uint64_t seed);
+
+    /**
+     * An injector replaying the substream @p streamId of the same
+     * plan/seed.  Depends only on (seed, streamId) — never on how many
+     * decisions this injector has already drawn.
+     */
+    FaultInjector forStream(std::uint64_t streamId) const;
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** One EMON pair: lost? */
+    bool dropSample();
+
+    /** One EMON reading: corrupted? */
+    bool corruptSample();
+
+    /** Multiplier a corrupted reading suffers: a spike or a zero. */
+    double corruptionFactor();
+
+    /** Did a server crash within the last @p dtSec seconds? */
+    bool crash(double dtSec);
+
+    /** Does this knob apply fail? */
+    bool applyFails();
+
+    /** Does this reboot hang past its downtime budget? */
+    bool rebootSticks();
+
+    /** Relative performance of a replacement server (≤ 1). */
+    double replacementPerfFactor();
+
+    /**
+     * Load multiplier beyond the diurnal envelope at @p timeSec.
+     * A pure function of (plan, seed, time): every clone and every
+     * thread sees the same surge schedule.
+     */
+    double surgeFactor(double timeSec) const;
+
+  private:
+    FaultPlan plan_;
+    std::uint64_t seed_ = 0;
+    Rng rng_{0};
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_SIM_FAULTS_HH

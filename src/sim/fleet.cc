@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/running_stat.hh"
+#include "stats/students_t.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
 namespace softsku {
+
+namespace {
+
+/** Fault-decision substream for fleet operations: disjoint from the
+ *  A/B measurement streams and the validation chunks. */
+constexpr std::uint64_t kFleetFaultStream = 0xF1EE7FA170000001ULL;
+
+} // namespace
 
 bool
 reconfigurationNeedsReboot(const KnobConfig &from, const KnobConfig &to)
@@ -42,18 +52,42 @@ FleetSlice::onlineServers(double nowSec) const
 }
 
 double
+FleetSlice::serverMips(const FleetServer &server, double load)
+{
+    // Per-server noise is independent; load is fleet-wide.  perfFactor
+    // models silent hardware drift the truth cache knows nothing about
+    // — only sampled telemetry can see it.
+    return env_.trueMips(server.config) * server.perfFactor * load *
+           rng_.logNormalMean(1.0, env_.noise().measurementSigma);
+}
+
+double
 FleetSlice::fleetMips(double nowSec)
 {
     double total = 0.0;
-    double load = env_.loadFactor(nowSec);
+    double load = env_.effectiveLoad(nowSec);
     for (const FleetServer &server : servers_) {
         if (!server.online(nowSec))
             continue;
-        // Per-server noise is independent; load is fleet-wide.
-        total += env_.trueMips(server.config) * load *
-                 rng_.logNormalMean(1.0, env_.noise().measurementSigma);
+        total += serverMips(server, load);
     }
     return total;
+}
+
+void
+FleetSlice::degradeServer(int index, double perfFactor)
+{
+    SOFTSKU_ASSERT(index >= 0 &&
+                   index < static_cast<int>(servers_.size()));
+    servers_[static_cast<size_t>(index)].perfFactor = perfFactor;
+}
+
+void
+FleetSlice::scheduleDegradation(int index, double atSec, double perfFactor)
+{
+    SOFTSKU_ASSERT(index >= 0 &&
+                   index < static_cast<int>(servers_.size()));
+    pending_.push_back(PendingDegradation{index, atSec, perfFactor});
 }
 
 void
@@ -85,60 +119,277 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
 {
     RolloutResult result;
     double now = startSec;
+    const int fleetSize = static_cast<int>(servers_.size());
     const KnobConfig before = servers_.front().config;
-    double beforeMips = env_.trueMips(before);
-    double targetMips = env_.trueMips(target);
+    const bool hostile = env_.faults().any();
+    FaultInjector injector = env_.injectorForStream(kFleetFaultStream);
 
-    auto sampleUntil = [&](double untilSec) {
-        while (now < untilSec) {
-            now += sampleEverySec;
-            sampleTo(ods, now);
+    const std::string &name = env_.profile().name;
+    const std::string mipsSeries = "fleet." + name + ".mips";
+    const std::string onlineSeries = "fleet." + name + ".online";
+
+    std::vector<char> isCanary(servers_.size(), 0);
+
+    // Land any degradations scheduled to happen by time t.
+    auto applyPending = [&](double t) {
+        for (size_t i = 0; i < pending_.size();) {
+            if (pending_[i].atSec <= t) {
+                servers_[static_cast<size_t>(pending_[i].index)]
+                    .perfFactor = pending_[i].perfFactor;
+                pending_[i] = pending_.back();
+                pending_.pop_back();
+            } else {
+                ++i;
+            }
         }
     };
 
-    // Phase 1: canary.
-    int canaries = std::min<int>(policy.canaryServers,
-                                 static_cast<int>(servers_.size()));
-    for (int i = 0; i < canaries; ++i)
-        reconfigure(i, target, now, policy.rebootDowntimeSec);
-    sampleUntil(now + policy.canarySoakSec);
+    // Per-tick hostile hazards: crash/replacement and stuck-reboot
+    // exclusion.  Benign plans draw nothing here.
+    auto processFaults = [&](double t, double dtSec) {
+        if (!hostile)
+            return;
+        for (FleetServer &server : servers_) {
+            if (server.excluded)
+                continue;
+            if (t < server.offlineUntilSec) {
+                if (server.offlineUntilSec - t > policy.rebootTimeoutSec) {
+                    // The reboot is stuck beyond the operator's
+                    // patience: pull the host from rotation.
+                    server.excluded = true;
+                    ++result.serversExcluded;
+                    warn("fleet: server %d stuck rebooting, excluded",
+                         server.id);
+                }
+                continue;
+            }
+            if (injector.crash(dtSec)) {
+                // Crash + replacement: the new host runs the same
+                // config but not-quite-identical hardware (drift the
+                // truth cache cannot see).
+                ++result.serverCrashes;
+                server.perfFactor = injector.replacementPerfFactor();
+                server.offlineUntilSec = t + policy.rebootDowntimeSec;
+            }
+        }
+    };
 
-    // Judge the canary on the cached ground truth (the per-server
-    // telemetry rides on top of it); paired against the untouched rest.
-    result.canaryGainPercent = (targetMips / beforeMips - 1.0) * 100.0;
-    if (result.canaryGainPercent < -policy.abortOnRegression * 100.0) {
+    // One telemetry tick: a single noise draw per online server feeds
+    // the fleet aggregate, the canary/control pairing, and the
+    // load-normalized health metric — the same numbers an operator
+    // reads back out of ODS.
+    struct Tick
+    {
+        double canaryRatio = 0.0;
+        bool paired = false;
+        double normalized = 0.0;
+        bool hasNormalized = false;
+    };
+    auto observe = [&](double t) {
+        applyPending(t);
+        double load = env_.effectiveLoad(t);
+        double total = 0.0, canarySum = 0.0, controlSum = 0.0;
+        int online = 0, canaryN = 0, controlN = 0;
+        for (size_t i = 0; i < servers_.size(); ++i) {
+            FleetServer &server = servers_[i];
+            if (!server.online(t))
+                continue;
+            double mips = serverMips(server, load);
+            total += mips;
+            ++online;
+            if (isCanary[i]) {
+                canarySum += mips;
+                ++canaryN;
+            } else {
+                controlSum += mips;
+                ++controlN;
+            }
+        }
+        ods.append(mipsSeries, t, total);
+        ods.append(onlineSeries, t, static_cast<double>(online));
+        Tick tick;
+        // Detrend by the *known* diurnal curve only: an injected
+        // surge is invisible to the operator's load model and shows
+        // up as upside, never as a phantom regression.
+        double diurnal = env_.loadFactor(t);
+        if (online > 0 && diurnal > 0.0) {
+            tick.normalized = total / (online * diurnal);
+            tick.hasNormalized = true;
+        }
+        if (canaryN > 0 && controlN > 0) {
+            // Canary mean over control mean at the same instant: the
+            // common-mode load (diurnal, surges, code pushes) cancels
+            // exactly, leaving the configuration effect plus noise.
+            tick.canaryRatio = (canarySum / canaryN) /
+                               (controlSum / controlN) - 1.0;
+            tick.paired = true;
+        }
+        return tick;
+    };
+
+    auto sampleWindow = [&](double untilSec, double cadence,
+                            RunningStat *normalized,
+                            RunningStat *canary) {
+        while (now < untilSec) {
+            now += cadence;
+            processFaults(now, cadence);
+            Tick tick = observe(now);
+            if (normalized && tick.hasNormalized)
+                normalized->add(tick.normalized);
+            if (canary && tick.paired)
+                canary->add(tick.canaryRatio);
+        }
+    };
+
+    // Push a config to one server, fighting apply failures and stuck
+    // reboots; a server that defeats the retry budget is excluded.
+    auto convert = [&](int index, const KnobConfig &config) {
+        FleetServer &server = servers_[static_cast<size_t>(index)];
+        if (server.excluded)
+            return false;
+        if (hostile) {
+            int attempts = 1 + std::max(0, policy.applyRetries);
+            bool applied = false;
+            for (int a = 0; a < attempts && !applied; ++a) {
+                if (injector.applyFails())
+                    ++result.applyFailures;
+                else
+                    applied = true;
+            }
+            if (!applied) {
+                server.excluded = true;
+                ++result.serversExcluded;
+                warn("fleet: server %d failed %d config applies, "
+                     "excluded", server.id, attempts);
+                return false;
+            }
+        }
+        bool reboot =
+            reconfigure(index, config, now, policy.rebootDowntimeSec);
+        if (reboot && hostile && injector.rebootSticks()) {
+            server.offlineUntilSec += injector.plan().stuckRebootExtraSec;
+            ++result.stuckReboots;
+        }
+        return true;
+    };
+
+    // Phase 0: pre-rollout soak.  The load-normalized per-server mips
+    // over this window is the reference every later health check —
+    // and the final fleet-gain estimate — compares against.
+    RunningStat baseline;
+    sampleWindow(now + policy.baselineSoakSec, sampleEverySec,
+                 &baseline, nullptr);
+    const double baselineRef = baseline.mean();
+
+    // Phase 1: canary.
+    int canaries = std::min<int>(policy.canaryServers, fleetSize);
+    for (int i = 0; i < canaries; ++i) {
+        if (convert(i, target))
+            isCanary[static_cast<size_t>(i)] = 1;
+    }
+    RunningStat canaryStat;
+    sampleWindow(now + policy.canarySoakSec, policy.canarySampleSec,
+                 nullptr, &canaryStat);
+
+    // Judge the canary purely on the paired ODS telemetry it produced:
+    // per-tick canary-mean/control-mean ratios, t-tested.  The truth
+    // cache is deliberately not consulted — a degraded canary *host*
+    // must be caught even when the config itself is a winner.
+    result.canarySamples = canaryStat.count();
+    bool judged = canaryStat.count() >= 2;
+    bool regressed = false;
+    if (judged) {
+        WelchResult test = pairedTTest(canaryStat, 0.95);
+        result.canaryGainPercent = canaryStat.mean() * 100.0;
+        regressed = canaryStat.mean() < -policy.abortOnRegression &&
+                    test.significant;
+    }
+    if (!judged || regressed) {
         // Roll the canaries back.
-        for (int i = 0; i < canaries; ++i)
-            reconfigure(i, before, now, policy.rebootDowntimeSec);
-        sampleUntil(now + policy.waveIntervalSec);
+        for (int i = 0; i < canaries; ++i) {
+            if (isCanary[static_cast<size_t>(i)]) {
+                reconfigure(i, before, now, policy.rebootDowntimeSec);
+                isCanary[static_cast<size_t>(i)] = 0;
+            }
+        }
+        sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
+                     nullptr, nullptr);
         result.aborted = true;
         result.finishedAtSec = now;
-        warn("fleet rollout aborted: canary regressed %.2f%%",
-             -result.canaryGainPercent);
+        if (!judged)
+            warn("fleet rollout aborted: canary produced %llu paired "
+                 "telemetry ticks, cannot judge",
+                 static_cast<unsigned long long>(canaryStat.count()));
+        else
+            warn("fleet rollout aborted: canary regressed %.2f%%",
+                 -result.canaryGainPercent);
         return result;
     }
     result.serversConverted = canaries;
+    // The canaries rejoin the control pool; wave health is judged on
+    // the whole-fleet normalized metric from here on.
+    std::fill(isCanary.begin(), isCanary.end(), 0);
 
-    // Phase 2: waves over the remainder.
+    // Phase 2: waves over the remainder, each followed by a health
+    // check of the load-normalized fleet telemetry against the
+    // baseline soak.  A failed check rolls back *every* converted
+    // server, canaries included.
     int waveSize = std::max<int>(
         1, static_cast<int>(std::lround(policy.waveFraction *
-                                        static_cast<double>(
-                                            servers_.size()))));
+                                        static_cast<double>(fleetSize))));
     int next = canaries;
-    while (next < static_cast<int>(servers_.size())) {
-        int end = std::min<int>(next + waveSize,
-                                static_cast<int>(servers_.size()));
-        for (int i = next; i < end; ++i)
-            reconfigure(i, target, now, policy.rebootDowntimeSec);
-        result.serversConverted += end - next;
+    int wavesConverted = 0;
+    RunningStat finalWindow;
+    while (next < fleetSize) {
+        int end = std::min<int>(next + waveSize, fleetSize);
+        for (int i = next; i < end; ++i) {
+            if (convert(i, target))
+                ++result.serversConverted;
+        }
         next = end;
-        sampleUntil(now + policy.waveIntervalSec);
+        ++wavesConverted;
+        RunningStat waveStat;
+        sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
+                     &waveStat, nullptr);
+        bool unhealthy =
+            baseline.count() >= 2 && waveStat.count() >= 1 &&
+            waveStat.mean() <
+                baselineRef * (1.0 - policy.abortOnRegression);
+        if (unhealthy) {
+            for (int i = 0; i < next; ++i) {
+                if (!servers_[static_cast<size_t>(i)].excluded)
+                    reconfigure(i, before, now,
+                                policy.rebootDowntimeSec);
+            }
+            result.wavesRolledBack = wavesConverted;
+            result.rolledBack = true;
+            result.aborted = true;
+            sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
+                         nullptr, nullptr);
+            result.finishedAtSec = now;
+            warn("fleet rollout rolled back: wave %d health check "
+                 "%.1f%% below baseline",
+                 wavesConverted,
+                 (1.0 - waveStat.mean() / baselineRef) * 100.0);
+            return result;
+        }
+        finalWindow = waveStat;
     }
+
+    // No waves ran (the canary was the whole fleet): take a dedicated
+    // post-conversion window for the gain estimate.
+    if (finalWindow.count() == 0)
+        sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
+                     &finalWindow, nullptr);
 
     result.completed = true;
     result.finishedAtSec = now;
-    result.fleetGainPercent = (targetMips / beforeMips - 1.0) * 100.0;
-    inform("fleet rollout complete: %d servers, %+.2f%% fleet gain",
+    if (baseline.count() >= 1 && baselineRef > 0.0 &&
+        finalWindow.count() >= 1)
+        result.fleetGainPercent =
+            (finalWindow.mean() / baselineRef - 1.0) * 100.0;
+    inform("fleet rollout complete: %d servers, %+.2f%% fleet gain "
+           "(telemetry)",
            result.serversConverted, result.fleetGainPercent);
     return result;
 }

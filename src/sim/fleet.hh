@@ -16,6 +16,7 @@
 #ifndef SOFTSKU_SIM_FLEET_HH
 #define SOFTSKU_SIM_FLEET_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,15 @@ struct FleetServer
     KnobConfig config;
     /** Wall-clock second until which the server is down (reboot). */
     double offlineUntilSec = 0.0;
+    /** Relative hardware performance (replacement drift, degradation). */
+    double perfFactor = 1.0;
+    /** Pulled from rotation by the operator (stuck reboot, etc.). */
+    bool excluded = false;
 
-    bool online(double nowSec) const { return nowSec >= offlineUntilSec; }
+    bool online(double nowSec) const
+    {
+        return !excluded && nowSec >= offlineUntilSec;
+    }
 };
 
 /** Rollout pacing policy. */
@@ -41,8 +49,12 @@ struct RolloutPolicy
 {
     /** Servers converted in the canary phase. */
     int canaryServers = 1;
+    /** Pre-rollout soak establishing the health-check baseline. */
+    double baselineSoakSec = 1800.0;
     /** Canary soak time before the waves start. */
     double canarySoakSec = 4.0 * 3600.0;
+    /** Telemetry cadence while judging the canary. */
+    double canarySampleSec = 60.0;
     /** Fraction of the fleet converted per wave after the canary. */
     double waveFraction = 0.25;
     /** Time between waves. */
@@ -51,6 +63,11 @@ struct RolloutPolicy
     double rebootDowntimeSec = 300.0;
     /** Abort threshold: canary regression (fraction) that cancels. */
     double abortOnRegression = 0.01;
+    /** Remaining downtime beyond which a reboot counts as stuck and
+     *  the server is pulled from rotation. */
+    double rebootTimeoutSec = 1800.0;
+    /** Extra knob-apply attempts before a server is skipped. */
+    int applyRetries = 2;
 };
 
 /** Outcome of one staged rollout. */
@@ -58,11 +75,25 @@ struct RolloutResult
 {
     bool completed = false;
     bool aborted = false;
+    /** Converted waves were reverted by a failed health check. */
+    bool rolledBack = false;
     double finishedAtSec = 0.0;
     int serversConverted = 0;
+    /** Canary gain measured from paired ODS telemetry (canary mean vs
+     *  control mean per tick — the common-mode load cancels). */
     double canaryGainPercent = 0.0;
-    /** Fleet QPS gain after full conversion vs before the rollout. */
+    /** Telemetry ticks the canary judgment is based on. */
+    std::uint64_t canarySamples = 0;
+    /** Fleet QPS gain after full conversion vs the baseline soak, from
+     *  load-normalized ODS telemetry. */
     double fleetGainPercent = 0.0;
+
+    /** Fault/recovery telemetry observed during the rollout. */
+    int wavesRolledBack = 0;
+    int serversExcluded = 0;
+    int serverCrashes = 0;
+    int applyFailures = 0;
+    int stuckReboots = 0;
 };
 
 /**
@@ -114,11 +145,36 @@ class FleetSlice
                           double startSec = 0.0,
                           double sampleEverySec = 300.0);
 
+    /**
+     * Degrade server @p index to @p perfFactor of nominal, immediately
+     * (silent hardware fault: thermal throttling, a failing DIMM).
+     * Ground truth for its configuration is unchanged — only the
+     * sampled telemetry shows it, which is exactly what the rollout
+     * health checks must catch.
+     */
+    void degradeServer(int index, double perfFactor);
+
+    /** Like degradeServer, but taking effect at @p atSec during a
+     *  future rollout (mid-rollout regression injection). */
+    void scheduleDegradation(int index, double atSec, double perfFactor);
+
     const std::vector<FleetServer> &servers() const { return servers_; }
 
   private:
+    /** A scheduled mid-rollout hardware degradation. */
+    struct PendingDegradation
+    {
+        int index;
+        double atSec;
+        double perfFactor;
+    };
+
+    /** One sampled MIPS reading for a server at @p nowSec. */
+    double serverMips(const FleetServer &server, double load);
+
     ProductionEnvironment &env_;
     std::vector<FleetServer> servers_;
+    std::vector<PendingDegradation> pending_;
     Rng rng_;
 };
 

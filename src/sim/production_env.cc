@@ -71,7 +71,59 @@ ProductionEnvironment::clone(std::uint64_t streamId) const
     ProductionEnvironment slice(*this);
     // Same construction-time root as rng_, rebased onto the substream.
     slice.rng_ = Rng(seed_ ^ 0xE4).split(streamId);
+    // Fault decisions rebase the same way: a clone's fault schedule
+    // depends only on (fault seed, stream id), never on what the
+    // parent has already drawn.
+    slice.injector_ = injector_.forStream(streamId);
     return slice;
+}
+
+const ServiceOperatingPoint &
+ProductionEnvironment::operatingPoint(const KnobConfig &config)
+{
+    KnobConfig canonical = config.canonical(platform_);
+    std::string key = canonical.describe();
+    {
+        std::lock_guard<std::mutex> lock(cache_->mutex);
+        auto it = cache_->operatingPoints.find(key);
+        if (it != cache_->operatingPoints.end())
+            return it->second;
+    }
+    // The counter lookup may itself simulate (outside our lock); the
+    // QoS solve happens outside the lock too so concurrent guardrail
+    // checks for distinct configs overlap.
+    const CounterSet &stats = counters(config);
+    ServiceOperatingPoint op = solveOperatingPoint(
+        profile_, platform_, stats, seed_, canonical.activeCores);
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    return cache_->operatingPoints.emplace(std::move(key), op)
+        .first->second;
+}
+
+void
+ProductionEnvironment::setFaults(const FaultPlan &plan,
+                                 std::uint64_t faultSeed)
+{
+    faultSeed_ = faultSeed;
+    injector_ = FaultInjector(plan, faultSeed);
+}
+
+FaultInjector
+ProductionEnvironment::injectorForStream(std::uint64_t streamId) const
+{
+    return injector_.forStream(streamId);
+}
+
+bool
+ProductionEnvironment::drawCrash(double dtSec)
+{
+    return injector_.plan().any() && injector_.crash(dtSec);
+}
+
+bool
+ProductionEnvironment::drawApplyFailure()
+{
+    return injector_.plan().any() && injector_.applyFails();
 }
 
 double
@@ -89,6 +141,15 @@ ProductionEnvironment::loadFactor(double timeSec) const
     double hour = 2.0 * M_PI * timeSec / 3600.0;
     return 1.0 + noise_.diurnalAmplitude * 0.5 * std::sin(day) +
            noise_.diurnalAmplitude * 0.15 * std::sin(3.7 * hour + 1.3);
+}
+
+double
+ProductionEnvironment::effectiveLoad(double timeSec) const
+{
+    double load = loadFactor(timeSec);
+    if (injector_.plan().surgeWindowRate > 0.0)
+        load *= injector_.surgeFactor(timeSec);
+    return load;
 }
 
 double
@@ -115,19 +176,36 @@ ProductionEnvironment::samplePairTruth(double trueA, double trueB,
                                        double timeSec)
 {
     PairedSample sample;
-    double shared = loadFactor(timeSec) * codePushFactor(timeSec);
+    const bool hostile = injector_.plan().any();
+    double shared = effectiveLoad(timeSec) * codePushFactor(timeSec);
     sample.loadFactor = shared;
+    // EMON dropout loses the whole pair before any reading exists; the
+    // noise stream is not advanced (nothing was measured).
+    if (hostile && injector_.dropSample()) {
+        sample.dropped = true;
+        return sample;
+    }
     sample.mipsA = trueA * shared *
                    rng_.logNormalMean(1.0, noise_.measurementSigma);
     sample.mipsB = trueB * shared *
                    rng_.logNormalMean(1.0, noise_.measurementSigma);
+    if (hostile) {
+        if (injector_.corruptSample()) {
+            sample.mipsA *= injector_.corruptionFactor();
+            sample.corruptedA = true;
+        }
+        if (injector_.corruptSample()) {
+            sample.mipsB *= injector_.corruptionFactor();
+            sample.corruptedB = true;
+        }
+    }
     return sample;
 }
 
 double
 ProductionEnvironment::sampleMips(const KnobConfig &config, double timeSec)
 {
-    double shared = loadFactor(timeSec) * codePushFactor(timeSec);
+    double shared = effectiveLoad(timeSec) * codePushFactor(timeSec);
     return trueMips(config) * shared *
            rng_.logNormalMean(1.0, noise_.measurementSigma);
 }

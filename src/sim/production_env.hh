@@ -27,6 +27,8 @@
 #include "arch/platform.hh"
 #include "core/knobs.hh"
 #include "sim/counters.hh"
+#include "sim/faults.hh"
+#include "sim/qos.hh"
 #include "sim/service_sim.hh"
 #include "stats/rng.hh"
 #include "workload/profile.hh"
@@ -39,6 +41,9 @@ struct PairedSample
     double mipsA = 0.0;
     double mipsB = 0.0;
     double loadFactor = 1.0;    //!< common-mode diurnal load at sample time
+    bool dropped = false;       //!< EMON pair lost (fault injection)
+    bool corruptedA = false;    //!< A's reading was spiked/zeroed
+    bool corruptedB = false;    //!< B's reading was spiked/zeroed
 };
 
 /** Tunable noise characteristics of the environment. */
@@ -81,6 +86,13 @@ class ProductionEnvironment
     const CounterSet &counters(const KnobConfig &config);
 
     /**
+     * Solved peak operating point (QoS-bounded) for a configuration;
+     * computed once per canonical config and cached alongside the
+     * counters.  The sweep engine's QoS guardrail reads this.
+     */
+    const ServiceOperatingPoint &operatingPoint(const KnobConfig &config);
+
+    /**
      * An independent measurement slice of the same fleet: identical
      * service, platform, noise model, and ground-truth cache (shared,
      * so a configuration is never simulated twice across slices), but
@@ -93,6 +105,35 @@ class ProductionEnvironment
 
     /** Diurnal load multiplier at wall-clock time @p timeSec. */
     double loadFactor(double timeSec) const;
+
+    /**
+     * Diurnal load times any injected traffic surge.  The surge term
+     * is a pure function of time, so it is identical for every clone
+     * and thread; with no fault plan this is exactly loadFactor().
+     */
+    double effectiveLoad(double timeSec) const;
+
+    /**
+     * Arm this environment (and every clone derived from it) with a
+     * fault plan.  A default (all-zero) plan restores benign behavior
+     * bit-for-bit: no extra RNG draws happen anywhere.
+     */
+    void setFaults(const FaultPlan &plan, std::uint64_t faultSeed);
+
+    const FaultPlan &faults() const { return injector_.plan(); }
+
+    /**
+     * The fault-decision substream @p streamId of this environment's
+     * plan/seed — what FleetSlice and the validation chunks use so
+     * their fault schedules never interleave with A/B measurement.
+     */
+    FaultInjector injectorForStream(std::uint64_t streamId) const;
+
+    /** Did a server crash in the last @p dtSec of measurement? */
+    bool drawCrash(double dtSec);
+
+    /** Did this knob apply fail? */
+    bool drawApplyFailure();
 
     /**
      * Draw one paired A/B sample at time @p timeSec: both servers see
@@ -126,6 +167,7 @@ class ProductionEnvironment
     {
         std::mutex mutex;
         std::map<std::string, CounterSet> entries;
+        std::map<std::string, ServiceOperatingPoint> operatingPoints;
     };
 
     double codePushFactor(double timeSec) const;
@@ -136,6 +178,8 @@ class ProductionEnvironment
     SimOptions simOpts_;
     EnvironmentNoise noise_;
     Rng rng_;
+    std::uint64_t faultSeed_ = 0;
+    FaultInjector injector_;
     std::shared_ptr<SimulationCache> cache_;
 };
 

@@ -55,7 +55,8 @@ evaluateRate(const WorkloadProfile &profile, int cores, double threadIps,
 ServiceOperatingPoint
 solveOperatingPoint(const WorkloadProfile &profile,
                     const PlatformSpec &platform,
-                    const CounterSet &counters, std::uint64_t seed)
+                    const CounterSet &counters, std::uint64_t seed,
+                    int activeCores)
 {
     ServiceOperatingPoint op;
 
@@ -66,8 +67,12 @@ solveOperatingPoint(const WorkloadProfile &profile,
         counters.mipsPerCore * 1e6 * counters.ipc / counters.coreIpc;
     SOFTSKU_ASSERT(threadIps > 0.0);
 
-    // Worker threads schedule onto hardware contexts (SMT included).
-    int cores = platform.totalCores() * platform.smtWays;
+    // Worker threads schedule onto hardware contexts (SMT included);
+    // a core-count knob below the socket size takes contexts away.
+    int onlineCores =
+        activeCores > 0 ? std::min(activeCores, platform.totalCores())
+                        : platform.totalCores();
+    int cores = onlineCores * platform.smtWays;
     double sloSec = profile.request.requestLatencySec *
                     profile.request.sloLatencyMultiplier;
     op.sloLatencySec = sloSec;

@@ -42,14 +42,18 @@ struct ServiceOperatingPoint
  *
  * @param profile  the microservice
  * @param platform the server SKU
- * @param counters architectural simulation results for this config
- *                 (provides per-core throughput)
- * @param seed     determinism seed for the DES
+ * @param counters    architectural simulation results for this config
+ *                    (provides per-core throughput)
+ * @param seed        determinism seed for the DES
+ * @param activeCores cores the configuration leaves online (isolcpus);
+ *                    0 means the full socket.  Fewer cores means fewer
+ *                    worker contexts and a proportionally lower peak.
  */
 ServiceOperatingPoint solveOperatingPoint(const WorkloadProfile &profile,
                                           const PlatformSpec &platform,
                                           const CounterSet &counters,
-                                          std::uint64_t seed = 1);
+                                          std::uint64_t seed = 1,
+                                          int activeCores = 0);
 
 } // namespace softsku
 

@@ -44,7 +44,9 @@ runSerialized(const InputSpec &spec, unsigned jobs)
 {
     ProductionEnvironment env(webProfile(), skylake18(), 1,
                               fastOptions());
-    Usku tool(env, UskuOptions{jobs});
+    UskuOptions options;
+    options.jobs = jobs;
+    Usku tool(env, options);
     return tool.run(spec).toJson().dump(2);
 }
 
@@ -78,7 +80,9 @@ TEST(UskuParallel, RerunWithinOneToolIsCacheServed)
 {
     ProductionEnvironment env(webProfile(), skylake18(), 1,
                               fastOptions());
-    Usku tool(env, UskuOptions{2});
+    UskuOptions options;
+    options.jobs = 2;
+    Usku tool(env, options);
     InputSpec spec =
         webSpec(SweepMode::Independent, {KnobId::Thp, KnobId::Shp});
     UskuReport first = tool.run(spec);
@@ -97,7 +101,9 @@ TEST(UskuParallel, HillClimbRevisitsHitTheCache)
 {
     ProductionEnvironment env(webProfile(), skylake18(), 1,
                               fastOptions());
-    Usku tool(env, UskuOptions{1});
+    UskuOptions options;
+    options.jobs = 1;
+    Usku tool(env, options);
     // Thp moves in pass 1 (THP always is a real win); core frequency
     // never moves (the baseline is already at the maximum).  Pass 2
     // then re-probes the frequency neighbors against an unchanged

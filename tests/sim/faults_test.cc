@@ -1,0 +1,214 @@
+/** @file Tests for the deterministic fault-injection layer. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "services/services.hh"
+#include "sim/faults.hh"
+#include "sim/production_env.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    return opts;
+}
+
+TEST(FaultPlan, DefaultIsNoOp)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.any());
+    EXPECT_EQ(plan.describe(), "off");
+}
+
+TEST(FaultPlan, FromSpecPresets)
+{
+    EXPECT_FALSE(FaultPlan::fromSpec("off").any());
+    FaultPlan mild = FaultPlan::fromSpec("mild");
+    FaultPlan severe = FaultPlan::fromSpec("severe");
+    EXPECT_TRUE(mild.any());
+    EXPECT_TRUE(severe.any());
+    EXPECT_GT(severe.crashPerHour, mild.crashPerHour);
+    EXPECT_GT(severe.sampleDropRate, mild.sampleDropRate);
+}
+
+TEST(FaultPlan, FromSpecKeyValues)
+{
+    FaultPlan plan =
+        FaultPlan::fromSpec("crash=0.5,drop=0.25,surge=0.1,stuck=0.3");
+    EXPECT_DOUBLE_EQ(plan.crashPerHour, 0.5);
+    EXPECT_DOUBLE_EQ(plan.sampleDropRate, 0.25);
+    EXPECT_DOUBLE_EQ(plan.surgeWindowRate, 0.1);
+    EXPECT_DOUBLE_EQ(plan.stuckRebootRate, 0.3);
+    EXPECT_DOUBLE_EQ(plan.sampleCorruptRate, 0.0);
+}
+
+TEST(FaultPlan, FromSpecPresetWithOverride)
+{
+    FaultPlan plan = FaultPlan::fromSpec("moderate,drop=0.4");
+    FaultPlan base = FaultPlan::fromSpec("moderate");
+    EXPECT_DOUBLE_EQ(plan.sampleDropRate, 0.4);
+    EXPECT_DOUBLE_EQ(plan.crashPerHour, base.crashPerHour);
+}
+
+TEST(FaultInjector, SameStreamReplaysIdenticalDecisions)
+{
+    FaultPlan plan = FaultPlan::fromSpec("moderate");
+    FaultInjector parent(plan, 42);
+    // Burn decisions on one parent; substreams must not care.
+    for (int i = 0; i < 1000; ++i)
+        (void)parent.dropSample();
+
+    FaultInjector a = parent.forStream(7);
+    FaultInjector b = FaultInjector(plan, 42).forStream(7);
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_EQ(a.dropSample(), b.dropSample());
+        EXPECT_EQ(a.crash(60.0), b.crash(60.0));
+        EXPECT_EQ(a.applyFails(), b.applyFails());
+    }
+}
+
+TEST(FaultInjector, DifferentStreamsDiffer)
+{
+    FaultPlan plan = FaultPlan::fromSpec("severe");
+    FaultInjector a = FaultInjector(plan, 42).forStream(1);
+    FaultInjector b = FaultInjector(plan, 42).forStream(2);
+    int differ = 0;
+    for (int i = 0; i < 2000; ++i)
+        differ += a.dropSample() != b.dropSample();
+    EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, SurgeFactorIsPureInTime)
+{
+    FaultPlan plan = FaultPlan::fromSpec("surge=0.3");
+    FaultInjector a(plan, 9);
+    FaultInjector b = FaultInjector(plan, 9).forStream(123);
+    int surged = 0;
+    for (int w = 0; w < 400; ++w) {
+        double t = w * plan.surgeWindowSec + 1.0;
+        double factor = a.surgeFactor(t);
+        // Pure function of (plan, seed, time): stream and draw history
+        // are irrelevant, and repeated queries agree.
+        EXPECT_DOUBLE_EQ(factor, b.surgeFactor(t));
+        EXPECT_DOUBLE_EQ(factor, a.surgeFactor(t));
+        EXPECT_GE(factor, 1.0);
+        EXPECT_LE(factor, 1.0 + plan.surgeMagnitude);
+        surged += factor > 1.0;
+    }
+    // ~30% of windows should carry a surge.
+    EXPECT_GT(surged, 60);
+    EXPECT_LT(surged, 180);
+}
+
+TEST(FaultInjector, ZeroRatesDrawNothing)
+{
+    // With a zero plan every decision is false without consuming RNG
+    // state: two injectors stay in lockstep even if one is asked far
+    // more questions.
+    FaultInjector a(FaultPlan{}, 5);
+    FaultInjector b(FaultPlan{}, 5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(a.dropSample());
+        EXPECT_FALSE(a.crash(300.0));
+        EXPECT_FALSE(a.applyFails());
+        EXPECT_FALSE(a.rebootSticks());
+    }
+    EXPECT_FALSE(b.dropSample());
+    EXPECT_DOUBLE_EQ(a.surgeFactor(1234.5), 1.0);
+}
+
+TEST(FaultEnvironment, ZeroPlanIsByteIdenticalToBenign)
+{
+    // Arming an all-zero plan must not perturb a single sample.
+    ProductionEnvironment benign(webProfile(), skylake18(), 1,
+                                 fastOptions());
+    ProductionEnvironment armed(webProfile(), skylake18(), 1,
+                                fastOptions());
+    armed.setFaults(FaultPlan{}, 77);
+
+    KnobConfig config = productionConfig(skylake18(), webProfile());
+    KnobConfig other = config;
+    other.thp = ThpMode::Always;
+    for (int i = 0; i < 500; ++i) {
+        double t = 60.0 * i;
+        PairedSample a = benign.samplePair(config, other, t);
+        PairedSample b = armed.samplePair(config, other, t);
+        EXPECT_EQ(a.mipsA, b.mipsA);
+        EXPECT_EQ(a.mipsB, b.mipsB);
+        EXPECT_FALSE(b.dropped);
+    }
+}
+
+TEST(FaultEnvironment, ClonesReplayIdenticalFaultSchedules)
+{
+    FaultPlan plan = FaultPlan::fromSpec("severe");
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.setFaults(plan, 3);
+    KnobConfig config = productionConfig(skylake18(), webProfile());
+    double truth = env.trueMips(config);
+
+    auto schedule = [&](std::uint64_t stream) {
+        ProductionEnvironment slice = env.clone(stream);
+        std::vector<double> readings;
+        for (int i = 0; i < 2000; ++i) {
+            PairedSample sample =
+                slice.samplePairTruth(truth, truth, 60.0 * i);
+            readings.push_back(sample.dropped ? -1.0 : sample.mipsA);
+            readings.push_back(sample.dropped ? -1.0 : sample.mipsB);
+        }
+        return readings;
+    };
+
+    std::vector<double> first = schedule(11);
+    EXPECT_EQ(schedule(11), first);   // same stream → same schedule
+    EXPECT_NE(schedule(12), first);   // different stream → different
+}
+
+TEST(FaultEnvironment, HostileSamplesCarryInjectedHazards)
+{
+    FaultPlan plan = FaultPlan::fromSpec("drop=0.1,corrupt=0.05");
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.setFaults(plan, 3);
+    KnobConfig config = productionConfig(skylake18(), webProfile());
+    double truth = env.trueMips(config);
+
+    int dropped = 0, corrupted = 0;
+    for (int i = 0; i < 3000; ++i) {
+        PairedSample sample = env.samplePairTruth(truth, truth, 60.0 * i);
+        dropped += sample.dropped;
+        corrupted += sample.corruptedA + sample.corruptedB;
+    }
+    // ~300 drops and ~300 corruptions expected.
+    EXPECT_GT(dropped, 150);
+    EXPECT_LT(dropped, 600);
+    EXPECT_GT(corrupted, 150);
+}
+
+TEST(FaultTelemetry, MergeAccumulates)
+{
+    FaultTelemetry a, b;
+    a.samplesDropped = 3;
+    a.crashes = 1;
+    b.samplesDropped = 2;
+    b.retries = 4;
+    b.guardrailAborts = 1;
+    a.merge(b);
+    EXPECT_EQ(a.samplesDropped, 5u);
+    EXPECT_EQ(a.crashes, 1u);
+    EXPECT_EQ(a.retries, 4u);
+    EXPECT_EQ(a.faultsInjected(), 6u);
+    EXPECT_TRUE(a.any());
+    EXPECT_FALSE(FaultTelemetry{}.any());
+}
+
+} // namespace
+} // namespace softsku

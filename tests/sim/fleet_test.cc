@@ -105,9 +105,165 @@ TEST(Fleet, RolloutAbortsOnCanaryRegression)
     EXPECT_TRUE(result.aborted);
     EXPECT_FALSE(result.completed);
     EXPECT_LT(result.canaryGainPercent, -1.0);
+    EXPECT_GE(result.canarySamples, 2u);
     // Every server is back on the production configuration.
     for (const FleetServer &server : fleet.servers())
         EXPECT_EQ(server.config, production);
+}
+
+TEST(Fleet, CanaryIsJudgedOnTelemetryNotGroundTruth)
+{
+    // The target config is a genuine winner (truth says +3%), but the
+    // canary *host* silently lost 15% of its performance.  A judgment
+    // that consulted the truth cache would proceed; the telemetry-based
+    // one must abort — the samples are all the operator really has.
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+    ASSERT_GT(env.trueMips(winner), env.trueMips(production));
+
+    FleetSlice fleet(env, 8, production);
+    fleet.degradeServer(0, 0.85);   // canary hardware fault
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.canarySoakSec = 600.0;
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_TRUE(result.aborted);
+    EXPECT_FALSE(result.completed);
+    EXPECT_LT(result.canaryGainPercent, -1.0);
+    for (const FleetServer &server : fleet.servers())
+        EXPECT_EQ(server.config, production);
+}
+
+TEST(Fleet, WaveHealthCheckRollsBackConvertedWaves)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+
+    FleetSlice fleet(env, 8, production);
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.canarySoakSec = 600.0;
+    policy.waveIntervalSec = 600.0;
+    // Timeline: baseline [0,1800), canary converts at 1800, soak to
+    // 2400, wave 1 converts at 2400.  Mid-wave, three servers tank.
+    fleet.scheduleDegradation(4, 2500.0, 0.75);
+    fleet.scheduleDegradation(5, 2500.0, 0.75);
+    fleet.scheduleDegradation(6, 2500.0, 0.75);
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_TRUE(result.aborted);
+    EXPECT_TRUE(result.rolledBack);
+    EXPECT_FALSE(result.completed);
+    EXPECT_GE(result.wavesRolledBack, 1);
+    // Every converted server — canary included — is back on the
+    // production configuration.
+    for (const FleetServer &server : fleet.servers())
+        EXPECT_EQ(server.config, production);
+}
+
+TEST(Fleet, RolloutWavePacingConvertsInWaveSizedSteps)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.noise().measurementSigma = 1e-6;
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+
+    FleetSlice fleet(env, 8, production);
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.baselineSoakSec = 600.0;
+    policy.canarySoakSec = 600.0;
+    policy.waveIntervalSec = 600.0;
+    policy.waveFraction = 0.25;   // 2 servers per wave
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.serversConverted, 8);
+    // 1 canary + ceil(7/2) = 4 waves: baseline 600 + soak 600 +
+    // 4 × 600 of wave windows.
+    EXPECT_DOUBLE_EQ(result.finishedAtSec, 600.0 + 600.0 + 4 * 600.0);
+    EXPECT_GT(result.fleetGainPercent, 0.5);
+}
+
+TEST(Fleet, StuckRebootExcludesServerAndAbortsUnjudgeableCanary)
+{
+    // Every reboot hangs for an hour, far past the operator's 30 min
+    // timeout.  The canary conversion needs a reboot (SHP change), so
+    // the canary never comes back: it must be pulled from rotation and
+    // the rollout aborted for lack of canary telemetry.
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.setFaults(FaultPlan::fromSpec("stuck=1.0"), 7);
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig rebootful = production;
+    rebootful.shpCount = 300;
+
+    FleetSlice fleet(env, 8, production);
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.canarySoakSec = 1200.0;
+    policy.rebootTimeoutSec = 900.0;
+
+    RolloutResult result = fleet.rollout(rebootful, policy, ods);
+    EXPECT_TRUE(result.aborted);
+    EXPECT_EQ(result.canarySamples, 0u);
+    EXPECT_GE(result.stuckReboots, 1);
+    EXPECT_GE(result.serversExcluded, 1);
+    EXPECT_TRUE(fleet.servers()[0].excluded);
+}
+
+TEST(Fleet, HostileRolloutSurvivesModerateFaults)
+{
+    // Under the moderate plan a genuine winner still rolls out: the
+    // health machinery absorbs crashes and replacement drift without
+    // spurious aborts, and telemetry records what happened.
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.setFaults(FaultPlan::fromSpec("moderate"), 21);
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+
+    FleetSlice fleet(env, 16, production);
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.canarySoakSec = 1800.0;
+    policy.waveIntervalSec = 600.0;
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.rolledBack);
+    EXPECT_GT(result.fleetGainPercent, 0.5);
+    // Converted count excludes any servers the faults knocked out.
+    EXPECT_GE(result.serversConverted,
+              16 - result.serversExcluded);
+}
+
+TEST(Fleet, DegradeServerShowsUpInFleetTelemetry)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.noise().diurnalAmplitude = 0.0;
+    env.noise().measurementSigma = 1e-6;
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    FleetSlice fleet(env, 4, production);
+    double healthy = fleet.fleetMips(0.0);
+    fleet.degradeServer(2, 0.5);
+    double degraded = fleet.fleetMips(0.0);
+    // One of four servers at half speed → 12.5% fleet loss.
+    EXPECT_NEAR(degraded / healthy, 0.875, 0.01);
+    // Ground truth is deliberately blind to hardware drift.
+    EXPECT_DOUBLE_EQ(env.trueMips(production),
+                     env.trueMips(fleet.servers()[2].config));
 }
 
 } // namespace
