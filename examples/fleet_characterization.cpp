@@ -6,6 +6,7 @@
  * and memory operating points, side by side.
  *
  * Usage: fleet_characterization [--seed=1] [--insns=1500000]
+ *                               [--log-level=silent|error|warn|info|debug]
  */
 
 #include <cstdio>
@@ -23,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    setLogLevel(args.getLogLevel(LogLevel::Info));
     SimOptions options;
     options.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     options.measureInstructions =

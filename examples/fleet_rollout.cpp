@@ -10,7 +10,13 @@
  * Usage: fleet_rollout [--service=web] [--platform=skylake18]
  *                      [--servers=16] [--seed=1] [--report=path.md]
  *                      [--faults=off|mild|moderate|severe|k=v,..]
- *                      [--fault-seed=N]
+ *                      [--fault-seed=N] [--trace-out=FILE] [--metrics]
+ *                      [--log-level=silent|error|warn|info|debug]
+ *
+ * --trace-out records the whole pipeline — sweep comparisons,
+ * validation chunks, then the rollout's soak/canary/wave/health-check/
+ * rollback phases — as Chrome trace_event JSON for chrome://tracing
+ * or Perfetto.
  *
  * --faults runs the whole pipeline — sweep and rollout — in hostile
  * production mode: crashes, telemetry dropout, surges, apply failures
@@ -23,6 +29,7 @@
 
 #include "core/report_writer.hh"
 #include "core/usku.hh"
+#include "obs/trace.hh"
 #include "services/services.hh"
 #include "sim/fleet.hh"
 #include "telemetry/tmam_report.hh"
@@ -35,6 +42,10 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    setLogLevel(args.getLogLevel(LogLevel::Info));
+    const std::string traceOut = args.get("trace-out");
+    if (!traceOut.empty())
+        Tracer::global().enable();
     const WorkloadProfile &service =
         serviceByName(args.get("service", "web"));
     const PlatformSpec &platform =
@@ -109,5 +120,18 @@ main(int argc, char **argv)
                 "p99 %.0f MIPS\n",
                 static_cast<unsigned long long>(mips.count), mips.mean,
                 mips.p99);
+
+    if (args.has("metrics")) {
+        MetricsSnapshot snap = tool.fullMetrics();
+        snap.append(MetricsRegistry::global().snapshot());
+        std::printf("\n%s\n", snap.renderTable().c_str());
+    }
+    if (!traceOut.empty()) {
+        if (Tracer::global().writeChromeTrace(traceOut))
+            inform("trace written to %s (%zu spans)", traceOut.c_str(),
+                   Tracer::global().spanCount());
+        else
+            warn("could not write trace to %s", traceOut.c_str());
+    }
     return 0;
 }

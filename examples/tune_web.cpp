@@ -9,10 +9,17 @@
  *            [--sweep=independent|exhaustive|hillclimb]
  *            [--knobs=cdp,thp,shp] [--seed=1] [--json]
  *            [--jobs=N|auto] [--faults=off|mild|moderate|severe|k=v,..]
- *            [--fault-seed=N]
+ *            [--fault-seed=N] [--trace-out=FILE] [--metrics]
+ *            [--progress] [--log-level=silent|error|warn|info|debug]
  *
  * --jobs parallelizes the A/B sweep across N worker threads; the
  * report is bit-identical for every N (deterministic replay).
+ *
+ * --trace-out writes a Chrome trace_event JSON of every sweep
+ * comparison, retry, cache hit, and validation chunk — load it in
+ * chrome://tracing or Perfetto.  --metrics prints the flight-recorder
+ * registry (deterministic + operational rows); --progress renders a
+ * live done/total + ETA line on stderr while the sweep runs.
  *
  * --faults arms hostile-production mode: seeded server crashes, EMON
  * dropout/corruption, load surges, apply failures, and stuck reboots
@@ -24,6 +31,7 @@
 #include <cstdio>
 
 #include "core/usku.hh"
+#include "obs/trace.hh"
 #include "services/services.hh"
 #include "util/cli.hh"
 #include "util/strings.hh"
@@ -35,6 +43,11 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    setLogLevel(args.getLogLevel(LogLevel::Info));
+
+    const std::string traceOut = args.get("trace-out");
+    if (!traceOut.empty())
+        Tracer::global().enable();
 
     InputSpec spec;
     spec.microservice = args.get("service", "web");
@@ -58,6 +71,7 @@ main(int argc, char **argv)
 
     UskuOptions options;
     options.jobs = args.getJobs(1);
+    options.progress = args.has("progress");
 
     if (args.has("faults")) {
         FaultPlan plan = FaultPlan::fromSpec(args.get("faults", "off"));
@@ -66,21 +80,36 @@ main(int argc, char **argv)
         env.setFaults(plan, faultSeed);
         if (plan.any()) {
             options.robustness = RobustnessPolicy::hostile();
-            std::printf("hostile production mode: %s (fault seed %llu)\n",
-                        plan.describe().c_str(),
-                        static_cast<unsigned long long>(faultSeed));
+            // stderr via inform(): --json must stay machine-parseable.
+            inform("hostile production mode: %s (fault seed %llu)",
+                   plan.describe().c_str(),
+                   static_cast<unsigned long long>(faultSeed));
         }
     }
 
     Usku tool(env, options);
     UskuReport report = tool.run(spec);
 
+    if (!traceOut.empty()) {
+        if (Tracer::global().writeChromeTrace(traceOut))
+            inform("trace written to %s (%zu spans)", traceOut.c_str(),
+                   Tracer::global().spanCount());
+        else
+            warn("could not write trace to %s", traceOut.c_str());
+    }
+
     if (args.has("json")) {
         std::printf("%s\n", report.toJson().dump(2).c_str());
+        if (args.has("metrics"))
+            std::fprintf(stderr, "%s\n",
+                         tool.fullMetrics().renderTable().c_str());
         return 0;
     }
 
     std::printf("%s\n", report.summary().c_str());
+
+    if (args.has("metrics"))
+        std::printf("%s\n", tool.fullMetrics().renderTable().c_str());
 
     TextTable table;
     table.header({"knob", "setting", "gain%", "ci%", "signif", "samples"});

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace softsku {
@@ -40,8 +41,9 @@ ABTestResult::gainCiPercent() const
 }
 
 ABTester::ABTester(ProductionEnvironment &env, const InputSpec &spec,
-                   const RobustnessPolicy &policy)
-    : env_(env), spec_(spec), policy_(policy)
+                   const RobustnessPolicy &policy,
+                   MetricsRegistry *metrics)
+    : env_(env), spec_(spec), policy_(policy), metrics_(metrics)
 {
 }
 
@@ -64,6 +66,10 @@ ABTestResult
 ABTester::measure(const KnobConfig &baseline, const KnobConfig &candidate,
                   double startSec)
 {
+    // Nests under the sweep's comparison span when one is open on this
+    // thread; retries therefore show up as sibling measure spans.
+    ScopedSpan span("ab", "ab.measure");
+
     ABTestResult result;
     result.configA = baseline;
     result.configB = candidate;
@@ -83,6 +89,8 @@ ABTester::measure(const KnobConfig &baseline, const KnobConfig &candidate,
         result.faults.applyFailures = 1;
         result.elapsedSec =
             static_cast<double>(spec_.warmupSamples) * spacing;
+        span.arg("sim_sec", result.elapsedSec);
+        span.arg("apply_failed", true);
         return result;
     }
 
@@ -194,6 +202,21 @@ ABTester::measure(const KnobConfig &baseline, const KnobConfig &candidate,
     if (result.crashed)
         result.significant = false;
     result.elapsedSec = clock - startSec;
+
+    if (metrics_) {
+        metrics_->counter("ab.samples_accepted").add(result.samplesUsed);
+        metrics_->counter("ab.samples_rejected")
+            .add(result.faults.samplesRejected);
+        metrics_->counter("ab.samples_dropped")
+            .add(result.faults.samplesDropped);
+    }
+    span.arg("samples", result.samplesUsed);
+    span.arg("sim_sec", result.elapsedSec);
+    span.arg("significant", result.significant);
+    if (result.crashed)
+        span.arg("crashed", true);
+    if (result.applyFailed)
+        span.arg("apply_failed", true);
     return result;
 }
 

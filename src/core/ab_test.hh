@@ -15,6 +15,7 @@
 
 #include "core/input_spec.hh"
 #include "core/knobs.hh"
+#include "obs/metrics.hh"
 #include "sim/faults.hh"
 #include "sim/production_env.hh"
 #include "stats/running_stat.hh"
@@ -90,13 +91,17 @@ class ABTester
 {
   public:
     /**
-     * @param env    the production fleet slice to measure in
-     * @param spec   statistical policy (confidence, caps, spacing)
-     * @param policy fault-defense policy; the default is the benign
-     *               behavior (no filtering, no retries)
+     * @param env     the production fleet slice to measure in
+     * @param spec    statistical policy (confidence, caps, spacing)
+     * @param policy  fault-defense policy; the default is the benign
+     *                behavior (no filtering, no retries)
+     * @param metrics optional registry receiving per-sample counters
+     *                (accepted / MAD-rejected / dropped); counters are
+     *                order-free, so any thread may own the tester
      */
     ABTester(ProductionEnvironment &env, const InputSpec &spec,
-             const RobustnessPolicy &policy = RobustnessPolicy{});
+             const RobustnessPolicy &policy = RobustnessPolicy{},
+             MetricsRegistry *metrics = nullptr);
 
     /**
      * Run one comparison.  Measurement time continues monotonically
@@ -127,6 +132,7 @@ class ABTester
     ProductionEnvironment &env_;
     const InputSpec &spec_;
     RobustnessPolicy policy_;
+    MetricsRegistry *metrics_;
     double clockSec_ = 0.0;
 };
 

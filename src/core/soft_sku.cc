@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "stats/students_t.hh"
 #include "util/logging.hh"
 
@@ -64,7 +65,7 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
                            const KnobConfig &softSku,
                            const KnobConfig &reference, double durationSec,
                            OdsStore &ods, double sampleEverySec,
-                           ThreadPool *pool) const
+                           ThreadPool *pool, MetricsRegistry *metrics) const
 {
     ValidationResult result;
     result.durationSec = durationSec;
@@ -93,6 +94,10 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
     const bool hostile = env.faults().any();
     std::vector<ValidationChunk> chunks(chunkCount);
     auto measureChunk = [&](std::size_t c) {
+        // Explicit root path: the chunk index alone places this span
+        // deterministically, whichever worker runs it.
+        ScopedSpan span("validate", "validate.chunk",
+                        {kTraceValidate, static_cast<std::uint64_t>(c)});
         ProductionEnvironment slice =
             env.clone(kValidationSalt + static_cast<std::uint64_t>(c));
         ValidationChunk &chunk = chunks[c];
@@ -124,6 +129,8 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
                 chunk.refStat.add(point[1]);
                 ++chunk.samples;
             }
+            span.arg("samples", chunk.samples);
+            span.arg("dropped", chunk.dropped);
             return;
         }
         // Hostile fleet: corrupted readings (spikes, zeros) would blow
@@ -149,6 +156,9 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
             chunk.refStat.add(chunk.points[i][1]);
             ++chunk.samples;
         }
+        span.arg("samples", chunk.samples);
+        span.arg("dropped", chunk.dropped);
+        span.arg("rejected", chunk.rejected);
     };
 
     if (pool && chunkCount > 1)
@@ -169,6 +179,14 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
         result.samples += chunk.samples;
         result.samplesDropped += chunk.dropped;
         result.samplesRejected += chunk.rejected;
+    }
+    if (metrics) {
+        metrics->counter("validation.chunks").add(chunkCount);
+        metrics->counter("validation.samples").add(result.samples);
+        metrics->counter("validation.samples_dropped")
+            .add(result.samplesDropped);
+        metrics->counter("validation.samples_rejected")
+            .add(result.samplesRejected);
     }
 
     WelchResult test = pairedTTest(diffs, 0.95);

@@ -11,6 +11,7 @@
 #define SOFTSKU_CORE_SOFT_SKU_HH
 
 #include "core/design_space_map.hh"
+#include "obs/metrics.hh"
 #include "sim/production_env.hh"
 #include "telemetry/ods.hh"
 #include "util/thread_pool.hh"
@@ -53,13 +54,17 @@ class SoftSkuGenerator
      *
      * @param sampleEverySec telemetry cadence
      * @param pool           optional worker pool for the chunks
+     * @param metrics        optional registry receiving validation
+     *                       sample counters (bumped in the serial merge
+     *                       loop, so they are thread-count-invariant)
      */
     ValidationResult validate(ProductionEnvironment &env,
                               const KnobConfig &softSku,
                               const KnobConfig &reference,
                               double durationSec, OdsStore &ods,
                               double sampleEverySec = 60.0,
-                              ThreadPool *pool = nullptr) const;
+                              ThreadPool *pool = nullptr,
+                              MetricsRegistry *metrics = nullptr) const;
 };
 
 } // namespace softsku

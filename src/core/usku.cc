@@ -1,8 +1,10 @@
 #include "core/usku.hh"
 
+#include <chrono>
 #include <cmath>
 
 #include "core/ab_test.hh"
+#include "obs/trace.hh"
 #include "services/services.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -46,6 +48,7 @@ UskuReport::toJson() const
     doc.set("ab_comparisons",
             Json(static_cast<long long>(abComparisons)));
     doc.set("cache_hits", Json(static_cast<long long>(cacheHits)));
+    doc.set("metrics", metrics.toJson());
     if (faultPlan.any() || faults.any()) {
         Json faultsDoc = Json::object();
         faultsDoc.set("plan", faultPlan.toJson());
@@ -185,6 +188,22 @@ Usku::run(const InputSpec &specIn)
     cacheHits_ = 0;
     measuredSec_ = 0.0;
     faults_ = FaultTelemetry{};
+    metrics_.reset();
+    batchSeq_ = 0;
+
+    // Attribute every log line from this run (and its workers get the
+    // comparison-level context in evaluate()) to the service.
+    LogContext logCtx(toLower(spec.microservice));
+    ScopedSpan runSpan("usku", "usku.run", {kTraceUsku});
+    runSpan.arg("service", toLower(spec.microservice));
+    runSpan.arg("platform", spec.platform);
+    runSpan.arg("sweep", sweepModeName(spec.sweep));
+
+    if (options_.progress) {
+        progress_ = std::make_unique<SweepProgress>(
+            toLower(spec.microservice) + " sweep",
+            pool_ ? pool_->threadCount() : 1);
+    }
 
     UskuReport report;
     report.spec = spec;
@@ -223,16 +242,63 @@ Usku::run(const InputSpec &specIn)
     OdsStore ods;
     report.validation = generator.validate(
         env_, report.softSku, report.production,
-        spec.validationDurationSec, ods, 60.0, pool_.get());
+        spec.validationDurationSec, ods, 60.0, pool_.get(), &metrics_);
     report.faults.samplesDropped += report.validation.samplesDropped;
     report.faults.samplesRejected += report.validation.samplesRejected;
+
+    // Deterministic roll-up counters, recorded on the caller thread
+    // after every sweep and validation chunk has committed.
+    metrics_.counter("sweep.comparisons").add(report.abComparisons);
+    metrics_.counter("sweep.cache_hits").add(report.cacheHits);
+    metrics_.counter("faults.crashes").add(report.faults.crashes);
+    metrics_.counter("faults.apply_failures")
+        .add(report.faults.applyFailures);
+    metrics_.counter("faults.samples_dropped")
+        .add(report.faults.samplesDropped);
+    metrics_.counter("faults.samples_corrupted")
+        .add(report.faults.samplesCorrupted);
+    metrics_.counter("faults.samples_rejected")
+        .add(report.faults.samplesRejected);
+    metrics_.counter("faults.retries").add(report.faults.retries);
+    metrics_.counter("faults.guardrail_aborts")
+        .add(report.faults.guardrailAborts);
+    metrics_.counter("faults.abandoned").add(report.faults.abandoned);
+
+    // Operational rows: scheduling and wall-clock facts that must stay
+    // out of the byte-compared report body.
+    if (pool_) {
+        ThreadPoolStats poolStats = pool_->stats();
+        MetricScope op = MetricScope::Operational;
+        metrics_.gauge("pool.submitted", op)
+            .set(static_cast<double>(poolStats.submitted));
+        metrics_.gauge("pool.executed", op)
+            .set(static_cast<double>(poolStats.executed));
+        metrics_.gauge("pool.stolen", op)
+            .set(static_cast<double>(poolStats.stolen));
+        metrics_.gauge("pool.max_queued", op)
+            .set(static_cast<double>(poolStats.maxQueued));
+    }
+
+    report.metrics = metrics_.snapshot(/*includeOperational=*/false);
+
+    if (progress_) {
+        progress_->finish();
+        progress_.reset();
+    }
     return report;
+}
+
+MetricsSnapshot
+Usku::fullMetrics() const
+{
+    return metrics_.snapshot(/*includeOperational=*/true);
 }
 
 std::vector<ABTestResult>
 Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
 {
     comparisons_ += batch.size();
+    const std::uint64_t batchTag = batchSeq_++;
     std::vector<ABTestResult> results(batch.size());
 
     // Sort out which slots need measurement: memo hits and in-batch
@@ -258,12 +324,21 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
         if (hit != memo_.end()) {
             results[i] = hit->second;
             ++cacheHits_;
+            ScopedSpan span("sweep", "sweep.cache_hit",
+                            {kTraceSweep, batchTag,
+                             static_cast<std::uint64_t>(i)});
+            span.arg("key", key);
             continue;
         }
         auto first = seenInBatch.find(key);
         if (first != seenInBatch.end()) {
             aliases.emplace_back(i, first->second);
             ++cacheHits_;
+            ScopedSpan span("sweep", "sweep.cache_hit",
+                            {kTraceSweep, batchTag,
+                             static_cast<std::uint64_t>(i)});
+            span.arg("key", key);
+            span.arg("in_batch", true);
             continue;
         }
         seenInBatch.emplace(key, i);
@@ -275,6 +350,16 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
     auto evaluateOne = [&](size_t p) {
         const Comparison &task = batch[pending[p].slot];
         ABTestResult &out = results[pending[p].slot];
+
+        // Root path (batch ordinal, batch slot) is derived from the
+        // plan alone, so the merged span order is thread-invariant.
+        ScopedSpan span("sweep", "sweep.compare",
+                        {kTraceSweep, batchTag,
+                         static_cast<std::uint64_t>(pending[p].slot)});
+        span.arg("key", pending[p].key);
+        LogContext logCtx(format(
+            "%s b%llu.%zu", env_.profile().name.c_str(),
+            static_cast<unsigned long long>(batchTag), pending[p].slot));
 
         // QoS guardrail: refuse to measure a candidate whose solved
         // operating point says the p99 SLO cannot hold at production
@@ -298,6 +383,7 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
                 out.configB = task.candidate;
                 out.qosAborted = true;
                 out.faults.guardrailAborts = 1;
+                span.arg("qos_aborted", true);
                 return;
             }
         }
@@ -316,27 +402,53 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
                 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(
                                             attempt);
             ProductionEnvironment slice = env_.clone(stream);
-            ABTester tester(slice, spec, robust);
+            ABTester tester(slice, spec, robust, &metrics_);
             out = tester.compareAt(task.baseline, task.candidate,
                                    phaseOffsetSec(stream));
             merged.merge(out.faults);
             elapsed += out.elapsedSec;
             if (!out.crashed && !out.applyFailed)
                 break;
-            if (attempt + 1 < attempts)
+            if (attempt + 1 < attempts) {
                 ++merged.retries;
+                // A marker child span per re-measurement, so traces
+                // carry exactly report.faults.retries of these.
+                ScopedSpan retry("sweep", "sweep.retry");
+                retry.arg("attempt", static_cast<std::uint64_t>(
+                                         attempt + 1));
+            }
         }
         if (out.crashed || out.applyFailed)
             ++merged.abandoned;
         out.faults = merged;
         out.elapsedSec = elapsed;
+        span.arg("sim_sec", out.elapsedSec);
+        span.arg("significant", out.significant);
     };
 
+    // Wall timing and the progress line wrap the task; neither can
+    // influence anything the task computes.
+    auto evaluateTask = [&](size_t p) {
+        auto t0 = std::chrono::steady_clock::now();
+        evaluateOne(p);
+        double wallSec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        metrics_
+            .histogram("sweep.comparison_wall_sec",
+                       MetricScope::Operational, 1e-6, 1e4)
+            .add(wallSec);
+        if (progress_)
+            progress_->taskDone(wallSec);
+    };
+
+    if (progress_)
+        progress_->beginBatch(pending.size());
     if (pool_ && pending.size() > 1) {
-        pool_->parallelFor(pending.size(), evaluateOne);
+        pool_->parallelFor(pending.size(), evaluateTask);
     } else {
         for (size_t p = 0; p < pending.size(); ++p)
-            evaluateOne(p);
+            evaluateTask(p);
     }
 
     // Commit sequentially in batch order so memo contents, fault
@@ -346,6 +458,14 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
     for (Pending &p : pending) {
         measuredSec_ += results[p.slot].elapsedSec;
         faults_.merge(results[p.slot].faults);
+        // Deterministic histogram: fed here, in commit order, because
+        // its mean accumulates floating point in add order.
+        if (results[p.slot].elapsedSec > 0.0) {
+            metrics_
+                .histogram("sweep.comparison_sim_sec",
+                           MetricScope::Deterministic, 1.0, 1e8)
+                .add(results[p.slot].elapsedSec);
+        }
         memo_.emplace(std::move(p.key), results[p.slot]);
     }
     for (const auto &[dup, source] : aliases)
@@ -357,6 +477,9 @@ DesignSpaceMap
 Usku::sweepIndependent(const TestPlan &plan, const KnobConfig &baseline,
                        const InputSpec &spec)
 {
+    ScopedSpan span("sweep", "sweep.independent");
+    span.arg("knobs", static_cast<std::uint64_t>(plan.knobs.size()));
+
     DesignSpaceMap map;
     map.baseline = baseline;
     map.baselineMips = env_.trueMips(baseline);
@@ -403,6 +526,15 @@ Usku::sweepIndependent(const TestPlan &plan, const KnobConfig &baseline,
                 continue;
             }
             const ABTestResult &test = results[slot.batchIndex];
+            // Per-knob sim-latency histogram, fed in plan order (this
+            // loop is serial) so the fp accumulation is deterministic.
+            if (test.elapsedSec > 0.0) {
+                metrics_
+                    .histogram("sweep.knob_sim_sec." +
+                                   knobKey(knobPlan.id),
+                               MetricScope::Deterministic, 1.0, 1e8)
+                    .add(test.elapsedSec);
+            }
             sweep.outcomes.push_back(makeOutcome(*slot.value, test));
             debug("μSKU A/B: %s = %s → %+0.2f%% (p=%.3g, n=%llu)",
                   knobKey(knobPlan.id).c_str(), slot.value->label.c_str(),
@@ -418,6 +550,9 @@ DesignSpaceMap
 Usku::sweepExhaustive(const TestPlan &plan, const KnobConfig &baseline,
                       const InputSpec &spec)
 {
+    ScopedSpan span("sweep", "sweep.exhaustive");
+    span.arg("knobs", static_cast<std::uint64_t>(plan.knobs.size()));
+
     // Bound the cross product: the paper observes exhaustive sweeps
     // cannot complete between code pushes; the limit keeps runs honest.
     constexpr size_t kMaxCombinations = 512;
@@ -498,6 +633,9 @@ DesignSpaceMap
 Usku::sweepHillClimb(const TestPlan &plan, const KnobConfig &baseline,
                      const InputSpec &spec)
 {
+    ScopedSpan span("sweep", "sweep.hillclimb");
+    span.arg("knobs", static_cast<std::uint64_t>(plan.knobs.size()));
+
     DesignSpaceMap map;
     map.baseline = baseline;
     map.baselineMips = env_.trueMips(baseline);

@@ -32,6 +32,8 @@
 #include "core/design_space_map.hh"
 #include "core/input_spec.hh"
 #include "core/soft_sku.hh"
+#include "obs/metrics.hh"
+#include "obs/progress.hh"
 #include "sim/production_env.hh"
 #include "telemetry/ods.hh"
 #include "util/thread_pool.hh"
@@ -56,6 +58,15 @@ struct UskuReport
     std::uint64_t configsEvaluated = 0;
     std::uint64_t abComparisons = 0;  //!< comparisons the sweep asked for
     std::uint64_t cacheHits = 0;      //!< served from the memo cache
+
+    /**
+     * Deterministic-scope metrics recorded during this run (sample
+     * counts, fault events, sim-time latency histograms).  Serialized
+     * as the "metrics" report section and byte-compared across --jobs;
+     * operational metrics (wall clock, pool scheduling) never land
+     * here — ask Usku::fullMetrics() for those.
+     */
+    MetricsSnapshot metrics;
 
     /** The hazards the environment injected during this run. */
     FaultPlan faultPlan;
@@ -96,6 +107,9 @@ struct UskuOptions
 
     /** Fault defenses: retries, robust filtering, the QoS guardrail. */
     RobustnessPolicy robustness;
+
+    /** Render a live progress line (stderr) while the sweep runs. */
+    bool progress = false;
 };
 
 /** The tool facade. */
@@ -113,6 +127,13 @@ class Usku
 
     /** Run the full pipeline for @p spec. */
     UskuReport run(const InputSpec &spec);
+
+    /**
+     * Every metric the last run recorded — the deterministic rows that
+     * went into the report plus operational rows (wall clock, pool
+     * scheduling) that must never enter byte-compared output.
+     */
+    MetricsSnapshot fullMetrics() const;
 
   private:
     /** One A/B task: measure @p candidate against @p baseline. */
@@ -151,6 +172,12 @@ class Usku
     double measuredSec_ = 0.0;
     /** Fault events accumulated in commit order (thread-invariant). */
     FaultTelemetry faults_;
+    /** Per-run flight-recorder registry (reset at the top of run()). */
+    MetricsRegistry metrics_;
+    /** Ordinal of the next evaluate() batch, for span root paths. */
+    std::uint64_t batchSeq_ = 0;
+    /** Live progress line; only alive during run() when requested. */
+    std::unique_ptr<SweepProgress> progress_;
 };
 
 } // namespace softsku

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Flight-recorder metrics registry: named counters, gauges, and
+ * histograms for the sweep/rollout pipeline — the reproduction's
+ * stand-in for the paper's ODS per-tool telemetry.
+ *
+ * Scope discipline is what keeps the PR 1/2 determinism contract
+ * alive.  Every metric is either:
+ *
+ *   - Deterministic: derived only from simulated state (sample counts,
+ *     fault events, sim-time latencies).  These serialize into the
+ *     "metrics" section of the report JSON, which is byte-compared
+ *     across --jobs values by the benches and tests.  Deterministic
+ *     *histograms* must additionally be populated from a
+ *     deterministic-order context (the sweep's sequential commit
+ *     loop), because their mean accumulates floating point in add
+ *     order.  Deterministic *counters* may be bumped from any thread —
+ *     integer sums are order-free.
+ *
+ *   - Operational: wall-clock or scheduling facts (thread-pool steal
+ *     counts, queue depth, per-comparison wall latency).  These never
+ *     enter the report body; they appear only in the human --metrics
+ *     table and in traces.
+ *
+ * A registry is instantiable (μSKU owns one per tool so concurrent
+ * runs and serial-vs-parallel byte-compares don't cross-contaminate);
+ * MetricsRegistry::global() serves process-wide instrumentation like
+ * the thread pool and environment plumbing.
+ */
+
+#ifndef SOFTSKU_OBS_METRICS_HH
+#define SOFTSKU_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hh"
+#include "util/json.hh"
+
+namespace softsku {
+
+/** Whether a metric may enter the byte-compared report body. */
+enum class MetricScope { Deterministic, Operational };
+
+const char *metricScopeName(MetricScope scope);
+
+/** One metric's value at snapshot time. */
+struct MetricRow
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    MetricScope scope = MetricScope::Deterministic;
+    /** Counter/gauge value (counters are integral). */
+    double value = 0.0;
+    /** Histogram summary. */
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** A point-in-time, serializable view of a registry. */
+struct MetricsSnapshot
+{
+    std::vector<MetricRow> rows;  //!< sorted by name
+
+    /**
+     * Name → value object, in sorted-name order.  Counters emit
+     * integers, gauges doubles, histograms {count, mean, p50, p95,
+     * p99} objects.  Deterministic byte-for-byte when every row is.
+     */
+    Json toJson() const;
+
+    /** Human-readable table (util/table) for the --metrics flag. */
+    std::string renderTable() const;
+
+    /** Merge @p other's rows in (re-sorting; duplicate names kept). */
+    void append(const MetricsSnapshot &other);
+};
+
+/**
+ * The registry.  Lookup returns a stable reference: metrics are never
+ * deleted, so instrumentation may cache the pointer across a run.
+ * Lookups take a mutex; the returned Counter/Gauge handles are
+ * lock-free, Histogram takes a per-histogram mutex.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Monotonic event count.  Thread-safe, order-free. */
+    class Counter
+    {
+      public:
+        void add(std::uint64_t n = 1)
+        {
+            value_.fetch_add(n, std::memory_order_relaxed);
+        }
+        std::uint64_t value() const
+        {
+            return value_.load(std::memory_order_relaxed);
+        }
+        void reset() { value_.store(0, std::memory_order_relaxed); }
+
+      private:
+        std::atomic<std::uint64_t> value_{0};
+    };
+
+    /** Last-write-wins instantaneous value. */
+    class Gauge
+    {
+      public:
+        void set(double v) { value_.store(v, std::memory_order_relaxed); }
+        double value() const
+        {
+            return value_.load(std::memory_order_relaxed);
+        }
+        void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+      private:
+        std::atomic<double> value_{0.0};
+    };
+
+    /** Log-binned distribution (LogHistogram under a mutex). */
+    class Histogram
+    {
+      public:
+        Histogram(double minValue, double maxValue)
+            : histogram_(minValue, maxValue)
+        {
+        }
+        void add(double value)
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            histogram_.add(value);
+        }
+        std::uint64_t count() const;
+        double mean() const;
+        double percentile(double q) const;
+        void reset();
+
+      private:
+        mutable std::mutex mutex_;
+        LogHistogram histogram_;
+    };
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Find-or-create.  panic() when @p name exists with a different
+     *  kind or scope — one name, one meaning. */
+    Counter &counter(const std::string &name,
+                     MetricScope scope = MetricScope::Deterministic);
+    Gauge &gauge(const std::string &name,
+                 MetricScope scope = MetricScope::Deterministic);
+    Histogram &histogram(const std::string &name,
+                         MetricScope scope = MetricScope::Deterministic,
+                         double minValue = 1e-9, double maxValue = 1e6);
+
+    /**
+     * Snapshot every registered metric, sorted by name.
+     * @param includeOperational false restricts to Deterministic rows
+     *        (the report-body view)
+     */
+    MetricsSnapshot snapshot(bool includeOperational = true) const;
+
+    /** Zero every value; registrations (and references) survive. */
+    void reset();
+
+    /** Process-wide registry for subsystem-agnostic instrumentation. */
+    static MetricsRegistry &global();
+
+  private:
+    struct Entry
+    {
+        MetricRow::Kind kind;
+        MetricScope scope;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &entryFor(const std::string &name, MetricRow::Kind kind,
+                    MetricScope scope);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_OBS_METRICS_HH

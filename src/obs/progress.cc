@@ -1,0 +1,97 @@
+#include "obs/progress.hh"
+
+#include <chrono>
+
+#include "util/strings.hh"
+
+namespace softsku {
+
+namespace {
+
+constexpr double kRefreshSec = 0.1;
+
+double
+steadySec()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+SweepProgress::SweepProgress(std::string label, unsigned jobs,
+                             std::FILE *out)
+    : out_(out), label_(std::move(label)), jobs_(jobs == 0 ? 1 : jobs),
+      startSec_(steadySec())
+{
+}
+
+SweepProgress::~SweepProgress()
+{
+    finish();
+}
+
+void
+SweepProgress::beginBatch(std::size_t tasks)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        return;
+    total_ += tasks;
+    render(true);
+}
+
+void
+SweepProgress::taskDone(double wallSec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        return;
+    ++done_;
+    wallSumSec_ += wallSec;
+    render(done_ == total_);
+}
+
+void
+SweepProgress::render(bool force)
+{
+    double now = steadySec();
+    if (!force && now - lastRenderSec_ < kRefreshSec)
+        return;
+    lastRenderSec_ = now;
+    rendered_ = true;
+
+    double elapsed = now - startSec_;
+    double rate = elapsed > 0.0 ? static_cast<double>(done_) / elapsed
+                                : 0.0;
+    std::string line = format("%s: %zu/%zu comparisons", label_.c_str(),
+                              done_, total_);
+    if (rate > 0.0)
+        line += format(", %.1f/s", rate);
+    if (done_ > 0 && done_ < total_) {
+        // ETA from the mean per-comparison wall latency, divided by
+        // the worker count actually draining the queue.
+        double meanSec = wallSumSec_ / static_cast<double>(done_);
+        double etaSec = meanSec * static_cast<double>(total_ - done_) /
+                        static_cast<double>(jobs_);
+        line += format(", ETA %.0fs", etaSec);
+    }
+    std::fprintf(out_, "\r%-70s", line.c_str());
+    std::fflush(out_);
+}
+
+void
+SweepProgress::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        return;
+    finished_ = true;
+    if (rendered_) {
+        std::fprintf(out_, "\n");
+        std::fflush(out_);
+    }
+}
+
+} // namespace softsku

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sweep timeline reporter: an opt-in live progress line for long
+ * sweeps and fleet benches.
+ *
+ * The sweep engine calls beginBatch() when it fans a comparison batch
+ * out to the pool and taskDone() as each comparison lands; the
+ * reporter keeps a running mean of per-comparison wall latency and
+ * renders "done/total, rate, ETA" to stderr at a bounded refresh rate.
+ * Output goes to stderr with carriage-return rewrites, so stdout
+ * (reports, tables, JSON) stays clean — and nothing here ever touches
+ * the deterministic report body.
+ */
+
+#ifndef SOFTSKU_OBS_PROGRESS_HH
+#define SOFTSKU_OBS_PROGRESS_HH
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace softsku {
+
+/** Thread-safe live progress line for one sweep. */
+class SweepProgress
+{
+  public:
+    /**
+     * @param label short prefix, e.g. the service name
+     * @param jobs  worker count, used to scale the ETA
+     * @param out   destination stream (tests inject a memstream)
+     */
+    explicit SweepProgress(std::string label, unsigned jobs = 1,
+                           std::FILE *out = stderr);
+
+    /** Clears the line if anything was rendered. */
+    ~SweepProgress();
+
+    SweepProgress(const SweepProgress &) = delete;
+    SweepProgress &operator=(const SweepProgress &) = delete;
+
+    /** Announce @p tasks more comparisons entering measurement. */
+    void beginBatch(std::size_t tasks);
+
+    /** One comparison finished after @p wallSec of real time. */
+    void taskDone(double wallSec);
+
+    /** Finish the line (newline) and stop updating. */
+    void finish();
+
+  private:
+    /** Render now when the refresh interval elapsed (caller locks). */
+    void render(bool force);
+
+    std::mutex mutex_;
+    std::FILE *out_;
+    std::string label_;
+    unsigned jobs_;
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+    double wallSumSec_ = 0.0;
+    double startSec_ = 0.0;
+    double lastRenderSec_ = 0.0;
+    bool rendered_ = false;
+    bool finished_ = false;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_OBS_PROGRESS_HH

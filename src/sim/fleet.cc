@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/running_stat.hh"
 #include "stats/students_t.hh"
 #include "util/logging.hh"
@@ -117,6 +119,15 @@ RolloutResult
 FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                     OdsStore &ods, double startSec, double sampleEverySec)
 {
+    // Rollouts are single-threaded, so phase spans nest naturally
+    // under this root and their ordinals are deterministic.
+    ScopedSpan rolloutSpan("rollout", "fleet.rollout", {kTraceRollout});
+    rolloutSpan.arg("service", env_.profile().name);
+    rolloutSpan.arg("servers",
+                    static_cast<std::uint64_t>(servers_.size()));
+    LogContext logCtx("fleet " + env_.profile().name);
+    MetricsRegistry::global().counter("fleet.rollouts").add(1);
+
     RolloutResult result;
     double now = startSec;
     const int fleetSize = static_cast<int>(servers_.size());
@@ -158,6 +169,8 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                     // patience: pull the host from rotation.
                     server.excluded = true;
                     ++result.serversExcluded;
+                    MetricsRegistry::global()
+                        .counter("fleet.servers_excluded").add(1);
                     warn("fleet: server %d stuck rebooting, excluded",
                          server.id);
                 }
@@ -168,6 +181,8 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                 // config but not-quite-identical hardware (drift the
                 // truth cache cannot see).
                 ++result.serverCrashes;
+                MetricsRegistry::global()
+                    .counter("fleet.server_crashes").add(1);
                 server.perfFactor = injector.replacementPerfFactor();
                 server.offlineUntilSec = t + policy.rebootDowntimeSec;
             }
@@ -251,14 +266,19 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
             int attempts = 1 + std::max(0, policy.applyRetries);
             bool applied = false;
             for (int a = 0; a < attempts && !applied; ++a) {
-                if (injector.applyFails())
+                if (injector.applyFails()) {
                     ++result.applyFailures;
-                else
+                    MetricsRegistry::global()
+                        .counter("fleet.apply_failures").add(1);
+                } else {
                     applied = true;
+                }
             }
             if (!applied) {
                 server.excluded = true;
                 ++result.serversExcluded;
+                MetricsRegistry::global()
+                    .counter("fleet.servers_excluded").add(1);
                 warn("fleet: server %d failed %d config applies, "
                      "excluded", server.id, attempts);
                 return false;
@@ -269,6 +289,8 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
         if (reboot && hostile && injector.rebootSticks()) {
             server.offlineUntilSec += injector.plan().stuckRebootExtraSec;
             ++result.stuckReboots;
+            MetricsRegistry::global()
+                .counter("fleet.stuck_reboots").add(1);
         }
         return true;
     };
@@ -277,19 +299,28 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
     // over this window is the reference every later health check —
     // and the final fleet-gain estimate — compares against.
     RunningStat baseline;
-    sampleWindow(now + policy.baselineSoakSec, sampleEverySec,
-                 &baseline, nullptr);
+    {
+        ScopedSpan span("rollout", "rollout.baseline_soak");
+        sampleWindow(now + policy.baselineSoakSec, sampleEverySec,
+                     &baseline, nullptr);
+        span.arg("samples", baseline.count());
+    }
     const double baselineRef = baseline.mean();
 
     // Phase 1: canary.
     int canaries = std::min<int>(policy.canaryServers, fleetSize);
-    for (int i = 0; i < canaries; ++i) {
-        if (convert(i, target))
-            isCanary[static_cast<size_t>(i)] = 1;
-    }
     RunningStat canaryStat;
-    sampleWindow(now + policy.canarySoakSec, policy.canarySampleSec,
-                 nullptr, &canaryStat);
+    {
+        ScopedSpan span("rollout", "rollout.canary");
+        span.arg("servers", static_cast<std::uint64_t>(canaries));
+        for (int i = 0; i < canaries; ++i) {
+            if (convert(i, target))
+                isCanary[static_cast<size_t>(i)] = 1;
+        }
+        sampleWindow(now + policy.canarySoakSec, policy.canarySampleSec,
+                     nullptr, &canaryStat);
+        span.arg("samples", canaryStat.count());
+    }
 
     // Judge the canary purely on the paired ODS telemetry it produced:
     // per-tick canary-mean/control-mean ratios, t-tested.  The truth
@@ -298,14 +329,22 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
     result.canarySamples = canaryStat.count();
     bool judged = canaryStat.count() >= 2;
     bool regressed = false;
-    if (judged) {
-        WelchResult test = pairedTTest(canaryStat, 0.95);
-        result.canaryGainPercent = canaryStat.mean() * 100.0;
-        regressed = canaryStat.mean() < -policy.abortOnRegression &&
-                    test.significant;
+    {
+        ScopedSpan span("rollout", "rollout.canary_judgment");
+        if (judged) {
+            WelchResult test = pairedTTest(canaryStat, 0.95);
+            result.canaryGainPercent = canaryStat.mean() * 100.0;
+            regressed = canaryStat.mean() < -policy.abortOnRegression &&
+                        test.significant;
+        }
+        span.arg("judged", judged);
+        span.arg("regressed", regressed);
     }
     if (!judged || regressed) {
         // Roll the canaries back.
+        ScopedSpan span("rollout", "rollout.rollback");
+        span.arg("scope", "canary");
+        MetricsRegistry::global().counter("fleet.rollbacks").add(1);
         for (int i = 0; i < canaries; ++i) {
             if (isCanary[static_cast<size_t>(i)]) {
                 reconfigure(i, before, now, policy.rebootDowntimeSec);
@@ -342,20 +381,38 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
     RunningStat finalWindow;
     while (next < fleetSize) {
         int end = std::min<int>(next + waveSize, fleetSize);
-        for (int i = next; i < end; ++i) {
-            if (convert(i, target))
-                ++result.serversConverted;
-        }
-        next = end;
-        ++wavesConverted;
         RunningStat waveStat;
-        sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
-                     &waveStat, nullptr);
-        bool unhealthy =
-            baseline.count() >= 2 && waveStat.count() >= 1 &&
-            waveStat.mean() <
-                baselineRef * (1.0 - policy.abortOnRegression);
+        {
+            ScopedSpan span("rollout", "rollout.wave");
+            span.arg("wave",
+                     static_cast<std::uint64_t>(wavesConverted + 1));
+            span.arg("servers", static_cast<std::uint64_t>(end - next));
+            for (int i = next; i < end; ++i) {
+                if (convert(i, target))
+                    ++result.serversConverted;
+            }
+            next = end;
+            ++wavesConverted;
+            sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
+                         &waveStat, nullptr);
+        }
+        bool unhealthy;
+        {
+            ScopedSpan span("rollout", "rollout.health_check");
+            span.arg("wave",
+                     static_cast<std::uint64_t>(wavesConverted));
+            unhealthy =
+                baseline.count() >= 2 && waveStat.count() >= 1 &&
+                waveStat.mean() <
+                    baselineRef * (1.0 - policy.abortOnRegression);
+            span.arg("healthy", !unhealthy);
+        }
         if (unhealthy) {
+            ScopedSpan span("rollout", "rollout.rollback");
+            span.arg("scope", "fleet");
+            span.arg("wave",
+                     static_cast<std::uint64_t>(wavesConverted));
+            MetricsRegistry::global().counter("fleet.rollbacks").add(1);
             for (int i = 0; i < next; ++i) {
                 if (!servers_[static_cast<size_t>(i)].excluded)
                     reconfigure(i, before, now,

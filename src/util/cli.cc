@@ -71,6 +71,20 @@ CliArgs::getJobs(unsigned fallback, const std::string &name) const
     return static_cast<unsigned>(*parsed);
 }
 
+LogLevel
+CliArgs::getLogLevel(LogLevel fallback, const std::string &name) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    LogLevel level;
+    if (!logLevelFromName(it->second, level)) {
+        fatal("flag --%s expects silent|error|warn|info|debug, got '%s'",
+              name.c_str(), it->second.c_str());
+    }
+    return level;
+}
+
 double
 CliArgs::getDouble(const std::string &name, double fallback) const
 {

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
+
 namespace softsku {
 
 /** Parsed command line: named flags plus positional arguments. */
@@ -42,6 +44,14 @@ class CliArgs
      */
     unsigned getJobs(unsigned fallback = 1,
                      const std::string &name = "jobs") const;
+
+    /**
+     * Parse the conventional --log-level flag
+     * (silent|error|warn|info|debug).  Returns @p fallback when the
+     * flag is absent; fatal() on an unknown level name.
+     */
+    LogLevel getLogLevel(LogLevel fallback = LogLevel::Info,
+                         const std::string &name = "log-level") const;
 
     /** Positional (non-flag) arguments in order. */
     const std::vector<std::string> &positional() const { return positional_; }

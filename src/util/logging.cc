@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 namespace softsku {
 
@@ -9,12 +11,33 @@ namespace {
 
 LogLevel globalLevel = LogLevel::Info;
 
+std::function<void(LogLevel, const std::string &)> globalSink;
+
+/** Active LogContext labels on this thread, outermost first. */
+thread_local std::vector<std::string> tlContext;
+
 void
-vreport(const char *tag, const char *fmt, va_list args)
+vreport(LogLevel level, const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n < 0)
+        n = 0;
+    std::string body(static_cast<std::size_t>(n), '\0');
+    std::vsnprintf(body.data(), body.size() + 1, fmt, args);
+
+    std::string line = LogContext::prefix();
+    line += tag;
+    line += ": ";
+    line += body;
+
+    if (globalSink) {
+        globalSink(level, line);
+        return;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 } // namespace
@@ -31,12 +54,75 @@ logLevel()
     return globalLevel;
 }
 
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent:
+        return "silent";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "unknown";
+}
+
+bool
+logLevelFromName(const std::string &name, LogLevel &out)
+{
+    for (LogLevel level : {LogLevel::Silent, LogLevel::Error,
+                           LogLevel::Warn, LogLevel::Info,
+                           LogLevel::Debug}) {
+        if (name == logLevelName(level)) {
+            out = level;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+setLogSink(std::function<void(LogLevel, const std::string &)> sink)
+{
+    globalSink = std::move(sink);
+}
+
+LogContext::LogContext(std::string label)
+{
+    tlContext.push_back(std::move(label));
+}
+
+LogContext::~LogContext()
+{
+    tlContext.pop_back();
+}
+
+std::string
+LogContext::prefix()
+{
+    if (tlContext.empty())
+        return "";
+    std::string out = "[";
+    for (std::size_t i = 0; i < tlContext.size(); ++i) {
+        if (i)
+            out += '|';
+        out += tlContext[i];
+    }
+    out += "] ";
+    return out;
+}
+
 void
 panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("panic", fmt, args);
+    vreport(LogLevel::Error, "panic", fmt, args);
     va_end(args);
     std::abort();
 }
@@ -46,7 +132,7 @@ fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("fatal", fmt, args);
+    vreport(LogLevel::Error, "fatal", fmt, args);
     va_end(args);
     std::exit(1);
 }
@@ -58,7 +144,7 @@ warn(const char *fmt, ...)
         return;
     va_list args;
     va_start(args, fmt);
-    vreport("warn", fmt, args);
+    vreport(LogLevel::Warn, "warn", fmt, args);
     va_end(args);
 }
 
@@ -69,7 +155,7 @@ inform(const char *fmt, ...)
         return;
     va_list args;
     va_start(args, fmt);
-    vreport("info", fmt, args);
+    vreport(LogLevel::Info, "info", fmt, args);
     va_end(args);
 }
 
@@ -80,7 +166,7 @@ debug(const char *fmt, ...)
         return;
     va_list args;
     va_start(args, fmt);
-    vreport("debug", fmt, args);
+    vreport(LogLevel::Debug, "debug", fmt, args);
     va_end(args);
 }
 

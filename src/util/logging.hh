@@ -14,6 +14,7 @@
 #define SOFTSKU_UTIL_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace softsku {
@@ -26,6 +27,42 @@ void setLogLevel(LogLevel level);
 
 /** Current global log threshold. */
 LogLevel logLevel();
+
+/** Lower-case name of a level, e.g. "warn". */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse a level name ("silent", "error", "warn", "info", "debug").
+ * @return true and set @p out on success, false on an unknown name.
+ */
+bool logLevelFromName(const std::string &name, LogLevel &out);
+
+/**
+ * Redirect formatted log output (warn/inform/debug and the message
+ * line of panic/fatal) to @p sink instead of stderr; pass nullptr to
+ * restore stderr.  Test hook — the sink receives the fully formatted
+ * message including any LogContext prefix, without trailing newline.
+ */
+void setLogSink(std::function<void(LogLevel, const std::string &)> sink);
+
+/**
+ * RAII scope label attached to every log message emitted by this
+ * thread while the scope is alive, e.g. "[web c12a|b] warn: ...".
+ * Nested scopes join with '|'.  Makes interleaved --jobs=N output
+ * attributable to the service/comparison that produced it.
+ */
+class LogContext
+{
+  public:
+    explicit LogContext(std::string label);
+    ~LogContext();
+
+    LogContext(const LogContext &) = delete;
+    LogContext &operator=(const LogContext &) = delete;
+
+    /** The "[a|b]" prefix for this thread, or "" outside any scope. */
+    static std::string prefix();
+};
 
 /**
  * Report an internal invariant violation and abort.

@@ -14,6 +14,17 @@ thread_local std::size_t tlIndex = 0;
 
 } // namespace
 
+ThreadPoolStats
+ThreadPool::stats() const
+{
+    ThreadPoolStats out;
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.executed = executed_.load(std::memory_order_relaxed);
+    out.stolen = stolen_.load(std::memory_order_relaxed);
+    out.maxQueued = maxQueued_.load(std::memory_order_relaxed);
+    return out;
+}
+
 unsigned
 ThreadPool::hardwareThreads()
 {
@@ -55,11 +66,18 @@ ThreadPool::enqueue(std::function<void()> task)
         std::lock_guard<std::mutex> lock(deques_[target]->mutex);
         deques_[target]->tasks.push_back(std::move(task));
     }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t depth;
     {
         // Publishing the count under wakeMutex_ closes the window
         // between a sleeper's predicate check and its actual wait.
         std::lock_guard<std::mutex> lock(wakeMutex_);
-        queued_.fetch_add(1);
+        depth = queued_.fetch_add(1) + 1;
+    }
+    std::uint64_t seen = maxQueued_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !maxQueued_.compare_exchange_weak(seen, depth,
+                                             std::memory_order_relaxed)) {
     }
     wake_.notify_one();
 }
@@ -74,6 +92,7 @@ ThreadPool::tryAcquire(std::size_t self, std::function<void()> &out)
             out = std::move(own.tasks.back());
             own.tasks.pop_back();
             queued_.fetch_sub(1);
+            executed_.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }
@@ -85,6 +104,8 @@ ThreadPool::tryAcquire(std::size_t self, std::function<void()> &out)
             out = std::move(victim.tasks.front());
             victim.tasks.pop_front();
             queued_.fetch_sub(1);
+            executed_.fetch_add(1, std::memory_order_relaxed);
+            stolen_.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -30,6 +31,15 @@
 #include <vector>
 
 namespace softsku {
+
+/** Cumulative scheduling counters for one pool (see ThreadPool::stats). */
+struct ThreadPoolStats
+{
+    std::uint64_t submitted = 0;  //!< tasks enqueued over the lifetime
+    std::uint64_t executed = 0;   //!< tasks acquired by a worker
+    std::uint64_t stolen = 0;     //!< executed tasks taken from a victim
+    std::uint64_t maxQueued = 0;  //!< high-water mark of queued tasks
+};
 
 /** A fixed-size work-stealing pool of worker threads. */
 class ThreadPool
@@ -78,6 +88,12 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
+    /**
+     * Point-in-time scheduling counters.  Wall-clock/scheduling facts
+     * only — never feed these into deterministic report output.
+     */
+    ThreadPoolStats stats() const;
+
     /** Hardware thread count with a floor of 1. */
     static unsigned hardwareThreads();
 
@@ -98,6 +114,10 @@ class ThreadPool
     std::condition_variable wake_;
     std::atomic<std::size_t> queued_{0};
     std::atomic<std::size_t> nextDeque_{0};
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> stolen_{0};
+    std::atomic<std::uint64_t> maxQueued_{0};
     bool stop_ = false;
 };
 

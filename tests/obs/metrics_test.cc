@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Metrics registry tests: find-or-create semantics, scope filtering,
+ * JSON shape, table rendering, reset, and the μSKU integration — the
+ * report's "metrics" section carries deterministic rows only, while
+ * fullMetrics() adds the operational ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/usku.hh"
+#include "obs/metrics.hh"
+#include "services/services.hh"
+#include "util/json.hh"
+
+namespace softsku {
+namespace {
+
+TEST(Metrics, CounterFindOrCreateIsStable)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Counter &a = registry.counter("events");
+    MetricsRegistry::Counter &b = registry.counter("events");
+    EXPECT_EQ(&a, &b);
+    a.add();
+    b.add(4);
+    EXPECT_EQ(a.value(), 5u);
+}
+
+TEST(Metrics, GaugeLastWriteWins)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Gauge &gauge = registry.gauge("depth");
+    gauge.set(3.0);
+    gauge.set(7.5);
+    EXPECT_DOUBLE_EQ(gauge.value(), 7.5);
+}
+
+TEST(Metrics, HistogramSummarizes)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Histogram &hist =
+        registry.histogram("lat", MetricScope::Deterministic, 1.0, 1e6);
+    for (int i = 1; i <= 100; ++i)
+        hist.add(static_cast<double>(i));
+    EXPECT_EQ(hist.count(), 100u);
+    EXPECT_NEAR(hist.mean(), 50.5, 0.5);
+    EXPECT_GT(hist.percentile(0.99), hist.percentile(0.50));
+}
+
+TEST(Metrics, SnapshotSortsAndFiltersByScope)
+{
+    MetricsRegistry registry;
+    registry.counter("z.det", MetricScope::Deterministic).add(2);
+    registry.counter("a.op", MetricScope::Operational).add(3);
+    registry.gauge("m.op", MetricScope::Operational).set(1.5);
+
+    MetricsSnapshot full = registry.snapshot();
+    ASSERT_EQ(full.rows.size(), 3u);
+    EXPECT_EQ(full.rows[0].name, "a.op");
+    EXPECT_EQ(full.rows[1].name, "m.op");
+    EXPECT_EQ(full.rows[2].name, "z.det");
+
+    MetricsSnapshot det = registry.snapshot(false);
+    ASSERT_EQ(det.rows.size(), 1u);
+    EXPECT_EQ(det.rows[0].name, "z.det");
+    EXPECT_EQ(det.rows[0].value, 2.0);
+}
+
+TEST(Metrics, ToJsonShape)
+{
+    MetricsRegistry registry;
+    registry.counter("n").add(42);
+    registry.gauge("g").set(0.25);
+    registry.histogram("h", MetricScope::Deterministic, 1.0, 1e3)
+        .add(10.0);
+
+    Json doc = registry.snapshot().toJson();
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("n").asInt(), 42);
+    EXPECT_DOUBLE_EQ(doc.at("g").asNumber(), 0.25);
+    const Json &hist = doc.at("h");
+    EXPECT_EQ(hist.at("count").asInt(), 1);
+    EXPECT_TRUE(hist.contains("mean"));
+    EXPECT_TRUE(hist.contains("p50"));
+    EXPECT_TRUE(hist.contains("p95"));
+    EXPECT_TRUE(hist.contains("p99"));
+
+    // Counters serialize as integers: no decimal point in the dump.
+    EXPECT_EQ(doc.at("n").dump(), "42");
+}
+
+TEST(Metrics, RenderTableMentionsEveryMetric)
+{
+    MetricsRegistry registry;
+    registry.counter("sweep.comparisons").add(8);
+    registry.gauge("pool.max_queued", MetricScope::Operational).set(3);
+    std::string table = registry.snapshot().renderTable();
+    EXPECT_NE(table.find("sweep.comparisons"), std::string::npos);
+    EXPECT_NE(table.find("pool.max_queued"), std::string::npos);
+    EXPECT_NE(table.find("8"), std::string::npos);
+}
+
+TEST(Metrics, AppendMergesAndResorts)
+{
+    MetricsRegistry a;
+    a.counter("zz").add(1);
+    MetricsRegistry b;
+    b.counter("aa").add(2);
+
+    MetricsSnapshot merged = a.snapshot();
+    merged.append(b.snapshot());
+    ASSERT_EQ(merged.rows.size(), 2u);
+    EXPECT_EQ(merged.rows[0].name, "aa");
+    EXPECT_EQ(merged.rows[1].name, "zz");
+}
+
+TEST(Metrics, ResetZeroesButKeepsRegistrations)
+{
+    MetricsRegistry registry;
+    MetricsRegistry::Counter &counter = registry.counter("events");
+    registry.histogram("h", MetricScope::Deterministic, 1.0, 1e3)
+        .add(5.0);
+    counter.add(9);
+    registry.reset();
+    EXPECT_EQ(counter.value(), 0u);
+    MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.rows.size(), 2u);
+    EXPECT_EQ(snap.rows[0].count, 0u);
+    EXPECT_EQ(snap.rows[1].value, 0.0);
+}
+
+/** μSKU integration: deterministic rows in the report, operational
+ *  rows only via fullMetrics(). */
+TEST(Metrics, UskuReportCarriesDeterministicRowsOnly)
+{
+    SimOptions simOpts;
+    simOpts.warmupInstructions = 150'000;
+    simOpts.measureInstructions = 200'000;
+    ProductionEnvironment env(webProfile(), skylake18(), 1, simOpts);
+    UskuOptions options;
+    options.jobs = 2;
+    Usku tool(env, options);
+
+    InputSpec spec;
+    spec.microservice = "web";
+    spec.platform = "skylake18";
+    spec.sweep = SweepMode::Independent;
+    spec.knobs = {KnobId::Thp, KnobId::Shp};
+    spec.validationDurationSec = 6 * 3600.0;
+    spec.normalize();
+
+    UskuReport report = tool.run(spec);
+
+    bool sawComparisons = false;
+    for (const MetricRow &row : report.metrics.rows) {
+        EXPECT_EQ(row.scope, MetricScope::Deterministic) << row.name;
+        if (row.name == "sweep.comparisons") {
+            sawComparisons = true;
+            EXPECT_EQ(row.value,
+                      static_cast<double>(report.abComparisons));
+        }
+    }
+    EXPECT_TRUE(sawComparisons);
+
+    // The report JSON exposes the same rows under "metrics".
+    Json doc = report.toJson();
+    ASSERT_TRUE(doc.contains("metrics"));
+    EXPECT_EQ(doc.at("metrics").at("sweep.comparisons").asInt(),
+              static_cast<long long>(report.abComparisons));
+
+    // fullMetrics() adds the operational side (pool gauges at jobs=2).
+    MetricsSnapshot full = tool.fullMetrics();
+    bool sawOperational = false;
+    for (const MetricRow &row : full.rows)
+        sawOperational |= row.scope == MetricScope::Operational;
+    EXPECT_TRUE(sawOperational);
+}
+
+} // namespace
+} // namespace softsku

@@ -78,5 +78,26 @@ TEST(Cli, JobsAutoAndZeroMeanHardwareConcurrency)
     EXPECT_EQ(makeArgs({"prog", "--jobs=0"}).getJobs(1), hw);
 }
 
+TEST(Cli, LogLevelDefaultsToFallback)
+{
+    auto args = makeArgs({"prog"});
+    EXPECT_EQ(args.getLogLevel(), LogLevel::Info);
+    EXPECT_EQ(args.getLogLevel(LogLevel::Warn), LogLevel::Warn);
+}
+
+TEST(Cli, LogLevelParsesEveryName)
+{
+    EXPECT_EQ(makeArgs({"prog", "--log-level=silent"}).getLogLevel(),
+              LogLevel::Silent);
+    EXPECT_EQ(makeArgs({"prog", "--log-level=error"}).getLogLevel(),
+              LogLevel::Error);
+    EXPECT_EQ(makeArgs({"prog", "--log-level=warn"}).getLogLevel(),
+              LogLevel::Warn);
+    EXPECT_EQ(makeArgs({"prog", "--log-level=info"}).getLogLevel(),
+              LogLevel::Info);
+    EXPECT_EQ(makeArgs({"prog", "--log-level=debug"}).getLogLevel(),
+              LogLevel::Debug);
+}
+
 } // namespace
 } // namespace softsku

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Logging tests: level filtering, level-name round trips, the sink
+ * test hook, and LogContext prefixes attributing messages to the
+ * service/comparison that produced them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace softsku {
+namespace {
+
+/** Captures every sunk message, restoring stderr + Info on teardown. */
+class LoggingTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setLogSink([this](LogLevel level, const std::string &line) {
+            captured.emplace_back(level, line);
+        });
+    }
+
+    void TearDown() override
+    {
+        setLogSink(nullptr);
+        setLogLevel(LogLevel::Info);
+    }
+
+    std::vector<std::pair<LogLevel, std::string>> captured;
+};
+
+TEST_F(LoggingTest, InfoLevelPassesWarnAndInformButNotDebug)
+{
+    setLogLevel(LogLevel::Info);
+    warn("w %d", 1);
+    inform("i %d", 2);
+    debug("d %d", 3);
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].second, "warn: w 1");
+    EXPECT_EQ(captured[1].second, "info: i 2");
+}
+
+TEST_F(LoggingTest, WarnLevelSuppressesInform)
+{
+    setLogLevel(LogLevel::Warn);
+    inform("quiet");
+    warn("loud");
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Warn);
+    EXPECT_EQ(captured[0].second, "warn: loud");
+}
+
+TEST_F(LoggingTest, SilentSuppressesEverything)
+{
+    setLogLevel(LogLevel::Silent);
+    warn("w");
+    inform("i");
+    debug("d");
+    EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(LoggingTest, DebugLevelPassesDebug)
+{
+    setLogLevel(LogLevel::Debug);
+    debug("verbose %s", "detail");
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0].first, LogLevel::Debug);
+    EXPECT_EQ(captured[0].second, "debug: verbose detail");
+}
+
+TEST_F(LoggingTest, ContextPrefixesAndNests)
+{
+    EXPECT_EQ(LogContext::prefix(), "");
+    {
+        LogContext outer("web");
+        EXPECT_EQ(LogContext::prefix(), "[web] ");
+        warn("outer");
+        {
+            LogContext inner("b3.1");
+            EXPECT_EQ(LogContext::prefix(), "[web|b3.1] ");
+            inform("inner");
+        }
+        inform("outer again");
+    }
+    EXPECT_EQ(LogContext::prefix(), "");
+    ASSERT_EQ(captured.size(), 3u);
+    EXPECT_EQ(captured[0].second, "[web] warn: outer");
+    EXPECT_EQ(captured[1].second, "[web|b3.1] info: inner");
+    EXPECT_EQ(captured[2].second, "[web] info: outer again");
+}
+
+TEST(LogLevelNames, RoundTrip)
+{
+    for (LogLevel level : {LogLevel::Silent, LogLevel::Error,
+                           LogLevel::Warn, LogLevel::Info,
+                           LogLevel::Debug}) {
+        LogLevel parsed = LogLevel::Silent;
+        ASSERT_TRUE(logLevelFromName(logLevelName(level), parsed));
+        EXPECT_EQ(parsed, level);
+    }
+    LogLevel out = LogLevel::Info;
+    EXPECT_FALSE(logLevelFromName("loud", out));
+    EXPECT_FALSE(logLevelFromName("", out));
+    EXPECT_EQ(out, LogLevel::Info);
+}
+
+} // namespace
+} // namespace softsku
