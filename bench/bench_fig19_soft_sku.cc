@@ -13,7 +13,9 @@
  *
  * --trace-out=FILE records every run (serial and parallel, all three
  * targets, disambiguated by run tag) as one Chrome trace; --progress
- * renders a live sweep progress line.
+ * renders a live sweep progress line.  --cache-dir=DIR persists the
+ * A/B outcomes: a repeat invocation replays every comparison from disk
+ * and still byte-compares clean.
  */
 
 #include <chrono>
@@ -21,7 +23,7 @@
 
 #include "common.hh"
 #include "core/usku.hh"
-#include "obs/trace.hh"
+#include "util/cli.hh"
 #include "util/thread_pool.hh"
 
 using namespace softsku;
@@ -45,15 +47,13 @@ struct TunedRun
     double wallSec = 0.0;
 };
 
-/** One full μSKU run in a fresh environment (no caches carried over). */
+/** One full μSKU run in a fresh environment (no caches carried over
+ *  in memory; --cache-dir replays persist across runs by design). */
 TunedRun
 tune(const WorkloadProfile &service, const PlatformSpec &platform,
-     const SimOptions &opts, unsigned jobs, bool progress,
+     const SimOptions &opts, const ToolOptions &tool, unsigned jobs,
      std::uint64_t runTag)
 {
-    // Each tuned run gets its own span root tag, so serial and
-    // parallel runs of the same target keep distinct trace paths.
-    Tracer::global().setRunTag(runTag);
     ProductionEnvironment env(service, platform, opts.seed, opts);
 
     InputSpec spec;
@@ -62,14 +62,16 @@ tune(const WorkloadProfile &service, const PlatformSpec &platform,
     spec.seed = opts.seed;
     spec.normalize();
 
-    UskuOptions options;
+    UskuOptions options = UskuOptions::fromTool(tool);
     options.jobs = jobs;
-    options.progress = progress;
+    // Each tuned run gets its own span root tag, so serial and
+    // parallel runs of the same target keep distinct trace paths.
+    options.traceTag = runTag;
 
     TunedRun run;
     double start = nowSec();
-    Usku tool(env, options);
-    run.report = tool.run(spec);
+    Usku usku(env, options);
+    run.report = usku.run(spec);
     run.wallSec = nowSec() - start;
     run.serialized = run.report.toJson().dump(2);
     return run;
@@ -87,11 +89,10 @@ main(int argc, char **argv)
     SimOptions opts = defaultSimOptions(args);
     opts.warmupInstructions = 500'000;
     opts.measureInstructions = 700'000;
-    const unsigned jobs = args.getJobs(ThreadPool::hardwareThreads());
-    const bool progress = args.has("progress");
-    const std::string traceOut = args.get("trace-out");
-    if (!traceOut.empty())
-        Tracer::global().enable();
+    ToolOptions tool =
+        ToolOptions::fromArgs(args, ThreadPool::hardwareThreads());
+    tool.apply();
+    const unsigned jobs = tool.jobs;
     std::uint64_t runTag = 0;
 
     struct Target
@@ -115,10 +116,10 @@ main(int argc, char **argv)
         const PlatformSpec &platform = platformByName(t.platform);
 
         TunedRun serial =
-            tune(service, platform, opts, 1, progress, ++runTag);
+            tune(service, platform, opts, tool, 1, ++runTag);
         TunedRun parallel =
             jobs > 1
-                ? tune(service, platform, opts, jobs, progress, ++runTag)
+                ? tune(service, platform, opts, tool, jobs, ++runTag)
                 : serial;
 
         // Determinism is the contract that makes the parallel sweep
@@ -157,13 +158,6 @@ main(int argc, char **argv)
     note("Paper: soft SKUs beat stock by 6.2%% / 7.2%% / 2.5%% and even "
          "the hand-tuned production configs by 4.5%% / 3.0%% / 2.5%%, "
          "with the full sweep taking 5-10 hours of A/B measurement.");
-    if (!traceOut.empty()) {
-        if (Tracer::global().writeChromeTrace(traceOut))
-            note("Chrome trace written to %s (%zu spans).",
-                 traceOut.c_str(), Tracer::global().spanCount());
-        else
-            std::fprintf(stderr, "could not write trace to %s\n",
-                         traceOut.c_str());
-    }
+    tool.writeTrace();
     return 0;
 }

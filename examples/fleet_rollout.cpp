@@ -9,8 +9,10 @@
  *
  * Usage: fleet_rollout [--service=web] [--platform=skylake18]
  *                      [--servers=16] [--seed=1] [--report=path.md]
+ *                      [--resume-attempts=N] [--jobs=N|auto]
  *                      [--faults=off|mild|moderate|severe|k=v,..]
- *                      [--fault-seed=N] [--trace-out=FILE] [--metrics]
+ *                      [--fault-seed=N] [--cache-dir=DIR]
+ *                      [--trace-out=FILE] [--metrics]
  *                      [--log-level=silent|error|warn|info|debug]
  *
  * --trace-out records the whole pipeline — sweep comparisons,
@@ -23,13 +25,16 @@
  * and stuck reboots, all seeded and replayable.  The rollout falls
  * back on its health checks: canary judged from paired telemetry,
  * per-wave load-normalized health gates, automatic rollback.
+ *
+ * --resume-attempts lets the rollout pick itself back up after a
+ * wave-health rollback: re-baseline on the surviving servers,
+ * re-canary, and retry the waves up to N times before giving up.
  */
 
 #include <cstdio>
 
 #include "core/report_writer.hh"
 #include "core/usku.hh"
-#include "obs/trace.hh"
 #include "services/services.hh"
 #include "sim/fleet.hh"
 #include "telemetry/tmam_report.hh"
@@ -42,10 +47,8 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    setLogLevel(args.getLogLevel(LogLevel::Info));
-    const std::string traceOut = args.get("trace-out");
-    if (!traceOut.empty())
-        Tracer::global().enable();
+    ToolOptions tool = ToolOptions::fromArgs(args);
+    tool.apply();
     const WorkloadProfile &service =
         serviceByName(args.get("service", "web"));
     const PlatformSpec &platform =
@@ -58,19 +61,10 @@ main(int argc, char **argv)
     simOpts.measureInstructions = 800'000;
     ProductionEnvironment env(service, platform, seed, simOpts);
 
-    UskuOptions options;
-    FaultPlan plan;
-    if (args.has("faults"))
-        plan = FaultPlan::fromSpec(args.get("faults", "off"));
-    if (plan.any()) {
-        auto faultSeed = static_cast<std::uint64_t>(
-            args.getInt("fault-seed", 1));
-        env.setFaults(plan, faultSeed);
-        options.robustness = RobustnessPolicy::hostile();
-        std::printf("hostile production mode: %s (fault seed %llu)\n\n",
-                    plan.describe().c_str(),
-                    static_cast<unsigned long long>(faultSeed));
-    }
+    // Fault arming (and the hostile robustness escalation) now rides
+    // in through UskuOptions::fromTool; the Usku constructor arms the
+    // environment, which this tool's fleet slice shares.
+    Usku usku(env, UskuOptions::fromTool(tool));
 
     // Step 1: what does the bottleneck picture look like?
     KnobConfig production = productionConfig(platform, service);
@@ -86,8 +80,7 @@ main(int argc, char **argv)
     spec.platform = platform.name;
     spec.seed = seed;
     spec.normalize();
-    Usku tool(env, options);
-    UskuReport report = tool.run(spec);
+    UskuReport report = usku.run(spec);
     std::printf("%s\n", report.summary().c_str());
     if (args.has("report"))
         writeMarkdownReport(report, args.get("report"));
@@ -96,18 +89,21 @@ main(int argc, char **argv)
     FleetSlice fleet(env, serverCount, production);
     OdsStore ods;
     RolloutPolicy policy;
+    policy.resumeAttempts =
+        static_cast<int>(args.getInt("resume-attempts", 0));
     RolloutResult rollout =
         fleet.rollout(report.softSku, policy, ods);
 
     std::printf("\nrollout: %s — %d/%d servers converted, canary "
-                "%+.2f%%, fleet %+.2f%%, finished after %.1f h\n",
+                "%+.2f%%, fleet %+.2f%%, %d resume(s), finished after "
+                "%.1f h\n",
                 rollout.completed ? "completed"
                                   : (rollout.aborted ? "ABORTED"
                                                      : "incomplete"),
                 rollout.serversConverted, serverCount,
                 rollout.canaryGainPercent, rollout.fleetGainPercent,
-                rollout.finishedAtSec / 3600.0);
-    if (plan.any())
+                rollout.resumes, rollout.finishedAtSec / 3600.0);
+    if (tool.faults.any())
         std::printf("rollout faults: %d crashes, %d apply failures, "
                     "%d stuck reboots, %d excluded, %d waves rolled "
                     "back\n",
@@ -121,17 +117,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(mips.count), mips.mean,
                 mips.p99);
 
-    if (args.has("metrics")) {
-        MetricsSnapshot snap = tool.fullMetrics();
+    if (tool.metrics) {
+        MetricsSnapshot snap = usku.fullMetrics();
         snap.append(MetricsRegistry::global().snapshot());
         std::printf("\n%s\n", snap.renderTable().c_str());
     }
-    if (!traceOut.empty()) {
-        if (Tracer::global().writeChromeTrace(traceOut))
-            inform("trace written to %s (%zu spans)", traceOut.c_str(),
-                   Tracer::global().spanCount());
-        else
-            warn("could not write trace to %s", traceOut.c_str());
-    }
+    tool.writeTrace();
     return 0;
 }

@@ -9,11 +9,17 @@
  *            [--sweep=independent|exhaustive|hillclimb]
  *            [--knobs=cdp,thp,shp] [--seed=1] [--json]
  *            [--jobs=N|auto] [--faults=off|mild|moderate|severe|k=v,..]
- *            [--fault-seed=N] [--trace-out=FILE] [--metrics]
- *            [--progress] [--log-level=silent|error|warn|info|debug]
+ *            [--fault-seed=N] [--cache-dir=DIR] [--trace-out=FILE]
+ *            [--metrics] [--progress]
+ *            [--log-level=silent|error|warn|info|debug]
  *
  * --jobs parallelizes the A/B sweep across N worker threads; the
  * report is bit-identical for every N (deterministic replay).
+ *
+ * --cache-dir persists every measured A/B comparison to disk; a repeat
+ * run with the same service/platform/seed/fault plan replays them all
+ * (the report counts them as cache hits) and emits a byte-identical
+ * report without re-simulating.
  *
  * --trace-out writes a Chrome trace_event JSON of every sweep
  * comparison, retry, cache hit, and validation chunk — load it in
@@ -31,7 +37,6 @@
 #include <cstdio>
 
 #include "core/usku.hh"
-#include "obs/trace.hh"
 #include "services/services.hh"
 #include "util/cli.hh"
 #include "util/strings.hh"
@@ -43,11 +48,8 @@ int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
-    setLogLevel(args.getLogLevel(LogLevel::Info));
-
-    const std::string traceOut = args.get("trace-out");
-    if (!traceOut.empty())
-        Tracer::global().enable();
+    ToolOptions tool = ToolOptions::fromArgs(args);
+    tool.apply();
 
     InputSpec spec;
     spec.microservice = args.get("service", "web");
@@ -69,47 +71,25 @@ main(int argc, char **argv)
     simOpts.measureInstructions = 900'000;
     ProductionEnvironment env(service, platform, spec.seed, simOpts);
 
-    UskuOptions options;
-    options.jobs = args.getJobs(1);
-    options.progress = args.has("progress");
+    // Fault arming, robustness escalation, shared pool sizing, and the
+    // persistent cache all ride in through UskuOptions now.
+    Usku usku(env, UskuOptions::fromTool(tool));
+    UskuReport report = usku.run(spec);
 
-    if (args.has("faults")) {
-        FaultPlan plan = FaultPlan::fromSpec(args.get("faults", "off"));
-        auto faultSeed = static_cast<std::uint64_t>(
-            args.getInt("fault-seed", 1));
-        env.setFaults(plan, faultSeed);
-        if (plan.any()) {
-            options.robustness = RobustnessPolicy::hostile();
-            // stderr via inform(): --json must stay machine-parseable.
-            inform("hostile production mode: %s (fault seed %llu)",
-                   plan.describe().c_str(),
-                   static_cast<unsigned long long>(faultSeed));
-        }
-    }
-
-    Usku tool(env, options);
-    UskuReport report = tool.run(spec);
-
-    if (!traceOut.empty()) {
-        if (Tracer::global().writeChromeTrace(traceOut))
-            inform("trace written to %s (%zu spans)", traceOut.c_str(),
-                   Tracer::global().spanCount());
-        else
-            warn("could not write trace to %s", traceOut.c_str());
-    }
+    tool.writeTrace();
 
     if (args.has("json")) {
         std::printf("%s\n", report.toJson().dump(2).c_str());
-        if (args.has("metrics"))
+        if (tool.metrics)
             std::fprintf(stderr, "%s\n",
-                         tool.fullMetrics().renderTable().c_str());
+                         usku.fullMetrics().renderTable().c_str());
         return 0;
     }
 
     std::printf("%s\n", report.summary().c_str());
 
-    if (args.has("metrics"))
-        std::printf("%s\n", tool.fullMetrics().renderTable().c_str());
+    if (tool.metrics)
+        std::printf("%s\n", usku.fullMetrics().renderTable().c_str());
 
     TextTable table;
     table.header({"knob", "setting", "gain%", "ci%", "signif", "samples"});

@@ -1,0 +1,344 @@
+#include "core/ab_cache.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+namespace {
+
+/** FNV-1a, the same stable hash the sweep's stream ids use. */
+std::uint64_t
+fnv64(const std::string &text)
+{
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+/** Exact double → "0x..." IEEE-754 bit pattern. */
+std::string
+hexBits(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return format("0x%016llx", static_cast<unsigned long long>(bits));
+}
+
+/** Exact "0x..." bit pattern → double; false on malformed input. */
+bool
+bitsFromHex(const std::string &text, double &out)
+{
+    if (text.size() != 18 || text[0] != '0' || text[1] != 'x')
+        return false;
+    std::uint64_t bits = 0;
+    for (size_t i = 2; i < text.size(); ++i) {
+        char c = text[i];
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        bits = (bits << 4) | digit;
+    }
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+}
+
+Json
+statToJson(const RunningStat &stat)
+{
+    RunningStat::State s = stat.state();
+    Json doc = Json::object();
+    doc.set("count", Json(static_cast<long long>(s.count)));
+    doc.set("mean", Json(hexBits(s.mean)));
+    doc.set("m2", Json(hexBits(s.m2)));
+    doc.set("min", Json(hexBits(s.min)));
+    doc.set("max", Json(hexBits(s.max)));
+    return doc;
+}
+
+bool
+statFromJson(const Json &doc, RunningStat &out)
+{
+    if (!doc.isObject())
+        return false;
+    RunningStat::State s;
+    s.count = static_cast<std::uint64_t>(doc.at("count").asInt());
+    if (!bitsFromHex(doc.at("mean").asString(), s.mean) ||
+        !bitsFromHex(doc.at("m2").asString(), s.m2) ||
+        !bitsFromHex(doc.at("min").asString(), s.min) ||
+        !bitsFromHex(doc.at("max").asString(), s.max))
+        return false;
+    out = RunningStat::fromState(s);
+    return true;
+}
+
+Json
+resultToJson(const ABTestResult &result)
+{
+    Json doc = Json::object();
+    doc.set("config_a", result.configA.toJson());
+    doc.set("config_b", result.configB.toJson());
+    doc.set("samples_a", statToJson(result.samplesA));
+    doc.set("samples_b", statToJson(result.samplesB));
+    doc.set("paired_diffs", statToJson(result.pairedDiffs));
+    Json welch = Json::object();
+    welch.set("t", Json(hexBits(result.welch.tStatistic)));
+    welch.set("dof", Json(hexBits(result.welch.dof)));
+    welch.set("p", Json(hexBits(result.welch.pValue)));
+    welch.set("mean_diff", Json(hexBits(result.welch.meanDiff)));
+    welch.set("half_width", Json(hexBits(result.welch.diffHalfWidth)));
+    welch.set("significant", Json(result.welch.significant));
+    doc.set("welch", std::move(welch));
+    doc.set("samples_used",
+            Json(static_cast<long long>(result.samplesUsed)));
+    doc.set("samples_accepted",
+            Json(static_cast<long long>(result.samplesAccepted)));
+    doc.set("significant", Json(result.significant));
+    doc.set("elapsed_sec", Json(hexBits(result.elapsedSec)));
+    Json faults = Json::object();
+    faults.set("dropped",
+               Json(static_cast<long long>(result.faults.samplesDropped)));
+    faults.set("corrupted", Json(static_cast<long long>(
+                                result.faults.samplesCorrupted)));
+    faults.set("rejected", Json(static_cast<long long>(
+                               result.faults.samplesRejected)));
+    faults.set("crashes",
+               Json(static_cast<long long>(result.faults.crashes)));
+    faults.set("apply_failures", Json(static_cast<long long>(
+                                     result.faults.applyFailures)));
+    faults.set("retries",
+               Json(static_cast<long long>(result.faults.retries)));
+    faults.set("guardrail_aborts", Json(static_cast<long long>(
+                                       result.faults.guardrailAborts)));
+    faults.set("abandoned",
+               Json(static_cast<long long>(result.faults.abandoned)));
+    doc.set("faults", std::move(faults));
+    doc.set("crashed", Json(result.crashed));
+    doc.set("apply_failed", Json(result.applyFailed));
+    doc.set("qos_aborted", Json(result.qosAborted));
+    return doc;
+}
+
+bool
+resultFromJson(const Json &doc, ABTestResult &out)
+{
+    if (!doc.isObject() || !doc.contains("welch") ||
+        !doc.contains("faults"))
+        return false;
+    out.configA = KnobConfig::fromJson(doc.at("config_a"));
+    out.configB = KnobConfig::fromJson(doc.at("config_b"));
+    if (!statFromJson(doc.at("samples_a"), out.samplesA) ||
+        !statFromJson(doc.at("samples_b"), out.samplesB) ||
+        !statFromJson(doc.at("paired_diffs"), out.pairedDiffs))
+        return false;
+    const Json &welch = doc.at("welch");
+    if (!bitsFromHex(welch.at("t").asString(), out.welch.tStatistic) ||
+        !bitsFromHex(welch.at("dof").asString(), out.welch.dof) ||
+        !bitsFromHex(welch.at("p").asString(), out.welch.pValue) ||
+        !bitsFromHex(welch.at("mean_diff").asString(),
+                     out.welch.meanDiff) ||
+        !bitsFromHex(welch.at("half_width").asString(),
+                     out.welch.diffHalfWidth))
+        return false;
+    out.welch.significant = welch.at("significant").asBool();
+    out.samplesUsed =
+        static_cast<std::uint64_t>(doc.at("samples_used").asInt());
+    out.samplesAccepted =
+        static_cast<std::uint64_t>(doc.at("samples_accepted").asInt());
+    out.significant = doc.at("significant").asBool();
+    if (!bitsFromHex(doc.at("elapsed_sec").asString(), out.elapsedSec))
+        return false;
+    const Json &faults = doc.at("faults");
+    out.faults.samplesDropped =
+        static_cast<std::uint64_t>(faults.at("dropped").asInt());
+    out.faults.samplesCorrupted =
+        static_cast<std::uint64_t>(faults.at("corrupted").asInt());
+    out.faults.samplesRejected =
+        static_cast<std::uint64_t>(faults.at("rejected").asInt());
+    out.faults.crashes =
+        static_cast<std::uint64_t>(faults.at("crashes").asInt());
+    out.faults.applyFailures =
+        static_cast<std::uint64_t>(faults.at("apply_failures").asInt());
+    out.faults.retries =
+        static_cast<std::uint64_t>(faults.at("retries").asInt());
+    out.faults.guardrailAborts =
+        static_cast<std::uint64_t>(faults.at("guardrail_aborts").asInt());
+    out.faults.abandoned =
+        static_cast<std::uint64_t>(faults.at("abandoned").asInt());
+    out.crashed = doc.at("crashed").asBool();
+    out.applyFailed = doc.at("apply_failed").asBool();
+    out.qosAborted = doc.at("qos_aborted").asBool();
+    return true;
+}
+
+} // namespace
+
+std::string
+abCacheContext(const ProductionEnvironment &env, const InputSpec &spec,
+               const RobustnessPolicy &robust)
+{
+    // Everything a comparison's outcome depends on besides its key.
+    // Doubles print as bit patterns: a context is equal iff the runs
+    // are bit-for-bit interchangeable.
+    const SimOptions &sim = env.simOptions();
+    const EnvironmentNoise &noise = env.noise();
+    const FaultPlan &plan = env.faults();
+    std::string out;
+    out += format("schema=%d", kAbCacheSchemaVersion);
+    out += format(" service=%s platform=%s seed=%llu",
+                  env.profile().name.c_str(),
+                  env.platform().name.c_str(),
+                  static_cast<unsigned long long>(env.seed()));
+    out += format(" sim=%llu/%llu/%llu/%d/%d/%d",
+                  static_cast<unsigned long long>(sim.warmupInstructions),
+                  static_cast<unsigned long long>(
+                      sim.measureInstructions),
+                  static_cast<unsigned long long>(sim.seed), sim.catWays,
+                  sim.llcLru ? 1 : 0, sim.disableInterference ? 1 : 0);
+    out += format(" noise=%s/%s/%s/%s",
+                  hexBits(noise.diurnalAmplitude).c_str(),
+                  hexBits(noise.measurementSigma).c_str(),
+                  hexBits(noise.codePushSigma).c_str(),
+                  hexBits(noise.codePushIntervalSec).c_str());
+    out += format(" stats=%s/%llu/%llu/%llu/%s",
+                  hexBits(spec.confidence).c_str(),
+                  static_cast<unsigned long long>(spec.maxSamplesPerTest),
+                  static_cast<unsigned long long>(spec.minSamplesPerTest),
+                  static_cast<unsigned long long>(spec.warmupSamples),
+                  hexBits(spec.sampleSpacingSec).c_str());
+    out += format(" robust=%d/%d/%s/%d/%s/%s", robust.maxRetries,
+                  robust.robustFilter ? 1 : 0,
+                  hexBits(robust.madCutoff).c_str(),
+                  robust.qosGuardrail ? 1 : 0,
+                  hexBits(robust.qosMarginFraction).c_str(),
+                  hexBits(robust.minPeakQpsFraction).c_str());
+    out += format(" faults=%s/%s/%s/%s/%s/%s/%s/%s/%s/%s/%s seed=%llu",
+                  hexBits(plan.crashPerHour).c_str(),
+                  hexBits(plan.sampleDropRate).c_str(),
+                  hexBits(plan.sampleCorruptRate).c_str(),
+                  hexBits(plan.corruptSpikeFactor).c_str(),
+                  hexBits(plan.surgeWindowRate).c_str(),
+                  hexBits(plan.surgeMagnitude).c_str(),
+                  hexBits(plan.surgeWindowSec).c_str(),
+                  hexBits(plan.configApplyFailRate).c_str(),
+                  hexBits(plan.stuckRebootRate).c_str(),
+                  hexBits(plan.stuckRebootExtraSec).c_str(),
+                  hexBits(plan.replacementPerfMin).c_str(),
+                  static_cast<unsigned long long>(env.faultSeed()));
+    return out;
+}
+
+std::string
+abCacheFilePath(const std::string &dir, const std::string &context)
+{
+    return dir +
+           format("/abcache-%016llx.json",
+                  static_cast<unsigned long long>(fnv64(context)));
+}
+
+std::size_t
+loadAbCache(const std::string &dir, const std::string &context,
+            std::unordered_map<std::string, ABTestResult> &into)
+{
+    const std::string path = abCacheFilePath(dir, context);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0;  // clean miss: nothing persisted for this context yet
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    std::string error;
+    auto [doc, ok] = Json::parse(buffer.str(), &error);
+    if (!ok || !doc.isObject()) {
+        warn("ab cache: ignoring malformed %s (%s)", path.c_str(),
+             error.c_str());
+        return 0;
+    }
+    if (!doc.contains("schema_version") ||
+        doc.at("schema_version").asInt() != kAbCacheSchemaVersion) {
+        warn("ab cache: ignoring %s (schema mismatch)", path.c_str());
+        return 0;
+    }
+    // The full context is verified verbatim: the filename hash only
+    // routes; it never authorizes a replay.
+    if (doc.stringOr("context", "") != context) {
+        warn("ab cache: ignoring %s (context mismatch)", path.c_str());
+        return 0;
+    }
+    if (!doc.contains("entries") || !doc.at("entries").isObject()) {
+        warn("ab cache: ignoring %s (no entries)", path.c_str());
+        return 0;
+    }
+    std::size_t added = 0;
+    for (const auto &[key, value] : doc.at("entries").members()) {
+        if (into.count(key))
+            continue;
+        ABTestResult result;
+        if (!resultFromJson(value, result)) {
+            warn("ab cache: skipping malformed entry '%s' in %s",
+                 key.c_str(), path.c_str());
+            continue;
+        }
+        into.emplace(key, std::move(result));
+        ++added;
+    }
+    return added;
+}
+
+bool
+storeAbCache(const std::string &dir, const std::string &context,
+             const std::unordered_map<std::string, ABTestResult> &memo)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("ab cache: cannot create %s (%s)", dir.c_str(),
+             ec.message().c_str());
+        return false;
+    }
+
+    // Sorted keys: the file bytes are a pure function of the contents.
+    std::vector<const std::string *> keys;
+    keys.reserve(memo.size());
+    for (const auto &[key, result] : memo)
+        keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string *a, const std::string *b) {
+                  return *a < *b;
+              });
+
+    Json entries = Json::object();
+    for (const std::string *key : keys)
+        entries.set(*key, resultToJson(memo.at(*key)));
+    Json doc = Json::object();
+    doc.set("schema_version", Json(kAbCacheSchemaVersion));
+    doc.set("context", Json(context));
+    doc.set("entries", std::move(entries));
+
+    const std::string path = abCacheFilePath(dir, context);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("ab cache: cannot write %s", path.c_str());
+        return false;
+    }
+    out << doc.dump(1) << '\n';
+    return static_cast<bool>(out);
+}
+
+} // namespace softsku

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cross-run persistence for the μSKU A/B memo cache.
+ *
+ * A full sweep costs hours of simulated measurement; re-running the
+ * same tool invocation (CI smoke runs, bench warm-ups, fleet-wide
+ * orchestrations that revisit a target) repeats comparisons whose
+ * outcomes are fully determined by the environment seed, the spec's
+ * statistics policy, the fault plan, and the comparison key.  This
+ * module serializes those keyed outcomes to disk so a repeat
+ * invocation replays them instead of measuring.
+ *
+ * Correctness contract: a cached entry may only be replayed in a run
+ * whose *context* — everything a comparison's outcome depends on
+ * besides its key — matches the run that measured it.  The context is
+ * a canonical string (service, platform, env seed, simulation windows,
+ * noise model, statistics policy, robustness policy, fault plan and
+ * seed); it names the cache file via a stable hash and is verified
+ * verbatim on load, so a hash collision or hand-edited file can never
+ * smuggle foreign results into a report.
+ *
+ * Fidelity contract: doubles round-trip as IEEE-754 bit patterns (hex),
+ * so a report composed from replayed entries is byte-identical to the
+ * report of the run that measured them.
+ */
+
+#ifndef SOFTSKU_CORE_AB_CACHE_HH
+#define SOFTSKU_CORE_AB_CACHE_HH
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "core/ab_test.hh"
+#include "core/input_spec.hh"
+#include "sim/production_env.hh"
+
+namespace softsku {
+
+/** Bumped whenever the on-disk entry layout changes. */
+constexpr int kAbCacheSchemaVersion = 1;
+
+/**
+ * The canonical context string for comparisons measured by @p env /
+ * @p spec / @p robust.  Two runs may share cached results iff their
+ * context strings are equal.
+ */
+std::string abCacheContext(const ProductionEnvironment &env,
+                           const InputSpec &spec,
+                           const RobustnessPolicy &robust);
+
+/** The cache file a context maps to inside @p dir. */
+std::string abCacheFilePath(const std::string &dir,
+                            const std::string &context);
+
+/**
+ * Load the cache file for @p context from @p dir into @p into
+ * (existing keys win — in-memory results are never overwritten).
+ * Missing files are a clean miss; malformed files and context
+ * mismatches are skipped with a warning.
+ * @return number of entries added
+ */
+std::size_t loadAbCache(const std::string &dir,
+                        const std::string &context,
+                        std::unordered_map<std::string, ABTestResult> &into);
+
+/**
+ * Serialize @p memo to the cache file for @p context under @p dir,
+ * creating the directory when needed.  Entries are written in sorted
+ * key order, so the file bytes are deterministic.
+ * @return false on I/O failure (logged, never fatal)
+ */
+bool storeAbCache(const std::string &dir, const std::string &context,
+                  const std::unordered_map<std::string, ABTestResult> &memo);
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_AB_CACHE_HH

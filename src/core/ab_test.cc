@@ -202,6 +202,7 @@ ABTester::measure(const KnobConfig &baseline, const KnobConfig &candidate,
     if (result.crashed)
         result.significant = false;
     result.elapsedSec = clock - startSec;
+    result.samplesAccepted = result.samplesUsed;
 
     if (metrics_) {
         metrics_->counter("ab.samples_accepted").add(result.samplesUsed);

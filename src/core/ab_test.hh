@@ -53,6 +53,8 @@ struct RobustnessPolicy
         policy.qosGuardrail = true;
         return policy;
     }
+
+    bool operator==(const RobustnessPolicy &) const = default;
 };
 
 /** Outcome of one A-vs-B comparison. */
@@ -67,6 +69,11 @@ struct ABTestResult
     RunningStat pairedDiffs;
     WelchResult welch;
     std::uint64_t samplesUsed = 0;  //!< per arm
+    /** Accepted samples summed over every measurement attempt (the
+     *  sweep engine's retry loop fills this; samplesUsed only reflects
+     *  the final attempt).  Replayed from the memo cache so warm runs
+     *  account identically to the run that measured. */
+    std::uint64_t samplesAccepted = 0;
     bool significant = false;
     double elapsedSec = 0.0;        //!< simulated measurement wall clock
 

@@ -1,0 +1,157 @@
+#include "core/orchestrator.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "services/services.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace softsku {
+
+TuneTarget
+TuneTarget::of(const std::string &service, const std::string &platform,
+               const SimOptions &simOpts)
+{
+    TuneTarget target;
+    target.spec.microservice = service;
+    target.spec.platform = platform;
+    target.simOpts = simOpts;
+    return target;
+}
+
+std::string
+TuneTarget::name() const
+{
+    return toLower(spec.microservice) + ":" + spec.platform;
+}
+
+std::vector<TuneTarget>
+TuneTarget::parseList(const std::string &list, const SimOptions &simOpts)
+{
+    std::vector<TuneTarget> targets;
+    for (const std::string &entry : split(list, ',')) {
+        std::string item(trim(entry));
+        if (item.empty())
+            continue;
+        size_t colon = item.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == item.size()) {
+            fatal("malformed target '%s' (expected service:platform)",
+                  item.c_str());
+        }
+        targets.push_back(of(item.substr(0, colon),
+                             item.substr(colon + 1), simOpts));
+    }
+    if (targets.empty())
+        fatal("no tuning targets given");
+    return targets;
+}
+
+FleetOrchestratorOptions
+FleetOrchestratorOptions::fromTool(const ToolOptions &tool)
+{
+    FleetOrchestratorOptions options;
+    options.jobs = tool.jobs;
+    options.faults = tool.faults;
+    options.faultSeed = tool.faultSeed;
+    options.cacheDir = tool.cacheDir;
+    options.progress = tool.progress;
+    return options;
+}
+
+std::uint64_t
+FleetTuneResult::totalComparisons() const
+{
+    std::uint64_t total = 0;
+    for (const UskuReport &report : reports)
+        total += report.abComparisons;
+    return total;
+}
+
+std::uint64_t
+FleetTuneResult::totalCacheHits() const
+{
+    std::uint64_t total = 0;
+    for (const UskuReport &report : reports)
+        total += report.cacheHits;
+    return total;
+}
+
+FleetOrchestrator::FleetOrchestrator(FleetOrchestratorOptions options)
+    : options_(std::move(options))
+{
+}
+
+UskuReport
+FleetOrchestrator::tuneOne(const TuneTarget &target, std::size_t index,
+                           ThreadPool *pool)
+{
+    const WorkloadProfile &service =
+        serviceByName(target.spec.microservice);
+    const PlatformSpec &platform = platformByName(target.spec.platform);
+    ProductionEnvironment env(service, platform, target.spec.seed,
+                              target.simOpts);
+
+    UskuOptions options;
+    options.pool = pool;
+    options.jobs = 1;  // no private pool; inline when pool is null
+    options.robustness = options_.robustness;
+    options.faults = options_.faults;
+    options.faultSeed = options_.faultSeed;
+    options.cacheDir = options_.cacheDir;
+    options.progress = options_.progress && pool == nullptr;
+    // Distinct per-target trace tags keep concurrent runs' span paths
+    // disjoint — and identical between sequential and pooled mode, so
+    // the deterministic trace summary is orchestration-invariant too.
+    options.traceTag = static_cast<std::uint64_t>(index) + 1;
+
+    Usku tool(env, options);
+    return tool.run(target.spec);
+}
+
+FleetTuneResult
+FleetOrchestrator::tuneAll(const std::vector<TuneTarget> &targets)
+{
+    FleetTuneResult result;
+    result.reports.resize(targets.size());
+    auto t0 = std::chrono::steady_clock::now();
+
+    if (options_.jobs == 1 || targets.size() <= 1) {
+        // Sequential: no pool.  With one target a pool would only add
+        // scheduling overhead around the same work.
+        std::unique_ptr<ThreadPool> pool;
+        if (options_.jobs != 1)
+            pool = std::make_unique<ThreadPool>(options_.jobs);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            inform("tuning %s (%zu/%zu)", targets[i].name().c_str(),
+                   i + 1, targets.size());
+            result.reports[i] = tuneOne(targets[i], i, pool.get());
+        }
+    } else {
+        // One driver thread per target, one shared pool under all of
+        // them.  Drivers do the serial work (batch planning, commit
+        // loops, chunk merges) and park in parallelFor while their
+        // tasks run; a target draining into validation leaves the
+        // workers to the other targets instead of idling them.
+        ThreadPool pool(options_.jobs);
+        inform("tuning %zu targets on one %u-worker pool",
+               targets.size(), pool.threadCount());
+        std::vector<std::thread> drivers;
+        drivers.reserve(targets.size());
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            drivers.emplace_back([this, &targets, &result, &pool, i] {
+                result.reports[i] = tuneOne(targets[i], i, &pool);
+            });
+        }
+        for (std::thread &driver : drivers)
+            driver.join();
+    }
+
+    result.wallSec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return result;
+}
+
+} // namespace softsku

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fleet-wide tuning orchestrator: one μSKU sweep per (service,
+ * platform) target, all feeding a single shared thread pool.
+ *
+ * The paper tunes each of its seven microservices separately; a real
+ * deployment re-tunes many service×machine targets on a cadence.  Run
+ * serially, every target's validation phase and sweep tail leaves most
+ * of the machine idle.  The orchestrator instead gives each target its
+ * own driver thread — environment, memo cache, metrics, and report all
+ * stay per-target — while every A/B comparison and validation chunk
+ * lands on one shared work-stealing pool.  While one target merges its
+ * validation chunks, the others' batches keep the workers busy, so the
+ * pool never drains on a straggler.
+ *
+ * Determinism contract: a target's report depends only on its spec,
+ * seed, and fault plan — never on the pool size, the other targets, or
+ * which worker ran what (PR 1's per-comparison substream replay).  The
+ * orchestrator therefore produces reports byte-identical to running
+ * each target alone, at any --jobs value; the fleet bench asserts
+ * exactly that.
+ */
+
+#ifndef SOFTSKU_CORE_ORCHESTRATOR_HH
+#define SOFTSKU_CORE_ORCHESTRATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "core/input_spec.hh"
+#include "core/usku.hh"
+#include "sim/service_sim.hh"
+
+namespace softsku {
+
+/** One service×machine tuning target. */
+struct TuneTarget
+{
+    /** Names the microservice and platform, and carries the sweep and
+     *  statistics policy (see InputSpec). */
+    InputSpec spec;
+    /** Ground-truth simulation window sizing for this target. */
+    SimOptions simOpts;
+
+    /** Convenience: a default-spec target for @p service on
+     *  @p platform. */
+    static TuneTarget of(const std::string &service,
+                         const std::string &platform,
+                         const SimOptions &simOpts = SimOptions{});
+
+    /** "service:platform", the display name used in logs and tables. */
+    std::string name() const;
+
+    /**
+     * Parse a "--targets=web:skylake18,ads1:broadwell16" list into
+     * targets sharing @p simOpts; fatal() on malformed entries.
+     */
+    static std::vector<TuneTarget>
+    parseList(const std::string &list, const SimOptions &simOpts);
+};
+
+/** Execution policy shared by every target of one orchestration. */
+struct FleetOrchestratorOptions
+{
+    /**
+     * Workers in the shared pool.  1 runs the targets sequentially
+     * inline (no pool, no driver threads); reports are identical
+     * either way.
+     */
+    unsigned jobs = 1;
+
+    /** Fault defenses, applied to every target. */
+    RobustnessPolicy robustness;
+    /** Fault plan armed in every target's environment. */
+    FaultPlan faults;
+    std::uint64_t faultSeed = 1;
+
+    /** Persistent A/B cache directory shared by all targets (each
+     *  target's context maps to its own cache file). */
+    std::string cacheDir;
+
+    /** Live progress lines; honored only in sequential mode, where
+     *  they cannot interleave. */
+    bool progress = false;
+
+    /** Adopt the shared tool flag set. */
+    static FleetOrchestratorOptions fromTool(const ToolOptions &tool);
+};
+
+/** What one orchestration produced. */
+struct FleetTuneResult
+{
+    /** Per-target reports, in the order the targets were given. */
+    std::vector<UskuReport> reports;
+    /** Wall-clock seconds for the whole orchestration. */
+    double wallSec = 0.0;
+
+    /** Sums over all targets (operator dashboard one-liners). */
+    std::uint64_t totalComparisons() const;
+    std::uint64_t totalCacheHits() const;
+};
+
+/** The multi-target driver. */
+class FleetOrchestrator
+{
+  public:
+    explicit FleetOrchestrator(FleetOrchestratorOptions options = {});
+
+    /**
+     * Tune every target and return the reports in target order.
+     * Targets must be distinct (duplicate targets would race on the
+     * same cache file when cacheDir is set).
+     */
+    FleetTuneResult tuneAll(const std::vector<TuneTarget> &targets);
+
+  private:
+    UskuReport tuneOne(const TuneTarget &target, std::size_t index,
+                       ThreadPool *pool);
+
+    FleetOrchestratorOptions options_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_ORCHESTRATOR_HH

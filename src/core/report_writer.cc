@@ -14,6 +14,7 @@ renderMarkdownReport(const UskuReport &report)
     md += format("# μSKU soft-SKU report: %s on %s\n\n",
                  report.spec.microservice.c_str(),
                  report.spec.platform.c_str());
+    md += format("- report schema: v%d\n", kReportSchemaVersion);
     md += format("- sweep mode: `%s`\n",
                  sweepModeName(report.spec.sweep).c_str());
     md += format("- configurations evaluated: %llu\n",

@@ -93,9 +93,13 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
 
     const bool hostile = env.faults().any();
     std::vector<ValidationChunk> chunks(chunkCount);
+    const std::uint64_t runTag = Tracer::currentRunTag();
     auto measureChunk = [&](std::size_t c) {
         // Explicit root path: the chunk index alone places this span
-        // deterministically, whichever worker runs it.
+        // deterministically, whichever worker runs it — under the
+        // driver's run tag, which must be re-established because on a
+        // shared pool this thread may carry another run's tag.
+        TraceTagScope tag(runTag);
         ScopedSpan span("validate", "validate.chunk",
                         {kTraceValidate, static_cast<std::uint64_t>(c)});
         ProductionEnvironment slice =

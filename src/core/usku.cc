@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/ab_cache.hh"
 #include "core/ab_test.hh"
 #include "obs/trace.hh"
 #include "services/services.hh"
@@ -31,6 +32,7 @@ Json
 UskuReport::toJson() const
 {
     Json doc = Json::object();
+    doc.set("schema_version", Json(kReportSchemaVersion));
     doc.set("spec", spec.toJson());
     doc.set("production", production.toJson());
     doc.set("stock", stock.toJson());
@@ -47,7 +49,9 @@ UskuReport::toJson() const
             Json(static_cast<long long>(configsEvaluated)));
     doc.set("ab_comparisons",
             Json(static_cast<long long>(abComparisons)));
-    doc.set("cache_hits", Json(static_cast<long long>(cacheHits)));
+    // cache_hits is deliberately absent: whether a comparison was
+    // measured or replayed is operational, and a cache-served rerun
+    // must serialize byte-identically to the run that measured.
     doc.set("metrics", metrics.toJson());
     if (faultPlan.any() || faults.any()) {
         Json faultsDoc = Json::object();
@@ -161,11 +165,38 @@ phaseOffsetSec(std::uint64_t streamId)
 
 } // namespace
 
+UskuOptions
+UskuOptions::fromTool(const ToolOptions &tool)
+{
+    UskuOptions options;
+    options.jobs = tool.jobs;
+    options.faults = tool.faults;
+    options.faultSeed = tool.faultSeed;
+    options.cacheDir = tool.cacheDir;
+    options.progress = tool.progress;
+    // traceOut stays with the tool: ToolOptions::writeTrace() emits the
+    // file once, after every run the process performed.
+    return options;
+}
+
 Usku::Usku(ProductionEnvironment &env, UskuOptions options)
     : env_(env), options_(options)
 {
-    if (options_.jobs != 1)
-        pool_ = std::make_unique<ThreadPool>(options_.jobs);
+    if (options_.pool) {
+        pool_ = options_.pool;
+    } else if (options_.jobs != 1) {
+        ownedPool_ = std::make_unique<ThreadPool>(options_.jobs);
+        pool_ = ownedPool_.get();
+    }
+    if (options_.faults.any()) {
+        env_.setFaults(options_.faults, options_.faultSeed);
+        // Measuring a hostile fleet without defenses is never what an
+        // operator means; an explicit policy still wins.
+        if (options_.robustness == RobustnessPolicy{})
+            options_.robustness = RobustnessPolicy::hostile();
+    }
+    if (!options_.traceOut.empty())
+        Tracer::global().enable();
 }
 
 Usku::~Usku() = default;
@@ -190,10 +221,35 @@ Usku::run(const InputSpec &specIn)
     faults_ = FaultTelemetry{};
     metrics_.reset();
     batchSeq_ = 0;
+    seenThisRun_.clear();
+    configsThisRun_.clear();
+
+    // Memo entries are only meaningful under the context they were
+    // measured in; a context change (new fault plan, different
+    // statistics policy) invalidates them.  With a cache directory the
+    // matching persisted entries preload here, so a repeat invocation
+    // replays instead of measuring.
+    const std::string context =
+        abCacheContext(env_, spec, options_.robustness);
+    if (context != memoContext_) {
+        memo_.clear();
+        memoContext_ = context;
+    }
+    if (!options_.cacheDir.empty()) {
+        std::size_t loaded =
+            loadAbCache(options_.cacheDir, context, memo_);
+        if (loaded > 0) {
+            inform("A/B cache: %zu persisted comparisons loaded from %s",
+                   loaded, options_.cacheDir.c_str());
+        }
+    }
 
     // Attribute every log line from this run (and its workers get the
-    // comparison-level context in evaluate()) to the service.
+    // comparison-level context in evaluate()) to the service.  The
+    // trace tag is scoped before the first span so every root path in
+    // this run — including usku.run itself — files under it.
     LogContext logCtx(toLower(spec.microservice));
+    TraceTagScope tagScope(options_.traceTag);
     ScopedSpan runSpan("usku", "usku.run", {kTraceUsku});
     runSpan.arg("service", toLower(spec.microservice));
     runSpan.arg("platform", spec.platform);
@@ -211,6 +267,9 @@ Usku::run(const InputSpec &specIn)
     report.plan = buildTestPlan(spec, platform, profile);
     report.production = productionConfig(platform, profile);
     report.stock = stockConfig(platform, profile);
+    configsThisRun_.insert(
+        report.production.canonical(platform).describe());
+    configsThisRun_.insert(report.stock.canonical(platform).describe());
 
     switch (spec.sweep) {
       case SweepMode::Independent:
@@ -229,12 +288,16 @@ Usku::run(const InputSpec &specIn)
 
     SoftSkuGenerator generator;
     report.softSku = generator.compose(report.map);
+    configsThisRun_.insert(report.softSku.canonical(platform).describe());
 
     report.productionMips = env_.trueMips(report.production);
     report.stockMips = env_.trueMips(report.stock);
     report.softSkuMips = env_.trueMips(report.softSku);
     report.measurementHours = measuredSec_ / 3600.0;
-    report.configsEvaluated = env_.configsSimulated();
+    // Per-run, not the environment's cumulative simulation-cache size:
+    // a cache-served rerun touches the same configurations without
+    // simulating anything new, and must report the same count.
+    report.configsEvaluated = configsThisRun_.size();
     report.abComparisons = comparisons_;
     report.cacheHits = cacheHits_;
     report.faults = faults_;
@@ -242,14 +305,17 @@ Usku::run(const InputSpec &specIn)
     OdsStore ods;
     report.validation = generator.validate(
         env_, report.softSku, report.production,
-        spec.validationDurationSec, ods, 60.0, pool_.get(), &metrics_);
+        spec.validationDurationSec, ods, 60.0, pool_, &metrics_);
     report.faults.samplesDropped += report.validation.samplesDropped;
     report.faults.samplesRejected += report.validation.samplesRejected;
 
     // Deterministic roll-up counters, recorded on the caller thread
-    // after every sweep and validation chunk has committed.
+    // after every sweep and validation chunk has committed.  Cache
+    // hits are operational — a warm run hits where the cold run
+    // measured, yet both must snapshot identical deterministic rows.
     metrics_.counter("sweep.comparisons").add(report.abComparisons);
-    metrics_.counter("sweep.cache_hits").add(report.cacheHits);
+    metrics_.counter("sweep.cache_hits", MetricScope::Operational)
+        .add(report.cacheHits);
     metrics_.counter("faults.crashes").add(report.faults.crashes);
     metrics_.counter("faults.apply_failures")
         .add(report.faults.applyFailures);
@@ -281,9 +347,22 @@ Usku::run(const InputSpec &specIn)
 
     report.metrics = metrics_.snapshot(/*includeOperational=*/false);
 
+    if (!options_.cacheDir.empty() &&
+        storeAbCache(options_.cacheDir, context, memo_)) {
+        debug("A/B cache: %zu comparisons persisted to %s", memo_.size(),
+              options_.cacheDir.c_str());
+    }
+
     if (progress_) {
         progress_->finish();
         progress_.reset();
+    }
+    if (!options_.traceOut.empty()) {
+        if (Tracer::global().writeChromeTrace(options_.traceOut))
+            inform("Chrome trace written to %s",
+                   options_.traceOut.c_str());
+        else
+            warn("could not write trace to %s", options_.traceOut.c_str());
     }
     return report;
 }
@@ -301,25 +380,35 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
     const std::uint64_t batchTag = batchSeq_++;
     std::vector<ABTestResult> results(batch.size());
 
+    // The run tag active on this (driver) thread; worker tasks below
+    // re-establish it so concurrent runs sharing one pool keep their
+    // span paths apart.
+    const std::uint64_t runTag = Tracer::currentRunTag();
+
     // Sort out which slots need measurement: memo hits and in-batch
     // duplicates resolve without touching the simulator.  Stream ids
     // derive from the comparison key itself, so a given comparison
-    // replays the same noise stream no matter where it appears.
+    // replays the same noise stream no matter where it appears.  Keys
+    // are kept for every slot — the commit loop accounts by first
+    // occurrence per run, measured or replayed alike.
     struct Pending
     {
         size_t slot;
-        std::string key;
         std::uint64_t stream;
     };
     std::vector<Pending> pending;
+    std::vector<std::string> keys(batch.size());
     std::unordered_map<std::string, size_t> seenInBatch;
     std::vector<std::pair<size_t, size_t>> aliases;  // (dup, source)
 
     const PlatformSpec &platform = env_.platform();
     for (size_t i = 0; i < batch.size(); ++i) {
-        std::string key =
-            batch[i].baseline.canonical(platform).describe() + " vs " +
-            batch[i].candidate.canonical(platform).describe();
+        std::string a = batch[i].baseline.canonical(platform).describe();
+        std::string b = batch[i].candidate.canonical(platform).describe();
+        configsThisRun_.insert(a);
+        configsThisRun_.insert(b);
+        keys[i] = a + " vs " + b;
+        const std::string &key = keys[i];
         auto hit = memo_.find(key);
         if (hit != memo_.end()) {
             results[i] = hit->second;
@@ -328,6 +417,8 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
                             {kTraceSweep, batchTag,
                              static_cast<std::uint64_t>(i)});
             span.arg("key", key);
+            traceCounter("sweep", "sweep.cache_hits_total",
+                         static_cast<double>(cacheHits_));
             continue;
         }
         auto first = seenInBatch.find(key);
@@ -339,11 +430,12 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
                              static_cast<std::uint64_t>(i)});
             span.arg("key", key);
             span.arg("in_batch", true);
+            traceCounter("sweep", "sweep.cache_hits_total",
+                         static_cast<double>(cacheHits_));
             continue;
         }
         seenInBatch.emplace(key, i);
-        std::uint64_t stream = streamIdFor(key);
-        pending.push_back(Pending{i, std::move(key), stream});
+        pending.push_back(Pending{i, streamIdFor(key)});
     }
 
     const RobustnessPolicy &robust = options_.robustness;
@@ -356,7 +448,7 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
         ScopedSpan span("sweep", "sweep.compare",
                         {kTraceSweep, batchTag,
                          static_cast<std::uint64_t>(pending[p].slot)});
-        span.arg("key", pending[p].key);
+        span.arg("key", keys[pending[p].slot]);
         LogContext logCtx(format(
             "%s b%llu.%zu", env_.profile().name.c_str(),
             static_cast<unsigned long long>(batchTag), pending[p].slot));
@@ -395,6 +487,7 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
         // comparison key, so the retry schedule is thread-invariant.
         FaultTelemetry merged;
         double elapsed = 0.0;
+        std::uint64_t accepted = 0;
         const int attempts = 1 + std::max(0, robust.maxRetries);
         for (int attempt = 0; attempt < attempts; ++attempt) {
             std::uint64_t stream =
@@ -402,13 +495,22 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
                 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(
                                             attempt);
             ProductionEnvironment slice = env_.clone(stream);
-            ABTester tester(slice, spec, robust, &metrics_);
+            // Per-sample counters accrue in the commit loop (from the
+            // merged result), not here: a replayed comparison must
+            // account exactly like the one that measured.
+            ABTester tester(slice, spec, robust, nullptr);
             out = tester.compareAt(task.baseline, task.candidate,
                                    phaseOffsetSec(stream));
             merged.merge(out.faults);
             elapsed += out.elapsedSec;
+            accepted += out.samplesAccepted;
             if (!out.crashed && !out.applyFailed)
                 break;
+            // A trace point per fault, under the comparison's
+            // deterministic path, so Perfetto shows where the hostile
+            // fleet actually bit.
+            traceInstant("fault", out.crashed ? "fault.crash"
+                                              : "fault.apply_failure");
             if (attempt + 1 < attempts) {
                 ++merged.retries;
                 // A marker child span per re-measurement, so traces
@@ -422,13 +524,18 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
             ++merged.abandoned;
         out.faults = merged;
         out.elapsedSec = elapsed;
+        out.samplesAccepted = accepted;
         span.arg("sim_sec", out.elapsedSec);
         span.arg("significant", out.significant);
     };
 
     // Wall timing and the progress line wrap the task; neither can
-    // influence anything the task computes.
+    // influence anything the task computes.  The driver's run tag is
+    // re-established first: the task may run on any pool thread, and
+    // on a shared pool that thread may otherwise carry another run's
+    // tag.
     auto evaluateTask = [&](size_t p) {
+        TraceTagScope tag(runTag);
         auto t0 = std::chrono::steady_clock::now();
         evaluateOne(p);
         double wallSec = std::chrono::duration<double>(
@@ -451,25 +558,38 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
             evaluateTask(p);
     }
 
-    // Commit sequentially in batch order so memo contents, fault
-    // telemetry, and the floating-point accumulation order are
-    // thread-count-invariant.  Cache hits replay a result without
-    // re-measuring, so their fault events are not re-counted.
-    for (Pending &p : pending) {
-        measuredSec_ += results[p.slot].elapsedSec;
-        faults_.merge(results[p.slot].faults);
-        // Deterministic histogram: fed here, in commit order, because
-        // its mean accumulates floating point in add order.
-        if (results[p.slot].elapsedSec > 0.0) {
-            metrics_
-                .histogram("sweep.comparison_sim_sec",
-                           MetricScope::Deterministic, 1.0, 1e8)
-                .add(results[p.slot].elapsedSec);
-        }
-        memo_.emplace(std::move(p.key), results[p.slot]);
-    }
     for (const auto &[dup, source] : aliases)
         results[dup] = results[source];
+
+    // Commit sequentially in batch order so memo contents, fault
+    // telemetry, and the floating-point accumulation order are
+    // thread-count-invariant.  Accounting accrues on a key's *first
+    // occurrence this run*, measured and replayed results alike: a
+    // cache-served rerun thereby reports the same measurement hours,
+    // fault telemetry, and metric rows as the run that measured, and
+    // a repeat of an already-committed key adds nothing twice.
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const ABTestResult &result = results[i];
+        if (seenThisRun_.insert(keys[i]).second) {
+            measuredSec_ += result.elapsedSec;
+            faults_.merge(result.faults);
+            metrics_.counter("ab.samples_accepted")
+                .add(result.samplesAccepted);
+            metrics_.counter("ab.samples_rejected")
+                .add(result.faults.samplesRejected);
+            metrics_.counter("ab.samples_dropped")
+                .add(result.faults.samplesDropped);
+            // Deterministic histogram: fed here, in commit order,
+            // because its mean accumulates floating point in add order.
+            if (result.elapsedSec > 0.0) {
+                metrics_
+                    .histogram("sweep.comparison_sim_sec",
+                               MetricScope::Deterministic, 1.0, 1e8)
+                    .add(result.elapsedSec);
+            }
+        }
+        memo_.emplace(keys[i], result);
+    }
     return results;
 }
 

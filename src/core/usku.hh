@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/configurator.hh"
@@ -36,9 +37,21 @@
 #include "obs/progress.hh"
 #include "sim/production_env.hh"
 #include "telemetry/ods.hh"
+#include "util/cli.hh"
 #include "util/thread_pool.hh"
 
 namespace softsku {
+
+/**
+ * Version of the report JSON layout, emitted as the document's first
+ * key.  Bumped whenever a field is added, removed, or renamed so
+ * downstream consumers (dashboards, the golden tests) fail loudly on a
+ * layout they were not written for.
+ *
+ * History: 1 = the pre-orchestrator layout (implicit, no version key);
+ * 2 = adds schema_version, drops the operational cache_hits count.
+ */
+constexpr int kReportSchemaVersion = 2;
 
 /** Everything a μSKU run produces. */
 struct UskuReport
@@ -57,7 +70,13 @@ struct UskuReport
     double measurementHours = 0.0;  //!< simulated A/B wall clock
     std::uint64_t configsEvaluated = 0;
     std::uint64_t abComparisons = 0;  //!< comparisons the sweep asked for
-    std::uint64_t cacheHits = 0;      //!< served from the memo cache
+    /**
+     * Comparisons served from the memo cache (in-tool or persisted via
+     * UskuOptions::cacheDir).  Operational, not scientific: a fully
+     * cache-served rerun produces a byte-identical report, so this
+     * count lives in summary() and fullMetrics() but never in toJson().
+     */
+    std::uint64_t cacheHits = 0;
 
     /**
      * Deterministic-scope metrics recorded during this run (sample
@@ -95,21 +114,74 @@ struct UskuReport
  * policy *is* scientific (it changes which samples count), but it is
  * an operator's defense posture rather than an experiment parameter —
  * and with everything off it is bit-for-bit the benign behavior.
+ *
+ * Since the orchestrator redesign this is the whole run description:
+ * fault arming, tracing, caching, and pool sharing all fold in here,
+ * so a tool (or the fleet orchestrator) configures a run in one place
+ * instead of poking the environment and the tracer separately.
  */
 struct UskuOptions
 {
     /**
      * Worker threads evaluating sweep tasks.  1 runs inline (no pool);
      * 0 asks for the hardware concurrency.  Reports are bit-identical
-     * for every value.
+     * for every value.  Ignored when `pool` is set.
      */
     unsigned jobs = 1;
+
+    /**
+     * A caller-owned pool to run sweep/validation tasks on.  The fleet
+     * orchestrator points every target at one shared pool so a slow
+     * target's tail cannot idle the machine; the pool must outlive the
+     * Usku.  Null means the tool owns a pool sized by `jobs`.
+     */
+    ThreadPool *pool = nullptr;
 
     /** Fault defenses: retries, robust filtering, the QoS guardrail. */
     RobustnessPolicy robustness;
 
+    /**
+     * Fault plan to arm the environment with (replaces the
+     * ProductionEnvironment::setFaults call tools used to make).  A
+     * default (all-zero) plan leaves the environment untouched, so
+     * externally armed plans keep working.  When a plan is active and
+     * `robustness` is still the default, the hostile() defense posture
+     * is adopted automatically — measuring a hostile fleet without
+     * defenses is never what an operator means.
+     */
+    FaultPlan faults;
+    /** Seed for the fault-decision RNG streams. */
+    std::uint64_t faultSeed = 1;
+
+    /**
+     * Run tag for this run's trace spans (see Tracer::setRunTag).
+     * Scoped thread-locally for the duration of run(), so concurrent
+     * runs on a shared pool keep disjoint span paths.  0 = use the
+     * tracer's global tag.
+     */
+    std::uint64_t traceTag = 0;
+
+    /**
+     * Write the Chrome trace here after run().  Non-empty also arms
+     * the tracer at construction, replacing the manual
+     * Tracer::global().enable() dance in the tools.
+     */
+    std::string traceOut;
+
+    /**
+     * Directory for the persistent A/B memo cache.  When set, run()
+     * preloads cached comparison outcomes whose context (seed, spec,
+     * fault plan — see ab_cache.hh) matches, and persists the memo
+     * back afterwards.  A repeat invocation is then fully cache-served
+     * and byte-identical to the run that measured.
+     */
+    std::string cacheDir;
+
     /** Render a live progress line (stderr) while the sweep runs. */
     bool progress = false;
+
+    /** Adopt the shared tool flag set (--jobs, --faults, ...). */
+    static UskuOptions fromTool(const ToolOptions &tool);
 };
 
 /** The tool facade. */
@@ -119,8 +191,10 @@ class Usku
     /**
      * @param env     the production environment to measure in; the
      *                caller owns it so benches can reuse simulation
-     *                caches
-     * @param options sweep execution policy (--jobs)
+     *                caches.  When options.faults is active the
+     *                environment is armed here.
+     * @param options the full run description (threads/pool, fault
+     *                arming, tracing, caching)
      */
     explicit Usku(ProductionEnvironment &env, UskuOptions options = {});
     ~Usku();
@@ -164,9 +238,28 @@ class Usku
 
     ProductionEnvironment &env_;
     UskuOptions options_;
-    std::unique_ptr<ThreadPool> pool_;
+    /** The pool tasks run on: owned_ when the tool asked for jobs>1,
+     *  the caller's shared pool when options_.pool was set. */
+    std::unique_ptr<ThreadPool> ownedPool_;
+    ThreadPool *pool_ = nullptr;
     /** Comparison key → measured result; lives as long as the tool. */
     std::unordered_map<std::string, ABTestResult> memo_;
+    /** Context string the memo contents were measured under; a run
+     *  with a different context clears the memo first (a key is only
+     *  unique within one context — see ab_cache.hh). */
+    std::string memoContext_;
+    /**
+     * Comparison keys already accounted this run.  Report accounting
+     * (measurement hours, fault telemetry, metric rows) accrues on a
+     * key's *first occurrence per run* whether the result was measured
+     * or replayed, so a cache-served rerun reports exactly what the
+     * run that measured reported.
+     */
+    std::unordered_set<std::string> seenThisRun_;
+    /** Canonical configurations this run touched (the report's
+     *  configs_evaluated — per run, unlike the environment's
+     *  cumulative simulation-cache size). */
+    std::unordered_set<std::string> configsThisRun_;
     std::uint64_t comparisons_ = 0;
     std::uint64_t cacheHits_ = 0;
     double measuredSec_ = 0.0;

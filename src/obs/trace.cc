@@ -17,6 +17,10 @@ thread_local ScopedSpan *tlCurrent = nullptr;
 /** Ordinal for parentless child-constructed spans on this thread. */
 thread_local std::uint64_t tlOrphanSeq = 0;
 
+/** Thread-local run-tag override (TraceTagScope). */
+thread_local bool tlTagSet = false;
+thread_local std::uint64_t tlTag = 0;
+
 double
 steadySec()
 {
@@ -56,6 +60,31 @@ Tracer::global()
 {
     static Tracer tracer;
     return tracer;
+}
+
+std::uint64_t
+Tracer::currentRunTag()
+{
+    return tlTagSet ? tlTag : global().runTag();
+}
+
+TraceTagScope::TraceTagScope(std::uint64_t tag)
+{
+    if (tag == 0)
+        return;
+    installed_ = true;
+    hadPrevious_ = tlTagSet;
+    previous_ = tlTag;
+    tlTagSet = true;
+    tlTag = tag;
+}
+
+TraceTagScope::~TraceTagScope()
+{
+    if (!installed_)
+        return;
+    tlTagSet = hadPrevious_;
+    tlTag = previous_;
 }
 
 void
@@ -174,11 +203,32 @@ Tracer::chromeTrace() const
         Json event = Json::object();
         event.set("name", Json(record.name));
         event.set("cat", Json(record.category));
-        event.set("ph", Json("X"));
-        event.set("ts", Json(record.wallStartUs));
-        event.set("dur", Json(record.wallDurUs));
-        event.set("pid", Json(1));
-        event.set("tid", Json(record.tid));
+        if (record.kind == SpanRecord::Kind::Counter) {
+            // Counter sample: Perfetto graphs the "value" series of
+            // same-named C events over time; args must stay numeric.
+            event.set("ph", Json("C"));
+            event.set("ts", Json(record.wallStartUs));
+            event.set("pid", Json(1));
+            event.set("tid", Json(record.tid));
+            Json args = Json::object();
+            args.set("value", Json(record.counterValue));
+            event.set("args", std::move(args));
+            events.push(std::move(event));
+            continue;
+        }
+        if (record.kind == SpanRecord::Kind::Instant) {
+            event.set("ph", Json("i"));
+            event.set("ts", Json(record.wallStartUs));
+            event.set("s", Json("t"));  // thread-scoped instant
+            event.set("pid", Json(1));
+            event.set("tid", Json(record.tid));
+        } else {
+            event.set("ph", Json("X"));
+            event.set("ts", Json(record.wallStartUs));
+            event.set("dur", Json(record.wallDurUs));
+            event.set("pid", Json(1));
+            event.set("tid", Json(record.tid));
+        }
         Json args = Json::object();
         for (const auto &[key, value] : record.args)
             args.set(key, Json(value));
@@ -230,7 +280,7 @@ ScopedSpan::ScopedSpan(const char *category, std::string name)
         record_.path = parent_->record_.path;
         record_.path.push_back(++parent_->children_);
     } else {
-        record_.path = {Tracer::global().runTag(), kTraceOrphan,
+        record_.path = {Tracer::currentRunTag(), kTraceOrphan,
                         ++tlOrphanSeq};
     }
 }
@@ -242,9 +292,53 @@ ScopedSpan::ScopedSpan(const char *category, std::string name,
         return;
     open(category, std::move(name));
     record_.path.reserve(rootPath.size() + 1);
-    record_.path.push_back(Tracer::global().runTag());
+    record_.path.push_back(Tracer::currentRunTag());
     record_.path.insert(record_.path.end(), rootPath.begin(),
                         rootPath.end());
+}
+
+void
+traceInstant(const char *category, const char *name)
+{
+    if (!Tracer::enabled())
+        return;
+    SpanRecord record;
+    record.kind = SpanRecord::Kind::Instant;
+    record.category = category;
+    record.name = name;
+    record.wallStartUs = Tracer::global().nowUs();
+    // Point events path like child spans: under the innermost live
+    // span (with a child ordinal), or in the orphan lane without one.
+    if (tlCurrent && tlCurrent->active_) {
+        record.path = tlCurrent->record_.path;
+        record.path.push_back(++tlCurrent->children_);
+    } else {
+        record.path = {Tracer::currentRunTag(), kTraceOrphan,
+                       ++tlOrphanSeq};
+    }
+    Tracer::global().append(std::move(record));
+}
+
+void
+traceCounter(const char *category, const char *name, double value)
+{
+    if (!Tracer::enabled())
+        return;
+    SpanRecord record;
+    record.kind = SpanRecord::Kind::Counter;
+    record.category = category;
+    record.name = name;
+    record.counterValue = value;
+    record.args.emplace_back("value", format("%.9g", value));
+    record.wallStartUs = Tracer::global().nowUs();
+    if (tlCurrent && tlCurrent->active_) {
+        record.path = tlCurrent->record_.path;
+        record.path.push_back(++tlCurrent->children_);
+    } else {
+        record.path = {Tracer::currentRunTag(), kTraceOrphan,
+                       ++tlOrphanSeq};
+    }
+    Tracer::global().append(std::move(record));
 }
 
 ScopedSpan::~ScopedSpan()

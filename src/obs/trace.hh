@@ -62,6 +62,15 @@ constexpr std::uint64_t kTraceOrphan = 9;    //!< no parent, no explicit path
 /** One finished span, as stored in the per-thread buffers. */
 struct SpanRecord
 {
+    /** Chrome trace_event phase this record maps to. */
+    enum class Kind
+    {
+        Span,     //!< complete event (ph "X")
+        Instant,  //!< instant event (ph "i"): faults, cache hits
+        Counter,  //!< counter sample (ph "C"): rates over time
+    };
+
+    Kind kind = Kind::Span;
     std::string name;
     std::string category;
     /** Deterministic sort key: run tag + explicit/inherited ordinals. */
@@ -71,6 +80,8 @@ struct SpanRecord
     /** Wall clock, microseconds since the tracer epoch. */
     double wallStartUs = 0.0;
     double wallDurUs = 0.0;
+    /** Counter records: the sampled value (usually cumulative). */
+    double counterValue = 0.0;
     /** Small per-thread id for the Chrome export's tid field. */
     int tid = 0;
 
@@ -110,6 +121,15 @@ class Tracer
         return runTag_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * The run tag new root spans on *this thread* will use: the
+     * thread-local override installed by TraceTagScope when one is
+     * active, the process-global tag otherwise.  Concurrent μSKU runs
+     * (the fleet orchestrator) each scope their own tag so their span
+     * paths never collide, without touching the global tag.
+     */
+    static std::uint64_t currentRunTag();
+
     /** All spans from all threads, merged and path-sorted. */
     std::vector<SpanRecord> sortedSpans() const;
 
@@ -131,6 +151,9 @@ class Tracer
 
   private:
     friend class ScopedSpan;
+    friend void traceInstant(const char *category, const char *name);
+    friend void traceCounter(const char *category, const char *name,
+                             double value);
 
     struct ThreadBuffer
     {
@@ -197,6 +220,10 @@ class ScopedSpan
     bool active() const { return active_; }
 
   private:
+    friend void traceInstant(const char *category, const char *name);
+    friend void traceCounter(const char *category, const char *name,
+                             double value);
+
     void open(const char *category, std::string name);
 
     bool active_ = false;
@@ -204,6 +231,44 @@ class ScopedSpan
     std::uint64_t children_ = 0;
     SpanRecord record_;
 };
+
+/**
+ * RAII thread-local run-tag override.  While alive, every root span
+ * created on this thread files under @p tag instead of the tracer's
+ * global tag.  Worker tasks that may run on any pool thread (the sweep
+ * engine, validation chunks) re-establish their driver's tag with one
+ * of these, so several μSKU runs can share one thread pool without
+ * their trace paths interleaving.  A tag of 0 installs no override.
+ */
+class TraceTagScope
+{
+  public:
+    explicit TraceTagScope(std::uint64_t tag);
+    TraceTagScope(const TraceTagScope &) = delete;
+    TraceTagScope &operator=(const TraceTagScope &) = delete;
+    ~TraceTagScope();
+
+  private:
+    bool installed_ = false;
+    bool hadPrevious_ = false;
+    std::uint64_t previous_ = 0;
+};
+
+/**
+ * Record one instant event (Chrome ph "i"): a point in time with no
+ * duration — a fault injection, a cache hit, a rollback.  Takes the
+ * innermost live span's path on this thread (plus a child ordinal), so
+ * emit it where a deterministic span is live.  No-op while disabled.
+ */
+void traceInstant(const char *category, const char *name);
+
+/**
+ * Record one counter sample (Chrome ph "C"): Perfetto graphs the
+ * series of samples with the same @p name over wall time.  Pass the
+ * *cumulative* value so the graph's slope is the rate.  Pathing as
+ * traceInstant.  No-op while disabled.
+ */
+void traceCounter(const char *category, const char *name, double value);
 
 } // namespace softsku
 

@@ -171,6 +171,7 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                     ++result.serversExcluded;
                     MetricsRegistry::global()
                         .counter("fleet.servers_excluded").add(1);
+                    traceInstant("fault", "fleet.server_excluded");
                     warn("fleet: server %d stuck rebooting, excluded",
                          server.id);
                 }
@@ -183,6 +184,9 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                 ++result.serverCrashes;
                 MetricsRegistry::global()
                     .counter("fleet.server_crashes").add(1);
+                traceInstant("fault", "fleet.crash");
+                traceCounter("fault", "fleet.crashes_total",
+                             static_cast<double>(result.serverCrashes));
                 server.perfFactor = injector.replacementPerfFactor();
                 server.offlineUntilSec = t + policy.rebootDowntimeSec;
             }
@@ -270,6 +274,7 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                     ++result.applyFailures;
                     MetricsRegistry::global()
                         .counter("fleet.apply_failures").add(1);
+                    traceInstant("fault", "fleet.apply_failure");
                 } else {
                     applied = true;
                 }
@@ -291,23 +296,40 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
             ++result.stuckReboots;
             MetricsRegistry::global()
                 .counter("fleet.stuck_reboots").add(1);
+            traceInstant("fault", "fleet.stuck_reboot");
         }
         return true;
     };
 
+    // Phases 0–2 run once per attempt: the first pass is the rollout
+    // proper; each further pass is a resume after a wave rollback
+    // (bounded by policy.resumeAttempts).  With resumeAttempts == 0
+    // the loop body executes exactly once and draws exactly the
+    // pre-resume sequence of telemetry and fault decisions.
+    int resumesLeft = std::max(0, policy.resumeAttempts);
+    RunningStat finalWindow;
+    RunningStat baseline;
+    double baselineRef = 0.0;
+    for (;;) {
+    bool resuming = false;
+
     // Phase 0: pre-rollout soak.  The load-normalized per-server mips
     // over this window is the reference every later health check —
-    // and the final fleet-gain estimate — compares against.
-    RunningStat baseline;
+    // and the final fleet-gain estimate — compares against.  A resume
+    // re-soaks, so the reference reflects the surviving fleet
+    // (exclusions, replacements, degradations) rather than the one
+    // that existed before the rollback.
+    baseline = RunningStat{};
     {
         ScopedSpan span("rollout", "rollout.baseline_soak");
         sampleWindow(now + policy.baselineSoakSec, sampleEverySec,
                      &baseline, nullptr);
         span.arg("samples", baseline.count());
     }
-    const double baselineRef = baseline.mean();
+    baselineRef = baseline.mean();
 
-    // Phase 1: canary.
+    // Phase 1: canary — on a resume, re-canaried on whichever of the
+    // canary servers survived (excluded hosts stay out).
     int canaries = std::min<int>(policy.canaryServers, fleetSize);
     RunningStat canaryStat;
     {
@@ -378,7 +400,6 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                                         static_cast<double>(fleetSize))));
     int next = canaries;
     int wavesConverted = 0;
-    RunningStat finalWindow;
     while (next < fleetSize) {
         int end = std::min<int>(next + waveSize, fleetSize);
         RunningStat waveStat;
@@ -408,36 +429,65 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
             span.arg("healthy", !unhealthy);
         }
         if (unhealthy) {
-            ScopedSpan span("rollout", "rollout.rollback");
-            span.arg("scope", "fleet");
-            span.arg("wave",
-                     static_cast<std::uint64_t>(wavesConverted));
-            MetricsRegistry::global().counter("fleet.rollbacks").add(1);
-            for (int i = 0; i < next; ++i) {
-                if (!servers_[static_cast<size_t>(i)].excluded)
-                    reconfigure(i, before, now,
-                                policy.rebootDowntimeSec);
+            {
+                ScopedSpan span("rollout", "rollout.rollback");
+                span.arg("scope", "fleet");
+                span.arg("wave",
+                         static_cast<std::uint64_t>(wavesConverted));
+                MetricsRegistry::global().counter("fleet.rollbacks")
+                    .add(1);
+                traceInstant("rollout", "rollout.rollback_event");
+                for (int i = 0; i < next; ++i) {
+                    if (!servers_[static_cast<size_t>(i)].excluded)
+                        reconfigure(i, before, now,
+                                    policy.rebootDowntimeSec);
+                }
+                result.wavesRolledBack += wavesConverted;
+                result.rolledBack = true;
+                result.aborted = true;
+                // Cool-down: reverted reboots land and telemetry
+                // settles before either giving up or re-baselining.
+                sampleWindow(now + policy.waveIntervalSec,
+                             sampleEverySec, nullptr, nullptr);
             }
-            result.wavesRolledBack = wavesConverted;
-            result.rolledBack = true;
-            result.aborted = true;
-            sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
-                         nullptr, nullptr);
-            result.finishedAtSec = now;
             warn("fleet rollout rolled back: wave %d health check "
                  "%.1f%% below baseline",
                  wavesConverted,
                  (1.0 - waveStat.mean() / baselineRef) * 100.0);
+            if (resumesLeft > 0) {
+                --resumesLeft;
+                ++result.resumes;
+                result.aborted = false;
+                result.serversConverted = 0;
+                finalWindow = RunningStat{};
+                resuming = true;
+                MetricsRegistry::global().counter("fleet.resumes")
+                    .add(1);
+                ScopedSpan span("rollout", "rollout.resume");
+                span.arg("attempt",
+                         static_cast<std::uint64_t>(result.resumes));
+                inform("fleet rollout resuming (attempt %d of %d): "
+                       "re-baselining on %d surviving servers",
+                       result.resumes, policy.resumeAttempts,
+                       fleetSize - result.serversExcluded);
+                break;  // out of the wave loop, into the next attempt
+            }
+            result.finishedAtSec = now;
             return result;
         }
         finalWindow = waveStat;
     }
+    if (resuming)
+        continue;  // restart from the baseline soak
 
     // No waves ran (the canary was the whole fleet): take a dedicated
     // post-conversion window for the gain estimate.
     if (finalWindow.count() == 0)
         sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
                      &finalWindow, nullptr);
+
+    break;  // converted and healthy: leave the attempt loop
+    }  // attempt loop
 
     result.completed = true;
     result.finishedAtSec = now;

@@ -68,6 +68,17 @@ struct RolloutPolicy
     double rebootTimeoutSec = 1800.0;
     /** Extra knob-apply attempts before a server is skipped. */
     int applyRetries = 2;
+    /**
+     * How many times a rollout aborted by a failed *wave* health check
+     * may resume: after the rollback and cool-down it re-establishes
+     * the baseline on the surviving (non-excluded) servers, re-runs
+     * the canary, and converts the fleet again in waves.  A canary
+     * that itself regresses never resumes — that verdict is about the
+     * configuration, not the fleet.  0 (the default) keeps the
+     * single-shot behavior bit-for-bit: no extra telemetry ticks, no
+     * extra fault draws.
+     */
+    int resumeAttempts = 0;
 };
 
 /** Outcome of one staged rollout. */
@@ -94,6 +105,9 @@ struct RolloutResult
     int serverCrashes = 0;
     int applyFailures = 0;
     int stuckReboots = 0;
+    /** Times the rollout resumed after a wave rollback (bounded by
+     *  RolloutPolicy::resumeAttempts). */
+    int resumes = 0;
 };
 
 /**

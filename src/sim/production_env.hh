@@ -159,7 +159,17 @@ class ProductionEnvironment
     const WorkloadProfile &profile() const { return profile_; }
     const PlatformSpec &platform() const { return platform_; }
 
+    /** The environment seed (identifies the fleet's noise streams). */
+    std::uint64_t seed() const { return seed_; }
+
+    /** Ground-truth simulation window sizing. */
+    const SimOptions &simOptions() const { return simOpts_; }
+
+    /** Seed of the armed fault plan (0 until setFaults). */
+    std::uint64_t faultSeed() const { return faultSeed_; }
+
     EnvironmentNoise &noise() { return noise_; }
+    const EnvironmentNoise &noise() const { return noise_; }
 
   private:
     /** Truth cache shared between an environment and all its clones. */

@@ -58,6 +58,30 @@ class RunningStat
      */
     double confidenceHalfWidth(double confidence = 0.95) const;
 
+    /** The raw accumulator state, for exact (bit-level) persistence. */
+    struct State
+    {
+        std::uint64_t count = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    State state() const { return State{count_, mean_, m2_, min_, max_}; }
+
+    /** Rebuild an accumulator bit-identical to the one state() saw. */
+    static RunningStat fromState(const State &s)
+    {
+        RunningStat stat;
+        stat.count_ = s.count;
+        stat.mean_ = s.mean;
+        stat.m2_ = s.m2;
+        stat.min_ = s.min;
+        stat.max_ = s.max;
+        return stat;
+    }
+
   private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;

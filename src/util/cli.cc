@@ -1,5 +1,6 @@
 #include "util/cli.hh"
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 #include "util/thread_pool.hh"
@@ -96,6 +97,47 @@ CliArgs::getDouble(const std::string &name, double fallback) const
         fatal("flag --%s expects a number, got '%s'", name.c_str(),
               it->second.c_str());
     return *parsed;
+}
+
+ToolOptions
+ToolOptions::fromArgs(const CliArgs &args, unsigned defaultJobs)
+{
+    ToolOptions opts;
+    opts.jobs = args.getJobs(defaultJobs);
+    if (args.has("faults"))
+        opts.faults = FaultPlan::fromSpec(args.get("faults"));
+    opts.faultSeed =
+        static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
+    opts.cacheDir = args.get("cache-dir");
+    opts.traceOut = args.get("trace-out");
+    opts.metrics = args.has("metrics");
+    opts.progress = args.has("progress");
+    opts.logLevel = args.getLogLevel(LogLevel::Info);
+    return opts;
+}
+
+void
+ToolOptions::apply() const
+{
+    setLogLevel(logLevel);
+    if (!traceOut.empty())
+        Tracer::global().enable();
+    if (faults.any()) {
+        inform("fault injection armed: %s (seed %llu)",
+               faults.describe().c_str(),
+               static_cast<unsigned long long>(faultSeed));
+    }
+}
+
+void
+ToolOptions::writeTrace() const
+{
+    if (traceOut.empty())
+        return;
+    if (Tracer::global().writeChromeTrace(traceOut))
+        inform("Chrome trace written to %s", traceOut.c_str());
+    else
+        warn("could not write trace to %s", traceOut.c_str());
 }
 
 } // namespace softsku

@@ -2,7 +2,9 @@
  * @file
  * A minimal command-line flag parser for the examples and bench
  * harnesses.  Flags take the forms --name=value, --name value, and
- * boolean --name.
+ * boolean --name — plus ToolOptions, the one parser for the flag set
+ * every μSKU tool shares (--jobs, --faults, --trace-out, ...), so the
+ * tools cannot drift apart in how they spell or wire these.
  */
 
 #ifndef SOFTSKU_UTIL_CLI_HH
@@ -13,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faults.hh"
 #include "util/logging.hh"
 
 namespace softsku {
@@ -63,6 +66,52 @@ class CliArgs
     std::string program_;
     std::map<std::string, std::string> flags_;
     std::vector<std::string> positional_;
+};
+
+/**
+ * The flag set shared by every μSKU tool (tune_web, tune_fleet,
+ * fleet_rollout, the Fig. 19 bench):
+ *
+ *   --jobs=N|auto      worker threads (reports are N-invariant)
+ *   --faults=SPEC      fault plan preset or k=v list
+ *   --fault-seed=N     fault-decision RNG seed
+ *   --cache-dir=PATH   persistent A/B memo cache directory
+ *   --trace-out=PATH   Chrome trace_event export
+ *   --metrics          print the flight-recorder table on exit
+ *   --progress         live sweep progress line (stderr)
+ *   --log-level=LVL    silent|error|warn|info|debug
+ *
+ * fromArgs() parses them once; apply() performs the process-level
+ * side effects (log level, tracer arming, hostile-fleet banner) so a
+ * tool's main() stays three lines of plumbing.
+ */
+struct ToolOptions
+{
+    unsigned jobs = 1;
+    FaultPlan faults;
+    std::uint64_t faultSeed = 1;
+    std::string cacheDir;
+    std::string traceOut;
+    bool metrics = false;
+    bool progress = false;
+    LogLevel logLevel = LogLevel::Info;
+
+    /** Parse the shared flags out of @p args. */
+    static ToolOptions fromArgs(const CliArgs &args,
+                                unsigned defaultJobs = 1);
+
+    /**
+     * Apply the process-level switches: set the log level, arm the
+     * tracer when a trace path was given, and announce the hostile
+     * fleet when a fault plan is active.
+     */
+    void apply() const;
+
+    /**
+     * Write the Chrome trace when --trace-out was given.  Call once,
+     * after the run(s) — a no-op without the flag.
+     */
+    void writeTrace() const;
 };
 
 } // namespace softsku

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Fleet orchestrator regression tests: the shared-pool multi-target
+ * sweep must reproduce each target's solo sequential report byte for
+ * byte at any worker count, and the persistent A/B cache must serve a
+ * repeat orchestration entirely from disk without changing a byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/orchestrator.hh"
+#include "services/services.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    return opts;
+}
+
+/** Two services on one platform, trimmed for test speed. */
+std::vector<TuneTarget>
+twoTargets()
+{
+    std::vector<TuneTarget> targets = TuneTarget::parseList(
+        "web:skylake18,ads1:skylake18", fastOptions());
+    for (TuneTarget &target : targets) {
+        target.spec.knobs = {KnobId::Thp, KnobId::Shp};
+        target.spec.validationDurationSec = 6 * 3600.0;
+        target.spec.normalize();
+    }
+    return targets;
+}
+
+/** Solo run: one target, its own environment, strictly sequential. */
+std::string
+soloSerialized(const TuneTarget &target)
+{
+    ProductionEnvironment env(serviceByName(target.spec.microservice),
+                              platformByName(target.spec.platform),
+                              target.spec.seed, target.simOpts);
+    UskuOptions options;
+    options.jobs = 1;
+    Usku tool(env, options);
+    return tool.run(target.spec).toJson().dump(2);
+}
+
+std::vector<std::string>
+fleetSerialized(const std::vector<TuneTarget> &targets, unsigned jobs,
+                const std::string &cacheDir = {})
+{
+    FleetOrchestratorOptions options;
+    options.jobs = jobs;
+    options.cacheDir = cacheDir;
+    FleetTuneResult result = FleetOrchestrator(options).tuneAll(targets);
+    std::vector<std::string> serialized;
+    for (const UskuReport &report : result.reports)
+        serialized.push_back(report.toJson().dump(2));
+    return serialized;
+}
+
+TEST(Orchestrator, ParseListSplitsAndValidates)
+{
+    std::vector<TuneTarget> targets = TuneTarget::parseList(
+        " web:skylake18 , ads1:broadwell16 ", fastOptions());
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_EQ(targets[0].spec.microservice, "web");
+    EXPECT_EQ(targets[0].spec.platform, "skylake18");
+    EXPECT_EQ(targets[0].name(), "web:skylake18");
+    EXPECT_EQ(targets[1].name(), "ads1:broadwell16");
+    EXPECT_EQ(targets[1].simOpts.measureInstructions,
+              fastOptions().measureInstructions);
+}
+
+TEST(Orchestrator, SharedPoolReportsMatchSoloRunsAtAnyJobCount)
+{
+    std::vector<TuneTarget> targets = twoTargets();
+    std::vector<std::string> solo;
+    for (const TuneTarget &target : targets)
+        solo.push_back(soloSerialized(target));
+
+    // The property under test: one shared pool under both targets, at
+    // several worker counts, never changes a byte of either report.
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        std::vector<std::string> fleet = fleetSerialized(targets, jobs);
+        ASSERT_EQ(fleet.size(), solo.size());
+        for (size_t i = 0; i < solo.size(); ++i)
+            EXPECT_EQ(fleet[i], solo[i])
+                << targets[i].name() << " differs at jobs=" << jobs;
+    }
+}
+
+TEST(Orchestrator, PersistentCacheServesRepeatRunByteIdentically)
+{
+    namespace fs = std::filesystem;
+    fs::path cacheDir =
+        fs::path(::testing::TempDir()) / "softsku-orch-cache";
+    fs::remove_all(cacheDir);
+
+    std::vector<TuneTarget> targets = twoTargets();
+
+    FleetOrchestratorOptions options;
+    options.jobs = 2;
+    options.cacheDir = cacheDir.string();
+    FleetTuneResult cold = FleetOrchestrator(options).tuneAll(targets);
+    ASSERT_GT(cold.totalComparisons(), 0u);
+    EXPECT_EQ(cold.totalCacheHits(), 0u);
+    // One cache file per target context.
+    size_t files = 0;
+    for (const auto &entry : fs::directory_iterator(cacheDir))
+        files += entry.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, targets.size());
+
+    // A second orchestration replays every comparison from disk and
+    // reports byte-identically to the measured run.
+    FleetTuneResult warm = FleetOrchestrator(options).tuneAll(targets);
+    ASSERT_EQ(warm.reports.size(), cold.reports.size());
+    for (size_t i = 0; i < warm.reports.size(); ++i) {
+        EXPECT_EQ(warm.reports[i].cacheHits,
+                  warm.reports[i].abComparisons)
+            << targets[i].name();
+        EXPECT_GT(warm.reports[i].abComparisons, 0u);
+        EXPECT_EQ(warm.reports[i].toJson().dump(2),
+                  cold.reports[i].toJson().dump(2))
+            << targets[i].name();
+    }
+
+    fs::remove_all(cacheDir);
+}
+
+TEST(Orchestrator, CacheIsKeyedBySeedAndFaultPlan)
+{
+    namespace fs = std::filesystem;
+    fs::path cacheDir =
+        fs::path(::testing::TempDir()) / "softsku-orch-keying";
+    fs::remove_all(cacheDir);
+
+    std::vector<TuneTarget> targets = twoTargets();
+    targets.pop_back();  // one target is enough here
+
+    FleetOrchestratorOptions options;
+    options.cacheDir = cacheDir.string();
+    FleetTuneResult first = FleetOrchestrator(options).tuneAll(targets);
+    ASSERT_EQ(first.totalCacheHits(), 0u);
+
+    // A different seed must not replay the seed-1 outcomes.
+    std::vector<TuneTarget> reseeded = targets;
+    reseeded[0].spec.seed = 7;
+    FleetTuneResult other =
+        FleetOrchestrator(options).tuneAll(reseeded);
+    EXPECT_EQ(other.totalCacheHits(), 0u);
+
+    // Neither must a run with faults armed.
+    FleetOrchestratorOptions faulty = options;
+    faulty.faults = FaultPlan::fromSpec("mild");
+    FleetTuneResult hostile =
+        FleetOrchestrator(faulty).tuneAll(targets);
+    EXPECT_EQ(hostile.totalCacheHits(), 0u);
+
+    fs::remove_all(cacheDir);
+}
+
+} // namespace
+} // namespace softsku

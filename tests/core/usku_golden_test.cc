@@ -22,6 +22,7 @@
 
 #include "core/usku.hh"
 #include "services/services.hh"
+#include "util/json.hh"
 
 namespace softsku {
 namespace {
@@ -109,6 +110,26 @@ TEST(UskuGolden, SummaryMatchesGolden)
 {
     compareAgainstGolden("usku_web_skylake18_summary.txt",
                          goldenReport().summary());
+}
+
+TEST(UskuGolden, ReportCarriesCurrentSchemaVersion)
+{
+    // Consumers key their parsers off the top-level schema_version;
+    // bumping the schema without bumping the constant (or vice versa)
+    // must fail loudly here, not in a downstream dashboard.
+    Json doc = goldenReport().toJson();
+    ASSERT_TRUE(doc.contains("schema_version"));
+    EXPECT_EQ(doc.at("schema_version").asInt(), kReportSchemaVersion);
+    // The committed golden agrees, so stale reference files can't mask
+    // a version bump.
+    const std::string golden =
+        readFile(goldenPath("usku_web_skylake18_report.json"));
+    if (!golden.empty()) {
+        auto [parsed, ok] = Json::parse(golden);
+        ASSERT_TRUE(ok);
+        EXPECT_EQ(parsed.at("schema_version").asInt(),
+                  kReportSchemaVersion);
+    }
 }
 
 } // namespace

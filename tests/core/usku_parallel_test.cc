@@ -88,13 +88,14 @@ TEST(UskuParallel, RerunWithinOneToolIsCacheServed)
     UskuReport first = tool.run(spec);
     EXPECT_EQ(first.cacheHits, 0u);
     UskuReport second = tool.run(spec);
-    // Same comparisons again: the memo answers all of them, and no
-    // new measurement time accrues.
+    // Same comparisons again: the memo answers all of them.
     EXPECT_EQ(second.cacheHits, second.abComparisons);
     EXPECT_GT(second.abComparisons, 0u);
-    EXPECT_DOUBLE_EQ(second.measurementHours, 0.0);
-    // The science is unchanged.
-    EXPECT_EQ(second.softSku, first.softSku);
+    // A replayed run *reports* exactly like the measured one — cache
+    // hits accrue the recorded measurement time and fault tallies on
+    // their first occurrence per run, so warm and cold reports are
+    // byte-identical (the persistent-cache contract depends on it).
+    EXPECT_EQ(second.toJson().dump(2), first.toJson().dump(2));
 }
 
 TEST(UskuParallel, HillClimbRevisitsHitTheCache)

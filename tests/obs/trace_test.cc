@@ -115,6 +115,13 @@ TEST(Trace, SpanCountsReconcileWithReport)
     EXPECT_GT(run.count("ab.measure"), 0u);
     EXPECT_GE(run.count("validate.chunk"), 1u);
     EXPECT_EQ(run.count("usku.run"), 1u);
+    // Point events: one cumulative cache-hit counter sample per hit,
+    // and a fault instant for every crashed / failed-apply attempt.
+    EXPECT_EQ(run.count("sweep.cache_hits_total"), report.cacheHits);
+    if (report.faults.crashes + report.faults.applyFailures > 0)
+        EXPECT_GE(run.count("fault.crash") +
+                      run.count("fault.apply_failure"),
+                  1u);
 }
 
 TEST(Trace, ChromeExportIsValidTraceEventJson)
@@ -140,10 +147,22 @@ TEST(Trace, ChromeExportIsValidTraceEventJson)
     for (size_t i = 0; i < events.size(); ++i) {
         const Json &event = events.at(i);
         EXPECT_TRUE(event.contains("name"));
-        EXPECT_EQ(event.at("ph").asString(), "X");
         EXPECT_TRUE(event.at("ts").isNumber());
-        EXPECT_TRUE(event.at("dur").isNumber());
-        EXPECT_TRUE(event.at("args").contains("path"));
+        const std::string ph = event.at("ph").asString();
+        if (ph == "X") {
+            // Complete span: duration plus the deterministic path.
+            EXPECT_TRUE(event.at("dur").isNumber());
+            EXPECT_TRUE(event.at("args").contains("path"));
+        } else if (ph == "i") {
+            // Instant (fault injection, rollback): thread-scoped.
+            EXPECT_EQ(event.at("s").asString(), "t");
+            EXPECT_TRUE(event.at("args").contains("path"));
+        } else if (ph == "C") {
+            // Counter sample: numeric value series for Perfetto.
+            EXPECT_TRUE(event.at("args").at("value").isNumber());
+        } else {
+            ADD_FAILURE() << "unexpected phase '" << ph << "'";
+        }
     }
 }
 

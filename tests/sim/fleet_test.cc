@@ -168,6 +168,80 @@ TEST(Fleet, WaveHealthCheckRollsBackConvertedWaves)
         EXPECT_EQ(server.config, production);
 }
 
+TEST(Fleet, ResumeAfterWaveRollbackFinishesTheFleet)
+{
+    // Same degradation storm as WaveHealthCheckRollsBackConvertedWaves,
+    // but the operator allows one resume.  Attempt 1 rolls back when
+    // three servers tank mid-wave; the resume re-baselines on the
+    // now-degraded fleet (the regression is the new normal), re-runs
+    // the canary, and attempt 2 converts everyone.
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+
+    FleetSlice fleet(env, 8, production);
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.canarySoakSec = 600.0;
+    policy.waveIntervalSec = 600.0;
+    policy.resumeAttempts = 1;
+    fleet.scheduleDegradation(4, 2500.0, 0.75);
+    fleet.scheduleDegradation(5, 2500.0, 0.75);
+    fleet.scheduleDegradation(6, 2500.0, 0.75);
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_EQ(result.resumes, 1);
+    EXPECT_GE(result.wavesRolledBack, 1);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.aborted);
+    EXPECT_EQ(result.serversConverted, 8);
+    for (const FleetServer &server : fleet.servers())
+        EXPECT_EQ(server.config, winner);
+}
+
+TEST(Fleet, ResumeSurvivesModerateFaultsDeterministically)
+{
+    // The same storm with the moderate fault plan armed on top: the
+    // resumed attempt must cope with crashes and exclusions too, and
+    // the whole ordeal replays bit-for-bit from the seeds.
+    auto run = [] {
+        ProductionEnvironment env(webProfile(), skylake18(), 1,
+                                  fastOptions());
+        env.setFaults(FaultPlan::fromSpec("moderate"), 21);
+        KnobConfig production =
+            productionConfig(skylake18(), webProfile());
+        KnobConfig winner = production;
+        winner.thp = ThpMode::Always;
+
+        FleetSlice fleet(env, 16, production);
+        OdsStore ods;
+        RolloutPolicy policy;
+        policy.canarySoakSec = 1800.0;
+        policy.waveIntervalSec = 600.0;
+        policy.resumeAttempts = 2;
+        fleet.scheduleDegradation(10, 4000.0, 0.70);
+        fleet.scheduleDegradation(11, 4000.0, 0.70);
+        fleet.scheduleDegradation(12, 4000.0, 0.70);
+        fleet.scheduleDegradation(13, 4000.0, 0.70);
+        return fleet.rollout(winner, policy, ods);
+    };
+
+    RolloutResult first = run();
+    EXPECT_GE(first.resumes, 1);
+    EXPECT_GE(first.wavesRolledBack, 1);
+    EXPECT_TRUE(first.completed);
+    EXPECT_FALSE(first.aborted);
+
+    RolloutResult second = run();
+    EXPECT_EQ(second.resumes, first.resumes);
+    EXPECT_EQ(second.wavesRolledBack, first.wavesRolledBack);
+    EXPECT_EQ(second.serversConverted, first.serversConverted);
+    EXPECT_DOUBLE_EQ(second.finishedAtSec, first.finishedAtSec);
+    EXPECT_DOUBLE_EQ(second.fleetGainPercent, first.fleetGainPercent);
+}
+
 TEST(Fleet, RolloutWavePacingConvertsInWaveSizedSteps)
 {
     ProductionEnvironment env(webProfile(), skylake18(), 1,

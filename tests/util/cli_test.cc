@@ -85,6 +85,40 @@ TEST(Cli, LogLevelDefaultsToFallback)
     EXPECT_EQ(args.getLogLevel(LogLevel::Warn), LogLevel::Warn);
 }
 
+TEST(Cli, ToolOptionsDefaults)
+{
+    auto args = makeArgs({"prog"});
+    ToolOptions tool = ToolOptions::fromArgs(args);
+    EXPECT_EQ(tool.jobs, 1u);
+    EXPECT_FALSE(tool.faults.any());
+    EXPECT_EQ(tool.faultSeed, 1u);
+    EXPECT_TRUE(tool.cacheDir.empty());
+    EXPECT_TRUE(tool.traceOut.empty());
+    EXPECT_FALSE(tool.metrics);
+    EXPECT_FALSE(tool.progress);
+    EXPECT_EQ(tool.logLevel, LogLevel::Info);
+    // Tools with a different natural parallelism pass their own
+    // fallback through.
+    EXPECT_EQ(ToolOptions::fromArgs(args, 6).jobs, 6u);
+}
+
+TEST(Cli, ToolOptionsParsesSharedFlagSet)
+{
+    auto args = makeArgs({"prog", "--jobs=4", "--faults=mild",
+                          "--fault-seed=9", "--cache-dir=/tmp/c",
+                          "--trace-out=t.json", "--metrics",
+                          "--progress", "--log-level=warn"});
+    ToolOptions tool = ToolOptions::fromArgs(args);
+    EXPECT_EQ(tool.jobs, 4u);
+    EXPECT_TRUE(tool.faults.any());
+    EXPECT_EQ(tool.faultSeed, 9u);
+    EXPECT_EQ(tool.cacheDir, "/tmp/c");
+    EXPECT_EQ(tool.traceOut, "t.json");
+    EXPECT_TRUE(tool.metrics);
+    EXPECT_TRUE(tool.progress);
+    EXPECT_EQ(tool.logLevel, LogLevel::Warn);
+}
+
 TEST(Cli, LogLevelParsesEveryName)
 {
     EXPECT_EQ(makeArgs({"prog", "--log-level=silent"}).getLogLevel(),
