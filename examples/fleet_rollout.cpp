@@ -79,6 +79,7 @@ main(int argc, char **argv)
     spec.microservice = service.name;
     spec.platform = platform.name;
     spec.seed = seed;
+    spec.applySearchOverrides(tool);
     spec.normalize();
     UskuReport report = usku.run(spec);
     std::printf("%s\n", report.summary().c_str());

@@ -60,6 +60,7 @@ main(int argc, char **argv)
         for (const std::string &key : split(args.get("knobs"), ','))
             spec.knobs.push_back(knobFromKey(std::string(trim(key))));
     }
+    spec.applySearchOverrides(tool);
     spec.normalize();
 
     const WorkloadProfile &service = serviceByName(spec.microservice);

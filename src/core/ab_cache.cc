@@ -27,7 +27,8 @@ fnv64(const std::string &text)
     return hash;
 }
 
-/** Exact double → "0x..." IEEE-754 bit pattern. */
+} // namespace
+
 std::string
 hexBits(double value)
 {
@@ -37,7 +38,6 @@ hexBits(double value)
     return format("0x%016llx", static_cast<unsigned long long>(bits));
 }
 
-/** Exact "0x..." bit pattern → double; false on malformed input. */
 bool
 bitsFromHex(const std::string &text, double &out)
 {
@@ -58,6 +58,8 @@ bitsFromHex(const std::string &text, double &out)
     std::memcpy(&out, &bits, sizeof(out));
     return true;
 }
+
+namespace {
 
 Json
 statToJson(const RunningStat &stat)
@@ -187,6 +189,52 @@ resultFromJson(const Json &doc, ABTestResult &out)
     return true;
 }
 
+Json
+chunkToJson(const ValidationChunk &chunk)
+{
+    Json doc = Json::object();
+    doc.set("diffs", statToJson(chunk.diffs));
+    doc.set("ref", statToJson(chunk.refStat));
+    Json points = Json::array();
+    for (const auto &point : chunk.points) {
+        Json triple = Json::array();
+        triple.push(Json(hexBits(point[0])));
+        triple.push(Json(hexBits(point[1])));
+        triple.push(Json(hexBits(point[2])));
+        points.push(std::move(triple));
+    }
+    doc.set("points", std::move(points));
+    doc.set("samples", Json(static_cast<long long>(chunk.samples)));
+    doc.set("dropped", Json(static_cast<long long>(chunk.dropped)));
+    doc.set("rejected", Json(static_cast<long long>(chunk.rejected)));
+    return doc;
+}
+
+bool
+chunkFromJson(const Json &doc, ValidationChunk &out)
+{
+    if (!doc.isObject() || !doc.contains("points"))
+        return false;
+    if (!statFromJson(doc.at("diffs"), out.diffs) ||
+        !statFromJson(doc.at("ref"), out.refStat))
+        return false;
+    for (const Json &triple : doc.at("points").elements()) {
+        const auto &parts = triple.elements();
+        if (parts.size() != 3)
+            return false;
+        std::array<double, 3> point{};
+        for (size_t i = 0; i < 3; ++i)
+            if (!bitsFromHex(parts[i].asString(), point[i]))
+                return false;
+        out.points.push_back(point);
+    }
+    out.samples = static_cast<std::uint64_t>(doc.at("samples").asInt());
+    out.dropped = static_cast<std::uint64_t>(doc.at("dropped").asInt());
+    out.rejected =
+        static_cast<std::uint64_t>(doc.at("rejected").asInt());
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -241,6 +289,15 @@ abCacheContext(const ProductionEnvironment &env, const InputSpec &spec,
                   hexBits(plan.stuckRebootExtraSec).c_str(),
                   hexBits(plan.replacementPerfMin).c_str(),
                   static_cast<unsigned long long>(env.faultSeed()));
+    // Adaptive-search runs key their entries by chunk, so their files
+    // must never mix with fixed-budget files.  Appended only when
+    // active: fixed-mode contexts keep their historical spelling.
+    if (spec.search != SearchMode::Fixed) {
+        out += format(" search=%s/%llu",
+                      searchModeName(spec.search).c_str(),
+                      static_cast<unsigned long long>(
+                          spec.raceChunkSamples));
+    }
     return out;
 }
 
@@ -254,7 +311,8 @@ abCacheFilePath(const std::string &dir, const std::string &context)
 
 std::size_t
 loadAbCache(const std::string &dir, const std::string &context,
-            std::unordered_map<std::string, ABTestResult> &into)
+            std::unordered_map<std::string, ABTestResult> &into,
+            ValidationCache *validation)
 {
     const std::string path = abCacheFilePath(dir, context);
     std::ifstream in(path, std::ios::binary);
@@ -298,12 +356,27 @@ loadAbCache(const std::string &dir, const std::string &context,
         into.emplace(key, std::move(result));
         ++added;
     }
+    if (validation && doc.contains("validation") &&
+        doc.at("validation").isObject()) {
+        for (const auto &[key, value] : doc.at("validation").members()) {
+            if (validation->count(key))
+                continue;
+            ValidationChunk chunk;
+            if (!chunkFromJson(value, chunk)) {
+                warn("ab cache: skipping malformed validation chunk "
+                     "'%s' in %s", key.c_str(), path.c_str());
+                continue;
+            }
+            validation->emplace(key, std::move(chunk));
+        }
+    }
     return added;
 }
 
 bool
 storeAbCache(const std::string &dir, const std::string &context,
-             const std::unordered_map<std::string, ABTestResult> &memo)
+             const std::unordered_map<std::string, ABTestResult> &memo,
+             const ValidationCache *validation)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -330,6 +403,20 @@ storeAbCache(const std::string &dir, const std::string &context,
     doc.set("schema_version", Json(kAbCacheSchemaVersion));
     doc.set("context", Json(context));
     doc.set("entries", std::move(entries));
+    if (validation && !validation->empty()) {
+        std::vector<const std::string *> chunkKeys;
+        chunkKeys.reserve(validation->size());
+        for (const auto &[key, chunk] : *validation)
+            chunkKeys.push_back(&key);
+        std::sort(chunkKeys.begin(), chunkKeys.end(),
+                  [](const std::string *a, const std::string *b) {
+                      return *a < *b;
+                  });
+        Json chunks = Json::object();
+        for (const std::string *key : chunkKeys)
+            chunks.set(*key, chunkToJson(validation->at(*key)));
+        doc.set("validation", std::move(chunks));
+    }
 
     const std::string path = abCacheFilePath(dir, context);
     std::ofstream out(path, std::ios::binary | std::ios::trunc);

@@ -33,12 +33,29 @@
 
 #include "core/ab_test.hh"
 #include "core/input_spec.hh"
+#include "core/soft_sku.hh"
 #include "sim/production_env.hh"
 
 namespace softsku {
 
-/** Bumped whenever the on-disk entry layout changes. */
-constexpr int kAbCacheSchemaVersion = 1;
+/**
+ * Bumped whenever the on-disk entry layout changes.
+ *
+ * History: 1 = comparison entries only; 2 = adds the "validation"
+ * section (chunked validation-phase results) — version-1 files are
+ * ignored with a warning, which is exactly a cold run.
+ */
+constexpr int kAbCacheSchemaVersion = 2;
+
+/**
+ * Exact double → "0x..." IEEE-754 bit pattern.  The cache's fidelity
+ * contract rests on these two: every double in the file round-trips
+ * bit-for-bit, including ±0, denormals, and infinities.
+ */
+std::string hexBits(double value);
+
+/** Exact "0x..." bit pattern → double; false on malformed input. */
+bool bitsFromHex(const std::string &text, double &out);
 
 /**
  * The canonical context string for comparisons measured by @p env /
@@ -57,21 +74,25 @@ std::string abCacheFilePath(const std::string &dir,
  * Load the cache file for @p context from @p dir into @p into
  * (existing keys win — in-memory results are never overwritten).
  * Missing files are a clean miss; malformed files and context
- * mismatches are skipped with a warning.
- * @return number of entries added
+ * mismatches are skipped with a warning.  When @p validation is given,
+ * the file's validation-chunk section loads into it the same way.
+ * @return number of comparison entries added
  */
 std::size_t loadAbCache(const std::string &dir,
                         const std::string &context,
-                        std::unordered_map<std::string, ABTestResult> &into);
+                        std::unordered_map<std::string, ABTestResult> &into,
+                        ValidationCache *validation = nullptr);
 
 /**
- * Serialize @p memo to the cache file for @p context under @p dir,
- * creating the directory when needed.  Entries are written in sorted
- * key order, so the file bytes are deterministic.
+ * Serialize @p memo (and @p validation, when given) to the cache file
+ * for @p context under @p dir, creating the directory when needed.
+ * Entries are written in sorted key order, so the file bytes are
+ * deterministic.
  * @return false on I/O failure (logged, never fatal)
  */
 bool storeAbCache(const std::string &dir, const std::string &context,
-                  const std::unordered_map<std::string, ABTestResult> &memo);
+                  const std::unordered_map<std::string, ABTestResult> &memo,
+                  const ValidationCache *validation = nullptr);
 
 } // namespace softsku
 

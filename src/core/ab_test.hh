@@ -93,6 +93,67 @@ struct ABTestResult
     double gainCiPercent() const;
 };
 
+/**
+ * A resumable sequential measurement window: the paper's protocol
+ * (warm-up discard, spaced paired samples, a significance check after
+ * every 100-sample batch) expressed as a session that can be advanced
+ * a slice at a time.
+ *
+ * One uninterrupted run to a target and any sequence of pullTo() calls
+ * reaching the same target walk byte-identical sample streams and
+ * produce bit-identical cumulative statistics — the property the
+ * adaptive racing search builds on: a racing arm advanced chunk by
+ * chunk holds, at every 100-sample boundary, exactly the state the
+ * fixed protocol would hold there, so the moment the fixed stopping
+ * rule fires the arm's verdict (mean, CI, sample count) is the fixed
+ * protocol's verdict, bit for bit.
+ *
+ * The session does not own its environment slice; the caller keeps the
+ * slice alive (and exclusively owned) for the session's lifetime.
+ */
+class MeasureSession
+{
+  public:
+    MeasureSession(ProductionEnvironment &env, const InputSpec &spec,
+                   const RobustnessPolicy &policy,
+                   const KnobConfig &baseline, const KnobConfig &candidate,
+                   double startSec);
+
+    /**
+     * Advance the window until @p targetAccepted samples have been
+     * accepted in total (cumulative, not incremental), the comparison
+     * crashes, or — when @p stopOnSignificance — the fixed protocol's
+     * stopping rule fires (significant at the spec confidence past the
+     * minimum sample floor, checked after each 100-attempt batch).
+     *
+     * The returned result carries *cumulative* statistics (pairedDiffs,
+     * samplesA/B, welch, samplesUsed) but *incremental* accounting
+     * (elapsedSec and samplesAccepted cover only this call), so a
+     * caller summing per-pull accounting never double-counts the
+     * prefix.
+     */
+    ABTestResult pullTo(std::uint64_t targetAccepted,
+                        bool stopOnSignificance);
+
+    /** Accepted samples so far (the cumulative position). */
+    std::uint64_t accepted() const { return result_.samplesUsed; }
+
+    /** The window died (crash or apply failure); pulls return as-is. */
+    bool dead() const { return result_.crashed || result_.applyFailed; }
+
+  private:
+    ProductionEnvironment &env_;
+    InputSpec spec_;           //!< copied: sessions outlive sweep frames
+    RobustnessPolicy policy_;
+    KnobConfig baseline_, candidate_;
+    double startSec_ = 0.0;
+    double clock_ = 0.0;
+    double trueA_ = 0.0, trueB_ = 0.0;
+    bool opened_ = false;      //!< apply + warm-up already ran
+    std::uint64_t attempts_ = 0;
+    ABTestResult result_;      //!< cumulative state
+};
+
 /** Sequential paired A/B measurement driver. */
 class ABTester
 {
@@ -135,6 +196,13 @@ class ABTester
   private:
     ABTestResult measure(const KnobConfig &baseline,
                          const KnobConfig &candidate, double startSec);
+
+    /** One-shot window: a MeasureSession opened and pulled to the cap,
+     *  so the fixed protocol and the racing sessions share one loop. */
+    ABTestResult measureSamples(const KnobConfig &baseline,
+                                const KnobConfig &candidate,
+                                double startSec, std::uint64_t maxSamples,
+                                bool stopOnSignificance);
 
     ProductionEnvironment &env_;
     const InputSpec &spec_;

@@ -1,0 +1,321 @@
+#include "core/bai.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/students_t.hh"
+#include "util/logging.hh"
+
+namespace softsku {
+
+SearchMode
+searchModeFromString(const std::string &text)
+{
+    if (text == "fixed")
+        return SearchMode::Fixed;
+    if (text == "race")
+        return SearchMode::Race;
+    if (text == "halving")
+        return SearchMode::Halving;
+    fatal("unknown search mode '%s' (expected fixed|race|halving)",
+          text.c_str());
+}
+
+std::string
+searchModeName(SearchMode mode)
+{
+    switch (mode) {
+      case SearchMode::Fixed: return "fixed";
+      case SearchMode::Race: return "race";
+      case SearchMode::Halving: return "halving";
+    }
+    return "fixed";
+}
+
+namespace {
+
+/**
+ * The surviving arm with the highest mean gain, lowest index on ties.
+ * Shared by both engines so their selection rule cannot drift apart.
+ */
+std::size_t
+bestSurvivor(const std::vector<BaiArm> &arms)
+{
+    std::size_t best = arms.size();
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        if (arms[i].eliminated)
+            continue;
+        if (best == arms.size() ||
+            arms[i].gains.mean() > arms[best].gains.mean())
+            best = i;
+    }
+    return best;
+}
+
+} // namespace
+
+BaiRace::BaiRace(std::size_t armCount, const BaiOptions &options)
+    : options_(options), arms_(armCount), floor_(options.futilityGain)
+{
+    if (armCount == 0)
+        fatal("BaiRace needs at least one arm");
+    if (options_.chunkSamples == 0)
+        fatal("BaiRace needs a positive chunk size");
+}
+
+std::uint64_t
+BaiRace::maxRounds() const
+{
+    // An arm can be checked at most once per absorbed chunk, and no arm
+    // absorbs more than ceil(maxSamples / chunkSamples) chunks.
+    return (options_.maxSamplesPerArm + options_.chunkSamples - 1) /
+           options_.chunkSamples;
+}
+
+std::vector<std::size_t>
+BaiRace::pending() const
+{
+    std::vector<std::size_t> need;
+    if (decided())
+        return need;
+    for (std::size_t i = 0; i < arms_.size(); ++i) {
+        const BaiArm &arm = arms_[i];
+        if (arm.eliminated)
+            continue;
+        if (arm.chunksPulled * options_.chunkSamples <
+            options_.maxSamplesPerArm)
+            need.push_back(i);
+    }
+    return need;
+}
+
+void
+BaiRace::absorb(std::size_t i, const RunningStat &chunkGains)
+{
+    BaiArm &arm = arms_.at(i);
+    arm.gains.merge(chunkGains);
+    arm.chunksPulled += 1;
+}
+
+void
+BaiRace::update(std::size_t i, const RunningStat &cumulativeGains)
+{
+    BaiArm &arm = arms_.at(i);
+    arm.gains = cumulativeGains;
+    arm.chunksPulled += 1;
+}
+
+void
+BaiRace::withdraw(std::size_t i)
+{
+    BaiArm &arm = arms_.at(i);
+    if (arm.eliminated)
+        return;
+    arm.eliminated = true;
+    arm.eliminatedAtRound = rounds_ + 1;
+}
+
+void
+BaiRace::park(std::size_t i)
+{
+    arms_.at(i).parked = true;
+}
+
+void
+BaiRace::raiseFloor(double gain)
+{
+    floor_ = std::max(floor_, gain);
+}
+
+double
+BaiRace::radius(std::size_t i) const
+{
+    const RunningStat &gains = arms_.at(i).gains;
+    if (gains.count() < 2)
+        return std::numeric_limits<double>::infinity();
+    // Bonferroni over the arms: each interval runs at confidence
+    // 1 - delta / K.  The repeated looks across rounds are *not*
+    // corrected for — consecutive checks on a growing sample are
+    // almost perfectly correlated, so a per-round correction (the
+    // delta/(K*R) union bound) prices eliminations at ~2x the samples
+    // for no measurable error reduction.  The Monte-Carlo harness in
+    // tests/core/bai_test.cc is the arbiter: it measures the empirical
+    // error rate of exactly this rule against the configured delta.
+    double effective =
+        1.0 - options_.delta / static_cast<double>(arms_.size());
+    return gains.confidenceHalfWidth(effective);
+}
+
+std::size_t
+BaiRace::eliminateRound()
+{
+    rounds_ += 1;
+    std::size_t incumbent = bestSurvivor(arms_);
+    if (incumbent == arms_.size())
+        return 0;
+    const BaiArm &leader = arms_[incumbent];
+    if (leader.gains.count() < options_.minSamplesPerArm)
+        return 0;
+    double leaderLow = leader.gains.mean() - radius(incumbent);
+    std::size_t struck = 0;
+    for (std::size_t i = 0; i < arms_.size(); ++i) {
+        if (arms_[i].eliminated || arms_[i].parked)
+            continue;
+        const BaiArm &arm = arms_[i];
+        if (arm.gains.count() < options_.minSamplesPerArm)
+            continue;
+        double armHigh = arm.gains.mean() + radius(i);
+        // The futility floor applies to the incumbent too: when no arm
+        // can reach a material gain the whole contest is moot.  It
+        // ratchets up as contenders park with settled positive verdicts
+        // (raiseFloor), which is what retires a trailing plateau arm in
+        // hundreds of samples instead of thousands.
+        bool futile = armHigh < floor_;
+        bool beaten = i != incumbent && armHigh < leaderLow;
+        if (futile || beaten) {
+            arms_[i].eliminated = true;
+            arms_[i].eliminatedAtRound = rounds_;
+            struck += 1;
+        }
+    }
+    return struck;
+}
+
+bool
+BaiRace::decided() const
+{
+    std::size_t alive = 0;
+    bool budgetLeft = false;
+    for (const BaiArm &arm : arms_) {
+        if (arm.eliminated)
+            continue;
+        alive += 1;
+        if (arm.chunksPulled * options_.chunkSamples <
+            options_.maxSamplesPerArm)
+            budgetLeft = true;
+    }
+    // One contender standing, or every survivor gave up at the budget
+    // cap (the fixed protocol's 30 k give-up rule, reached jointly).
+    return alive <= 1 || !budgetLeft;
+}
+
+std::size_t
+BaiRace::best() const
+{
+    return bestSurvivor(arms_);
+}
+
+std::uint64_t
+BaiRace::earlyStops() const
+{
+    std::uint64_t stops = 0;
+    for (const BaiArm &arm : arms_)
+        if (arm.eliminated &&
+            arm.chunksPulled * options_.chunkSamples <
+                options_.maxSamplesPerArm)
+            stops += 1;
+    return stops;
+}
+
+BaiHalving::BaiHalving(std::size_t armCount, const BaiOptions &options)
+    : options_(options), arms_(armCount)
+{
+    if (armCount == 0)
+        fatal("BaiHalving needs at least one arm");
+    if (options_.chunkSamples == 0)
+        fatal("BaiHalving needs a positive chunk size");
+}
+
+std::uint64_t
+BaiHalving::chunksThisRound() const
+{
+    // 1, 2, 4, ... chunks per survivor, clamped to the per-arm budget.
+    std::uint64_t allowance = std::uint64_t(1) << std::min<std::uint64_t>(
+        rounds_, 62);
+    std::uint64_t budgetChunks = std::max<std::uint64_t>(
+        1, options_.maxSamplesPerArm / options_.chunkSamples);
+    return std::min(allowance, budgetChunks);
+}
+
+std::vector<std::size_t>
+BaiHalving::pending() const
+{
+    std::vector<std::size_t> need;
+    if (decided())
+        return need;
+    for (std::size_t i = 0; i < arms_.size(); ++i)
+        if (!arms_[i].eliminated)
+            need.push_back(i);
+    return need;
+}
+
+void
+BaiHalving::absorb(std::size_t i, const RunningStat &chunkGains)
+{
+    BaiArm &arm = arms_.at(i);
+    arm.gains.merge(chunkGains);
+    arm.chunksPulled += 1;
+}
+
+void
+BaiHalving::update(std::size_t i, const RunningStat &cumulativeGains)
+{
+    BaiArm &arm = arms_.at(i);
+    arm.gains = cumulativeGains;
+    arm.chunksPulled += 1;
+}
+
+void
+BaiHalving::withdraw(std::size_t i)
+{
+    BaiArm &arm = arms_.at(i);
+    if (arm.eliminated)
+        return;
+    arm.eliminated = true;
+    arm.eliminatedAtRound = rounds_ + 1;
+}
+
+std::size_t
+BaiHalving::halveRound()
+{
+    rounds_ += 1;
+    std::vector<std::size_t> alive;
+    for (std::size_t i = 0; i < arms_.size(); ++i)
+        if (!arms_[i].eliminated)
+            alive.push_back(i);
+    if (alive.size() <= 1)
+        return 0;
+    // Sort survivors by mean gain, best first; equal means keep their
+    // index order (stable), so ties always favor the earlier arm.
+    std::stable_sort(alive.begin(), alive.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return arms_[a].gains.mean() >
+                                arms_[b].gains.mean();
+                     });
+    std::size_t keep = (alive.size() + 1) / 2;
+    std::size_t dropped = 0;
+    for (std::size_t rank = keep; rank < alive.size(); ++rank) {
+        arms_[alive[rank]].eliminated = true;
+        arms_[alive[rank]].eliminatedAtRound = rounds_;
+        dropped += 1;
+    }
+    return dropped;
+}
+
+bool
+BaiHalving::decided() const
+{
+    std::size_t alive = 0;
+    for (const BaiArm &arm : arms_)
+        if (!arm.eliminated)
+            alive += 1;
+    return alive <= 1;
+}
+
+std::size_t
+BaiHalving::best() const
+{
+    return bestSurvivor(arms_);
+}
+
+} // namespace softsku

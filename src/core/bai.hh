@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Best-arm identification (BAI) for the knob sweep: adaptive sampling
+ * rules that stop pulling an arm as soon as the statistics allow it,
+ * replacing the paper's fixed ~30 k-sample budget per comparison
+ * (ROADMAP item 1).
+ *
+ * Two engines are provided:
+ *
+ *  - BaiRace: racing / successive elimination.  All arms of one
+ *    contest (e.g. every candidate value of one knob) are pulled in
+ *    fixed-size chunks, round by round; after each round an arm whose
+ *    confidence interval has separated below the incumbent's is
+ *    eliminated and never pulled again.  Each interval runs at
+ *    confidence 1 - delta/K (Bonferroni over the K arms), targeting a
+ *    race-wide error of at most the configured delta — the property
+ *    the Monte-Carlo harness in tests/core/bai_test.cc measures
+ *    empirically at seeds 1-50.
+ *
+ *  - BaiHalving: successive halving over joint knob combinations.
+ *    Every survivor receives the same geometrically growing chunk
+ *    allowance per round; the bottom half (by mean gain) is dropped
+ *    each round until one combination remains.  This searches the
+ *    *joint* space the paper's per-knob composition cannot see.
+ *
+ * Both engines are pure decision logic over RunningStat chunks: they
+ * never draw samples themselves.  The caller (the sweep engine) pulls
+ * chunks keyed deterministically by (arm, pull ordinal) on Rng::split
+ * substreams and feeds them back in arm order, so every decision —
+ * and therefore every report byte — is independent of thread count.
+ */
+
+#ifndef SOFTSKU_CORE_BAI_HH
+#define SOFTSKU_CORE_BAI_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "stats/running_stat.hh"
+
+namespace softsku {
+
+/** How the sweep allocates samples to A/B comparisons. */
+enum class SearchMode
+{
+    /** The paper's protocol: every comparison runs its own fixed-cap
+     *  sequential test, independent of the other arms. */
+    Fixed,
+    /** Racing / successive elimination between the arms of each knob
+     *  (or combo batch): chunked pulls, CI-separation stopping. */
+    Race,
+    /** Successive halving over joint knob combinations. */
+    Halving,
+};
+
+/** Parse a search-mode string; fatal() on unknown input. */
+SearchMode searchModeFromString(const std::string &text);
+
+/** Registry name of a search mode ("fixed", "race", "halving"). */
+std::string searchModeName(SearchMode mode);
+
+/** Sampling-rule parameters shared by both engines. */
+struct BaiOptions
+{
+    /** Tolerated probability of eliminating the true best arm at any
+     *  point in the race (the delta of the (epsilon=0, delta) BAI
+     *  guarantee).  The sweep derives it as 1 - spec.confidence. */
+    double delta = 0.05;
+    /** Accepted samples per pull.  Chunks are the cache unit: each is
+     *  measured on its own (arm, ordinal)-keyed substream. */
+    std::uint64_t chunkSamples = 500;
+    /** Samples an arm must hold before elimination may strike it. */
+    std::uint64_t minSamplesPerArm = 500;
+    /** Per-arm budget cap — the same give-up threshold as the fixed
+     *  protocol (spec.maxSamplesPerTest). */
+    std::uint64_t maxSamplesPerArm = 30000;
+    /**
+     * Futility floor: an arm whose *upper* confidence bound falls below
+     * this gain can never matter (the composer ignores sub-material
+     * wins), so the race stops paying for it.  -inf — the default —
+     * disables the rule, leaving the pure (epsilon=0, delta) racing
+     * guarantee the Monte-Carlo harness measures.  The sweep sets the
+     * composer's material threshold here.
+     */
+    double futilityGain = -std::numeric_limits<double>::infinity();
+};
+
+/** One arm's accumulated racing state. */
+struct BaiArm
+{
+    /** Per-pair relative gains (B/A - 1), merged over absorbed chunks. */
+    RunningStat gains;
+    /** Chunks absorbed so far — the next pull's ordinal. */
+    std::uint64_t chunksPulled = 0;
+    /** Struck by the elimination rule (or withdrawn by the caller). */
+    bool eliminated = false;
+    /** Round (1-based) the elimination happened in; 0 = survived. */
+    std::uint64_t eliminatedAtRound = 0;
+    /** Holds an external verdict (the sweep's fixed-protocol stop);
+     *  exempt from elimination, still a contender for best(). */
+    bool parked = false;
+};
+
+/**
+ * Racing / successive-elimination sampling rule.
+ *
+ * Round protocol: the caller pulls one chunk for every arm in
+ * pending(), absorbs the chunk gains in arm order, then calls
+ * eliminateRound().  The race is decided() once a single contender
+ * survives or every survivor has exhausted its budget; best() then
+ * names the selected arm.
+ */
+class BaiRace
+{
+  public:
+    BaiRace(std::size_t armCount, const BaiOptions &options);
+
+    std::size_t armCount() const { return arms_.size(); }
+    const BaiArm &arm(std::size_t i) const { return arms_[i]; }
+
+    /** Arms that need one more chunk this round (empty once decided). */
+    std::vector<std::size_t> pending() const;
+
+    /** Fold one chunk of paired gains into arm @p i. */
+    void absorb(std::size_t i, const RunningStat &chunkGains);
+
+    /**
+     * Replace arm @p i's gains with externally accumulated cumulative
+     * statistics (one more chunk pulled).  The sweep engine uses this
+     * instead of absorb(): its continued measurement windows grow
+     * sample by sample, and sequential accumulation keeps the arm's
+     * statistics bit-identical to the fixed protocol's — a Welford
+     * merge of per-chunk increments would round differently.
+     */
+    void update(std::size_t i, const RunningStat &cumulativeGains);
+
+    /**
+     * Remove arm @p i from contention without a statistical verdict
+     * (QoS guardrail abort, measurement abandoned to faults).
+     */
+    void withdraw(std::size_t i);
+
+    /**
+     * Shield arm @p i from elimination: it reached an external verdict
+     * (the sweep's fixed-protocol stop) and its settled statistics will
+     * be ranked by the composer no matter what the race concludes.  A
+     * parked arm still counts for best() and the incumbent's bound.
+     */
+    void park(std::size_t i);
+
+    /**
+     * Ratchet the futility floor up to @p gain (monotonic max with the
+     * configured futilityGain).  The sweep calls this when an arm parks
+     * with a significant positive verdict: a racing arm whose upper
+     * confidence bound cannot reach the settled contender's gain can
+     * never win the composition, so the race stops paying for it.
+     */
+    void raiseFloor(double gain);
+
+    /**
+     * Apply the elimination rule after a full round of absorbs: strike
+     * every survivor whose upper confidence bound lies below the
+     * incumbent's lower bound.  @return the number struck this round.
+     */
+    std::size_t eliminateRound();
+
+    /** One contender left, or every survivor has hit its budget cap. */
+    bool decided() const;
+
+    /**
+     * The incumbent: the surviving arm with the highest mean gain
+     * (ties break to the lowest index).  armCount() when every arm was
+     * withdrawn.
+     */
+    std::size_t best() const;
+
+    /**
+     * Confidence half-width on arm @p i's mean gain at the
+     * Bonferroni-corrected per-arm confidence 1 - delta/K; +inf below
+     * two samples.
+     */
+    double radius(std::size_t i) const;
+
+    /** Rounds of elimination checks run so far. */
+    std::uint64_t rounds() const { return rounds_; }
+
+    /** Arms eliminated before reaching the budget cap. */
+    std::uint64_t earlyStops() const;
+
+    /** The most chunks any arm can absorb within its budget. */
+    std::uint64_t maxRounds() const;
+
+  private:
+    BaiOptions options_;
+    std::vector<BaiArm> arms_;
+    std::uint64_t rounds_ = 0;
+    /** Live futility floor: max(options.futilityGain, raiseFloor()s). */
+    double floor_;
+};
+
+/**
+ * Successive halving over a (large) arm set: every survivor gets
+ * chunksThisRound() pulls, then the bottom half by mean gain is
+ * dropped.  The allowance doubles each round, so early rounds triage
+ * cheaply and late rounds resolve the finalists precisely.
+ */
+class BaiHalving
+{
+  public:
+    BaiHalving(std::size_t armCount, const BaiOptions &options);
+
+    std::size_t armCount() const { return arms_.size(); }
+    const BaiArm &arm(std::size_t i) const { return arms_[i]; }
+
+    /** Surviving arms, each owed chunksThisRound() pulls. */
+    std::vector<std::size_t> pending() const;
+
+    /** Chunk allowance per survivor this round (doubles per round,
+     *  clamped so no arm exceeds maxSamplesPerArm). */
+    std::uint64_t chunksThisRound() const;
+
+    /** Fold one chunk of paired gains into arm @p i. */
+    void absorb(std::size_t i, const RunningStat &chunkGains);
+
+    /** Replace arm @p i's gains with cumulative statistics (one more
+     *  chunk pulled) — see BaiRace::update(). */
+    void update(std::size_t i, const RunningStat &cumulativeGains);
+
+    /** Remove arm @p i from contention (guardrail abort, faults). */
+    void withdraw(std::size_t i);
+
+    /** Drop the bottom half of the survivors by mean gain (ties keep
+     *  the lower index).  @return the number dropped. */
+    std::size_t halveRound();
+
+    /** One survivor left (or none after withdrawals). */
+    bool decided() const;
+
+    /** The surviving arm with the highest mean gain; armCount() when
+     *  every arm was withdrawn. */
+    std::size_t best() const;
+
+    std::uint64_t rounds() const { return rounds_; }
+
+  private:
+    BaiOptions options_;
+    std::vector<BaiArm> arms_;
+    std::uint64_t rounds_ = 0;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_CORE_BAI_HH

@@ -13,6 +13,10 @@ KnobSweep::best() const
     for (const KnobOutcome &outcome : outcomes) {
         if (outcome.isBaseline)
             baseline = &outcome;
+        // A raced-out arm carries a truncated, noisy mean; the race
+        // already proved the surviving arm beats it.
+        if (outcome.eliminated)
+            continue;
         // Require both statistical significance and a material
         // effect: with tens of thousands of samples even a ±0.01%
         // fluctuation can reach p < 0.05.
@@ -54,6 +58,14 @@ DesignSpaceMap::toJson() const
             entry.set("baseline", Json(outcome.isBaseline));
             entry.set("samples",
                       Json(static_cast<long long>(outcome.samples)));
+            // Racing annotations, absent in fixed-budget maps so those
+            // serialize byte-identically to the pre-racing format.
+            if (outcome.eliminated)
+                entry.set("eliminated", Json(true));
+            if (outcome.samplesSaved > 0) {
+                entry.set("samples_saved", Json(static_cast<long long>(
+                                               outcome.samplesSaved)));
+            }
             outcomes.push(std::move(entry));
         }
         sweepsDoc.set(knobKey(sweep.id), std::move(outcomes));

@@ -27,6 +27,15 @@ struct KnobOutcome
     bool significant = false;
     bool isBaseline = false;
     std::uint64_t samples = 0;
+    /**
+     * Racing struck this arm before its budget ran out: its few
+     * samples say only "not the best", never "how good" — best() must
+     * skip it, and its (noisy, truncated) mean must not be composed.
+     */
+    bool eliminated = false;
+    /** Samples the adaptive search did not need, vs the fixed-budget
+     *  cap this comparison would otherwise have run to. */
+    std::uint64_t samplesSaved = 0;
 };
 
 /** Sweep results for one knob. */

@@ -38,6 +38,15 @@ InputSpec::normalize()
 }
 
 void
+InputSpec::applySearchOverrides(const ToolOptions &tool)
+{
+    if (!tool.search.empty())
+        search = searchModeFromString(tool.search);
+    if (tool.confidence > 0.0)
+        confidence = tool.confidence;
+}
+
+void
 InputSpec::validate() const
 {
     if (microservice.empty())
@@ -52,6 +61,13 @@ InputSpec::validate() const
               static_cast<unsigned long long>(minSamplesPerTest));
     if (sampleSpacingSec <= 0.0)
         fatal("μSKU input: sample spacing must be positive");
+    if (raceChunkSamples == 0)
+        fatal("μSKU input: race chunk size must be positive");
+    if (search != SearchMode::Fixed && raceChunkSamples > maxSamplesPerTest)
+        fatal("μSKU input: race chunk %llu exceeds the per-test budget "
+              "%llu",
+              static_cast<unsigned long long>(raceChunkSamples),
+              static_cast<unsigned long long>(maxSamplesPerTest));
 }
 
 Json
@@ -74,6 +90,13 @@ InputSpec::toJson() const
     doc.set("sample_spacing_sec", Json(sampleSpacingSec));
     doc.set("validation_duration_sec", Json(validationDurationSec));
     doc.set("seed", Json(static_cast<long long>(seed)));
+    // Only emitted when adaptive search is active, so fixed-mode specs
+    // (and the reports embedding them) keep their historical bytes.
+    if (search != SearchMode::Fixed) {
+        doc.set("search", Json(searchModeName(search)));
+        doc.set("race_chunk_samples",
+                Json(static_cast<long long>(raceChunkSamples)));
+    }
     return doc;
 }
 
@@ -107,6 +130,10 @@ InputSpec::fromJson(const Json &doc)
                                               spec.validationDurationSec);
     spec.seed = static_cast<std::uint64_t>(
         doc.numberOr("seed", static_cast<double>(spec.seed)));
+    spec.search = searchModeFromString(doc.stringOr("search", "fixed"));
+    spec.raceChunkSamples = static_cast<std::uint64_t>(
+        doc.numberOr("race_chunk_samples",
+                     static_cast<double>(spec.raceChunkSamples)));
     spec.normalize();
     spec.validate();
     return spec;

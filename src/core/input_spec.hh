@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "core/bai.hh"
 #include "core/knobs.hh"
+#include "util/cli.hh"
 #include "util/json.hh"
 
 namespace softsku {
@@ -50,11 +52,30 @@ struct InputSpec
     double sampleSpacingSec = 1.0;       //!< independence spacing
     std::uint64_t seed = 1;
 
+    /**
+     * Sample-allocation strategy (see core/bai.hh).  Fixed is the
+     * paper's protocol; Race/Halving are the adaptive best-arm modes.
+     * Racing derives its error budget delta as 1 - confidence, so the
+     * one confidence knob governs both protocols.
+     */
+    SearchMode search = SearchMode::Fixed;
+    /** Accepted samples per racing pull (the chunk / cache unit).
+     *  Small chunks are what make racing cheap: a hopeless arm costs
+     *  one chunk instead of the fixed protocol's min-sample floor. */
+    std::uint64_t raceChunkSamples = 100;
+
     /** Wall-clock length of the prolonged validation phase. */
     double validationDurationSec = 2.0 * 86400.0;
 
     /** Fill `knobs` with all seven when empty. */
     void normalize();
+
+    /**
+     * Overlay the tool-level --search/--confidence flags: an empty
+     * search string / zero confidence keeps the spec's own values, so
+     * every tool applies the flags the same way.
+     */
+    void applySearchOverrides(const ToolOptions &tool);
 
     /** Basic sanity checks; fatal() on user errors. */
     void validate() const;

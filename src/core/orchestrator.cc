@@ -56,6 +56,8 @@ FleetOrchestratorOptions::fromTool(const ToolOptions &tool)
     options.faults = tool.faults;
     options.faultSeed = tool.faultSeed;
     options.cacheDir = tool.cacheDir;
+    options.search = tool.search;
+    options.confidence = tool.confidence;
     options.progress = tool.progress;
     return options;
 }
@@ -93,6 +95,14 @@ FleetOrchestrator::tuneOne(const TuneTarget &target, std::size_t index,
     ProductionEnvironment env(service, platform, target.spec.seed,
                               target.simOpts);
 
+    // Fleet-level search overrides land on a spec copy; the target's
+    // own spec stays what the operator registered.
+    InputSpec spec = target.spec;
+    ToolOptions overrides;
+    overrides.search = options_.search;
+    overrides.confidence = options_.confidence;
+    spec.applySearchOverrides(overrides);
+
     UskuOptions options;
     options.pool = pool;
     options.jobs = 1;  // no private pool; inline when pool is null
@@ -107,7 +117,7 @@ FleetOrchestrator::tuneOne(const TuneTarget &target, std::size_t index,
     options.traceTag = static_cast<std::uint64_t>(index) + 1;
 
     Usku tool(env, options);
-    return tool.run(target.spec);
+    return tool.run(spec);
 }
 
 FleetTuneResult

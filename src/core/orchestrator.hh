@@ -79,6 +79,12 @@ struct FleetOrchestratorOptions
      *  target's context maps to its own cache file). */
     std::string cacheDir;
 
+    /** Search-mode override applied to every target's spec ("fixed",
+     *  "race", "halving"); empty keeps each spec's own mode. */
+    std::string search;
+    /** Confidence override for every target; 0 keeps each spec's. */
+    double confidence = 0.0;
+
     /** Live progress lines; honored only in sequential mode, where
      *  they cannot interleave. */
     bool progress = false;

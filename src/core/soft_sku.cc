@@ -7,9 +7,12 @@
 #include <limits>
 #include <vector>
 
+#include "core/ab_cache.hh"
 #include "obs/trace.hh"
+#include "stats/robust.hh"
 #include "stats/students_t.hh"
 #include "util/logging.hh"
+#include "util/strings.hh"
 
 namespace softsku {
 
@@ -35,37 +38,30 @@ namespace {
  *  FNV-1a comparison stream ids the sweep engine uses. */
 constexpr std::uint64_t kValidationSalt = 0x5A11DA7EDA7A0000ULL;
 
-/** What one validation chunk measured, merged in chunk order. */
-struct ValidationChunk
-{
-    RunningStat diffs;
-    RunningStat refStat;
-    /** (time, refMips, skuMips) in sample order, for the ODS replay. */
-    std::vector<std::array<double, 3>> points;
-    std::uint64_t samples = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t rejected = 0;
-};
-
-/** Median of a scratch vector (reordered in place). */
-double
-medianOf(std::vector<double> &values)
-{
-    if (values.empty())
-        return 0.0;
-    size_t mid = values.size() / 2;
-    std::nth_element(values.begin(), values.begin() + mid, values.end());
-    return values[mid];
-}
-
 } // namespace
+
+std::string
+validationChunkKey(const PlatformSpec &platform, const KnobConfig &softSku,
+                   const KnobConfig &reference, double durationSec,
+                   double sampleEverySec, std::uint64_t chunk)
+{
+    // Doubles as bit patterns: keys are equal iff the windows are
+    // bit-for-bit the same.
+    return format("validate %s vs %s dur=%s every=%s #%llu",
+                  softSku.canonical(platform).describe().c_str(),
+                  reference.canonical(platform).describe().c_str(),
+                  hexBits(durationSec).c_str(),
+                  hexBits(sampleEverySec).c_str(),
+                  static_cast<unsigned long long>(chunk));
+}
 
 ValidationResult
 SoftSkuGenerator::validate(ProductionEnvironment &env,
                            const KnobConfig &softSku,
                            const KnobConfig &reference, double durationSec,
                            OdsStore &ods, double sampleEverySec,
-                           ThreadPool *pool, MetricsRegistry *metrics) const
+                           ThreadPool *pool, MetricsRegistry *metrics,
+                           ValidationCache *cache) const
 {
     ValidationResult result;
     result.durationSec = durationSec;
@@ -93,6 +89,33 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
 
     const bool hostile = env.faults().any();
     std::vector<ValidationChunk> chunks(chunkCount);
+
+    // Resolve cache hits on the driver thread before any fan-out: the
+    // memo is not synchronized, and a replayed chunk must look exactly
+    // like a measured one to everything downstream.
+    std::vector<std::string> keys(cache ? chunkCount : 0);
+    std::vector<std::size_t> missing;
+    missing.reserve(chunkCount);
+    for (std::size_t c = 0; c < chunkCount; ++c) {
+        if (!cache) {
+            missing.push_back(c);
+            continue;
+        }
+        keys[c] = validationChunkKey(env.platform(), softSku, reference,
+                                     durationSec, sampleEverySec,
+                                     static_cast<std::uint64_t>(c));
+        auto hit = cache->find(keys[c]);
+        if (hit != cache->end()) {
+            chunks[c] = hit->second;
+            ScopedSpan span("validate", "validate.cache_hit",
+                            {kTraceValidate,
+                             static_cast<std::uint64_t>(c)});
+            span.arg("samples", chunks[c].samples);
+        } else {
+            missing.push_back(c);
+        }
+    }
+
     const std::uint64_t runTag = Tracer::currentRunTag();
     auto measureChunk = [&](std::size_t c) {
         // Explicit root path: the chunk index alone places this span
@@ -141,18 +164,9 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
         // up the t-test's variance.  Reject pairs whose ratio sits
         // many MADs from the chunk median — the same defense the A/B
         // tester applies — before anything reaches the statistics.
-        std::vector<double> deviations;
-        for (double r : ratios)
-            if (std::isfinite(r))
-                deviations.push_back(r);
-        double median = medianOf(deviations);
-        for (double &d : deviations)
-            d = std::abs(d - median);
-        double mad = medianOf(deviations);
-        double cutoff = 8.0 * std::max(mad, 1e-6) + 1e-12;
+        MadGate gate(ratios, 8.0);
         for (size_t i = 0; i < chunk.points.size(); ++i) {
-            if (!std::isfinite(ratios[i]) ||
-                std::abs(ratios[i] - median) > cutoff) {
+            if (!gate.keeps(ratios[i])) {
                 ++chunk.rejected;
                 continue;
             }
@@ -165,11 +179,15 @@ SoftSkuGenerator::validate(ProductionEnvironment &env,
         span.arg("rejected", chunk.rejected);
     };
 
-    if (pool && chunkCount > 1)
-        pool->parallelFor(chunkCount, measureChunk);
+    auto measureMissing = [&](std::size_t m) { measureChunk(missing[m]); };
+    if (pool && missing.size() > 1)
+        pool->parallelFor(missing.size(), measureMissing);
     else
-        for (std::size_t c = 0; c < chunkCount; ++c)
-            measureChunk(c);
+        for (std::size_t m = 0; m < missing.size(); ++m)
+            measureMissing(m);
+    if (cache)
+        for (std::size_t c : missing)
+            cache->emplace(keys[c], chunks[c]);
 
     RunningStat diffs;
     RunningStat refStat;

@@ -10,6 +10,11 @@
 #ifndef SOFTSKU_CORE_SOFT_SKU_HH
 #define SOFTSKU_CORE_SOFT_SKU_HH
 
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "core/design_space_map.hh"
 #include "obs/metrics.hh"
 #include "sim/production_env.hh"
@@ -31,6 +36,41 @@ struct ValidationResult
     /** Corrupted pairs rejected by robust filtering before the test. */
     std::uint64_t samplesRejected = 0;
 };
+
+/**
+ * What one validation chunk measured.  Public (rather than a detail of
+ * validate()) because chunks are the persistence unit of the A/B
+ * cache's validation section: a warm run replays these — statistics,
+ * ODS points, and fault tallies alike — instead of re-simulating ~8%
+ * of its wall clock, and merges them in the same chunk order, so warm
+ * and cold reports are byte-identical.
+ */
+struct ValidationChunk
+{
+    RunningStat diffs;
+    RunningStat refStat;
+    /** (time, refMips, skuMips) in sample order, for the ODS replay. */
+    std::vector<std::array<double, 3>> points;
+    std::uint64_t samples = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t rejected = 0;
+};
+
+/** Chunk key → measured chunk; shared across runs via the A/B cache. */
+using ValidationCache = std::unordered_map<std::string, ValidationChunk>;
+
+/**
+ * The memo key of validation chunk @p chunk for @p softSku vs
+ * @p reference.  Canonical configs plus the window parameters: two
+ * validations may share a chunk iff every input of its measurement is
+ * identical (the environment context is checked separately, by the
+ * cache file's context string).
+ */
+std::string validationChunkKey(const PlatformSpec &platform,
+                               const KnobConfig &softSku,
+                               const KnobConfig &reference,
+                               double durationSec, double sampleEverySec,
+                               std::uint64_t chunk);
 
 /** Composes and validates soft SKUs. */
 class SoftSkuGenerator
@@ -57,6 +97,11 @@ class SoftSkuGenerator
      * @param metrics        optional registry receiving validation
      *                       sample counters (bumped in the serial merge
      *                       loop, so they are thread-count-invariant)
+     * @param cache          optional chunk memo: hits replay instead of
+     *                       simulating; misses are measured and added.
+     *                       The caller owns context discipline (see
+     *                       ab_cache.hh) — entries are only valid under
+     *                       the environment they were measured in.
      */
     ValidationResult validate(ProductionEnvironment &env,
                               const KnobConfig &softSku,
@@ -64,7 +109,8 @@ class SoftSkuGenerator
                               double durationSec, OdsStore &ods,
                               double sampleEverySec = 60.0,
                               ThreadPool *pool = nullptr,
-                              MetricsRegistry *metrics = nullptr) const;
+                              MetricsRegistry *metrics = nullptr,
+                              ValidationCache *cache = nullptr) const;
 };
 
 } // namespace softsku

@@ -1,5 +1,6 @@
 #include "core/usku.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -11,6 +12,25 @@
 #include "util/strings.hh"
 
 namespace softsku {
+
+/**
+ * A live continued measurement window for one comparison (adaptive
+ * search): the owned fleet slice plus the resumable session measuring
+ * in it.  The slice must outlive the session, hence the member order.
+ */
+struct RaceWindow
+{
+    ProductionEnvironment slice;
+    MeasureSession session;
+
+    RaceWindow(ProductionEnvironment &&sliceIn, const InputSpec &spec,
+               const RobustnessPolicy &policy, const KnobConfig &baseline,
+               const KnobConfig &candidate, double startSec)
+        : slice(std::move(sliceIn)),
+          session(slice, spec, policy, baseline, candidate, startSec)
+    {
+    }
+};
 
 double
 UskuReport::gainOverProductionPercent() const
@@ -223,6 +243,7 @@ Usku::run(const InputSpec &specIn)
     batchSeq_ = 0;
     seenThisRun_.clear();
     configsThisRun_.clear();
+    raceWindows_.clear();
 
     // Memo entries are only meaningful under the context they were
     // measured in; a context change (new fault plan, different
@@ -233,11 +254,12 @@ Usku::run(const InputSpec &specIn)
         abCacheContext(env_, spec, options_.robustness);
     if (context != memoContext_) {
         memo_.clear();
+        validationMemo_.clear();
         memoContext_ = context;
     }
     if (!options_.cacheDir.empty()) {
-        std::size_t loaded =
-            loadAbCache(options_.cacheDir, context, memo_);
+        std::size_t loaded = loadAbCache(options_.cacheDir, context,
+                                         memo_, &validationMemo_);
         if (loaded > 0) {
             inform("A/B cache: %zu persisted comparisons loaded from %s",
                    loaded, options_.cacheDir.c_str());
@@ -271,19 +293,33 @@ Usku::run(const InputSpec &specIn)
         report.production.canonical(platform).describe());
     configsThisRun_.insert(report.stock.canonical(platform).describe());
 
-    switch (spec.sweep) {
-      case SweepMode::Independent:
-        report.map = sweepIndependent(report.plan, report.production,
-                                      spec);
-        break;
-      case SweepMode::Exhaustive:
-        report.map = sweepExhaustive(report.plan, report.production,
-                                     spec);
-        break;
-      case SweepMode::HillClimb:
-        report.map = sweepHillClimb(report.plan, report.production,
-                                    spec);
-        break;
+    if (spec.search == SearchMode::Race) {
+        // Racing contests the arms of one knob against each other;
+        // only the independent sweep has that per-knob structure.
+        if (spec.sweep != SweepMode::Independent) {
+            fatal("μSKU: racing search requires the independent sweep "
+                  "(spec asks for %s); use search=halving for joint "
+                  "combinations",
+                  sweepModeName(spec.sweep).c_str());
+        }
+        report.map = sweepRace(report.plan, report.production, spec);
+    } else if (spec.search == SearchMode::Halving) {
+        report.map = sweepHalving(report.plan, report.production, spec);
+    } else {
+        switch (spec.sweep) {
+          case SweepMode::Independent:
+            report.map = sweepIndependent(report.plan, report.production,
+                                          spec);
+            break;
+          case SweepMode::Exhaustive:
+            report.map = sweepExhaustive(report.plan, report.production,
+                                         spec);
+            break;
+          case SweepMode::HillClimb:
+            report.map = sweepHillClimb(report.plan, report.production,
+                                        spec);
+            break;
+        }
     }
 
     SoftSkuGenerator generator;
@@ -305,7 +341,8 @@ Usku::run(const InputSpec &specIn)
     OdsStore ods;
     report.validation = generator.validate(
         env_, report.softSku, report.production,
-        spec.validationDurationSec, ods, 60.0, pool_, &metrics_);
+        spec.validationDurationSec, ods, 60.0, pool_, &metrics_,
+        &validationMemo_);
     report.faults.samplesDropped += report.validation.samplesDropped;
     report.faults.samplesRejected += report.validation.samplesRejected;
 
@@ -348,7 +385,8 @@ Usku::run(const InputSpec &specIn)
     report.metrics = metrics_.snapshot(/*includeOperational=*/false);
 
     if (!options_.cacheDir.empty() &&
-        storeAbCache(options_.cacheDir, context, memo_)) {
+        storeAbCache(options_.cacheDir, context, memo_,
+                     &validationMemo_)) {
         debug("A/B cache: %zu comparisons persisted to %s", memo_.size(),
               options_.cacheDir.c_str());
     }
@@ -377,6 +415,50 @@ std::vector<ABTestResult>
 Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
 {
     comparisons_ += batch.size();
+    const PlatformSpec &platform = env_.platform();
+    std::vector<std::string> keys(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        std::string a = batch[i].baseline.canonical(platform).describe();
+        std::string b = batch[i].candidate.canonical(platform).describe();
+        configsThisRun_.insert(a);
+        configsThisRun_.insert(b);
+        keys[i] = a + " vs " + b;
+    }
+    return evaluateKeyed(batch, keys, nullptr, spec);
+}
+
+std::vector<ABTestResult>
+Usku::evaluateChunks(const std::vector<ChunkPull> &batch,
+                     const InputSpec &spec)
+{
+    // The chunk — not the comparison — is the memo/cache unit here:
+    // every pull gets its own key carrying the cumulative window state
+    // at that pull's end, so a warm run replays exactly the chunks the
+    // racing engine re-requests, in whatever round it re-requests them.
+    const PlatformSpec &platform = env_.platform();
+    std::vector<Comparison> tasks(batch.size());
+    std::vector<std::string> keys(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        tasks[i] = batch[i].task;
+        std::string a =
+            batch[i].task.baseline.canonical(platform).describe();
+        std::string b =
+            batch[i].task.candidate.canonical(platform).describe();
+        configsThisRun_.insert(a);
+        configsThisRun_.insert(b);
+        keys[i] = a + " vs " + b +
+                  format(" #c%llu", static_cast<unsigned long long>(
+                                        batch[i].ordinal));
+    }
+    return evaluateKeyed(tasks, keys, &batch, spec);
+}
+
+std::vector<ABTestResult>
+Usku::evaluateKeyed(const std::vector<Comparison> &batch,
+                    const std::vector<std::string> &keys,
+                    const std::vector<ChunkPull> *pulls,
+                    const InputSpec &spec)
+{
     const std::uint64_t batchTag = batchSeq_++;
     std::vector<ABTestResult> results(batch.size());
 
@@ -397,17 +479,10 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
         std::uint64_t stream;
     };
     std::vector<Pending> pending;
-    std::vector<std::string> keys(batch.size());
     std::unordered_map<std::string, size_t> seenInBatch;
     std::vector<std::pair<size_t, size_t>> aliases;  // (dup, source)
 
-    const PlatformSpec &platform = env_.platform();
     for (size_t i = 0; i < batch.size(); ++i) {
-        std::string a = batch[i].baseline.canonical(platform).describe();
-        std::string b = batch[i].candidate.canonical(platform).describe();
-        configsThisRun_.insert(a);
-        configsThisRun_.insert(b);
-        keys[i] = a + " vs " + b;
         const std::string &key = keys[i];
         auto hit = memo_.find(key);
         if (hit != memo_.end()) {
@@ -445,7 +520,8 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
 
         // Root path (batch ordinal, batch slot) is derived from the
         // plan alone, so the merged span order is thread-invariant.
-        ScopedSpan span("sweep", "sweep.compare",
+        ScopedSpan span("sweep",
+                        pulls ? "sweep.pull" : "sweep.compare",
                         {kTraceSweep, batchTag,
                          static_cast<std::uint64_t>(pending[p].slot)});
         span.arg("key", keys[pending[p].slot]);
@@ -478,6 +554,46 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
                 span.arg("qos_aborted", true);
                 return;
             }
+        }
+
+        if (pulls) {
+            // Adaptive-search pull: extend the comparison's continued
+            // measurement window.  The window lives on the stream the
+            // *comparison key alone* names — the exact stream the fixed
+            // protocol's first attempt measures — so once an arm parks
+            // at the fixed stop rule its cumulative statistics are
+            // bit-identical to a one-shot fixed run.  No retry-on-crash
+            // here: a dead window is the arm's verdict, and the race
+            // driver withdraws (or keeps the parked snapshot of) the
+            // arm.
+            const ChunkPull &pull = (*pulls)[pending[p].slot];
+            const PlatformSpec &platform = env_.platform();
+            std::string baseKey =
+                task.baseline.canonical(platform).describe() + " vs " +
+                task.candidate.canonical(platform).describe();
+            std::uint64_t stream = streamIdFor(baseKey);
+            RaceWindow *window = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(raceWindowsMu_);
+                auto it = raceWindows_.find(baseKey);
+                if (it == raceWindows_.end()) {
+                    it = raceWindows_
+                             .emplace(baseKey,
+                                      std::make_unique<RaceWindow>(
+                                          env_.clone(stream), spec,
+                                          robust, task.baseline,
+                                          task.candidate,
+                                          phaseOffsetSec(stream)))
+                             .first;
+                }
+                window = it->second.get();
+            }
+            out = window->session.pullTo(pull.target, pull.stopAtVerdict);
+            if (out.crashed || out.applyFailed)
+                out.faults.abandoned = 1;
+            span.arg("sim_sec", out.elapsedSec);
+            span.arg("significant", out.significant);
+            return;
         }
 
         // A private fleet slice per task: shared truth cache, private
@@ -573,6 +689,11 @@ Usku::evaluate(const std::vector<Comparison> &batch, const InputSpec &spec)
         if (seenThisRun_.insert(keys[i]).second) {
             measuredSec_ += result.elapsedSec;
             faults_.merge(result.faults);
+            // Every distinct chunk the adaptive search paid for,
+            // whether it was measured or replayed — a warm rerun pulls
+            // the same chunks and must count the same pulls.
+            if (pulls)
+                metrics_.counter("sweep.arm_pulls").add(1);
             metrics_.counter("ab.samples_accepted")
                 .add(result.samplesAccepted);
             metrics_.counter("ab.samples_rejected")
@@ -827,6 +948,458 @@ Usku::sweepHillClimb(const TestPlan &plan, const KnobConfig &baseline,
         collapsed.sweeps.push_back(std::move(sweep));
     }
     return collapsed;
+}
+
+namespace {
+
+/** Racing parameters derived from the spec: one confidence knob
+ *  governs both the fixed protocol and the racing error budget. */
+BaiOptions
+baiOptionsFor(const InputSpec &spec)
+{
+    BaiOptions options;
+    options.delta = 1.0 - spec.confidence;
+    options.chunkSamples = spec.raceChunkSamples;
+    // Elimination may strike after the very first chunk — the
+    // Bonferroni-corrected interval is valid at any n >= 2, and the
+    // first chunk is where racing earns its keep (a -10% arm should
+    // cost one chunk, not the fixed protocol's min-sample floor).
+    options.minSamplesPerArm = 2;
+    options.maxSamplesPerArm = spec.maxSamplesPerTest;
+    // The composer ignores wins under 0.05% (design_space_map.cc), so
+    // arms provably below that threshold stop being paid for.
+    options.futilityGain = 0.0005;
+    return options;
+}
+
+/** A chunk result the racing engine cannot use as a verdict. */
+bool
+chunkAborted(const ABTestResult &result)
+{
+    return result.qosAborted || result.crashed || result.applyFailed;
+}
+
+} // namespace
+
+DesignSpaceMap
+Usku::sweepRace(const TestPlan &plan, const KnobConfig &baseline,
+                const InputSpec &spec)
+{
+    ScopedSpan span("sweep", "sweep.race");
+    span.arg("knobs", static_cast<std::uint64_t>(plan.knobs.size()));
+    span.arg("chunk", spec.raceChunkSamples);
+
+    DesignSpaceMap map;
+    map.baseline = baseline;
+    map.baselineMips = env_.trueMips(baseline);
+
+    const PlatformSpec &platform = env_.platform();
+    const BaiOptions baiOptions = baiOptionsFor(spec);
+
+    // Group state: each knob races its candidate arms against each
+    // other; the knob's baseline value sits outside the race (it is
+    // the implicit zero-gain reference every arm is measured against).
+    struct Arm
+    {
+        const KnobValue *value = nullptr;
+        KnobConfig candidate;
+        /** Latest cumulative window state (every pull returns the
+         *  whole window so far). */
+        ABTestResult last;
+        /** Snapshot at the moment the fixed protocol would have
+         *  stopped — bit-identical to a fixed-mode measurement of this
+         *  comparison, because the window runs on the same stream with
+         *  the same batch cadence. */
+        ABTestResult fixed;
+        double elapsedSec = 0.0;
+        bool aborted = false;       //!< guardrail/crash withdrawal
+        bool dead = false;          //!< window died after parking
+    };
+    struct Slot
+    {
+        const KnobValue *value = nullptr;
+        bool isBaseline = false;
+        size_t armIndex = 0;
+    };
+    struct Group
+    {
+        KnobId id = KnobId::CoreFrequency;
+        std::vector<Slot> layout;
+        std::vector<Arm> arms;
+        std::unique_ptr<BaiRace> race;
+        bool done = false;
+    };
+
+    std::vector<Group> groups(plan.knobs.size());
+    for (size_t k = 0; k < plan.knobs.size(); ++k) {
+        Group &group = groups[k];
+        group.id = plan.knobs[k].id;
+        for (const KnobValue &value : plan.knobs[k].values) {
+            KnobConfig candidate = baseline;
+            value.applyTo(candidate);
+            if (candidate.canonical(platform) ==
+                baseline.canonical(platform)) {
+                group.layout.push_back(Slot{&value, true, 0});
+                continue;
+            }
+            group.layout.push_back(
+                Slot{&value, false, group.arms.size()});
+            Arm arm;
+            arm.value = &value;
+            arm.candidate = candidate;
+            group.arms.push_back(std::move(arm));
+        }
+        comparisons_ += group.arms.size();
+        if (!group.arms.empty()) {
+            group.race = std::make_unique<BaiRace>(group.arms.size(),
+                                                   baiOptions);
+        } else {
+            group.done = true;
+        }
+    }
+
+    auto budgetLeft = [&](const BaiArm &raced) {
+        return raced.chunksPulled * baiOptions.chunkSamples <
+               baiOptions.maxSamplesPerArm;
+    };
+
+    // Lockstep driver: every round collects one pull per contending
+    // arm across *all* knobs into a single batch, so the pool stays
+    // saturated even when most races have already decided.  Decisions
+    // consume chunk statistics only — never scheduling order — so the
+    // whole race replays identically at any thread count and on a
+    // cache-served rerun.
+    //
+    // An arm *parks* the moment its continued window reaches the fixed
+    // protocol's stop (significant at the spec confidence past the
+    // minimum sample floor): the window runs on the comparison's own
+    // stream with the fixed protocol's batch cadence, so the parked
+    // snapshot is bit-identical to what a fixed-mode run would have
+    // reported — winner agreement with fixed mode is structural, not
+    // statistical.  Parked arms are exempt from elimination (the
+    // composer ranks them); a settled positive verdict also ratchets
+    // the futility floor, which is what retires trailing same-plateau
+    // arms after hundreds of samples instead of tens of thousands.
+    while (true) {
+        std::vector<ChunkPull> batch;
+        struct Ref
+        {
+            size_t group;
+            size_t arm;
+        };
+        std::vector<Ref> refs;
+        for (size_t g = 0; g < groups.size(); ++g) {
+            Group &group = groups[g];
+            if (group.done)
+                continue;
+            std::vector<std::size_t> want;
+            for (size_t i = 0; i < group.arms.size(); ++i) {
+                if (!group.race->arm(i).eliminated &&
+                    !group.race->arm(i).parked &&
+                    budgetLeft(group.race->arm(i)))
+                    want.push_back(i);
+            }
+            // While any arm is still racing, the incumbent keeps
+            // pulling even after parking: elimination compares against
+            // the incumbent's interval, and a parked incumbent's
+            // interval would stop shrinking — stalling every pending
+            // elimination at whatever width it happened to have.  The
+            // outcome still reports the parked snapshot; continuation
+            // samples only sharpen the elimination bound.
+            if (!want.empty()) {
+                std::size_t incumbent = group.race->best();
+                if (incumbent < group.arms.size() &&
+                    group.race->arm(incumbent).parked &&
+                    !group.arms[incumbent].dead &&
+                    budgetLeft(group.race->arm(incumbent)))
+                    want.push_back(incumbent);
+            }
+            if (want.empty()) {
+                group.done = true;
+                continue;
+            }
+            for (std::size_t i : want) {
+                const BaiArm &raced = group.race->arm(i);
+                ChunkPull pull;
+                pull.task = Comparison{baseline, group.arms[i].candidate};
+                pull.ordinal = raced.chunksPulled;
+                pull.target =
+                    (raced.chunksPulled + 1) * baiOptions.chunkSamples;
+                pull.stopAtVerdict = !raced.parked;
+                batch.push_back(std::move(pull));
+                refs.push_back(Ref{g, i});
+            }
+        }
+        if (batch.empty())
+            break;
+
+        std::vector<ABTestResult> results = evaluateChunks(batch, spec);
+
+        // Absorb serially in batch order — the same order every thread
+        // count produces — then run the elimination checks.  Parking
+        // happens here, *before* elimination, so an arm that reached
+        // its fixed verdict this round can no longer be struck.
+        for (size_t t = 0; t < results.size(); ++t) {
+            Group &group = groups[refs[t].group];
+            Arm &arm = group.arms[refs[t].arm];
+            const ABTestResult &result = results[t];
+            arm.elapsedSec += result.elapsedSec;
+            if (chunkAborted(result)) {
+                if (group.race->arm(refs[t].arm).parked) {
+                    // The verdict is already settled; the dead window
+                    // only stops sharpening the elimination bound.
+                    arm.dead = true;
+                } else {
+                    group.race->withdraw(refs[t].arm);
+                    arm.aborted = true;
+                }
+                continue;
+            }
+            group.race->update(refs[t].arm, result.pairedDiffs);
+            arm.last = result;
+            if (!group.race->arm(refs[t].arm).parked &&
+                result.significant &&
+                result.samplesUsed >= spec.minSamplesPerTest) {
+                arm.fixed = result;
+                group.race->park(refs[t].arm);
+                if (result.pairedDiffs.mean() > 0.0)
+                    group.race->raiseFloor(result.pairedDiffs.mean());
+            }
+        }
+        for (Group &group : groups) {
+            if (!group.done)
+                group.race->eliminateRound();
+        }
+    }
+
+    // Synthesize outcomes in plan order (the serial loop keeps the
+    // per-knob histogram's fp accumulation deterministic).
+    std::uint64_t earlyStops = 0;
+    std::uint64_t samplesSaved = 0;
+    for (Group &group : groups) {
+        KnobSweep sweep;
+        sweep.id = group.id;
+        KnobValue baselineValue = KnobValue::fromConfig(group.id, baseline);
+        for (const Slot &slot : group.layout) {
+            if (slot.isBaseline) {
+                KnobOutcome outcome;
+                outcome.value = baselineValue;
+                outcome.meanMips = map.baselineMips;
+                outcome.isBaseline = true;
+                sweep.outcomes.push_back(outcome);
+                continue;
+            }
+            const Arm &arm = group.arms[slot.armIndex];
+            const BaiArm &raced = group.race->arm(slot.armIndex);
+            if (arm.elapsedSec > 0.0) {
+                metrics_
+                    .histogram("sweep.knob_sim_sec." + knobKey(group.id),
+                               MetricScope::Deterministic, 1.0, 1e8)
+                    .add(arm.elapsedSec);
+            }
+            // A parked arm reports its fixed-protocol snapshot — the
+            // bytes a fixed-mode run would have produced for this
+            // comparison.  Everything else (eliminated, capped,
+            // withdrawn) reports its final window state; the composer
+            // skips eliminated arms regardless.
+            const ABTestResult &state = raced.parked ? arm.fixed
+                                                     : arm.last;
+            KnobOutcome outcome;
+            outcome.value = *slot.value;
+            outcome.meanMips = state.samplesB.mean();
+            outcome.gainPercent = state.gainPercent();
+            outcome.gainCiPercent = state.gainCiPercent();
+            outcome.significant = !arm.aborted && state.significant;
+            outcome.samples = state.samplesUsed;
+            outcome.eliminated = raced.eliminated;
+            // Savings count what the race actually paid (the live
+            // window, continuation pulls included) against the fixed
+            // per-test cap the paper's protocol budgets.
+            std::uint64_t paid = raced.gains.count();
+            outcome.samplesSaved = spec.maxSamplesPerTest > paid
+                                       ? spec.maxSamplesPerTest - paid
+                                       : 0;
+            samplesSaved += outcome.samplesSaved;
+            debug("μSKU race: %s = %s → %+0.2f%% (n=%llu%s)",
+                  knobKey(group.id).c_str(), slot.value->label.c_str(),
+                  outcome.gainPercent,
+                  static_cast<unsigned long long>(outcome.samples),
+                  outcome.eliminated ? ", eliminated" : "");
+            sweep.outcomes.push_back(outcome);
+        }
+        if (group.race)
+            earlyStops += group.race->earlyStops();
+        map.sweeps.push_back(std::move(sweep));
+    }
+    metrics_.counter("sweep.early_stops").add(earlyStops);
+    metrics_.counter("sweep.samples_saved").add(samplesSaved);
+    span.arg("early_stops", earlyStops);
+    return map;
+}
+
+DesignSpaceMap
+Usku::sweepHalving(const TestPlan &plan, const KnobConfig &baseline,
+                   const InputSpec &spec)
+{
+    ScopedSpan span("sweep", "sweep.halving");
+    span.arg("knobs", static_cast<std::uint64_t>(plan.knobs.size()));
+    span.arg("chunk", spec.raceChunkSamples);
+
+    // The joint candidate set is the same bounded cross product the
+    // exhaustive sweep walks; halving just pays for it adaptively.
+    constexpr size_t kMaxCombinations = 512;
+    size_t combinations = 1;
+    for (const KnobPlan &knobPlan : plan.knobs) {
+        combinations *= knobPlan.values.size();
+        if (combinations > kMaxCombinations) {
+            fatal("μSKU: halving search would need %zu+ combinations "
+                  "(limit %zu); restrict the knob list",
+                  combinations, kMaxCombinations);
+        }
+    }
+
+    DesignSpaceMap map;
+    map.baseline = baseline;
+    map.baselineMips = env_.trueMips(baseline);
+
+    std::vector<size_t> index(plan.knobs.size(), 0);
+    std::vector<KnobConfig> candidates;
+    bool enumerated = plan.knobs.empty();
+    while (!enumerated) {
+        KnobConfig candidate = baseline;
+        for (size_t k = 0; k < plan.knobs.size(); ++k)
+            plan.knobs[k].values[index[k]].applyTo(candidate);
+        if (!(candidate == baseline))
+            candidates.push_back(candidate);
+
+        size_t k = 0;
+        while (k < index.size()) {
+            if (++index[k] < plan.knobs[k].values.size())
+                break;
+            index[k] = 0;
+            ++k;
+        }
+        enumerated = k == index.size();
+    }
+    comparisons_ += candidates.size();
+
+    const BaiOptions baiOptions = baiOptionsFor(spec);
+    KnobConfig bestConfig = baseline;
+    double bestMean = map.baselineMips;
+    std::uint64_t earlyStops = 0;
+    std::uint64_t samplesSaved = 0;
+
+    if (!candidates.empty()) {
+        BaiHalving halving(candidates.size(), baiOptions);
+        std::vector<ABTestResult> last(candidates.size());
+        std::vector<bool> aborted(candidates.size(), false);
+        const std::uint64_t budgetChunks = std::max<std::uint64_t>(
+            1, baiOptions.maxSamplesPerArm / baiOptions.chunkSamples);
+
+        // Each batch advances every survivor's continued window by one
+        // chunk (a window accepts one pull at a time); a round's
+        // allowance is spent as that many consecutive batches.  Triage
+        // pulls never stop at a verdict — the halving rule, not the
+        // fixed protocol, decides who survives.
+        auto pullSurvivors = [&](const std::vector<std::size_t> &alive,
+                                 bool stopAtVerdict) {
+            std::vector<ChunkPull> batch;
+            std::vector<std::size_t> refs;
+            for (std::size_t i : alive) {
+                if (aborted[i])
+                    continue;
+                const BaiArm &raced = halving.arm(i);
+                if (raced.chunksPulled >= budgetChunks)
+                    continue;
+                ChunkPull pull;
+                pull.task = Comparison{baseline, candidates[i]};
+                pull.ordinal = raced.chunksPulled;
+                pull.target = (raced.chunksPulled + 1) *
+                              baiOptions.chunkSamples;
+                pull.stopAtVerdict = stopAtVerdict;
+                batch.push_back(std::move(pull));
+                refs.push_back(i);
+            }
+            std::vector<ABTestResult> results =
+                evaluateChunks(batch, spec);
+            for (size_t t = 0; t < results.size(); ++t) {
+                std::size_t i = refs[t];
+                if (chunkAborted(results[t])) {
+                    halving.withdraw(i);
+                    aborted[i] = true;
+                    continue;
+                }
+                halving.update(i, results[t].pairedDiffs);
+                last[i] = results[t];
+            }
+        };
+
+        while (!halving.decided()) {
+            std::vector<std::size_t> alive = halving.pending();
+            std::uint64_t allowance = halving.chunksThisRound();
+            for (std::uint64_t c = 0; c < allowance; ++c)
+                pullSurvivors(alive, /*stopAtVerdict=*/false);
+            halving.halveRound();
+        }
+
+        // Resolve the finalist with the fixed protocol's stopping rule
+        // (significance past the floor, or the give-up cap) so the
+        // composition verdict means the same thing in every mode.
+        std::size_t winner = halving.best();
+        while (winner < candidates.size() && !aborted[winner]) {
+            const BaiArm &raced = halving.arm(winner);
+            bool capped = raced.chunksPulled >= budgetChunks;
+            bool settled = last[winner].significant &&
+                           last[winner].samplesUsed >=
+                               spec.minSamplesPerTest;
+            if (settled || capped)
+                break;
+            pullSurvivors({winner}, /*stopAtVerdict=*/true);
+        }
+
+        if (winner < candidates.size() && !aborted[winner]) {
+            const ABTestResult &state = last[winner];
+            if (state.significant && state.pairedDiffs.mean() > 0.0 &&
+                state.samplesB.mean() > bestMean) {
+                bestMean = state.samplesB.mean();
+                bestConfig = candidates[winner];
+            }
+        }
+
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            const BaiArm &raced = halving.arm(i);
+            std::uint64_t used = raced.gains.count();
+            samplesSaved +=
+                spec.maxSamplesPerTest > used
+                    ? spec.maxSamplesPerTest - used
+                    : 0;
+            if (raced.eliminated && raced.chunksPulled < budgetChunks)
+                earlyStops += 1;
+        }
+    }
+
+    metrics_.counter("sweep.early_stops").add(earlyStops);
+    metrics_.counter("sweep.samples_saved").add(samplesSaved);
+    span.arg("early_stops", earlyStops);
+    span.arg("combinations",
+             static_cast<std::uint64_t>(candidates.size()));
+
+    for (const KnobPlan &knobPlan : plan.knobs) {
+        KnobSweep sweep;
+        sweep.id = knobPlan.id;
+        KnobOutcome outcome;
+        outcome.value = KnobValue::fromConfig(knobPlan.id, bestConfig);
+        outcome.meanMips = bestMean;
+        outcome.gainPercent =
+            map.baselineMips > 0.0
+                ? (bestMean / map.baselineMips - 1.0) * 100.0
+                : 0.0;
+        outcome.significant = !(bestConfig == baseline);
+        outcome.isBaseline = bestConfig == baseline;
+        sweep.outcomes.push_back(outcome);
+        map.sweeps.push_back(std::move(sweep));
+    }
+    return map;
 }
 
 } // namespace softsku

@@ -24,6 +24,7 @@
 #define SOFTSKU_CORE_USKU_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -218,6 +219,29 @@ class Usku
     };
 
     /**
+     * One racing pull: advance a comparison's continued measurement
+     * window to @p target accepted pairs (cumulative).  The chunk is
+     * the memo/cache unit — its key is the comparison key plus the
+     * pull @p ordinal, and each cached entry carries the *cumulative*
+     * window state at that pull's end, so a warm run replays the exact
+     * bit pattern the cold run's window held there.  The window itself
+     * (stream, diurnal phase, warm-up) is keyed by the comparison
+     * alone — the same stream the fixed protocol would measure — which
+     * is what makes a parked arm's verdict bit-identical to fixed
+     * mode's.
+     */
+    struct ChunkPull
+    {
+        Comparison task;
+        std::uint64_t ordinal = 0;
+        std::uint64_t target = 0;
+        /** Let the window stop at the fixed protocol's verdict; the
+         *  driver clears this for incumbent-continuation pulls past a
+         *  parked verdict. */
+        bool stopAtVerdict = true;
+    };
+
+    /**
      * Evaluate a batch of comparisons — in parallel when a pool is
      * configured — and return results in batch order.  Duplicate
      * comparisons (within the batch or remembered from earlier
@@ -225,6 +249,18 @@ class Usku
      */
     std::vector<ABTestResult> evaluate(const std::vector<Comparison> &batch,
                                        const InputSpec &spec);
+
+    /** Chunked analogue of evaluate() for the adaptive search modes. */
+    std::vector<ABTestResult> evaluateChunks(
+        const std::vector<ChunkPull> &batch, const InputSpec &spec);
+
+    /** Shared engine behind evaluate()/evaluateChunks(): @p pulls is
+     *  null for full fixed-protocol comparisons, else the originating
+     *  chunk pulls (per-slot cumulative targets + stop rule). */
+    std::vector<ABTestResult> evaluateKeyed(
+        const std::vector<Comparison> &batch,
+        const std::vector<std::string> &keys,
+        const std::vector<ChunkPull> *pulls, const InputSpec &spec);
 
     DesignSpaceMap sweepIndependent(const TestPlan &plan,
                                     const KnobConfig &baseline,
@@ -235,6 +271,16 @@ class Usku
     DesignSpaceMap sweepHillClimb(const TestPlan &plan,
                                   const KnobConfig &baseline,
                                   const InputSpec &spec);
+    /** Racing / successive elimination over each knob's arms
+     *  (spec.search == Race; see core/bai.hh). */
+    DesignSpaceMap sweepRace(const TestPlan &plan,
+                             const KnobConfig &baseline,
+                             const InputSpec &spec);
+    /** Successive halving over joint knob combinations
+     *  (spec.search == Halving). */
+    DesignSpaceMap sweepHalving(const TestPlan &plan,
+                                const KnobConfig &baseline,
+                                const InputSpec &spec);
 
     ProductionEnvironment &env_;
     UskuOptions options_;
@@ -244,6 +290,17 @@ class Usku
     ThreadPool *pool_ = nullptr;
     /** Comparison key → measured result; lives as long as the tool. */
     std::unordered_map<std::string, ABTestResult> memo_;
+    /** Comparison key → live continued measurement window (adaptive
+     *  search).  Created on demand by worker tasks (map access is
+     *  mutex-guarded; each window is only ever advanced by one task at
+     *  a time because the race driver pulls one chunk per arm per
+     *  round).  Cleared at the top of every run(). */
+    std::unordered_map<std::string, std::unique_ptr<struct RaceWindow>>
+        raceWindows_;
+    std::mutex raceWindowsMu_;
+    /** Validation-chunk key → measured chunk; same lifetime and
+     *  context discipline as memo_ (persisted alongside it). */
+    ValidationCache validationMemo_;
     /** Context string the memo contents were measured under; a run
      *  with a different context clears the memo first (a key is only
      *  unique within one context — see ab_cache.hh). */

@@ -1,0 +1,40 @@
+#include "stats/robust.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softsku {
+
+double
+medianInPlace(std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    return values[mid];
+}
+
+MadGate::MadGate(const std::vector<double> &samples, double cutoff)
+{
+    std::vector<double> deviations;
+    deviations.reserve(samples.size());
+    for (double x : samples)
+        if (std::isfinite(x))
+            deviations.push_back(x);
+    median_ = medianInPlace(deviations);
+    for (double &d : deviations)
+        d = std::abs(d - median_);
+    mad_ = medianInPlace(deviations);
+    limit_ = cutoff * std::max(mad_, 1e-6) + 1e-12;
+}
+
+bool
+MadGate::keeps(double x) const
+{
+    // A NaN deviation compares false here, so non-finite samples are
+    // rejected without a separate check.
+    return std::abs(x - median_) <= limit_;
+}
+
+} // namespace softsku

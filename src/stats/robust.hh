@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Robust-statistics primitives shared by the measurement pipeline: the
+ * scratch median and the MAD (median absolute deviation) outlier gate
+ * the A/B tester and the validation phase apply to hostile-fleet
+ * telemetry before anything reaches a t-test.
+ *
+ * Extracted from ab_test.cc / soft_sku.cc so the racing engine's
+ * chunked pulls filter with bit-identical arithmetic, and so the gate's
+ * edge behavior (empty batches, all-identical samples, zero spread) is
+ * testable on its own.
+ */
+
+#ifndef SOFTSKU_STATS_ROBUST_HH
+#define SOFTSKU_STATS_ROBUST_HH
+
+#include <vector>
+
+namespace softsku {
+
+/** Median of a scratch vector (reordered in place); 0 when empty. */
+double medianInPlace(std::vector<double> &values);
+
+/**
+ * A MAD-based outlier gate built from one batch of samples.
+ *
+ * The gate keeps x iff |x - median| <= cutoff * max(mad, 1e-6) + 1e-12:
+ * corrupted spikes and zeros sit tens of MADs out while genuine samples
+ * survive, and the floored scale means a freak zero-spread batch (all
+ * samples identical) cannot reject everything.  Non-finite samples are
+ * excluded from the median/MAD estimate and are never kept.
+ */
+class MadGate
+{
+  public:
+    /**
+     * @param samples the batch to estimate location/scale from
+     * @param cutoff  tolerated deviation in MADs (e.g. 8.0)
+     */
+    MadGate(const std::vector<double> &samples, double cutoff);
+
+    /** True when @p x survives the gate (always false for non-finite). */
+    bool keeps(double x) const;
+
+    /** Batch median the gate centered on. */
+    double median() const { return median_; }
+
+    /** Raw (unfloored) median absolute deviation of the batch. */
+    double mad() const { return mad_; }
+
+    /** Absolute deviation limit: cutoff * max(mad, 1e-6) + 1e-12. */
+    double limit() const { return limit_; }
+
+  private:
+    double median_ = 0.0;
+    double mad_ = 0.0;
+    double limit_ = 0.0;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_STATS_ROBUST_HH

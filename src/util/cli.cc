@@ -104,6 +104,20 @@ ToolOptions::fromArgs(const CliArgs &args, unsigned defaultJobs)
 {
     ToolOptions opts;
     opts.jobs = args.getJobs(defaultJobs);
+    opts.search = args.get("search");
+    // Spelling is validated here so a typo dies at the flag, not deep
+    // in a run; the core layer re-parses the surviving string.
+    if (!opts.search.empty() && opts.search != "fixed" &&
+        opts.search != "race" && opts.search != "halving") {
+        fatal("flag --search expects fixed|race|halving, got '%s'",
+              opts.search.c_str());
+    }
+    opts.confidence = args.getDouble("confidence", 0.0);
+    if (args.has("confidence") &&
+        (opts.confidence <= 0.5 || opts.confidence >= 1.0)) {
+        fatal("flag --confidence expects a value in (0.5, 1), got '%s'",
+              args.get("confidence").c_str());
+    }
     if (args.has("faults"))
         opts.faults = FaultPlan::fromSpec(args.get("faults"));
     opts.faultSeed =

@@ -73,6 +73,8 @@ class CliArgs
  * fleet_rollout, the Fig. 19 bench):
  *
  *   --jobs=N|auto      worker threads (reports are N-invariant)
+ *   --search=MODE      sample allocation: fixed|race|halving
+ *   --confidence=P     significance level / racing error budget
  *   --faults=SPEC      fault plan preset or k=v list
  *   --fault-seed=N     fault-decision RNG seed
  *   --cache-dir=PATH   persistent A/B memo cache directory
@@ -88,6 +90,15 @@ class CliArgs
 struct ToolOptions
 {
     unsigned jobs = 1;
+    /**
+     * Sample-allocation override for the spec ("fixed", "race",
+     * "halving"); empty keeps whatever the input spec asks for.  Held
+     * as a string — the util layer cannot see core's SearchMode —
+     * and overlaid via InputSpec::applySearchOverrides().
+     */
+    std::string search;
+    /** Confidence override for the spec; 0 keeps the spec's value. */
+    double confidence = 0.0;
     FaultPlan faults;
     std::uint64_t faultSeed = 1;
     std::string cacheDir;

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Property tests for the robust-statistics primitives at the racing
+ * engine's edges: the MAD outlier gate on degenerate batches, and the
+ * RunningStat confidence bound on the 0/1/2-sample chunks a racing
+ * pull can legitimately produce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/rng.hh"
+#include "stats/robust.hh"
+#include "stats/running_stat.hh"
+
+namespace softsku {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(MadGate, EmptyBatchKeepsFiniteCenterValues)
+{
+    std::vector<double> batch;
+    MadGate gate(batch, 8.0);
+    // Degenerate estimate: median 0, floored scale.  Only values at
+    // the (zero) center survive; nothing crashes.
+    EXPECT_DOUBLE_EQ(gate.median(), 0.0);
+    EXPECT_DOUBLE_EQ(gate.mad(), 0.0);
+    EXPECT_TRUE(gate.keeps(0.0));
+    EXPECT_FALSE(gate.keeps(1.0));
+}
+
+TEST(MadGate, AllIdenticalSamplesCannotRejectEverything)
+{
+    // Zero spread: the scale floor (max(mad, 1e-6)) keeps the batch's
+    // own value in-gate instead of rejecting the entire chunk.
+    std::vector<double> batch(100, 0.0125);
+    MadGate gate(batch, 8.0);
+    EXPECT_DOUBLE_EQ(gate.mad(), 0.0);
+    for (double x : batch)
+        EXPECT_TRUE(gate.keeps(x));
+    // ...while a corrupted spike still falls.
+    EXPECT_FALSE(gate.keeps(1.0));
+    EXPECT_FALSE(gate.keeps(0.0125 + 1e-3));
+}
+
+TEST(MadGate, NonFiniteSamplesAreNeverKept)
+{
+    std::vector<double> batch = {1.0, 1.1, 0.9, kInf, -kInf, kNan};
+    MadGate gate(batch, 8.0);
+    EXPECT_FALSE(gate.keeps(kInf));
+    EXPECT_FALSE(gate.keeps(-kInf));
+    EXPECT_FALSE(gate.keeps(kNan));
+    // The finite core still passes: the non-finite entries must not
+    // have poisoned the location/scale estimate.
+    EXPECT_TRUE(gate.keeps(1.0));
+    EXPECT_TRUE(gate.keeps(0.9));
+    EXPECT_TRUE(gate.keeps(1.1));
+}
+
+TEST(MadGate, SpikesFallTensOfMadsOut)
+{
+    Rng rng(7);
+    std::vector<double> batch;
+    for (int i = 0; i < 200; ++i)
+        batch.push_back(rng.gaussian(0.01, 0.002));
+    MadGate gate(batch, 8.0);
+    // A zeroed counter (ratio -1) and a doubled reading both sit far
+    // outside the gate while the genuine population survives.
+    EXPECT_FALSE(gate.keeps(-1.0));
+    EXPECT_FALSE(gate.keeps(1.0));
+    std::size_t kept = 0;
+    for (double x : batch)
+        kept += gate.keeps(x) ? 1 : 0;
+    EXPECT_GE(kept, batch.size() * 99 / 100);
+}
+
+TEST(RunningStatRace, ConfidenceBoundInfiniteBelowTwoSamples)
+{
+    RunningStat s;
+    EXPECT_TRUE(std::isinf(s.confidenceHalfWidth(0.95)));
+    s.add(0.01);
+    EXPECT_TRUE(std::isinf(s.confidenceHalfWidth(0.95)));
+    s.add(0.02);
+    EXPECT_TRUE(std::isfinite(s.confidenceHalfWidth(0.95)));
+    EXPECT_GT(s.confidenceHalfWidth(0.95), 0.0);
+}
+
+TEST(RunningStatRace, AllIdenticalSamplesCollapseTheBound)
+{
+    RunningStat s;
+    for (int i = 0; i < 400; ++i)
+        s.add(0.0125);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0125);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.confidenceHalfWidth(0.95), 0.0);
+}
+
+TEST(RunningStatRace, MergingEmptyStatsIsIdentity)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0})
+        s.add(x);
+    RunningStat::State before = s.state();
+
+    RunningStat empty;
+    s.merge(empty);
+    RunningStat::State after = s.state();
+    EXPECT_EQ(after.count, before.count);
+    EXPECT_EQ(after.mean, before.mean);
+    EXPECT_EQ(after.m2, before.m2);
+
+    // Empty absorbing a populated accumulator is bit-exact too — this
+    // is how a fresh race window adopts its first cached chunk.
+    RunningStat adopt;
+    adopt.merge(s);
+    EXPECT_EQ(adopt.state().count, after.count);
+    EXPECT_EQ(adopt.state().mean, after.mean);
+    EXPECT_EQ(adopt.state().m2, after.m2);
+
+    RunningStat both;
+    both.merge(RunningStat{});
+    EXPECT_EQ(both.count(), 0u);
+    EXPECT_TRUE(std::isinf(both.confidenceHalfWidth()));
+}
+
+TEST(RunningStatRace, TinyChunksMatchSequentialBitForBit)
+{
+    // Racing hands the elimination rule cumulative stats rebuilt from
+    // 0-, 1-, and 2-sample chunk tails; the persisted-state round trip
+    // must reproduce sequential addition exactly.
+    Rng rng(21);
+    std::vector<double> samples;
+    for (int i = 0; i < 7; ++i)
+        samples.push_back(rng.gaussian(0.005, 0.017));
+
+    RunningStat sequential;
+    for (double x : samples)
+        sequential.add(x);
+
+    RunningStat chunked;
+    std::size_t cuts[] = {0, 1, 3, 3, 5, 7};  // 0/1/2/0/2-sample chunks
+    for (std::size_t c = 1; c < std::size(cuts); ++c) {
+        RunningStat resumed = RunningStat::fromState(chunked.state());
+        for (std::size_t i = cuts[c - 1]; i < cuts[c]; ++i)
+            resumed.add(samples[i]);
+        chunked = resumed;
+    }
+
+    EXPECT_EQ(chunked.state().count, sequential.state().count);
+    EXPECT_EQ(chunked.state().mean, sequential.state().mean);
+    EXPECT_EQ(chunked.state().m2, sequential.state().m2);
+    EXPECT_EQ(chunked.state().min, sequential.state().min);
+    EXPECT_EQ(chunked.state().max, sequential.state().max);
+}
+
+} // namespace
+} // namespace softsku
