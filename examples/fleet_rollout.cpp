@@ -11,7 +11,8 @@
  *                      [--servers=16] [--seed=1] [--report=path.md]
  *                      [--resume-attempts=N] [--jobs=N|auto]
  *                      [--faults=off|mild|moderate|severe|k=v,..]
- *                      [--fault-seed=N] [--cache-dir=DIR]
+ *                      [--fault-seed=N] [--domains=RACKS[xREGIONS]]
+ *                      [--naive-waves] [--quorum=N] [--cache-dir=DIR]
  *                      [--trace-out=FILE] [--metrics]
  *                      [--log-level=silent|error|warn|info|debug]
  *
@@ -29,6 +30,16 @@
  * --resume-attempts lets the rollout pick itself back up after a
  * wave-health rollback: re-baseline on the surviving servers,
  * re-canary, and retry the waves up to N times before giving up.
+ *
+ * --domains gives the fleet a failure-domain topology (racks, and
+ * optionally regions: "8" or "8x2") and switches the rollout to the
+ * blast-radius-aware posture: waves stratified across racks, a
+ * per-rack quorum of unconverted control servers, domain-triaged
+ * health verdicts (a dead or regressed rack is excluded and the
+ * rollout resumes; only a regression no control group shares is
+ * blamed on the config), and conversion pauses during surge windows.
+ * --naive-waves keeps the id-ordered wave planner for comparison, and
+ * --quorum overrides the per-rack control holdback.
  */
 
 #include <cstdio>
@@ -86,12 +97,22 @@ main(int argc, char **argv)
     if (args.has("report"))
         writeMarkdownReport(report, args.get("report"));
 
-    // Step 3: staged rollout across the fleet slice.
-    FleetSlice fleet(env, serverCount, production);
+    // Step 3: staged rollout across the fleet slice.  With a real
+    // topology the blast-radius-aware posture is the default; the
+    // tuning run's own metrics are persisted into the same ODS store
+    // the rollout health checks read.
+    FleetTopology topology = FleetTopology::fromSpec(tool.domains);
+    FleetSlice fleet(env, serverCount, production, topology);
     OdsStore ods;
+    ods.recordSnapshot(report.metrics, 0.0);
     RolloutPolicy policy;
-    policy.resumeAttempts =
-        static_cast<int>(args.getInt("resume-attempts", 0));
+    if (!topology.trivial() && !args.has("naive-waves"))
+        policy = RolloutPolicy::blastRadiusAware();
+    if (args.has("quorum"))
+        policy.domainQuorum = static_cast<int>(args.getInt("quorum", 1));
+    if (args.has("resume-attempts"))
+        policy.resumeAttempts =
+            static_cast<int>(args.getInt("resume-attempts", 0));
     RolloutResult rollout =
         fleet.rollout(report.softSku, policy, ods);
 
@@ -111,6 +132,19 @@ main(int argc, char **argv)
                     rollout.serverCrashes, rollout.applyFailures,
                     rollout.stuckReboots, rollout.serversExcluded,
                     rollout.wavesRolledBack);
+    if (!topology.trivial())
+        std::printf("blast radius: %d racks x %d regions, %d rack "
+                    "event(s), %d rack(s) excluded, %d surge "
+                    "pause(s), max wave-in-one-rack share %.0f%%, "
+                    "verdict %s\n",
+                    topology.racks, topology.regions,
+                    rollout.rackEvents, rollout.domainsExcluded,
+                    rollout.surgePauses,
+                    rollout.maxWaveDomainShare * 100.0,
+                    rollout.completed
+                        ? "healthy"
+                        : (rollout.configBlamed ? "config blamed"
+                                                : "domain fault"));
 
     auto mips = ods.aggregate("fleet." + service.name + ".mips", 0, 1e18);
     std::printf("fleet telemetry: %llu samples, mean %.0f MIPS, "

@@ -8,8 +8,9 @@
  *              [--sweep=independent|exhaustive|hillclimb] [--seed=1]
  *              [--jobs=N|auto] [--faults=off|mild|moderate|severe|k=v,..]
  *              [--fault-seed=N] [--cache-dir=DIR] [--trace-out=FILE]
- *              [--metrics] [--progress] [--json] [--verify]
- *              [--log-level=silent|error|warn|info|debug]
+ *              [--rollout=SERVERS] [--domains=RACKS[xREGIONS]]
+ *              [--naive-waves] [--metrics] [--progress] [--json]
+ *              [--verify] [--log-level=silent|error|warn|info|debug]
  *
  * Each target's report is byte-identical to tuning that target alone,
  * at any --jobs value; --verify re-runs the fleet sequentially and
@@ -18,6 +19,14 @@
  * --cache-dir persists every measured A/B comparison; a repeat
  * invocation replays them (cache hits == comparisons) and emits the
  * same reports without touching the simulator.
+ *
+ * --rollout deploys every target's winning soft SKU across a
+ * SERVERS-wide fleet slice after tuning, sequentially in target
+ * order.  --domains gives those slices a failure-domain topology and
+ * arms the blast-radius-aware rollout posture (stratified waves,
+ * per-rack control quorum, domain-triaged verdicts); --naive-waves
+ * keeps the id-ordered planner for comparison.  Tool metrics and
+ * fleet telemetry land in one shared ODS store.
  */
 
 #include <cstdio>
@@ -82,12 +91,30 @@ main(int argc, char **argv)
                                         : 0.0);
     }
 
+    // Optional phase 2: deploy every winner across a fleet slice.
+    std::vector<FleetRolloutOutcome> rollouts;
+    bool doRollout = args.has("rollout");
+    if (doRollout) {
+        FleetRolloutPlan plan;
+        plan.servers = static_cast<int>(args.getInt("rollout", 32));
+        plan.topology = FleetTopology::fromSpec(tool.domains);
+        if (!plan.topology.trivial() && !args.has("naive-waves"))
+            plan.policy = RolloutPolicy::blastRadiusAware();
+        OdsStore ods;
+        rollouts =
+            orchestrator.rolloutAll(targets, fleet, plan, ods);
+    }
+
     tool.writeTrace();
 
     if (args.has("json")) {
         Json doc = Json::array();
-        for (const UskuReport &report : fleet.reports)
-            doc.push(report.toJson());
+        for (size_t i = 0; i < fleet.reports.size(); ++i) {
+            Json entry = fleet.reports[i].toJson();
+            if (doRollout)
+                entry.set("rollout", rollouts[i].rollout.toJson());
+            doc.push(std::move(entry));
+        }
         std::printf("%s\n", doc.dump(2).c_str());
         return 0;
     }
@@ -112,5 +139,26 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(fleet.totalComparisons()),
                 static_cast<unsigned long long>(fleet.totalCacheHits()),
                 targets.size(), fleet.wallSec);
+
+    if (doRollout) {
+        TextTable deploys;
+        deploys.header({"target", "rollout", "converted", "fleet gain%",
+                        "resumes", "racks out", "verdict"});
+        for (const FleetRolloutOutcome &outcome : rollouts) {
+            const RolloutResult &r = outcome.rollout;
+            deploys.row(
+                {outcome.target,
+                 r.completed ? "completed"
+                             : (r.aborted ? "aborted" : "incomplete"),
+                 format("%d", r.serversConverted),
+                 format("%+.2f", r.fleetGainPercent),
+                 format("%d", r.resumes),
+                 format("%d", r.domainsExcluded),
+                 r.completed ? "healthy"
+                             : (r.configBlamed ? "config blamed"
+                                               : "domain fault")});
+        }
+        std::printf("%s\n", deploys.render().c_str());
+    }
     return 0;
 }

@@ -80,6 +80,16 @@ FleetTuneResult::totalCacheHits() const
     return total;
 }
 
+Json
+FleetRolloutOutcome::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("target", Json(target));
+    doc.set("tuned_gain_percent", Json(tunedGainPercent));
+    doc.set("rollout", rollout.toJson());
+    return doc;
+}
+
 FleetOrchestrator::FleetOrchestrator(FleetOrchestratorOptions options)
     : options_(std::move(options))
 {
@@ -162,6 +172,52 @@ FleetOrchestrator::tuneAll(const std::vector<TuneTarget> &targets)
                          std::chrono::steady_clock::now() - t0)
                          .count();
     return result;
+}
+
+std::vector<FleetRolloutOutcome>
+FleetOrchestrator::rolloutAll(const std::vector<TuneTarget> &targets,
+                              const FleetTuneResult &tuned,
+                              const FleetRolloutPlan &plan, OdsStore &ods)
+{
+    SOFTSKU_ASSERT(targets.size() == tuned.reports.size());
+    std::vector<FleetRolloutOutcome> outcomes;
+    outcomes.reserve(targets.size());
+    // One simulated clock across all targets: target i+1's rollout
+    // starts where target i's finished, like an operator working
+    // through a deployment queue.
+    double clock = 0.0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const TuneTarget &target = targets[i];
+        const UskuReport &report = tuned.reports[i];
+        const WorkloadProfile &service =
+            serviceByName(target.spec.microservice);
+        const PlatformSpec &platform =
+            platformByName(target.spec.platform);
+        ProductionEnvironment env(service, platform, target.spec.seed,
+                                  target.simOpts);
+        if (options_.faults.any())
+            env.setFaults(options_.faults, options_.faultSeed);
+
+        // The tuning run's deterministic metrics land in the same
+        // store the rollout health checks read: tool-side and
+        // fleet-side telemetry share one ODS path.
+        ods.recordSnapshot(report.metrics, clock,
+                           "tool." + target.name() + ".");
+
+        inform("rolling out %s (%zu/%zu): %d servers, %d racks",
+               target.name().c_str(), i + 1, targets.size(),
+               plan.servers, plan.topology.racks);
+        FleetSlice slice(env, plan.servers, report.production,
+                         plan.topology);
+        FleetRolloutOutcome outcome;
+        outcome.target = target.name();
+        outcome.tunedGainPercent = report.gainOverProductionPercent();
+        outcome.rollout = slice.rollout(report.softSku, plan.policy,
+                                        ods, clock, plan.sampleEverySec);
+        clock = outcome.rollout.finishedAtSec;
+        outcomes.push_back(std::move(outcome));
+    }
+    return outcomes;
 }
 
 } // namespace softsku

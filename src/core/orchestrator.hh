@@ -29,7 +29,9 @@
 
 #include "core/input_spec.hh"
 #include "core/usku.hh"
+#include "sim/fleet.hh"
 #include "sim/service_sim.hh"
+#include "telemetry/ods.hh"
 
 namespace softsku {
 
@@ -106,6 +108,29 @@ struct FleetTuneResult
     std::uint64_t totalCacheHits() const;
 };
 
+/** Post-tuning rollout configuration shared by every target. */
+struct FleetRolloutPlan
+{
+    /** Servers in each target's fleet slice. */
+    int servers = 32;
+    /** Failure-domain hierarchy of each slice. */
+    FleetTopology topology;
+    /** Pacing/health policy applied to every rollout. */
+    RolloutPolicy policy;
+    /** Fleet telemetry cadence during the rollouts. */
+    double sampleEverySec = 300.0;
+};
+
+/** One target's staged-rollout outcome, paired with its tuning gain. */
+struct FleetRolloutOutcome
+{
+    std::string target;             //!< "service:platform"
+    double tunedGainPercent = 0.0;  //!< report's soft-SKU gain
+    RolloutResult rollout;
+
+    Json toJson() const;
+};
+
 /** The multi-target driver. */
 class FleetOrchestrator
 {
@@ -118,6 +143,22 @@ class FleetOrchestrator
      * same cache file when cacheDir is set).
      */
     FleetTuneResult tuneAll(const std::vector<TuneTarget> &targets);
+
+    /**
+     * Deploy every tuned target's winning soft SKU across a fleet
+     * slice with a staged rollout, sequentially in target order.
+     * Before each rollout the target's deterministic tool metrics are
+     * persisted into @p ods (OdsStore::recordSnapshot under
+     * "tool.<target>."), so tool-side and fleet-side telemetry share
+     * the one store the rollout health checks read.  The simulated
+     * clock carries over between targets, and every decision is
+     * deterministic: the outcomes are byte-identical at any --jobs
+     * value used for the tuning phase.
+     */
+    std::vector<FleetRolloutOutcome>
+    rolloutAll(const std::vector<TuneTarget> &targets,
+               const FleetTuneResult &tuned, const FleetRolloutPlan &plan,
+               OdsStore &ods);
 
   private:
     UskuReport tuneOne(const TuneTarget &target, std::size_t index,

@@ -1,5 +1,8 @@
 #include "sim/faults.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -20,6 +23,19 @@ mix64(std::uint64_t x)
 
 /** Salt separating the fault streams from the measurement-noise ones. */
 constexpr std::uint64_t kFaultSalt = 0xFA17FA17FA17FA17ULL;
+
+/** Salts separating the stateless correlated-hazard hashes from each
+ *  other (and from the global surge schedule). */
+constexpr std::uint64_t kRackEventSalt = 0x7ACCE4E47ACCE4E4ULL;
+constexpr std::uint64_t kDomainSurgeSalt = 0xD0AA145C0A915EEDULL;
+constexpr std::uint64_t kCohortSalt = 0xC0804714C0804714ULL;
+
+/** Uniform [0, 1) from a 64-bit hash. */
+double
+hash01(std::uint64_t x)
+{
+    return static_cast<double>(mix64(x) >> 11) * 0x1.0p-53;
+}
 
 FaultPlan
 preset(const std::string &name)
@@ -65,7 +81,8 @@ FaultPlan::any() const
 {
     return crashPerHour > 0.0 || sampleDropRate > 0.0 ||
            sampleCorruptRate > 0.0 || surgeWindowRate > 0.0 ||
-           configApplyFailRate > 0.0 || stuckRebootRate > 0.0;
+           configApplyFailRate > 0.0 || stuckRebootRate > 0.0 ||
+           rackEventPerHour > 0.0 || domainSurgeRate > 0.0;
 }
 
 FaultPlan
@@ -107,10 +124,23 @@ FaultPlan::fromSpec(const std::string &spec)
             plan.stuckRebootExtraSec = *value;
         else if (key == "perf_min")
             plan.replacementPerfMin = *value;
+        else if (key == "rack")
+            plan.rackEventPerHour = *value;
+        else if (key == "rack_downtime")
+            plan.rackEventDowntimeSec = *value;
+        else if (key == "rack_window")
+            plan.rackEventWindowSec = *value;
+        else if (key == "dsurge")
+            plan.domainSurgeRate = *value;
+        else if (key == "dsurge_mag")
+            plan.domainSurgeMagnitude = *value;
+        else if (key == "drift")
+            plan.rackDriftSigma = *value;
         else
             fatal("fault spec: unknown key '%s' (crash, drop, corrupt, "
                   "spike, surge, surge_mag, apply, stuck, stuck_extra, "
-                  "perf_min)", key.c_str());
+                  "perf_min, rack, rack_downtime, rack_window, dsurge, "
+                  "dsurge_mag, drift)", key.c_str());
     }
     return plan;
 }
@@ -133,6 +163,12 @@ FaultPlan::describe() const
         parts.push_back(format("apply=%g", configApplyFailRate));
     if (stuckRebootRate > 0.0)
         parts.push_back(format("stuck=%g", stuckRebootRate));
+    if (rackEventPerHour > 0.0)
+        parts.push_back(format("rack=%g/h", rackEventPerHour));
+    if (domainSurgeRate > 0.0)
+        parts.push_back(format("dsurge=%g", domainSurgeRate));
+    if (rackDriftSigma > 0.0)
+        parts.push_back(format("drift=%g", rackDriftSigma));
     return join(parts, ",");
 }
 
@@ -147,6 +183,14 @@ FaultPlan::toJson() const
     doc.set("surge_magnitude", Json(surgeMagnitude));
     doc.set("config_apply_fail_rate", Json(configApplyFailRate));
     doc.set("stuck_reboot_rate", Json(stuckRebootRate));
+    // Domain hazards appear only when armed, so plans without them
+    // serialize exactly as before.
+    if (rackEventPerHour > 0.0)
+        doc.set("rack_event_per_hour", Json(rackEventPerHour));
+    if (domainSurgeRate > 0.0)
+        doc.set("domain_surge_rate", Json(domainSurgeRate));
+    if (rackDriftSigma > 0.0)
+        doc.set("rack_drift_sigma", Json(rackDriftSigma));
     return doc;
 }
 
@@ -256,6 +300,60 @@ FaultInjector::replacementPerfFactor()
 }
 
 double
+FaultInjector::rackCohortPerf(int rack) const
+{
+    double u = hash01((static_cast<std::uint64_t>(rack) + 1) *
+                          0x2545F4914F6CDD1DULL ^
+                      seed_ ^ kCohortSalt);
+    return plan_.replacementPerfMin +
+           (1.0 - plan_.replacementPerfMin) * u;
+}
+
+double
+FaultInjector::replacementPerfFactorForRack(int rack)
+{
+    if (plan_.rackDriftSigma <= 0.0)
+        return replacementPerfFactor();
+    // Same single uniform draw as the uncorrelated path, but centered
+    // on the rack's cohort — drift clusters by configuration cohort.
+    double center = rackCohortPerf(rack);
+    double lo = std::max(0.05, center - plan_.rackDriftSigma);
+    double hi = std::min(1.0, center + plan_.rackDriftSigma);
+    return rng_.uniform(lo, hi);
+}
+
+bool
+FaultInjector::rackEventInWindow(int rack, double timeSec,
+                                 double dtSec) const
+{
+    if (plan_.rackEventPerHour <= 0.0 || plan_.rackEventWindowSec <= 0.0 ||
+        dtSec <= 0.0)
+        return false;
+    const double w = plan_.rackEventWindowSec;
+    const double pWindow =
+        std::min(1.0, plan_.rackEventPerHour * w / 3600.0);
+    // An event fires at the start of its decision window; scan the
+    // window starts landing in (timeSec - dtSec, timeSec].  With the
+    // telemetry cadence far below the window length this examines at
+    // most one start.
+    auto lo = static_cast<std::int64_t>(std::floor((timeSec - dtSec) / w));
+    auto hi = static_cast<std::int64_t>(std::floor(timeSec / w));
+    for (std::int64_t win = lo; win <= hi; ++win) {
+        double start = static_cast<double>(win) * w;
+        if (start <= timeSec - dtSec || start > timeSec)
+            continue;
+        double u = hash01(static_cast<std::uint64_t>(win) *
+                              0x9E3779B97F4A7C15ULL ^
+                          (static_cast<std::uint64_t>(rack) + 1) *
+                              0xD1B54A32D192ED03ULL ^
+                          seed_ ^ kRackEventSalt);
+        if (u < pWindow)
+            return true;
+    }
+    return false;
+}
+
+double
 FaultInjector::surgeFactor(double timeSec) const
 {
     if (plan_.surgeWindowRate <= 0.0 || plan_.surgeWindowSec <= 0.0)
@@ -273,6 +371,23 @@ FaultInjector::surgeFactor(double timeSec) const
                         ? u / plan_.surgeWindowRate
                         : 0.0;
     return 1.0 + plan_.surgeMagnitude * (0.5 + 0.5 * height);
+}
+
+double
+FaultInjector::domainSurgeFactor(int region, double timeSec) const
+{
+    if (plan_.domainSurgeRate <= 0.0 || plan_.surgeWindowSec <= 0.0)
+        return 1.0;
+    auto window =
+        static_cast<std::uint64_t>(timeSec / plan_.surgeWindowSec);
+    double u = hash01(window * 0xBF58476D1CE4E5B9ULL ^
+                      (static_cast<std::uint64_t>(region) + 1) *
+                          0x94D049BB133111EBULL ^
+                      seed_ ^ kDomainSurgeSalt);
+    if (u >= plan_.domainSurgeRate)
+        return 1.0;
+    double height = u / plan_.domainSurgeRate;
+    return 1.0 + plan_.domainSurgeMagnitude * (0.5 + 0.5 * height);
 }
 
 } // namespace softsku

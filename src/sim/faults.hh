@@ -59,6 +59,27 @@ struct FaultPlan
     /** Perf floor of a replacement server (hardware-config drift). */
     double replacementPerfMin = 0.85;
 
+    // --- Correlated failure-domain hazards (all off by default).
+    // These only fire for fleets built with a non-trivial
+    // FleetTopology; plans without them are bit-for-bit unchanged.
+
+    /** Rack power-event rate, per rack-hour: every server in the rack
+     *  goes offline at once. */
+    double rackEventPerHour = 0.0;
+    /** Downtime one rack event costs every server in the rack. */
+    double rackEventDowntimeSec = 1800.0;
+    /** Decision-window length for rack events (stateless time hash). */
+    double rackEventWindowSec = 3600.0;
+    /** Probability any surge window carries a *region-scoped* surge
+     *  (on top of the fleet-wide surgeWindowRate). */
+    double domainSurgeRate = 0.0;
+    /** Extra load a region surge adds beyond the diurnal envelope. */
+    double domainSurgeMagnitude = 0.35;
+    /** Half-width of the per-rack replacement cohort band: replacement
+     *  hardware drifts by *rack* (same delivery batch / configuration
+     *  cohort), not i.i.d.  0 keeps the legacy uncorrelated draw. */
+    double rackDriftSigma = 0.0;
+
     /** True when any hazard rate is nonzero. */
     bool any() const;
 
@@ -145,11 +166,42 @@ class FaultInjector
     double replacementPerfFactor();
 
     /**
+     * Relative performance of a replacement server landing in @p rack.
+     * With rackDriftSigma > 0 the draw clusters around the rack's
+     * cohort center (rackCohortPerf); otherwise identical to the
+     * uncorrelated replacementPerfFactor().
+     */
+    double replacementPerfFactorForRack(int rack);
+
+    /**
+     * The hardware-perf cohort center of @p rack: replacements in one
+     * rack come from one delivery batch, so their drift clusters.  A
+     * pure function of (plan, seed, rack) in
+     * [replacementPerfMin, 1].
+     */
+    double rackCohortPerf(int rack) const;
+
+    /**
+     * Did a rack power event hit @p rack within the last @p dtSec
+     * seconds before @p timeSec?  A pure function of (plan, seed,
+     * rack, window) — stateless, so every clone, thread, and resumed
+     * rollout attempt sees the identical event schedule.
+     */
+    bool rackEventInWindow(int rack, double timeSec, double dtSec) const;
+
+    /**
      * Load multiplier beyond the diurnal envelope at @p timeSec.
      * A pure function of (plan, seed, time): every clone and every
      * thread sees the same surge schedule.
      */
     double surgeFactor(double timeSec) const;
+
+    /**
+     * Region-scoped surge multiplier at @p timeSec: different regions
+     * surge in different windows.  A pure function of (plan, seed,
+     * region, time); 1.0 when the plan carries no domain surges.
+     */
+    double domainSurgeFactor(int region, double timeSec) const;
 
   private:
     FaultPlan plan_;

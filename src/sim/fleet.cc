@@ -20,6 +20,74 @@ constexpr std::uint64_t kFleetFaultStream = 0xF1EE7FA170000001ULL;
 
 } // namespace
 
+FleetTopology
+FleetTopology::fromSpec(const std::string &spec)
+{
+    FleetTopology topo;
+    std::string text(trim(spec));
+    if (text.empty())
+        return topo;
+    auto x = text.find('x');
+    auto racksValue = parseInt(trim(text.substr(0, x)));
+    if (!racksValue)
+        fatal("topology spec '%s': expected RACKS or RACKSxREGIONS",
+              spec.c_str());
+    topo.racks = static_cast<int>(*racksValue);
+    if (x != std::string::npos) {
+        auto regionsValue = parseInt(trim(text.substr(x + 1)));
+        if (!regionsValue)
+            fatal("topology spec '%s': expected RACKS or RACKSxREGIONS",
+                  spec.c_str());
+        topo.regions = static_cast<int>(*regionsValue);
+    }
+    if (topo.racks < 1 || topo.regions < 1)
+        fatal("topology spec '%s': racks and regions must be >= 1",
+              spec.c_str());
+    if (topo.regions > topo.racks)
+        fatal("topology spec '%s': %d regions cannot hold %d racks",
+              spec.c_str(), topo.regions, topo.racks);
+    return topo;
+}
+
+RolloutPolicy
+RolloutPolicy::blastRadiusAware()
+{
+    RolloutPolicy policy;
+    policy.stratifyWaves = true;
+    policy.domainQuorum = 1;
+    policy.domainVerdicts = true;
+    policy.surgePauseThreshold = 0.08;
+    policy.resumeAttempts = 2;
+    return policy;
+}
+
+Json
+RolloutResult::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("completed", Json(completed));
+    doc.set("aborted", Json(aborted));
+    doc.set("rolled_back", Json(rolledBack));
+    doc.set("finished_at_sec", Json(finishedAtSec));
+    doc.set("servers_converted", Json(serversConverted));
+    doc.set("canary_gain_percent", Json(canaryGainPercent));
+    doc.set("canary_samples",
+            Json(static_cast<long long>(canarySamples)));
+    doc.set("fleet_gain_percent", Json(fleetGainPercent));
+    doc.set("waves_rolled_back", Json(wavesRolledBack));
+    doc.set("servers_excluded", Json(serversExcluded));
+    doc.set("server_crashes", Json(serverCrashes));
+    doc.set("apply_failures", Json(applyFailures));
+    doc.set("stuck_reboots", Json(stuckReboots));
+    doc.set("resumes", Json(resumes));
+    doc.set("rack_events", Json(rackEvents));
+    doc.set("domains_excluded", Json(domainsExcluded));
+    doc.set("surge_pauses", Json(surgePauses));
+    doc.set("max_wave_domain_share", Json(maxWaveDomainShare));
+    doc.set("config_blamed", Json(configBlamed));
+    return doc;
+}
+
 bool
 reconfigurationNeedsReboot(const KnobConfig &from, const KnobConfig &to)
 {
@@ -31,15 +99,23 @@ reconfigurationNeedsReboot(const KnobConfig &from, const KnobConfig &to)
 }
 
 FleetSlice::FleetSlice(ProductionEnvironment &env, int servers,
-                       const KnobConfig &initial)
-    : env_(env), rng_(0xF1EE7)
+                       const KnobConfig &initial,
+                       const FleetTopology &topology)
+    : env_(env), topology_(topology), rng_(0xF1EE7)
 {
     SOFTSKU_ASSERT(servers > 0);
+    SOFTSKU_ASSERT(topology_.racks >= 1 && topology_.regions >= 1 &&
+                   topology_.regions <= topology_.racks);
     servers_.reserve(static_cast<size_t>(servers));
     for (int i = 0; i < servers; ++i) {
         FleetServer server;
         server.id = i;
         server.config = initial;
+        // Contiguous id blocks per rack (placement follows delivery
+        // order), racks likewise per region.
+        server.rack = static_cast<int>(
+            static_cast<long long>(i) * topology_.racks / servers);
+        server.region = server.rack * topology_.regions / topology_.racks;
         servers_.push_back(server);
     }
 }
@@ -93,6 +169,14 @@ FleetSlice::scheduleDegradation(int index, double atSec, double perfFactor)
 }
 
 void
+FleetSlice::scheduleRackOutage(int rack, double atSec, double downtimeSec)
+{
+    SOFTSKU_ASSERT(rack >= 0 && rack < topology_.racks);
+    SOFTSKU_ASSERT(downtimeSec > 0.0);
+    pendingOutages_.push_back(PendingOutage{rack, atSec, downtimeSec});
+}
+
+void
 FleetSlice::sampleTo(OdsStore &ods, double nowSec)
 {
     const std::string &name = env_.profile().name;
@@ -135,11 +219,35 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
     const bool hostile = env_.faults().any();
     FaultInjector injector = env_.injectorForStream(kFleetFaultStream);
 
+    const bool domains = !topology_.trivial();
+    const int racks = topology_.racks;
+    const bool domainSurges =
+        domains && injector.plan().domainSurgeRate > 0.0;
+
     const std::string &name = env_.profile().name;
     const std::string mipsSeries = "fleet." + name + ".mips";
     const std::string onlineSeries = "fleet." + name + ".online";
+    // Health checks read these back out of ODS — the operator's view
+    // and the rollout machinery consume the same telemetry path.
+    const std::string normSeries = "fleet." + name + ".normalized";
+    const std::string canarySeries = "fleet." + name + ".canary_delta";
+    std::vector<std::string> rackNormSeries, rackCtlSeries,
+        rackOnlineSeries;
+    if (domains) {
+        for (int k = 0; k < racks; ++k) {
+            std::string base =
+                "fleet." + name + ".rack" + std::to_string(k);
+            rackNormSeries.push_back(base + ".normalized");
+            rackCtlSeries.push_back(base + ".control_normalized");
+            rackOnlineSeries.push_back(base + ".online");
+        }
+    }
 
     std::vector<char> isCanary(servers_.size(), 0);
+    std::vector<char> isConverted(servers_.size(), 0);
+    // Horizon of the latest rack power event per rack: a server whose
+    // offline window sits inside it is rack-down, not stuck-rebooting.
+    std::vector<double> rackOfflineUntil(static_cast<size_t>(racks), 0.0);
 
     // Land any degradations scheduled to happen by time t.
     auto applyPending = [&](double t) {
@@ -155,16 +263,64 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
         }
     };
 
-    // Per-tick hostile hazards: crash/replacement and stuck-reboot
-    // exclusion.  Benign plans draw nothing here.
+    // A rack power event: every server in the rack goes dark at once.
+    auto landRackOutage = [&](int rack, double untilSec) {
+        for (FleetServer &server : servers_) {
+            if (server.rack != rack || server.excluded)
+                continue;
+            server.offlineUntilSec =
+                std::max(server.offlineUntilSec, untilSec);
+        }
+        rackOfflineUntil[static_cast<size_t>(rack)] = std::max(
+            rackOfflineUntil[static_cast<size_t>(rack)], untilSec);
+        ++result.rackEvents;
+        MetricsRegistry::global().counter("fleet.rack_events").add(1);
+        traceInstant("fault", "fleet.rack_event");
+        warn("fleet: rack %d power event, offline until %.0fs", rack,
+             untilSec);
+    };
+
+    // Per-tick hostile hazards: rack power events, crash/replacement,
+    // and stuck-reboot exclusion.  Benign plans draw nothing here.
     auto processFaults = [&](double t, double dtSec) {
+        // Directed rack outages land regardless of the stochastic
+        // plan, like scheduleDegradation.
+        for (size_t i = 0; i < pendingOutages_.size();) {
+            if (pendingOutages_[i].atSec <= t) {
+                landRackOutage(pendingOutages_[i].rack,
+                               pendingOutages_[i].atSec +
+                                   pendingOutages_[i].downtimeSec);
+                pendingOutages_[i] = pendingOutages_.back();
+                pendingOutages_.pop_back();
+            } else {
+                ++i;
+            }
+        }
         if (!hostile)
             return;
+        if (domains && injector.plan().rackEventPerHour > 0.0) {
+            // Stateless time hash: every clone, thread, and resumed
+            // attempt sees the identical rack-event schedule.
+            for (int k = 0; k < racks; ++k) {
+                if (injector.rackEventInWindow(k, t, dtSec))
+                    landRackOutage(
+                        k, t + injector.plan().rackEventDowntimeSec);
+            }
+        }
         for (FleetServer &server : servers_) {
             if (server.excluded)
                 continue;
             if (t < server.offlineUntilSec) {
-                if (server.offlineUntilSec - t > policy.rebootTimeoutSec) {
+                // A server inside its rack's outage horizon is down
+                // with its domain — that is the *rack's* fault, not a
+                // stuck reboot, so the operator does not pull it.
+                bool rackDown =
+                    domains &&
+                    server.offlineUntilSec <=
+                        rackOfflineUntil[static_cast<size_t>(
+                            server.rack)];
+                if (!rackDown &&
+                    server.offlineUntilSec - t > policy.rebootTimeoutSec) {
                     // The reboot is stuck beyond the operator's
                     // patience: pull the host from rotation.
                     server.excluded = true;
@@ -180,14 +336,16 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
             if (injector.crash(dtSec)) {
                 // Crash + replacement: the new host runs the same
                 // config but not-quite-identical hardware (drift the
-                // truth cache cannot see).
+                // truth cache cannot see).  With rack drift armed the
+                // replacement comes from the rack's delivery cohort.
                 ++result.serverCrashes;
                 MetricsRegistry::global()
                     .counter("fleet.server_crashes").add(1);
                 traceInstant("fault", "fleet.crash");
                 traceCounter("fault", "fleet.crashes_total",
                              static_cast<double>(result.serverCrashes));
-                server.perfFactor = injector.replacementPerfFactor();
+                server.perfFactor =
+                    injector.replacementPerfFactorForRack(server.rack);
                 server.offlineUntilSec = t + policy.rebootDowntimeSec;
             }
         }
@@ -195,25 +353,31 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
 
     // One telemetry tick: a single noise draw per online server feeds
     // the fleet aggregate, the canary/control pairing, and the
-    // load-normalized health metric — the same numbers an operator
-    // reads back out of ODS.
-    struct Tick
-    {
-        double canaryRatio = 0.0;
-        bool paired = false;
-        double normalized = 0.0;
-        bool hasNormalized = false;
-    };
+    // load-normalized health metric.  Everything lands in ODS; the
+    // health checks below read it back from there — the same numbers
+    // an operator sees.
+    std::vector<double> rackTotal, rackCtlTotal;
+    std::vector<int> rackOnline, rackCtlN;
     auto observe = [&](double t) {
         applyPending(t);
         double load = env_.effectiveLoad(t);
         double total = 0.0, canarySum = 0.0, controlSum = 0.0;
         int online = 0, canaryN = 0, controlN = 0;
+        if (domains) {
+            rackTotal.assign(static_cast<size_t>(racks), 0.0);
+            rackCtlTotal.assign(static_cast<size_t>(racks), 0.0);
+            rackOnline.assign(static_cast<size_t>(racks), 0);
+            rackCtlN.assign(static_cast<size_t>(racks), 0);
+        }
         for (size_t i = 0; i < servers_.size(); ++i) {
             FleetServer &server = servers_[i];
             if (!server.online(t))
                 continue;
-            double mips = serverMips(server, load);
+            double serverLoad = load;
+            if (domainSurges)
+                serverLoad *=
+                    injector.domainSurgeFactor(server.region, t);
+            double mips = serverMips(server, serverLoad);
             total += mips;
             ++online;
             if (isCanary[i]) {
@@ -223,41 +387,85 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                 controlSum += mips;
                 ++controlN;
             }
+            if (domains) {
+                auto k = static_cast<size_t>(server.rack);
+                rackTotal[k] += mips;
+                ++rackOnline[k];
+                if (!isConverted[i]) {
+                    rackCtlTotal[k] += mips;
+                    ++rackCtlN[k];
+                }
+            }
         }
         ods.append(mipsSeries, t, total);
         ods.append(onlineSeries, t, static_cast<double>(online));
-        Tick tick;
         // Detrend by the *known* diurnal curve only: an injected
         // surge is invisible to the operator's load model and shows
         // up as upside, never as a phantom regression.
         double diurnal = env_.loadFactor(t);
-        if (online > 0 && diurnal > 0.0) {
-            tick.normalized = total / (online * diurnal);
-            tick.hasNormalized = true;
-        }
+        if (online > 0 && diurnal > 0.0)
+            ods.append(normSeries, t, total / (online * diurnal));
         if (canaryN > 0 && controlN > 0) {
             // Canary mean over control mean at the same instant: the
             // common-mode load (diurnal, surges, code pushes) cancels
             // exactly, leaving the configuration effect plus noise.
-            tick.canaryRatio = (canarySum / canaryN) /
-                               (controlSum / controlN) - 1.0;
-            tick.paired = true;
+            ods.append(canarySeries, t,
+                       (canarySum / canaryN) / (controlSum / controlN) -
+                           1.0);
         }
-        return tick;
+        if (domains) {
+            for (int k = 0; k < racks; ++k) {
+                auto ku = static_cast<size_t>(k);
+                ods.append(rackOnlineSeries[ku], t,
+                           static_cast<double>(rackOnline[ku]));
+                if (rackOnline[ku] > 0 && diurnal > 0.0)
+                    ods.append(rackNormSeries[ku], t,
+                               rackTotal[ku] /
+                                   (rackOnline[ku] * diurnal));
+                if (rackCtlN[ku] > 0 && diurnal > 0.0)
+                    ods.append(rackCtlSeries[ku], t,
+                               rackCtlTotal[ku] /
+                                   (rackCtlN[ku] * diurnal));
+            }
+        }
     };
 
+    // Fold one ODS series over a window into a RunningStat — the only
+    // way rollout decisions consume telemetry.
+    auto windowStat = [&](const std::string &series, double fromSec,
+                          double toSec) {
+        RunningStat stat;
+        for (const OdsPoint &point : ods.query(series, fromSec, toSec))
+            stat.add(point.value);
+        return stat;
+    };
+
+    // Bounds of the most recent sampling window, for domain triage.
+    double lastWinFrom = 0.0, lastWinTo = -1.0;
     auto sampleWindow = [&](double untilSec, double cadence,
                             RunningStat *normalized,
                             RunningStat *canary) {
+        double firstTick = 0.0;
+        bool ticked = false;
         while (now < untilSec) {
             now += cadence;
+            if (!ticked) {
+                firstTick = now;
+                ticked = true;
+            }
             processFaults(now, cadence);
-            Tick tick = observe(now);
-            if (normalized && tick.hasNormalized)
-                normalized->add(tick.normalized);
-            if (canary && tick.paired)
-                canary->add(tick.canaryRatio);
+            observe(now);
         }
+        lastWinFrom = ticked ? firstTick : now + 1.0;
+        lastWinTo = now;
+        if (normalized)
+            for (const OdsPoint &point :
+                 ods.query(normSeries, lastWinFrom, lastWinTo))
+                normalized->add(point.value);
+        if (canary)
+            for (const OdsPoint &point :
+                 ods.query(canarySeries, lastWinFrom, lastWinTo))
+                canary->add(point.value);
     };
 
     // Push a config to one server, fighting apply failures and stuck
@@ -265,6 +473,10 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
     auto convert = [&](int index, const KnobConfig &config) {
         FleetServer &server = servers_[static_cast<size_t>(index)];
         if (server.excluded)
+            return false;
+        // The push cannot reach a host that is down (a rack outage, a
+        // reboot in flight); it stays on the old config.
+        if (domains && !server.online(now))
             return false;
         if (hostile) {
             int attempts = 1 + std::max(0, policy.applyRetries);
@@ -301,11 +513,77 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
         return true;
     };
 
+    // Pull every server of a sick rack from rotation: the blast
+    // radius is the rack, so the remedy is rack-scoped too.
+    auto excludeRack = [&](int rack) {
+        int pulled = 0;
+        for (FleetServer &server : servers_) {
+            if (server.rack != rack || server.excluded)
+                continue;
+            server.excluded = true;
+            ++result.serversExcluded;
+            ++pulled;
+        }
+        ++result.domainsExcluded;
+        MetricsRegistry::global().counter("fleet.domains_excluded")
+            .add(1);
+        MetricsRegistry::global().counter("fleet.servers_excluded")
+            .add(pulled);
+        traceInstant("rollout", "rollout.domain_excluded");
+        warn("fleet: rack %d pulled from rotation (%d servers), "
+             "domain fault", rack, pulled);
+    };
+
+    // Per-rack baseline references for the domain triage, established
+    // by each attempt's baseline soak.
+    std::vector<double> rackBaselineRef(static_cast<size_t>(racks), 0.0);
+
+    // Triage a failed health check by failure domain over the window
+    // that failed: a rack is sick when it is mostly dead or when its
+    // *control* servers — still on the old config — regressed against
+    // the rack's own baseline.  Control groups are small, so the
+    // regression bar is 3x the fleet-level abort threshold.
+    struct DomainVerdict
+    {
+        std::vector<int> sickRacks;
+        int activeRacks = 0;
+    };
+    auto triageDomains = [&](double fromSec, double toSec) {
+        DomainVerdict verdict;
+        for (int k = 0; k < racks; ++k) {
+            auto ku = static_cast<size_t>(k);
+            int alive = 0;
+            for (const FleetServer &server : servers_)
+                if (server.rack == k && !server.excluded)
+                    ++alive;
+            if (alive == 0)
+                continue;
+            ++verdict.activeRacks;
+            RunningStat onlineStat =
+                windowStat(rackOnlineSeries[ku], fromSec, toSec);
+            bool dead = onlineStat.count() >= 1 &&
+                        onlineStat.mean() < 0.5 * alive;
+            bool regressed = false;
+            if (!dead && rackBaselineRef[ku] > 0.0) {
+                RunningStat control =
+                    windowStat(rackCtlSeries[ku], fromSec, toSec);
+                regressed =
+                    control.count() >= 2 &&
+                    control.mean() <
+                        rackBaselineRef[ku] *
+                            (1.0 - 3.0 * policy.abortOnRegression);
+            }
+            if (dead || regressed)
+                verdict.sickRacks.push_back(k);
+        }
+        return verdict;
+    };
+
     // Phases 0–2 run once per attempt: the first pass is the rollout
-    // proper; each further pass is a resume after a wave rollback
-    // (bounded by policy.resumeAttempts).  With resumeAttempts == 0
-    // the loop body executes exactly once and draws exactly the
-    // pre-resume sequence of telemetry and fault decisions.
+    // proper; each further pass is a resume after a rollback (bounded
+    // by policy.resumeAttempts).  With resumeAttempts == 0 the loop
+    // body executes exactly once and draws exactly the pre-resume
+    // sequence of telemetry and fault decisions.
     int resumesLeft = std::max(0, policy.resumeAttempts);
     RunningStat finalWindow;
     RunningStat baseline;
@@ -327,22 +605,47 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
         span.arg("samples", baseline.count());
     }
     baselineRef = baseline.mean();
+    if (domains)
+        for (int k = 0; k < racks; ++k)
+            rackBaselineRef[static_cast<size_t>(k)] =
+                windowStat(rackNormSeries[static_cast<size_t>(k)],
+                           lastWinFrom, lastWinTo)
+                    .mean();
 
     // Phase 1: canary — on a resume, re-canaried on whichever of the
-    // canary servers survived (excluded hosts stay out).
+    // canary servers survived (excluded hosts stay out).  With a real
+    // topology the canaries are the first *live* servers, so a rollout
+    // resumed past an excluded rack still gets a judgeable canary.
     int canaries = std::min<int>(policy.canaryServers, fleetSize);
+    std::vector<int> canaryIdx;
+    if (domains) {
+        for (int i = 0;
+             i < fleetSize &&
+             static_cast<int>(canaryIdx.size()) < canaries;
+             ++i)
+            if (!servers_[static_cast<size_t>(i)].excluded)
+                canaryIdx.push_back(i);
+    } else {
+        for (int i = 0; i < canaries; ++i)
+            canaryIdx.push_back(i);
+    }
     RunningStat canaryStat;
+    int canariesConverted = 0;
     {
         ScopedSpan span("rollout", "rollout.canary");
         span.arg("servers", static_cast<std::uint64_t>(canaries));
-        for (int i = 0; i < canaries; ++i) {
-            if (convert(i, target))
+        for (int i : canaryIdx) {
+            if (convert(i, target)) {
                 isCanary[static_cast<size_t>(i)] = 1;
+                isConverted[static_cast<size_t>(i)] = 1;
+                ++canariesConverted;
+            }
         }
         sampleWindow(now + policy.canarySoakSec, policy.canarySampleSec,
                      nullptr, &canaryStat);
         span.arg("samples", canaryStat.count());
     }
+    const double canaryWinFrom = lastWinFrom, canaryWinTo = lastWinTo;
 
     // Judge the canary purely on the paired ODS telemetry it produced:
     // per-tick canary-mean/control-mean ratios, t-tested.  The truth
@@ -364,19 +667,22 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
     }
     if (!judged || regressed) {
         // Roll the canaries back.
-        ScopedSpan span("rollout", "rollout.rollback");
-        span.arg("scope", "canary");
-        MetricsRegistry::global().counter("fleet.rollbacks").add(1);
-        for (int i = 0; i < canaries; ++i) {
-            if (isCanary[static_cast<size_t>(i)]) {
-                reconfigure(i, before, now, policy.rebootDowntimeSec);
-                isCanary[static_cast<size_t>(i)] = 0;
+        {
+            ScopedSpan span("rollout", "rollout.rollback");
+            span.arg("scope", "canary");
+            MetricsRegistry::global().counter("fleet.rollbacks").add(1);
+            for (size_t i = 0; i < servers_.size(); ++i) {
+                if (isCanary[i]) {
+                    reconfigure(static_cast<int>(i), before, now,
+                                policy.rebootDowntimeSec);
+                    isCanary[i] = 0;
+                    isConverted[i] = 0;
+                }
             }
+            sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
+                         nullptr, nullptr);
         }
-        sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
-                     nullptr, nullptr);
         result.aborted = true;
-        result.finishedAtSec = now;
         if (!judged)
             warn("fleet rollout aborted: canary produced %llu paired "
                  "telemetry ticks, cannot judge",
@@ -384,9 +690,54 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
         else
             warn("fleet rollout aborted: canary regressed %.2f%%",
                  -result.canaryGainPercent);
+        // Before blaming the configuration, ask whether a failure
+        // domain explains the canary's window: a sick rack (the
+        // canary's own, usually) is the domain's fault, and the
+        // resume budget covers it.  A regression no control group
+        // shares is the config's fault — roll back for good.
+        bool doResume = false;
+        if (policy.domainVerdicts && domains) {
+            DomainVerdict verdict =
+                triageDomains(canaryWinFrom, canaryWinTo);
+            bool domainFault = !judged || !verdict.sickRacks.empty();
+            if (!verdict.sickRacks.empty() &&
+                static_cast<int>(verdict.sickRacks.size()) <
+                    verdict.activeRacks) {
+                for (int k : verdict.sickRacks)
+                    excludeRack(k);
+            } else if (static_cast<int>(verdict.sickRacks.size()) ==
+                           verdict.activeRacks &&
+                       verdict.activeRacks > 0 &&
+                       !verdict.sickRacks.empty()) {
+                inform("fleet rollout: all %d racks regressed — "
+                       "environment shift, not excluding",
+                       verdict.activeRacks);
+            }
+            result.configBlamed = judged && regressed && !domainFault;
+            doResume = domainFault && resumesLeft > 0;
+        } else {
+            result.configBlamed = judged && regressed;
+        }
+        if (doResume) {
+            --resumesLeft;
+            ++result.resumes;
+            result.aborted = false;
+            result.configBlamed = false;
+            MetricsRegistry::global().counter("fleet.resumes").add(1);
+            ScopedSpan span("rollout", "rollout.resume");
+            span.arg("attempt",
+                     static_cast<std::uint64_t>(result.resumes));
+            inform("fleet rollout resuming (attempt %d of %d): "
+                   "domain fault during canary, re-baselining on %d "
+                   "surviving servers",
+                   result.resumes, policy.resumeAttempts,
+                   fleetSize - result.serversExcluded);
+            continue;  // next attempt: re-soak, re-canary
+        }
+        result.finishedAtSec = now;
         return result;
     }
-    result.serversConverted = canaries;
+    result.serversConverted = domains ? canariesConverted : canaries;
     // The canaries rejoin the control pool; wave health is judged on
     // the whole-fleet normalized metric from here on.
     std::fill(isCanary.begin(), isCanary.end(), 0);
@@ -395,28 +746,143 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
     // check of the load-normalized fleet telemetry against the
     // baseline soak.  A failed check rolls back *every* converted
     // server, canaries included.
+    //
+    // Wave order is the planner: naive converts in id order — which,
+    // with contiguous rack placement, concentrates every wave inside
+    // one blast radius — while the stratified planner round-robins
+    // across racks and holds back a per-rack quorum of unconverted
+    // control servers until the very end.
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(fleetSize));
+    if (domains && policy.stratifyWaves) {
+        std::vector<std::vector<int>> byRack(
+            static_cast<size_t>(racks));
+        for (int i = 0; i < fleetSize; ++i)
+            if (!isConverted[static_cast<size_t>(i)])
+                byRack[static_cast<size_t>(
+                           servers_[static_cast<size_t>(i)].rack)]
+                    .push_back(i);
+        auto quorum = static_cast<size_t>(
+            std::max(0, policy.domainQuorum));
+        std::vector<std::vector<int>> head(static_cast<size_t>(racks)),
+            tail(static_cast<size_t>(racks));
+        for (size_t k = 0; k < byRack.size(); ++k) {
+            size_t hold = std::min(byRack[k].size(), quorum);
+            head[k].assign(byRack[k].begin(),
+                           byRack[k].end() -
+                               static_cast<std::ptrdiff_t>(hold));
+            tail[k].assign(byRack[k].end() -
+                               static_cast<std::ptrdiff_t>(hold),
+                           byRack[k].end());
+        }
+        auto roundRobin = [&](std::vector<std::vector<int>> &lists) {
+            for (size_t pos = 0;; ++pos) {
+                bool any = false;
+                for (auto &list : lists) {
+                    if (pos < list.size()) {
+                        order.push_back(list[pos]);
+                        any = true;
+                    }
+                }
+                if (!any)
+                    break;
+            }
+        };
+        roundRobin(head);
+        roundRobin(tail);
+    } else if (domains) {
+        for (int i = 0; i < fleetSize; ++i)
+            if (!isConverted[static_cast<size_t>(i)])
+                order.push_back(i);
+    } else {
+        for (int i = canaries; i < fleetSize; ++i)
+            order.push_back(i);
+    }
+
     int waveSize = std::max<int>(
         1, static_cast<int>(std::lround(policy.waveFraction *
                                         static_cast<double>(fleetSize))));
-    int next = canaries;
+    size_t nextPos = 0;
     int wavesConverted = 0;
-    while (next < fleetSize) {
-        int end = std::min<int>(next + waveSize, fleetSize);
+    double lastWindowMean = baselineRef;
+    bool waveAborted = false;
+    while (nextPos < order.size()) {
+        // Hold conversions while the fleet telemetry runs hot: a
+        // surge window is the worst moment to shrink the control
+        // pool, and the paused wave converts once the window passes.
+        if (policy.surgePauseThreshold > 0.0 && baselineRef > 0.0) {
+            int pauses = 0;
+            while (lastWindowMean >
+                       baselineRef *
+                           (1.0 + policy.surgePauseThreshold) &&
+                   pauses < policy.maxSurgePauses) {
+                ++pauses;
+                ++result.surgePauses;
+                MetricsRegistry::global()
+                    .counter("fleet.surge_pauses").add(1);
+                traceInstant("rollout", "rollout.surge_pause");
+                inform("fleet rollout: telemetry %.1f%% above "
+                       "baseline, pausing conversions",
+                       (lastWindowMean / baselineRef - 1.0) * 100.0);
+                RunningStat pauseStat;
+                sampleWindow(now + policy.waveIntervalSec,
+                             sampleEverySec, &pauseStat, nullptr);
+                if (pauseStat.count() >= 1)
+                    lastWindowMean = pauseStat.mean();
+                else
+                    break;
+            }
+        }
+        size_t endPos = std::min(nextPos + static_cast<size_t>(waveSize),
+                                 order.size());
         RunningStat waveStat;
         {
             ScopedSpan span("rollout", "rollout.wave");
             span.arg("wave",
                      static_cast<std::uint64_t>(wavesConverted + 1));
-            span.arg("servers", static_cast<std::uint64_t>(end - next));
-            for (int i = next; i < end; ++i) {
-                if (convert(i, target))
+            span.arg("servers",
+                     static_cast<std::uint64_t>(endPos - nextPos));
+            int waveConverted = 0;
+            std::vector<int> waveRackCount(static_cast<size_t>(racks),
+                                           0);
+            // The per-domain conversion cap: a stratified wave never
+            // converts more than half its batch inside one rack, even
+            // when exclusions leave the surviving racks uneven.  The
+            // surplus is deferred to the back of the plan and retried
+            // in later waves with a fresh cap.
+            const int rackCap = (domains && policy.stratifyWaves)
+                                    ? std::max(1, waveSize / 2)
+                                    : waveSize;
+            for (size_t p = nextPos; p < endPos; ++p) {
+                int i = order[p];
+                auto rack = static_cast<size_t>(
+                    servers_[static_cast<size_t>(i)].rack);
+                if (waveRackCount[rack] >= rackCap) {
+                    order.push_back(i);
+                    continue;
+                }
+                if (convert(i, target)) {
                     ++result.serversConverted;
+                    isConverted[static_cast<size_t>(i)] = 1;
+                    ++waveConverted;
+                    ++waveRackCount[rack];
+                }
             }
-            next = end;
+            if (domains && waveConverted > 0) {
+                int top = *std::max_element(waveRackCount.begin(),
+                                            waveRackCount.end());
+                result.maxWaveDomainShare = std::max(
+                    result.maxWaveDomainShare,
+                    static_cast<double>(top) / waveSize);
+            }
+            nextPos = endPos;
             ++wavesConverted;
             sampleWindow(now + policy.waveIntervalSec, sampleEverySec,
                          &waveStat, nullptr);
         }
+        const double waveWinFrom = lastWinFrom, waveWinTo = lastWinTo;
+        if (waveStat.count() >= 1)
+            lastWindowMean = waveStat.mean();
         bool unhealthy;
         {
             ScopedSpan span("rollout", "rollout.health_check");
@@ -437,10 +903,11 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                 MetricsRegistry::global().counter("fleet.rollbacks")
                     .add(1);
                 traceInstant("rollout", "rollout.rollback_event");
-                for (int i = 0; i < next; ++i) {
-                    if (!servers_[static_cast<size_t>(i)].excluded)
-                        reconfigure(i, before, now,
+                for (size_t i = 0; i < servers_.size(); ++i) {
+                    if (isConverted[i] && !servers_[i].excluded)
+                        reconfigure(static_cast<int>(i), before, now,
                                     policy.rebootDowntimeSec);
+                    isConverted[i] = 0;
                 }
                 result.wavesRolledBack += wavesConverted;
                 result.rolledBack = true;
@@ -454,7 +921,39 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                  "%.1f%% below baseline",
                  wavesConverted,
                  (1.0 - waveStat.mean() / baselineRef) * 100.0);
-            if (resumesLeft > 0) {
+            // Verdict: who gets the blame?  Without domain triage
+            // the operator blames the config (and the resume budget
+            // covers any rollback).  With triage, a failure no rack's
+            // control group shares is the config's fault and never
+            // resumes; a sick rack is excluded and the rollout
+            // resumes; every rack sick means the environment moved —
+            // re-baseline without excluding anything.
+            bool doResume = false;
+            if (policy.domainVerdicts && domains) {
+                DomainVerdict verdict =
+                    triageDomains(waveWinFrom, waveWinTo);
+                if (verdict.sickRacks.empty()) {
+                    result.configBlamed = true;
+                    warn("fleet rollout: regression not visible in "
+                         "any rack control group — config blamed, "
+                         "not resuming");
+                } else if (static_cast<int>(
+                               verdict.sickRacks.size()) >=
+                           verdict.activeRacks) {
+                    inform("fleet rollout: all %d racks regressed — "
+                           "environment shift, re-baselining",
+                           verdict.activeRacks);
+                    doResume = resumesLeft > 0;
+                } else {
+                    for (int k : verdict.sickRacks)
+                        excludeRack(k);
+                    doResume = resumesLeft > 0;
+                }
+            } else {
+                doResume = resumesLeft > 0;
+                result.configBlamed = !doResume;
+            }
+            if (doResume) {
                 --resumesLeft;
                 ++result.resumes;
                 result.aborted = false;
@@ -472,10 +971,14 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
                        fleetSize - result.serversExcluded);
                 break;  // out of the wave loop, into the next attempt
             }
-            result.finishedAtSec = now;
-            return result;
+            waveAborted = true;
+            break;
         }
         finalWindow = waveStat;
+    }
+    if (waveAborted) {
+        result.finishedAtSec = now;
+        return result;
     }
     if (resuming)
         continue;  // restart from the baseline soak

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace softsku {
@@ -11,10 +12,37 @@ OdsStore::append(const std::string &series, double timeSec, double value)
 {
     auto &points = series_[series];
     if (!points.empty() && timeSec < points.back().timeSec) {
-        fatal("ODS series '%s': non-monotonic append (%.3f after %.3f)",
-              series.c_str(), timeSec, points.back().timeSec);
+        warn("ODS series '%s': out-of-order append (%.3f after %.3f), "
+             "clamping", series.c_str(), timeSec, points.back().timeSec);
+        MetricsRegistry::global()
+            .counter("ods.clamped_appends", MetricScope::Operational)
+            .add(1);
+        timeSec = points.back().timeSec;
     }
     points.push_back({timeSec, value});
+}
+
+void
+OdsStore::recordSnapshot(const MetricsSnapshot &snapshot, double timeSec,
+                         const std::string &prefix)
+{
+    for (const MetricRow &row : snapshot.rows) {
+        const std::string name = prefix + row.name;
+        switch (row.kind) {
+        case MetricRow::Kind::Counter:
+        case MetricRow::Kind::Gauge:
+            append(name, timeSec, row.value);
+            break;
+        case MetricRow::Kind::Histogram:
+            append(name + ".count", timeSec,
+                   static_cast<double>(row.count));
+            append(name + ".mean", timeSec, row.mean);
+            append(name + ".p50", timeSec, row.p50);
+            append(name + ".p95", timeSec, row.p95);
+            append(name + ".p99", timeSec, row.p99);
+            break;
+        }
+    }
 }
 
 bool

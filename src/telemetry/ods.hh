@@ -19,6 +19,8 @@
 
 namespace softsku {
 
+struct MetricsSnapshot;
+
 /** One sample in a series. */
 struct OdsPoint
 {
@@ -44,8 +46,24 @@ struct OdsAggregate
 class OdsStore
 {
   public:
-    /** Append one sample; time must be non-decreasing per series. */
+    /**
+     * Append one sample.  Time must be non-decreasing per series; an
+     * out-of-order append is clamped to the series' newest timestamp
+     * (with a logged warning and an `ods.clamped_appends` operational
+     * metric) rather than corrupting the windowed aggregates — a fleet
+     * store must survive one producer's clock going backwards.
+     */
     void append(const std::string &series, double timeSec, double value);
+
+    /**
+     * Persist one flight-recorder metrics snapshot: every counter and
+     * gauge lands as `<prefix><name>` at @p timeSec; histograms land
+     * as `<prefix><name>.count/.mean/.p50/.p95/.p99`.  This is how
+     * tool-side telemetry (e.g. a μSKU report's deterministic metrics)
+     * enters the same store the rollout health checks read.
+     */
+    void recordSnapshot(const MetricsSnapshot &snapshot, double timeSec,
+                        const std::string &prefix = "tool.");
 
     /** True when the series exists and has samples. */
     bool has(const std::string &series) const;

@@ -122,6 +122,7 @@ ToolOptions::fromArgs(const CliArgs &args, unsigned defaultJobs)
         opts.faults = FaultPlan::fromSpec(args.get("faults"));
     opts.faultSeed =
         static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
+    opts.domains = args.get("domains");
     opts.cacheDir = args.get("cache-dir");
     opts.traceOut = args.get("trace-out");
     opts.metrics = args.has("metrics");

@@ -77,6 +77,8 @@ class CliArgs
  *   --confidence=P     significance level / racing error budget
  *   --faults=SPEC      fault plan preset or k=v list
  *   --fault-seed=N     fault-decision RNG seed
+ *   --domains=SPEC     fleet failure-domain topology: RACKS or
+ *                      RACKSxREGIONS (e.g. "8" or "8x2")
  *   --cache-dir=PATH   persistent A/B memo cache directory
  *   --trace-out=PATH   Chrome trace_event export
  *   --metrics          print the flight-recorder table on exit
@@ -101,6 +103,13 @@ struct ToolOptions
     double confidence = 0.0;
     FaultPlan faults;
     std::uint64_t faultSeed = 1;
+    /**
+     * Failure-domain topology spec for fleet tools ("8", "8x2"); empty
+     * keeps the trivial single-rack fleet.  Held as a string — the
+     * util layer cannot see sim's FleetTopology — and parsed by
+     * FleetTopology::fromSpec() at the point of use.
+     */
+    std::string domains;
     std::string cacheDir;
     std::string traceOut;
     bool metrics = false;

@@ -1,0 +1,388 @@
+/**
+ * @file Tests for correlated failure domains and the blast-radius-aware
+ * rollout planner: topology assignment, rack-scoped hazards, stratified
+ * waves, domain-triaged health verdicts, and resume-after-exclusion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "services/services.hh"
+#include "sim/faults.hh"
+#include "sim/fleet.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    return opts;
+}
+
+TEST(FleetDomain, TopologySpecParsesAndAssignsContiguousRacks)
+{
+    EXPECT_TRUE(FleetTopology::fromSpec("").trivial());
+    FleetTopology racksOnly = FleetTopology::fromSpec("8");
+    EXPECT_EQ(racksOnly.racks, 8);
+    EXPECT_EQ(racksOnly.regions, 1);
+    FleetTopology full = FleetTopology::fromSpec("8x2");
+    EXPECT_EQ(full.racks, 8);
+    EXPECT_EQ(full.regions, 2);
+    EXPECT_FALSE(full.trivial());
+
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    FleetSlice fleet(env, 32, production, full);
+    // Contiguous blocks of 4 per rack, racks 0-3 in region 0.
+    EXPECT_EQ(fleet.servers()[0].rack, 0);
+    EXPECT_EQ(fleet.servers()[3].rack, 0);
+    EXPECT_EQ(fleet.servers()[4].rack, 1);
+    EXPECT_EQ(fleet.servers()[31].rack, 7);
+    EXPECT_EQ(fleet.servers()[0].region, 0);
+    EXPECT_EQ(fleet.servers()[15].region, 0);
+    EXPECT_EQ(fleet.servers()[16].region, 1);
+    EXPECT_EQ(fleet.servers()[31].region, 1);
+}
+
+TEST(FleetDomain, RackCohortPerfIsPureAndBounded)
+{
+    FaultPlan plan = FaultPlan::fromSpec("crash=0.01,drift=0.05");
+    EXPECT_DOUBLE_EQ(plan.rackDriftSigma, 0.05);
+    FaultInjector a(plan, 42);
+    FaultInjector b(plan, 42);
+    bool cohortsDiffer = false;
+    for (int rack = 0; rack < 8; ++rack) {
+        double center = a.rackCohortPerf(rack);
+        // Pure function of (plan, seed, rack): a second injector and a
+        // substream copy agree exactly.
+        EXPECT_DOUBLE_EQ(center, b.rackCohortPerf(rack));
+        EXPECT_DOUBLE_EQ(center,
+                         a.forStream(99).rackCohortPerf(rack));
+        EXPECT_GE(center, plan.replacementPerfMin);
+        EXPECT_LE(center, 1.0);
+        if (std::abs(center - a.rackCohortPerf(0)) > 1e-9)
+            cohortsDiffer = true;
+        // Replacement draws cluster inside the rack's cohort band.
+        for (int i = 0; i < 16; ++i) {
+            double draw = a.replacementPerfFactorForRack(rack);
+            EXPECT_GE(draw, center - plan.rackDriftSigma - 1e-12);
+            EXPECT_LE(draw, center + plan.rackDriftSigma + 1e-12);
+        }
+    }
+    EXPECT_TRUE(cohortsDiffer);
+
+    // Without drift the rack draw degenerates to the uncorrelated one.
+    FaultPlan flat = FaultPlan::fromSpec("crash=0.01");
+    FaultInjector c(flat, 42), d(flat, 42);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(c.replacementPerfFactorForRack(3),
+                         d.replacementPerfFactor());
+}
+
+TEST(FleetDomain, RackEventScheduleIsStatelessAndSubstreamInvariant)
+{
+    FaultPlan plan = FaultPlan::fromSpec("rack=0.2");
+    EXPECT_TRUE(plan.any());
+    FaultInjector a(plan, 7);
+    // Exhaust some stateful decision stream first: the rack-event
+    // schedule must not care how many draws happened before.
+    for (int i = 0; i < 1000; ++i)
+        (void)a.crash(60.0);
+    FaultInjector fresh(plan, 7);
+    int events = 0;
+    for (int rack = 0; rack < 4; ++rack) {
+        for (int hour = 0; hour < 200; ++hour) {
+            double t = (hour + 1) * 3600.0;
+            bool hit = a.rackEventInWindow(rack, t, 3600.0);
+            EXPECT_EQ(hit, fresh.rackEventInWindow(rack, t, 3600.0));
+            EXPECT_EQ(hit,
+                      fresh.forStream(5).rackEventInWindow(rack, t,
+                                                           3600.0));
+            events += hit;
+        }
+    }
+    // ~0.2/h for 800 rack-hours: some events, nowhere near all.
+    EXPECT_GT(events, 20);
+    EXPECT_LT(events, 600);
+}
+
+TEST(FleetDomain, DomainSurgeIsRegionScopedAndPure)
+{
+    FaultPlan plan = FaultPlan::fromSpec("dsurge=0.5,dsurge_mag=0.4");
+    FaultInjector a(plan, 11);
+    FaultInjector b(plan, 11);
+    int surged = 0, differs = 0;
+    for (int window = 0; window < 200; ++window) {
+        double t = window * plan.surgeWindowSec + 1.0;
+        double r0 = a.domainSurgeFactor(0, t);
+        double r1 = a.domainSurgeFactor(1, t);
+        EXPECT_DOUBLE_EQ(r0, b.domainSurgeFactor(0, t));
+        EXPECT_GE(r0, 1.0);
+        EXPECT_LE(r0, 1.0 + plan.domainSurgeMagnitude + 1e-12);
+        surged += r0 > 1.0;
+        differs += (r0 > 1.0) != (r1 > 1.0);
+    }
+    EXPECT_GT(surged, 50);    // rate 0.5: roughly half the windows
+    EXPECT_LT(surged, 150);
+    EXPECT_GT(differs, 20);   // regions surge on their own schedules
+
+    // An unarmed plan is exactly neutral.
+    FaultInjector off(FaultPlan{}, 11);
+    EXPECT_DOUBLE_EQ(off.domainSurgeFactor(0, 12345.0), 1.0);
+}
+
+TEST(FleetDomain, OnlineBoundaryIsInclusiveAtOfflineUntil)
+{
+    // The pinned convention: a server whose offlineUntilSec lands
+    // exactly on a telemetry tick counts as online for that tick —
+    // for every consumer, since baseline, canary, and wave sampling
+    // all go through FleetServer::online.
+    FleetServer server;
+    server.offlineUntilSec = 100.0;
+    EXPECT_FALSE(server.online(99.999));
+    EXPECT_TRUE(server.online(100.0));
+    EXPECT_TRUE(server.online(100.001));
+
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    FleetSlice fleet(env, 4, production);
+    KnobConfig reboot = production;
+    reboot.shpCount = 300;
+    fleet.reconfigure(0, reboot, 100.0, 300.0);
+    EXPECT_EQ(fleet.onlineServers(399.999), 3);
+    EXPECT_EQ(fleet.onlineServers(400.0), 4);  // exact tick: online
+}
+
+TEST(FleetDomain, ScheduledRackOutageTakesWholeRackOffline)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+
+    FleetSlice fleet(env, 8, production, FleetTopology::fromSpec("2"));
+    fleet.scheduleRackOutage(0, 2000.0, 900.0);
+    OdsStore ods;
+    RolloutPolicy policy;
+    policy.canarySoakSec = 1800.0;
+    policy.waveIntervalSec = 600.0;
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_EQ(result.rackEvents, 1);
+    EXPECT_TRUE(result.completed);
+    // Rack 0 went fully dark for the outage window; rack 1 never did.
+    auto rack0 = ods.aggregate("fleet.web.rack0.online", 0, 1e9);
+    auto rack1 = ods.aggregate("fleet.web.rack1.online", 0, 1e9);
+    EXPECT_DOUBLE_EQ(rack0.min, 0.0);
+    EXPECT_DOUBLE_EQ(rack1.min, 4.0);
+    EXPECT_DOUBLE_EQ(rack0.max, 4.0);
+}
+
+TEST(RolloutStratify, WavesSpreadAcrossRacksNaivePlannerDoesNot)
+{
+    auto run = [](bool stratify) {
+        ProductionEnvironment env(webProfile(), skylake18(), 1,
+                                  fastOptions());
+        KnobConfig production =
+            productionConfig(skylake18(), webProfile());
+        KnobConfig winner = production;
+        winner.thp = ThpMode::Always;
+        FleetSlice fleet(env, 32, production,
+                         FleetTopology::fromSpec("4"));
+        OdsStore ods;
+        RolloutPolicy policy;
+        policy.canarySoakSec = 1800.0;
+        policy.waveIntervalSec = 600.0;
+        policy.stratifyWaves = stratify;
+        policy.domainQuorum = stratify ? 1 : 0;
+        return fleet.rollout(winner, policy, ods);
+    };
+
+    RolloutResult naive = run(false);
+    RolloutResult stratified = run(true);
+    EXPECT_TRUE(naive.completed);
+    EXPECT_TRUE(stratified.completed);
+    EXPECT_EQ(naive.serversConverted, 32);
+    EXPECT_EQ(stratified.serversConverted, 32);
+    // Id-ordered waves land almost entirely inside one rack of the
+    // contiguous placement; round-robin caps the per-rack share.
+    EXPECT_GT(naive.maxWaveDomainShare, 0.5);
+    EXPECT_LE(stratified.maxWaveDomainShare, 0.5);
+}
+
+TEST(RolloutStratify, DomainVerdictExcludesSickRackAndResumes)
+{
+    // Rack 0's cohort silently degrades mid-canary — the canary host
+    // among them.  Verdicts off would blame the (healthy) config and
+    // abort for good; domain triage sees rack 0's own control servers
+    // regress, excludes the rack, and finishes the fleet without it.
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+
+    FleetSlice fleet(env, 32, production, FleetTopology::fromSpec("8"));
+    for (int i = 0; i < 4; ++i)
+        fleet.scheduleDegradation(i, 2500.0, 0.70);
+    OdsStore ods;
+    RolloutPolicy policy = RolloutPolicy::blastRadiusAware();
+    policy.canarySoakSec = 1800.0;
+    policy.waveIntervalSec = 600.0;
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_TRUE(result.completed);
+    EXPECT_FALSE(result.configBlamed);
+    EXPECT_EQ(result.resumes, 1);
+    EXPECT_EQ(result.domainsExcluded, 1);
+    EXPECT_EQ(result.serversExcluded, 4);
+    EXPECT_EQ(result.serversConverted, 28);
+    for (const FleetServer &server : fleet.servers()) {
+        if (server.rack == 0) {
+            EXPECT_TRUE(server.excluded);
+            EXPECT_EQ(server.config, production);
+        } else {
+            EXPECT_FALSE(server.excluded);
+            EXPECT_EQ(server.config, winner);
+        }
+    }
+}
+
+TEST(RolloutStratify, ConfigRegressionIsBlamedAndNeverResumed)
+{
+    // A genuinely bad config regresses the canary while every rack's
+    // control group stays healthy: the verdict blames the config and
+    // refuses to spend the resume budget on it.
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig bad = production;
+    bad.coreFreqGHz = 1.6;
+
+    FleetSlice fleet(env, 32, production, FleetTopology::fromSpec("8"));
+    OdsStore ods;
+    RolloutPolicy policy = RolloutPolicy::blastRadiusAware();
+    policy.canarySoakSec = 600.0;
+    policy.resumeAttempts = 2;
+
+    RolloutResult result = fleet.rollout(bad, policy, ods);
+    EXPECT_TRUE(result.aborted);
+    EXPECT_FALSE(result.completed);
+    EXPECT_TRUE(result.configBlamed);
+    EXPECT_EQ(result.resumes, 0);
+    EXPECT_EQ(result.domainsExcluded, 0);
+    for (const FleetServer &server : fleet.servers())
+        EXPECT_EQ(server.config, production);
+}
+
+TEST(RolloutStratify, ResumeAfterExclusionRebaselinesOnSurvivors)
+{
+    // Severe-ish hostile plan with every correlated hazard armed, a
+    // directed degradation storm inside one rack mid-wave, and two
+    // resumes allowed.  The rollout must exclude the sick rack,
+    // re-baseline on exactly the surviving set, and the whole ordeal
+    // must replay bit-for-bit (RolloutResult JSON compared byte-wise).
+    auto run = [] {
+        ProductionEnvironment env(webProfile(), skylake18(), 1,
+                                  fastOptions());
+        env.setFaults(
+            FaultPlan::fromSpec(
+                "crash=0.002,apply=0.02,rack=0.002,drift=0.05"),
+            21);
+        KnobConfig production =
+            productionConfig(skylake18(), webProfile());
+        KnobConfig winner = production;
+        winner.thp = ThpMode::Always;
+
+        FleetSlice fleet(env, 32, production,
+                         FleetTopology::fromSpec("8x2"));
+        for (int i = 8; i < 12; ++i)   // rack 2, whole cohort
+            fleet.scheduleDegradation(i, 4700.0, 0.50);
+        OdsStore ods;
+        RolloutPolicy policy = RolloutPolicy::blastRadiusAware();
+        policy.canarySoakSec = 1800.0;
+        policy.waveIntervalSec = 600.0;
+        return fleet.rollout(winner, policy, ods);
+    };
+
+    RolloutResult first = run();
+    EXPECT_TRUE(first.completed);
+    EXPECT_FALSE(first.configBlamed);
+    EXPECT_GE(first.resumes, 1);
+    EXPECT_GE(first.domainsExcluded, 1);
+    EXPECT_GE(first.serversExcluded, 4);
+    // Every live server converted: the resumed attempt rebaselined on
+    // the surviving set, not the pre-exclusion fleet.
+    EXPECT_EQ(first.serversConverted,
+              32 - first.serversExcluded);
+
+    RolloutResult second = run();
+    EXPECT_EQ(first.toJson().dump(2), second.toJson().dump(2));
+}
+
+TEST(RolloutStratify, SurgePauseDefersConversionsDuringHotTelemetry)
+{
+    // The fleet's telemetry jumps 25% above the baseline soak right
+    // after the canary (a surge the diurnal model knows nothing
+    // about): the planner pauses conversions until the pause budget
+    // runs out instead of shrinking the control pool mid-surge.
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+
+    FleetSlice fleet(env, 16, production, FleetTopology::fromSpec("4"));
+    for (int i = 0; i < 16; ++i) {
+        fleet.degradeServer(i, 0.8);
+        fleet.scheduleDegradation(i, 2000.0, 1.0);  // the "surge"
+    }
+    OdsStore ods;
+    RolloutPolicy policy = RolloutPolicy::blastRadiusAware();
+    policy.canarySoakSec = 600.0;
+    policy.waveIntervalSec = 600.0;
+    policy.surgePauseThreshold = 0.05;
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_TRUE(result.completed);
+    EXPECT_GE(result.surgePauses, 1);
+    EXPECT_EQ(result.serversConverted, 16);
+}
+
+TEST(RolloutStratify, TrivialTopologyIgnoresDomainKnobs)
+{
+    // Domain knobs on a 1x1 topology must not change the legacy
+    // rollout: identical outcome with and without them.
+    auto run = [](bool armed) {
+        ProductionEnvironment env(webProfile(), skylake18(), 1,
+                                  fastOptions());
+        env.setFaults(FaultPlan::fromSpec("moderate"), 21);
+        KnobConfig production =
+            productionConfig(skylake18(), webProfile());
+        KnobConfig winner = production;
+        winner.thp = ThpMode::Always;
+        FleetSlice fleet(env, 8, production);
+        OdsStore ods;
+        RolloutPolicy policy;
+        policy.canarySoakSec = 1800.0;
+        policy.waveIntervalSec = 600.0;
+        if (armed) {
+            policy.stratifyWaves = true;
+            policy.domainQuorum = 2;
+            policy.domainVerdicts = true;
+        }
+        return fleet.rollout(winner, policy, ods);
+    };
+    EXPECT_EQ(run(false).toJson().dump(2), run(true).toJson().dump(2));
+}
+
+} // namespace
+} // namespace softsku

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hh"
 #include "services/services.hh"
 #include "sim/service_sim.hh"
 #include "stats/running_stat.hh"
@@ -48,12 +49,65 @@ TEST(Ods, AggregateEmptyWindow)
     EXPECT_EQ(agg.count, 0u);
 }
 
-TEST(OdsDeathTest, NonMonotonicAppendIsFatal)
+TEST(Ods, NonMonotonicAppendClampsToNewestTime)
 {
+    // A fleet store must survive one producer's clock going backwards:
+    // the sample is kept, clamped to the series' newest timestamp, so
+    // windowed aggregates stay ordered instead of silently corrupting.
     OdsStore ods;
     ods.append("v", 100.0, 1.0);
-    EXPECT_EXIT(ods.append("v", 50.0, 2.0), testing::ExitedWithCode(1),
-                "non-monotonic");
+    ods.append("v", 50.0, 2.0);
+    auto points = ods.query("v", 0.0, 1e9);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].timeSec, 100.0);
+    EXPECT_DOUBLE_EQ(points[1].timeSec, 100.0);
+    EXPECT_DOUBLE_EQ(points[1].value, 2.0);
+    // Later in-order appends continue normally.
+    ods.append("v", 200.0, 3.0);
+    auto agg = ods.aggregate("v", 0.0, 1e9);
+    EXPECT_EQ(agg.count, 3u);
+    EXPECT_DOUBLE_EQ(agg.max, 3.0);
+}
+
+TEST(Ods, RecordSnapshotPersistsToolMetrics)
+{
+    MetricsSnapshot snapshot;
+    MetricRow counter;
+    counter.name = "usku.arms_pruned";
+    counter.kind = MetricRow::Kind::Counter;
+    counter.value = 7.0;
+    snapshot.rows.push_back(counter);
+    MetricRow gauge;
+    gauge.name = "usku.best_gain";
+    gauge.kind = MetricRow::Kind::Gauge;
+    gauge.value = 4.25;
+    snapshot.rows.push_back(gauge);
+    MetricRow histo;
+    histo.name = "usku.compare_ms";
+    histo.kind = MetricRow::Kind::Histogram;
+    histo.count = 12;
+    histo.mean = 3.5;
+    histo.p50 = 3.0;
+    histo.p95 = 6.0;
+    histo.p99 = 7.0;
+    snapshot.rows.push_back(histo);
+
+    OdsStore ods;
+    ods.recordSnapshot(snapshot, 1000.0);
+    EXPECT_TRUE(ods.has("tool.usku.arms_pruned"));
+    EXPECT_DOUBLE_EQ(
+        ods.query("tool.usku.arms_pruned", 0, 1e9).front().value, 7.0);
+    EXPECT_DOUBLE_EQ(
+        ods.query("tool.usku.best_gain", 0, 1e9).front().value, 4.25);
+    EXPECT_DOUBLE_EQ(
+        ods.query("tool.usku.compare_ms.count", 0, 1e9).front().value,
+        12.0);
+    EXPECT_DOUBLE_EQ(
+        ods.query("tool.usku.compare_ms.p99", 0, 1e9).front().value,
+        7.0);
+    // Snapshots at a later time stack into the same series.
+    ods.recordSnapshot(snapshot, 2000.0);
+    EXPECT_EQ(ods.query("tool.usku.best_gain", 0, 1e9).size(), 2u);
 }
 
 TEST(Ods, RetentionDropsOldSamples)
