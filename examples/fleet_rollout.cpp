@@ -13,8 +13,18 @@
  *                      [--faults=off|mild|moderate|severe|k=v,..]
  *                      [--fault-seed=N] [--domains=RACKS[xREGIONS]]
  *                      [--naive-waves] [--quorum=N] [--cache-dir=DIR]
+ *                      [--health-report] [--emit=DIR]
  *                      [--trace-out=FILE] [--metrics]
  *                      [--log-level=silent|error|warn|info|debug]
+ *
+ * --health-report prints the FleetHealthView dashboard over the
+ * rollout window: top regressed fleet series and the per-rack health
+ * matrix, read from the same ODS store the health checks used.
+ *
+ * --emit=DIR writes one dashboard JSON per target into DIR as
+ * <service>.<platform>.v<schema>.json: the tuning report, the rollout
+ * verdict, and the health view in one schema-versioned file a
+ * dashboard can poll.
  *
  * --trace-out records the whole pipeline — sweep comparisons,
  * validation chunks, then the rollout's soak/canary/wave/health-check/
@@ -48,6 +58,8 @@
 #include "core/usku.hh"
 #include "services/services.hh"
 #include "sim/fleet.hh"
+#include "telemetry/health_view.hh"
+#include "telemetry/series_names.hh"
 #include "telemetry/tmam_report.hh"
 #include "util/cli.hh"
 #include "util/strings.hh"
@@ -146,12 +158,31 @@ main(int argc, char **argv)
                         : (rollout.configBlamed ? "config blamed"
                                                 : "domain fault"));
 
-    auto mips = ods.aggregate("fleet." + service.name + ".mips", 0, 1e18);
+    auto mips = ods.aggregate(fleetSeriesName(service.name, "mips"), 0,
+                              1e18);
     std::printf("fleet telemetry: %llu samples, mean %.0f MIPS, "
-                "p99 %.0f MIPS\n",
+                "p95 %.0f, p99 %.0f MIPS\n",
                 static_cast<unsigned long long>(mips.count), mips.mean,
-                mips.p99);
+                mips.p95, mips.p99);
 
+    FleetHealthView health(ods);
+    FleetHealthReport healthReport =
+        health.report(service.name, 0.0, rollout.finishedAtSec);
+    if (args.has("health-report"))
+        std::printf("\n%s", healthReport.renderText().c_str());
+
+    if (!tool.emitDir.empty()) {
+        Json doc = Json::object();
+        doc.set("schema_version", Json(kReportSchemaVersion));
+        doc.set("service", Json(service.name));
+        doc.set("platform", Json(platform.name));
+        doc.set("report", report.toJson());
+        doc.set("rollout", rollout.toJson());
+        doc.set("health", healthReport.toJson());
+        emitTargetReport(tool.emitDir, service.name, platform.name, doc);
+    }
+
+    ods.publishGauges();
     if (tool.metrics) {
         MetricsSnapshot snap = usku.fullMetrics();
         snap.append(MetricsRegistry::global().snapshot());

@@ -9,8 +9,9 @@
  *              [--jobs=N|auto] [--faults=off|mild|moderate|severe|k=v,..]
  *              [--fault-seed=N] [--cache-dir=DIR] [--trace-out=FILE]
  *              [--rollout=SERVERS] [--domains=RACKS[xREGIONS]]
- *              [--naive-waves] [--metrics] [--progress] [--json]
- *              [--verify] [--log-level=silent|error|warn|info|debug]
+ *              [--naive-waves] [--emit=DIR] [--metrics] [--progress]
+ *              [--json] [--verify]
+ *              [--log-level=silent|error|warn|info|debug]
  *
  * Each target's report is byte-identical to tuning that target alone,
  * at any --jobs value; --verify re-runs the fleet sequentially and
@@ -27,11 +28,18 @@
  * per-rack control quorum, domain-triaged verdicts); --naive-waves
  * keeps the id-ordered planner for comparison.  Tool metrics and
  * fleet telemetry land in one shared ODS store.
+ *
+ * --emit=DIR writes one dashboard JSON per target into DIR as
+ * <service>.<platform>.v<schema>.json: {schema_version, target,
+ * report, rollout?, health?} — the rollout and health sections appear
+ * when --rollout ran.  File names are schema-versioned so dashboards
+ * poll stable paths.
  */
 
 #include <cstdio>
 
 #include "core/orchestrator.hh"
+#include "core/report_writer.hh"
 #include "util/cli.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -106,6 +114,22 @@ main(int argc, char **argv)
     }
 
     tool.writeTrace();
+
+    if (!tool.emitDir.empty()) {
+        for (size_t i = 0; i < targets.size(); ++i) {
+            Json doc = Json::object();
+            doc.set("schema_version", Json(kReportSchemaVersion));
+            doc.set("target", Json(targets[i].name()));
+            doc.set("report", fleet.reports[i].toJson());
+            if (doRollout) {
+                doc.set("rollout", rollouts[i].rollout.toJson());
+                doc.set("health", rollouts[i].health);
+            }
+            emitTargetReport(tool.emitDir,
+                             targets[i].spec.microservice,
+                             targets[i].spec.platform, doc);
+        }
+    }
 
     if (args.has("json")) {
         Json doc = Json::array();

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "services/services.hh"
+#include "telemetry/health_view.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -87,6 +88,8 @@ FleetRolloutOutcome::toJson() const
     doc.set("target", Json(target));
     doc.set("tuned_gain_percent", Json(tunedGainPercent));
     doc.set("rollout", rollout.toJson());
+    if (!health.isNull())
+        doc.set("health", health);
     return doc;
 }
 
@@ -212,11 +215,23 @@ FleetOrchestrator::rolloutAll(const std::vector<TuneTarget> &targets,
         FleetRolloutOutcome outcome;
         outcome.target = target.name();
         outcome.tunedGainPercent = report.gainOverProductionPercent();
+        outcome.startedAtSec = clock;
         outcome.rollout = slice.rollout(report.softSku, plan.policy,
                                         ods, clock, plan.sampleEverySec);
         clock = outcome.rollout.finishedAtSec;
+
+        // Dashboard view of the window this rollout just wrote: the
+        // health report reads the same store the health checks did, so
+        // it is deterministic and byte-stable across --jobs values.
+        FleetHealthView view(ods);
+        outcome.health =
+            view.report(service.name, outcome.startedAtSec, clock)
+                .toJson();
         outcomes.push_back(std::move(outcome));
     }
+    // Store health lands in the operational gauges once per
+    // orchestration — the --metrics table's ods.* rows.
+    ods.publishGauges();
     return outcomes;
 }
 

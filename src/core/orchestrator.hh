@@ -127,6 +127,15 @@ struct FleetRolloutOutcome
     std::string target;             //!< "service:platform"
     double tunedGainPercent = 0.0;  //!< report's soft-SKU gain
     RolloutResult rollout;
+    /** Simulated time the rollout started (clock carried across
+     *  targets). */
+    double startedAtSec = 0.0;
+    /**
+     * FleetHealthReport::toJson() over this rollout's window —
+     * deterministic, so it may ride along in byte-compared output.
+     * Null when the orchestration skipped health reporting.
+     */
+    Json health;
 
     Json toJson() const;
 };

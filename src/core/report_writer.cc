@@ -1,6 +1,7 @@
 #include "core/report_writer.hh"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -87,6 +88,38 @@ writeMarkdownReport(const UskuReport &report, const std::string &path)
     std::fwrite(md.data(), 1, md.size(), file);
     std::fclose(file);
     inform("wrote μSKU report to %s", path.c_str());
+}
+
+std::string
+targetReportFileName(const std::string &service,
+                     const std::string &platform)
+{
+    return toLower(service) + "." + platform + ".v" +
+           std::to_string(kReportSchemaVersion) + ".json";
+}
+
+std::string
+emitTargetReport(const std::string &dir, const std::string &service,
+                 const std::string &platform, const Json &doc)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create emit directory '%s': %s", dir.c_str(),
+              ec.message().c_str());
+    std::string path =
+        (std::filesystem::path(dir) /
+         targetReportFileName(service, platform))
+            .string();
+    std::string body = doc.dump(2);
+    body += "\n";
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        fatal("cannot write dashboard JSON to '%s'", path.c_str());
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    inform("emitted dashboard JSON to %s", path.c_str());
+    return path;
 }
 
 } // namespace softsku

@@ -24,6 +24,25 @@ std::string renderMarkdownReport(const UskuReport &report);
  */
 void writeMarkdownReport(const UskuReport &report, const std::string &path);
 
+/**
+ * The dashboard-emission file name for one target:
+ * `<service>.<platform>.v<schema>.json` (schema from
+ * kReportSchemaVersion).  The name is stable for a given target and
+ * schema, so a dashboard polls a fixed path and a schema bump never
+ * silently changes the shape behind an old name.
+ */
+std::string targetReportFileName(const std::string &service,
+                                 const std::string &platform);
+
+/**
+ * Write @p doc (pretty-printed) to `<dir>/` under the target's
+ * emission file name, creating @p dir if needed; fatal() when the
+ * directory or file cannot be written.  Returns the full path.
+ */
+std::string emitTargetReport(const std::string &dir,
+                             const std::string &service,
+                             const std::string &platform, const Json &doc);
+
 } // namespace softsku
 
 #endif // SOFTSKU_CORE_REPORT_WRITER_HH

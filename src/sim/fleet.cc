@@ -7,6 +7,7 @@
 #include "obs/trace.hh"
 #include "stats/running_stat.hh"
 #include "stats/students_t.hh"
+#include "telemetry/series_names.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -180,8 +181,8 @@ void
 FleetSlice::sampleTo(OdsStore &ods, double nowSec)
 {
     const std::string &name = env_.profile().name;
-    ods.append("fleet." + name + ".mips", nowSec, fleetMips(nowSec));
-    ods.append("fleet." + name + ".online", nowSec,
+    ods.append(fleetSeriesName(name, "mips"), nowSec, fleetMips(nowSec));
+    ods.append(fleetSeriesName(name, "online"), nowSec,
                static_cast<double>(onlineServers(nowSec)));
 }
 
@@ -225,21 +226,23 @@ FleetSlice::rollout(const KnobConfig &target, const RolloutPolicy &policy,
         domains && injector.plan().domainSurgeRate > 0.0;
 
     const std::string &name = env_.profile().name;
-    const std::string mipsSeries = "fleet." + name + ".mips";
-    const std::string onlineSeries = "fleet." + name + ".online";
+    const std::string mipsSeries = fleetSeriesName(name, "mips");
+    const std::string onlineSeries = fleetSeriesName(name, "online");
     // Health checks read these back out of ODS — the operator's view
     // and the rollout machinery consume the same telemetry path.
-    const std::string normSeries = "fleet." + name + ".normalized";
-    const std::string canarySeries = "fleet." + name + ".canary_delta";
+    const std::string normSeries = fleetSeriesName(name, "normalized");
+    const std::string canarySeries =
+        fleetSeriesName(name, "canary_delta");
     std::vector<std::string> rackNormSeries, rackCtlSeries,
         rackOnlineSeries;
     if (domains) {
         for (int k = 0; k < racks; ++k) {
-            std::string base =
-                "fleet." + name + ".rack" + std::to_string(k);
-            rackNormSeries.push_back(base + ".normalized");
-            rackCtlSeries.push_back(base + ".control_normalized");
-            rackOnlineSeries.push_back(base + ".online");
+            rackNormSeries.push_back(
+                rackSeriesName(name, k, "normalized"));
+            rackCtlSeries.push_back(
+                rackSeriesName(name, k, "control_normalized"));
+            rackOnlineSeries.push_back(
+                rackSeriesName(name, k, "online"));
         }
     }
 

@@ -7,7 +7,7 @@
 
 namespace softsku {
 
-LogHistogram::LogHistogram(double minValue, double maxValue,
+LogBinLayout::LogBinLayout(double minValue, double maxValue,
                            int binsPerDecade)
     : minValue_(minValue), maxValue_(maxValue),
       logMin_(std::log10(minValue)),
@@ -16,23 +16,34 @@ LogHistogram::LogHistogram(double minValue, double maxValue,
     SOFTSKU_ASSERT(minValue > 0.0 && maxValue > minValue);
     SOFTSKU_ASSERT(binsPerDecade > 0);
     double decades = std::log10(maxValue) - logMin_;
-    bins_.assign(static_cast<size_t>(decades * binsPerDecade_) + 2, 0);
+    bins_ = static_cast<size_t>(decades * binsPerDecade_) + 2;
 }
 
 size_t
-LogHistogram::binFor(double value) const
+LogBinLayout::binFor(double value) const
 {
     double v = std::clamp(value, minValue_, maxValue_);
     auto bin = static_cast<size_t>((std::log10(v) - logMin_) *
                                    binsPerDecade_);
-    return std::min(bin, bins_.size() - 1);
+    return std::min(bin, bins_ - 1);
 }
 
 double
-LogHistogram::binCenter(size_t bin) const
+LogBinLayout::binCenter(size_t bin) const
 {
     double logLo = logMin_ + static_cast<double>(bin) / binsPerDecade_;
     return std::pow(10.0, logLo + 0.5 / binsPerDecade_);
+}
+
+LogHistogram::LogHistogram(double minValue, double maxValue,
+                           int binsPerDecade)
+    : LogHistogram(LogBinLayout(minValue, maxValue, binsPerDecade))
+{
+}
+
+LogHistogram::LogHistogram(const LogBinLayout &layout) : layout_(layout)
+{
+    bins_.assign(layout_.bins(), 0);
 }
 
 void
@@ -44,7 +55,7 @@ LogHistogram::add(double value)
 void
 LogHistogram::add(double value, std::uint64_t count)
 {
-    bins_[binFor(value)] += count;
+    bins_[layout_.binFor(value)] += count;
     total_ += count;
     sum_ += value * static_cast<double>(count);
 }
@@ -61,9 +72,9 @@ LogHistogram::percentile(double q) const
     for (size_t i = 0; i < bins_.size(); ++i) {
         seen += bins_[i];
         if (seen > target)
-            return binCenter(i);
+            return layout_.binCenter(i);
     }
-    return binCenter(bins_.size() - 1);
+    return layout_.binCenter(bins_.size() - 1);
 }
 
 double

@@ -6,6 +6,11 @@
  * across services (Table 2 of the paper), so the histogram uses
  * log-spaced bins with bounded relative error, similar in spirit to
  * HdrHistogram.
+ *
+ * The bin geometry lives in LogBinLayout so other sketches can share
+ * it: two structures built on the same layout index values into the
+ * same bins, which is what makes their bin counts mergeable (the ODS
+ * store's rollup sketches rely on exactly this).
  */
 
 #ifndef SOFTSKU_STATS_HISTOGRAM_HH
@@ -16,6 +21,56 @@
 #include <vector>
 
 namespace softsku {
+
+/**
+ * The shared log-spaced bin geometry: positive values in
+ * [minValue, maxValue] map to bins of equal log10 width.  Equality of
+ * layouts is equality of bin assignment, so counts indexed by one
+ * layout may be added to counts indexed by an equal layout.
+ */
+class LogBinLayout
+{
+  public:
+    /**
+     * @param minValue      smallest distinguishable value (> 0)
+     * @param maxValue      largest representable value
+     * @param binsPerDecade resolution; 100 → ~2.3% relative error
+     */
+    LogBinLayout(double minValue = 1e-9, double maxValue = 1e6,
+                 int binsPerDecade = 100);
+
+    /** Bin index for @p value (clamped to the representable range). */
+    size_t binFor(double value) const;
+
+    /** Geometric center of @p bin (the reported percentile value). */
+    double binCenter(size_t bin) const;
+
+    /** Total number of bins. */
+    size_t bins() const { return bins_; }
+
+    double minValue() const { return minValue_; }
+    double maxValue() const { return maxValue_; }
+    double binsPerDecade() const { return binsPerDecade_; }
+
+    /** Same geometry — counts indexed by each may be merged. */
+    bool operator==(const LogBinLayout &other) const
+    {
+        return minValue_ == other.minValue_ &&
+               maxValue_ == other.maxValue_ &&
+               binsPerDecade_ == other.binsPerDecade_;
+    }
+    bool operator!=(const LogBinLayout &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    double minValue_;
+    double maxValue_;
+    double logMin_;
+    double binsPerDecade_;
+    size_t bins_;
+};
 
 /** Log-binned histogram over positive values with percentile queries. */
 class LogHistogram
@@ -28,6 +83,9 @@ class LogHistogram
      */
     LogHistogram(double minValue = 1e-9, double maxValue = 1e6,
                  int binsPerDecade = 100);
+
+    /** Build on an explicit shared layout. */
+    explicit LogHistogram(const LogBinLayout &layout);
 
     /** Record one observation (clamped to the representable range). */
     void add(double value);
@@ -47,14 +105,11 @@ class LogHistogram
     /** Reset all bins. */
     void clear();
 
-  private:
-    size_t binFor(double value) const;
-    double binCenter(size_t bin) const;
+    /** The bin geometry this histogram indexes by. */
+    const LogBinLayout &layout() const { return layout_; }
 
-    double minValue_;
-    double maxValue_;
-    double logMin_;
-    double binsPerDecade_;
+  private:
+    LogBinLayout layout_;
     std::vector<std::uint64_t> bins_;
     std::uint64_t total_ = 0;
     double sum_ = 0.0;

@@ -1,0 +1,163 @@
+#include "telemetry/health_view.hh"
+
+#include <algorithm>
+
+#include "telemetry/series_names.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace softsku {
+
+Json
+FleetHealthReport::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("service", Json(service));
+    doc.set("from_sec", Json(fromSec));
+    doc.set("to_sec", Json(toSec));
+
+    Json regressed = Json::array();
+    for (const SeriesTrend &t : topRegressed) {
+        Json row = Json::object();
+        row.set("series", Json(t.series));
+        row.set("base_mean", Json(t.baseMean));
+        row.set("recent_mean", Json(t.recentMean));
+        row.set("delta_percent", Json(t.deltaPercent));
+        regressed.push(std::move(row));
+    }
+    doc.set("top_regressed", std::move(regressed));
+
+    Json rackRows = Json::array();
+    for (const RackHealth &r : racks) {
+        Json row = Json::object();
+        row.set("rack", Json(r.rack));
+        row.set("normalized_mean", Json(r.normalizedMean));
+        row.set("control_mean", Json(r.controlMean));
+        row.set("delta_percent", Json(r.deltaPercent));
+        row.set("online_mean", Json(r.onlineMean));
+        row.set("sick", Json(r.sick));
+        rackRows.push(std::move(row));
+    }
+    doc.set("racks", std::move(rackRows));
+    doc.set("sick_racks", Json(sickRacks));
+    return doc;
+}
+
+std::string
+FleetHealthReport::renderText() const
+{
+    std::string out = format("fleet health: %s  window [%.0fs, %.0fs]\n",
+                             service.c_str(), fromSec, toSec);
+
+    TextTable trends;
+    trends.header({"series", "base mean", "recent mean", "delta %"});
+    for (const SeriesTrend &t : topRegressed) {
+        trends.row({t.series, format("%.4f", t.baseMean),
+                    format("%.4f", t.recentMean),
+                    format("%+.2f", t.deltaPercent)});
+    }
+    out += trends.render();
+
+    if (!racks.empty()) {
+        TextTable matrix;
+        matrix.header({"rack", "normalized", "control", "delta %",
+                       "online", "health"});
+        for (const RackHealth &r : racks) {
+            matrix.row({format("%d", r.rack),
+                        format("%.4f", r.normalizedMean),
+                        format("%.4f", r.controlMean),
+                        format("%+.2f", r.deltaPercent),
+                        format("%.1f", r.onlineMean),
+                        r.sick ? "SICK" : "ok"});
+        }
+        out += matrix.render();
+        out += format("sick racks: %d / %zu\n", sickRacks, racks.size());
+    }
+    return out;
+}
+
+std::vector<SeriesTrend>
+FleetHealthView::topRegressed(const std::string &prefix, double baseFromSec,
+                              double baseToSec, double recentFromSec,
+                              double recentToSec, size_t k) const
+{
+    std::vector<SeriesTrend> trends;
+    for (const std::string &series : ods_.seriesNames()) {
+        if (series.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        OdsAggregate base = ods_.aggregate(series, baseFromSec, baseToSec);
+        OdsAggregate recent =
+            ods_.aggregate(series, recentFromSec, recentToSec);
+        if (base.count == 0 || recent.count == 0)
+            continue;
+        SeriesTrend t;
+        t.series = series;
+        t.baseMean = base.mean;
+        t.recentMean = recent.mean;
+        t.baseCount = base.count;
+        t.recentCount = recent.count;
+        t.deltaPercent =
+            base.mean != 0.0
+                ? (recent.mean - base.mean) / base.mean * 100.0
+                : 0.0;
+        trends.push_back(std::move(t));
+    }
+    // Worst regression first; name breaks ties so the ranking is
+    // stable across shard counts and map iteration orders.
+    std::sort(trends.begin(), trends.end(),
+              [](const SeriesTrend &a, const SeriesTrend &b) {
+                  if (a.deltaPercent != b.deltaPercent)
+                      return a.deltaPercent < b.deltaPercent;
+                  return a.series < b.series;
+              });
+    if (trends.size() > k)
+        trends.resize(k);
+    return trends;
+}
+
+FleetHealthReport
+FleetHealthView::report(const std::string &service, double fromSec,
+                        double toSec, size_t topK,
+                        double sickThresholdPercent) const
+{
+    FleetHealthReport out;
+    out.service = service;
+    out.fromSec = fromSec;
+    out.toSec = toSec;
+
+    double midSec = fromSec + (toSec - fromSec) / 2.0;
+    out.topRegressed = topRegressed(fleetSeriesPrefix(service), fromSec,
+                                    midSec, midSec, toSec, topK);
+
+    // Rack discovery: rack K exists iff its normalized series does.
+    // Racks are contiguous from 0, so stop at the first gap.
+    for (int rack = 0;; ++rack) {
+        const std::string normalized =
+            rackSeriesName(service, rack, "normalized");
+        if (!ods_.has(normalized))
+            break;
+        RackHealth r;
+        r.rack = rack;
+        OdsAggregate norm = ods_.aggregate(normalized, fromSec, toSec);
+        OdsAggregate ctl = ods_.aggregate(
+            rackSeriesName(service, rack, "control_normalized"), fromSec,
+            toSec);
+        OdsAggregate online = ods_.aggregate(
+            rackSeriesName(service, rack, "online"), fromSec, toSec);
+        r.normalizedMean = norm.mean;
+        r.controlMean = ctl.mean;
+        r.onlineMean = online.mean;
+        r.deltaPercent =
+            ctl.mean != 0.0
+                ? (norm.mean - ctl.mean) / ctl.mean * 100.0
+                : 0.0;
+        r.sick = ctl.count > 0 && norm.count > 0 &&
+                 r.deltaPercent < -sickThresholdPercent;
+        if (r.sick)
+            ++out.sickRacks;
+        out.racks.push_back(r);
+    }
+    return out;
+}
+
+} // namespace softsku

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fleet health queries over the ODS store — the dashboard layer.
+ *
+ * The paper's operators watch fleet telemetry to decide whether a
+ * soft-SKU rollout is behaving (Sec. 2.2, Sec. 4's prolonged
+ * validation).  FleetHealthView is that read side: it answers the
+ * questions a dashboard or an on-call person asks — "which series
+ * regressed the most?", "which racks look sick?" — from the same
+ * OdsStore the rollout health checks write and read, so the operator
+ * and the machinery never disagree about what the fleet did.
+ *
+ * Everything here is deterministic given the store contents: ties are
+ * broken by series name, windows are caller-supplied simulated time.
+ * The JSON form is embedded in orchestrator outcomes (--health-report),
+ * so its key order and shape follow the report conventions.
+ */
+
+#ifndef SOFTSKU_TELEMETRY_HEALTH_VIEW_HH
+#define SOFTSKU_TELEMETRY_HEALTH_VIEW_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/ods.hh"
+#include "util/json.hh"
+
+namespace softsku {
+
+/** One series' movement between a baseline and a recent window. */
+struct SeriesTrend
+{
+    std::string series;
+    double baseMean = 0.0;    //!< mean over the baseline window
+    double recentMean = 0.0;  //!< mean over the recent window
+    /** (recent - base) / base, in percent; 0 when base is 0. */
+    double deltaPercent = 0.0;
+    std::uint64_t baseCount = 0;
+    std::uint64_t recentCount = 0;
+};
+
+/** One rack's health over a window, from its per-rack series. */
+struct RackHealth
+{
+    int rack = -1;
+    double normalizedMean = 0.0;  //!< converted-cohort throughput/server
+    double controlMean = 0.0;     //!< control-cohort throughput/server
+    /** (normalized - control) / control, percent; the rollout signal. */
+    double deltaPercent = 0.0;
+    double onlineMean = 0.0;      //!< average servers online
+    bool sick = false;            //!< deltaPercent below -threshold
+};
+
+/** The full health report for one service over one window. */
+struct FleetHealthReport
+{
+    std::string service;
+    double fromSec = 0.0;
+    double toSec = 0.0;
+    /** Top-k series by most-negative delta, worst first. */
+    std::vector<SeriesTrend> topRegressed;
+    /** Per-rack health matrix (empty on trivial topologies). */
+    std::vector<RackHealth> racks;
+    int sickRacks = 0;
+
+    Json toJson() const;
+    /** Human-readable tables for the CLI --health-report flag. */
+    std::string renderText() const;
+};
+
+/**
+ * Read-only health queries against one OdsStore.  The view holds a
+ * reference; the store must outlive it.
+ */
+class FleetHealthView
+{
+  public:
+    explicit FleetHealthView(const OdsStore &ods) : ods_(ods) {}
+
+    /**
+     * The k series under @p prefix whose window-mean moved most
+     * negatively from [baseFrom, baseTo] to [recentFrom, recentTo].
+     * Series with no samples in either window are skipped.  Sorted by
+     * (deltaPercent, name) — deterministic under ties.
+     */
+    std::vector<SeriesTrend> topRegressed(const std::string &prefix,
+                                          double baseFromSec,
+                                          double baseToSec,
+                                          double recentFromSec,
+                                          double recentToSec,
+                                          size_t k) const;
+
+    /**
+     * Full health report for @p service over [fromSec, toSec]: the
+     * window is split at its midpoint into baseline and recent halves
+     * for the trend ranking; racks are discovered from the store
+     * (rack K exists when its "normalized" series does) and marked
+     * sick when the converted cohort runs more than @p sickThreshold
+     * percent below its control cohort.
+     */
+    FleetHealthReport report(const std::string &service, double fromSec,
+                             double toSec, size_t topK = 5,
+                             double sickThresholdPercent = 3.0) const;
+
+  private:
+    const OdsStore &ods_;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_TELEMETRY_HEALTH_VIEW_HH

@@ -7,15 +7,47 @@
  * for the prolonged soft-SKU validation phase, comparing fleet QPS of
  * soft-SKU servers against production servers across code pushes and
  * diurnal load (Sec. 4, "Soft SKU generator").
+ *
+ * Fleet-scale layout (this store is the read path of every rollout
+ * health check, so it must take 10⁴–10⁵ servers' series concurrently):
+ *
+ *  - **Sharding.** Series are hashed (FNV-1a on the name) across N
+ *    independently-locked shards; producers appending to different
+ *    series contend only within a shard, never on one store-wide lock.
+ *
+ *  - **Resolutions.** Each series holds raw points plus two rollup
+ *    resolutions (mid: 1-min buckets, long: 1-hr by default).  A
+ *    rollup bucket carries exact count/sum/min/max and a mergeable
+ *    log-binned percentile sketch (telemetry/sketch.hh), so windowed
+ *    aggregation over rolled-up history is a fold over O(buckets)
+ *    sketches instead of a sort over O(points) samples.
+ *
+ *  - **Retention.** downsample(now) folds raw points older than the
+ *    raw horizon into mid buckets, mid buckets past their horizon into
+ *    long buckets, and drops long buckets past theirs.  The default
+ *    OdsRetention keeps everything raw forever, which preserves the
+ *    seed store's behavior bit-for-bit: query() returns the same
+ *    points and aggregate() computes exact (nearest-rank) percentiles
+ *    whenever the window is covered by raw data.  Rollout health
+ *    checks and canary judges read raw windows, so their verdicts are
+ *    byte-identical across shard counts and retention policies as long
+ *    as downsampling is not run over the windows they read — which the
+ *    rollout never does.
  */
 
 #ifndef SOFTSKU_TELEMETRY_ODS_HH
 #define SOFTSKU_TELEMETRY_ODS_HH
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "telemetry/sketch.hh"
 
 namespace softsku {
 
@@ -35,17 +67,87 @@ struct OdsAggregate
     double mean = 0.0;
     double min = 0.0;
     double max = 0.0;
+    /**
+     * Nearest-rank percentiles: the value at rank ceil(q·count).
+     * Exact when the window is covered by raw samples; sketch-derived
+     * (half-a-log-bin accurate) when rollup buckets contribute.
+     */
     double p50 = 0.0;
+    double p95 = 0.0;
     double p99 = 0.0;
+    /** True when any rollup bucket (sketch resolution) contributed. */
+    bool approximate = false;
 };
 
 /**
- * In-memory multi-series store with monotonic-time append and windowed
- * aggregation.  Series are created on first append.
+ * Resolution-aware retention: how far behind "now" each resolution
+ * keeps data before downsample() folds it into the next.  The default
+ * horizons are infinite — raw forever, no rollups — which is the seed
+ * store's behavior.
+ */
+struct OdsRetention
+{
+    /** "Keep forever" horizon sentinel. */
+    static constexpr double kForever = 1e300;
+
+    /** Raw points are kept this far behind now; older ones fold into
+     *  mid buckets. */
+    double rawHorizonSec = kForever;
+    /** Mid buckets are kept this far behind now; older ones merge into
+     *  long buckets. */
+    double midHorizonSec = kForever;
+    /** Long buckets older than this are dropped. */
+    double longHorizonSec = kForever;
+
+    double midBucketSec = 60.0;     //!< mid rollup resolution
+    double longBucketSec = 3600.0;  //!< long rollup resolution
+
+    /** True when downsample() has any folding to do at all. */
+    bool enabled() const { return rawHorizonSec < kForever; }
+
+    /** The fleet-service posture: 1 h raw, 1 day of 1-min buckets,
+     *  30 days of 1-hr buckets. */
+    static OdsRetention fleetScale();
+};
+
+/** Construction-time knobs for a store. */
+struct OdsStoreOptions
+{
+    /** Independently-locked shards (series hash across them). */
+    size_t shards = 16;
+    /** Resolution/retention scheme applied by downsample(). */
+    OdsRetention retention;
+    /** Bin geometry of the rollup sketches. */
+    LogBinLayout sketchLayout;
+};
+
+/** A point-in-time census of the store, for the operational gauges. */
+struct OdsStoreStats
+{
+    std::uint64_t series = 0;          //!< live series count
+    std::uint64_t rawPoints = 0;       //!< raw samples currently held
+    std::uint64_t rollupBuckets = 0;   //!< mid + long buckets held
+    std::uint64_t shardMaxPoints = 0;  //!< raw samples in fullest shard
+    std::uint64_t downsampledPoints = 0;  //!< cumulative samples folded
+    std::uint64_t droppedPoints = 0;   //!< cumulative samples aged out
+};
+
+/**
+ * In-memory multi-series store with monotonic-time append, windowed
+ * aggregation, sharded locking, and resolution rollups.  Series are
+ * created on first append.  All member functions are safe to call
+ * concurrently.
  */
 class OdsStore
 {
   public:
+    OdsStore() : OdsStore(OdsStoreOptions{}) {}
+    explicit OdsStore(const OdsStoreOptions &options);
+
+    /** Shards hold mutexes; a store is pinned where it was built. */
+    OdsStore(const OdsStore &) = delete;
+    OdsStore &operator=(const OdsStore &) = delete;
+
     /**
      * Append one sample.  Time must be non-decreasing per series; an
      * out-of-order append is clamped to the series' newest timestamp
@@ -65,28 +167,89 @@ class OdsStore
     void recordSnapshot(const MetricsSnapshot &snapshot, double timeSec,
                         const std::string &prefix = "tool.");
 
-    /** True when the series exists and has samples. */
+    /** True when the series exists and has samples (any resolution). */
     bool has(const std::string &series) const;
 
-    /** Samples within [fromSec, toSec]; empty when none. */
+    /**
+     * Raw samples within [fromSec, toSec]; empty when none.  Rolled-up
+     * history is not returned here — raw resolution is whatever the
+     * retention policy has preserved; ask aggregate() for the rest.
+     */
     std::vector<OdsPoint> query(const std::string &series, double fromSec,
                                 double toSec) const;
 
-    /** Aggregate statistics over [fromSec, toSec]. */
+    /**
+     * Aggregate statistics over [fromSec, toSec].  Windows covered by
+     * raw samples are exact (count/mean/min/max plus nearest-rank
+     * percentiles via selection, no full sort); windows touching
+     * rollup buckets fold the buckets' sketches (O(buckets), marked
+     * `approximate`).  A rollup bucket contributes when its time span
+     * overlaps the window.
+     */
     OdsAggregate aggregate(const std::string &series, double fromSec,
                            double toSec) const;
 
-    /** Names of all stored series. */
+    /** Names of all stored series, sorted. */
     std::vector<std::string> seriesNames() const;
 
     /**
      * Drop samples older than @p horizonSec behind each series' newest
-     * sample (retention, as a fleet store must).
+     * sample — the manual, uniform retention pass (raw points and
+     * rollup buckets alike age out).
      */
     void retain(double horizonSec);
 
+    /**
+     * Run one resolution-rollup pass against the clock @p nowSec: raw
+     * → mid → long per the retention policy, emitting trace instants
+     * (`ods.downsample`, `ods.retention`) and operational counters.
+     * A no-op under the default keep-forever policy.
+     */
+    void downsample(double nowSec);
+
+    /** Census the store (walks every shard under its lock). */
+    OdsStoreStats stats() const;
+
+    /**
+     * Publish the census as operational gauges in the global metrics
+     * registry: `ods.series`, `ods.points`, `ods.shard_max_points` —
+     * store health for the --metrics table.
+     */
+    void publishGauges() const;
+
   private:
-    std::map<std::string, std::vector<OdsPoint>> series_;
+    /** One rollup bucket: [startSec, startSec + width). */
+    struct Bucket
+    {
+        double startSec = 0.0;
+        OdsSketch sketch;
+    };
+
+    /** One series' data across all resolutions. */
+    struct Series
+    {
+        std::vector<OdsPoint> raw;
+        std::deque<Bucket> mid;
+        std::deque<Bucket> longTerm;
+        /** Newest timestamp ever appended (clamp reference even after
+         *  the raw points were folded away). */
+        double newestSec = 0.0;
+        bool everAppended = false;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::map<std::string, Series> series;
+    };
+
+    size_t shardIndex(const std::string &series) const;
+    void foldSeries(Series &series, double nowSec);
+
+    OdsStoreOptions options_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> downsampledPoints_{0};
+    std::atomic<std::uint64_t> droppedPoints_{0};
 };
 
 } // namespace softsku

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The fleet telemetry series-name scheme, in one place.
+ *
+ * FleetSlice::rollout writes these series and the rollout health
+ * machinery, FleetHealthView, and the dashboard emitters all read them
+ * back; a name spelled two ways would silently split one signal into
+ * two series, so every producer and consumer goes through these
+ * helpers.
+ *
+ *   fleet.<service>.<metric>              fleet-wide series
+ *   fleet.<service>.rack<K>.<metric>      per-rack series
+ *   tool.<target>.<metric>                persisted tool metrics
+ *                                         (OdsStore::recordSnapshot)
+ */
+
+#ifndef SOFTSKU_TELEMETRY_SERIES_NAMES_HH
+#define SOFTSKU_TELEMETRY_SERIES_NAMES_HH
+
+#include <string>
+
+namespace softsku {
+
+/** "fleet.<service>." — the prefix every fleet series shares. */
+inline std::string
+fleetSeriesPrefix(const std::string &service)
+{
+    return "fleet." + service + ".";
+}
+
+/** "fleet.<service>.<metric>" (e.g. "fleet.web.mips"). */
+inline std::string
+fleetSeriesName(const std::string &service, const std::string &metric)
+{
+    return fleetSeriesPrefix(service) + metric;
+}
+
+/** "fleet.<service>.rack<K>.<metric>" (e.g. "fleet.web.rack2.online"). */
+inline std::string
+rackSeriesName(const std::string &service, int rack,
+               const std::string &metric)
+{
+    return fleetSeriesPrefix(service) + "rack" + std::to_string(rack) +
+           "." + metric;
+}
+
+} // namespace softsku
+
+#endif // SOFTSKU_TELEMETRY_SERIES_NAMES_HH

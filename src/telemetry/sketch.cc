@@ -1,0 +1,122 @@
+#include "telemetry/sketch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace softsku {
+
+OdsSketch::OdsSketch(const LogBinLayout &layout) : layout_(layout)
+{
+}
+
+void
+OdsSketch::add(double value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    auto bin = static_cast<std::uint32_t>(layout_.binFor(value));
+    auto it = std::lower_bound(
+        bins_.begin(), bins_.end(), bin,
+        [](const auto &entry, std::uint32_t b) { return entry.first < b; });
+    if (it != bins_.end() && it->first == bin)
+        it->second += count;
+    else
+        bins_.insert(it, {bin, count});
+    if (total_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    total_ += count;
+    sum_ += value * static_cast<double>(count);
+}
+
+void
+OdsSketch::merge(const OdsSketch &other)
+{
+    SOFTSKU_ASSERT(layout_ == other.layout_);
+    if (other.total_ == 0)
+        return;
+    // Classic sorted-vector merge: O(binsUsed() + other.binsUsed()).
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+    merged.reserve(bins_.size() + other.bins_.size());
+    auto a = bins_.cbegin();
+    auto b = other.bins_.cbegin();
+    while (a != bins_.cend() || b != other.bins_.cend()) {
+        if (b == other.bins_.cend() ||
+            (a != bins_.cend() && a->first < b->first)) {
+            merged.push_back(*a++);
+        } else if (a == bins_.cend() || b->first < a->first) {
+            merged.push_back(*b++);
+        } else {
+            merged.push_back({a->first, a->second + b->second});
+            ++a;
+            ++b;
+        }
+    }
+    bins_ = std::move(merged);
+    if (total_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+double
+OdsSketch::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(total_);
+}
+
+double
+OdsSketch::min() const
+{
+    return total_ == 0 ? 0.0 : min_;
+}
+
+double
+OdsSketch::max() const
+{
+    return total_ == 0 ? 0.0 : max_;
+}
+
+double
+OdsSketch::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest rank: the smallest rank r (1-based) with r >= q * count.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, total_);
+    std::uint64_t seen = 0;
+    for (const auto &[bin, count] : bins_) {
+        seen += count;
+        if (seen >= rank)
+            return std::clamp(layout_.binCenter(bin), min_, max_);
+    }
+    return max_;
+}
+
+void
+OdsSketch::clear()
+{
+    bins_.clear();
+    total_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+} // namespace softsku

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Mergeable percentile sketch for the ODS store's rollup buckets.
+ *
+ * A fleet telemetry store cannot keep raw samples forever, but the
+ * operator still asks for percentiles over month-old windows.  The
+ * classic answer (Gorilla/ODS, RRDtool) is resolution rollups whose
+ * buckets carry a *mergeable* distribution summary: merging two
+ * buckets' summaries gives exactly the summary of the union, so an
+ * aggregate over any window is a fold over O(buckets) summaries rather
+ * than a sort over O(points) samples.
+ *
+ * OdsSketch is that summary: log-spaced bin counts on a shared
+ * stats/LogBinLayout (the same geometry stats/LogHistogram uses),
+ * stored sparsely — one series' samples land in a handful of adjacent
+ * bins, so a bucket costs a few pairs, not a dense bin array.  Count,
+ * sum, min, and max are carried exactly; percentiles are nearest-rank
+ * over the bins, accurate to half a bin width (~1.2% at the default
+ * 100 bins/decade) and clamped into the exact [min, max].
+ */
+
+#ifndef SOFTSKU_TELEMETRY_SKETCH_HH
+#define SOFTSKU_TELEMETRY_SKETCH_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace softsku {
+
+/** Sparse log-binned distribution summary; merging is exact. */
+class OdsSketch
+{
+  public:
+    explicit OdsSketch(const LogBinLayout &layout = LogBinLayout());
+
+    /** Record one observation. */
+    void add(double value) { add(value, 1); }
+
+    /** Record @p count observations of the same value. */
+    void add(double value, std::uint64_t count);
+
+    /**
+     * Fold @p other in.  Layouts must match (asserted) — equal
+     * layouts index values into the same bins, which is what makes
+     * the bin counts addable.
+     */
+    void merge(const OdsSketch &other);
+
+    std::uint64_t count() const { return total_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    /** Exact extrema; 0 when empty. */
+    double min() const;
+    double max() const;
+
+    /**
+     * Nearest-rank percentile over the bins: the value whose rank is
+     * ceil(q * count), reported as its bin's center clamped into the
+     * exact [min, max].  O(bins used).
+     */
+    double percentile(double q) const;
+
+    /** Distinct bins occupied (sparse footprint). */
+    size_t binsUsed() const { return bins_.size(); }
+
+    /** The sparse (bin, count) pairs, sorted by bin — for callers that
+     *  fold many sketches into a dense accumulator without paying a
+     *  vector allocation per merge (OdsStore::aggregate). */
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> &
+    bins() const
+    {
+        return bins_;
+    }
+
+    const LogBinLayout &layout() const { return layout_; }
+
+    void clear();
+
+  private:
+    LogBinLayout layout_;
+    /** (bin index, count), sorted by bin index. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> bins_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_TELEMETRY_SKETCH_HH

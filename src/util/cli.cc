@@ -124,6 +124,7 @@ ToolOptions::fromArgs(const CliArgs &args, unsigned defaultJobs)
         static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
     opts.domains = args.get("domains");
     opts.cacheDir = args.get("cache-dir");
+    opts.emitDir = args.get("emit");
     opts.traceOut = args.get("trace-out");
     opts.metrics = args.has("metrics");
     opts.progress = args.has("progress");

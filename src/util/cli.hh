@@ -80,6 +80,8 @@ class CliArgs
  *   --domains=SPEC     fleet failure-domain topology: RACKS or
  *                      RACKSxREGIONS (e.g. "8" or "8x2")
  *   --cache-dir=PATH   persistent A/B memo cache directory
+ *   --emit=DIR         write one dashboard JSON per target into DIR
+ *                      (<service>.<platform>.v<schema>.json)
  *   --trace-out=PATH   Chrome trace_event export
  *   --metrics          print the flight-recorder table on exit
  *   --progress         live sweep progress line (stderr)
@@ -111,6 +113,13 @@ struct ToolOptions
      */
     std::string domains;
     std::string cacheDir;
+    /**
+     * Dashboard-emission directory (--emit=DIR); empty disables.  Each
+     * target writes `<service>.<platform>.v<schema>.json` here — a
+     * stable, schema-versioned file name a dashboard can poll without
+     * parsing tool stdout.
+     */
+    std::string emitDir;
     std::string traceOut;
     bool metrics = false;
     bool progress = false;

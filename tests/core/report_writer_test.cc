@@ -60,5 +60,38 @@ TEST(ReportWriterDeathTest, UnwritablePathIsFatal)
                 testing::ExitedWithCode(1), "cannot write report");
 }
 
+TEST(ReportWriter, TargetReportFileNameIsStableAndLowercased)
+{
+    EXPECT_EQ(targetReportFileName("web", "skylake18"),
+              "web.skylake18.v" +
+                  std::to_string(kReportSchemaVersion) + ".json");
+    // Service casing normalizes so re-runs of "Web" and "web" land on
+    // the same dashboard path.
+    EXPECT_EQ(targetReportFileName("Web", "skylake18"),
+              targetReportFileName("web", "skylake18"));
+}
+
+TEST(ReportWriter, EmitTargetReportCreatesDirAndWritesJson)
+{
+    std::string dir = testing::TempDir() + "emit_test_reports";
+    Json doc = Json::object();
+    doc.set("schema_version", Json(kReportSchemaVersion));
+    doc.set("service", Json("web"));
+
+    std::string path = emitTargetReport(dir, "web", "skylake18", doc);
+    EXPECT_NE(path.find(targetReportFileName("web", "skylake18")),
+              std::string::npos);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("\"service\""), std::string::npos);
+    // Round-trips as valid JSON with the same fields.
+    auto [parsed, ok] = Json::parse(buffer.str());
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(parsed.at("service").asString(), "web");
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace softsku

@@ -1,0 +1,139 @@
+/**
+ * @file Byte-identity of rollout verdicts across ODS store layouts.
+ *
+ * Sharding the telemetry store is a concurrency optimization, not a
+ * semantic change: the shard a series lands on decides which lock and
+ * map hold it, never what its samples say.  These tests pin that down
+ * the same way the blast-radius suite pins `--jobs` determinism —
+ * serialize the whole RolloutResult to JSON and compare the strings
+ * byte for byte across shard counts, on both the trivial topology and
+ * the full 8x2 rack/region one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "services/services.hh"
+#include "sim/faults.hh"
+#include "sim/fleet.hh"
+#include "telemetry/ods.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    return opts;
+}
+
+std::string
+trivialRollout(int shards)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;   // a genuine winner
+
+    FleetSlice fleet(env, 8, production);
+    OdsStoreOptions options;
+    options.shards = shards;
+    OdsStore ods(options);
+    RolloutPolicy policy;
+    policy.canarySoakSec = 1800.0;
+    policy.waveIntervalSec = 600.0;
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_TRUE(result.completed);
+    return result.toJson().dump(2);
+}
+
+std::string
+domainRollout(int shards)
+{
+    ProductionEnvironment env(webProfile(), skylake18(), 1,
+                              fastOptions());
+    env.setFaults(
+        FaultPlan::fromSpec("crash=0.002,apply=0.02,drift=0.05"), 21);
+    KnobConfig production = productionConfig(skylake18(), webProfile());
+    KnobConfig winner = production;
+    winner.thp = ThpMode::Always;
+
+    FleetSlice fleet(env, 32, production,
+                     FleetTopology::fromSpec("8x2"));
+    OdsStoreOptions options;
+    options.shards = shards;
+    OdsStore ods(options);
+    RolloutPolicy policy = RolloutPolicy::blastRadiusAware();
+    policy.canarySoakSec = 1800.0;
+    policy.waveIntervalSec = 600.0;
+
+    RolloutResult result = fleet.rollout(winner, policy, ods);
+    EXPECT_TRUE(result.completed);
+    return result.toJson().dump(2);
+}
+
+TEST(OdsShardIdentity, TrivialTopologyVerdictIsShardCountInvariant)
+{
+    std::string one = trivialRollout(1);
+    EXPECT_EQ(one, trivialRollout(4));
+    EXPECT_EQ(one, trivialRollout(16));
+}
+
+TEST(OdsShardIdentity, DomainTopologyVerdictIsShardCountInvariant)
+{
+    std::string one = domainRollout(1);
+    EXPECT_EQ(one, domainRollout(4));
+    EXPECT_EQ(one, domainRollout(64));
+}
+
+TEST(OdsShardIdentity, QueryResultsMatchAcrossShardCounts)
+{
+    // Below the verdict level: the raw samples every health check
+    // reads are identical point for point, series for series.
+    auto fill = [](OdsStore &ods) {
+        for (int s = 0; s < 24; ++s) {
+            std::string name =
+                "fleet.web.rack" + std::to_string(s % 6) + ".metric" +
+                std::to_string(s);
+            for (int i = 0; i < 200; ++i)
+                ods.append(name, i * 30.0, 100.0 + s + 0.25 * (i % 9));
+        }
+    };
+    OdsStoreOptions oneShard;
+    oneShard.shards = 1;
+    OdsStore a(oneShard);
+    OdsStoreOptions manyShards;
+    manyShards.shards = 32;
+    OdsStore b(manyShards);
+    fill(a);
+    fill(b);
+
+    std::vector<std::string> namesA = a.seriesNames();
+    EXPECT_EQ(namesA, b.seriesNames());
+    for (const std::string &name : namesA) {
+        auto pa = a.query(name, 0.0, 1e9);
+        auto pb = b.query(name, 0.0, 1e9);
+        ASSERT_EQ(pa.size(), pb.size());
+        for (size_t i = 0; i < pa.size(); ++i) {
+            EXPECT_DOUBLE_EQ(pa[i].timeSec, pb[i].timeSec);
+            EXPECT_DOUBLE_EQ(pa[i].value, pb[i].value);
+        }
+        auto ga = a.aggregate(name, 0.0, 1e9);
+        auto gb = b.aggregate(name, 0.0, 1e9);
+        EXPECT_EQ(ga.count, gb.count);
+        EXPECT_DOUBLE_EQ(ga.mean, gb.mean);
+        EXPECT_DOUBLE_EQ(ga.p50, gb.p50);
+        EXPECT_DOUBLE_EQ(ga.p95, gb.p95);
+        EXPECT_DOUBLE_EQ(ga.p99, gb.p99);
+    }
+}
+
+} // namespace
+} // namespace softsku

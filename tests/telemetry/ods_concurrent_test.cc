@@ -1,0 +1,163 @@
+/**
+ * @file Concurrency tests for the sharded ODS store: producers
+ * appending, dashboards querying, and maintenance folding resolutions,
+ * all at once.  Built into the ThreadSanitizer CI job (gtest filter
+ * `Ods*`), so any lock ordering or unguarded access here is a CI
+ * failure, not a production surprise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/ods.hh"
+
+namespace softsku {
+namespace {
+
+std::string
+seriesFor(int producer, int index)
+{
+    return "fleet.t" + std::to_string(producer) + ".s" +
+           std::to_string(index) + ".latency";
+}
+
+TEST(OdsConcurrent, ParallelAppendAndQueryConserveEveryPoint)
+{
+    constexpr int kThreads = 4;
+    constexpr int kSeriesPerThread = 8;
+    constexpr int kPointsPerSeries = 500;
+
+    OdsStoreOptions options;
+    options.shards = 8;  // fewer shards than series: real contention
+    OdsStore ods(options);
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w] {
+            for (int i = 0; i < kPointsPerSeries; ++i) {
+                for (int s = 0; s < kSeriesPerThread; ++s) {
+                    ods.append(seriesFor(w, s), i * 5.0,
+                               100.0 + (i % 13));
+                }
+                // Interleave reads of every other thread's series.
+                if (i % 16 == 0) {
+                    for (int o = 0; o < kThreads; ++o)
+                        ods.aggregate(seriesFor(o, 0), 0.0, 1e9);
+                }
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    // Count conservation: every append landed exactly once.
+    for (int w = 0; w < kThreads; ++w) {
+        for (int s = 0; s < kSeriesPerThread; ++s) {
+            auto agg = ods.aggregate(seriesFor(w, s), 0.0, 1e9);
+            EXPECT_EQ(agg.count,
+                      static_cast<std::uint64_t>(kPointsPerSeries));
+        }
+    }
+    OdsStoreStats stats = ods.stats();
+    EXPECT_EQ(stats.series,
+              static_cast<std::uint64_t>(kThreads * kSeriesPerThread));
+    EXPECT_EQ(stats.rawPoints,
+              static_cast<std::uint64_t>(kThreads * kSeriesPerThread *
+                                         kPointsPerSeries));
+}
+
+TEST(OdsConcurrent, DownsampleRacesAppendersWithoutLosingCounts)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPointsPerSeries = 600;
+
+    OdsStoreOptions options;
+    options.shards = 4;
+    options.retention.rawHorizonSec = 60.0;
+    options.retention.midHorizonSec = 600.0;
+    options.retention.midBucketSec = 60.0;
+    options.retention.longBucketSec = 600.0;
+    OdsStore ods(options);
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w] {
+            std::string series = seriesFor(w, 0);
+            for (int i = 0; i < kPointsPerSeries; ++i) {
+                double t = i * 5.0;
+                ods.append(series, t, 100.0 + (i % 7));
+                // Maintenance folds raw into buckets while the other
+                // threads keep appending and reading.
+                if (i % 50 == 0)
+                    ods.downsample(t);
+                if (i % 25 == 0)
+                    ods.aggregate(series, 0.0, t);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    // Folding moved samples between resolutions but dropped none:
+    // every series still aggregates to its full count.
+    for (int w = 0; w < kThreads; ++w) {
+        auto agg = ods.aggregate(seriesFor(w, 0), 0.0, 1e9);
+        EXPECT_EQ(agg.count,
+                  static_cast<std::uint64_t>(kPointsPerSeries));
+    }
+    OdsStoreStats stats = ods.stats();
+    EXPECT_GT(stats.downsampledPoints, 0u);
+    EXPECT_EQ(stats.droppedPoints, 0u);
+}
+
+TEST(OdsConcurrent, RetainRacesAppendersAndQueriesSafely)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPointsPerSeries = 400;
+
+    OdsStoreOptions options;
+    options.shards = 4;
+    OdsStore ods(options);
+    std::atomic<bool> stop{false};
+
+    std::thread reaper([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            ods.retain(300.0);
+            ods.stats();
+            std::this_thread::yield();
+        }
+    });
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w] {
+            std::string series = seriesFor(w, 0);
+            for (int i = 0; i < kPointsPerSeries; ++i) {
+                ods.append(series, i * 5.0, 1.0);
+                if (i % 20 == 0)
+                    ods.query(series, 0.0, 1e9);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    stop.store(true, std::memory_order_relaxed);
+    reaper.join();
+
+    // Retention kept each series' tail: the newest sample survives and
+    // nothing newer than the horizon was dropped.
+    for (int w = 0; w < kThreads; ++w) {
+        auto points = ods.query(seriesFor(w, 0), 0.0, 1e9);
+        ASSERT_FALSE(points.empty());
+        EXPECT_DOUBLE_EQ(points.back().timeSec,
+                         (kPointsPerSeries - 1) * 5.0);
+        EXPECT_LE(points.back().timeSec - points.front().timeSec,
+                  (kPointsPerSeries - 1) * 5.0);
+    }
+}
+
+} // namespace
+} // namespace softsku

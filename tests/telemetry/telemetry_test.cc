@@ -2,12 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "obs/metrics.hh"
 #include "services/services.hh"
 #include "sim/service_sim.hh"
 #include "stats/running_stat.hh"
 #include "telemetry/emon.hh"
+#include "telemetry/health_view.hh"
 #include "telemetry/ods.hh"
+#include "telemetry/series_names.hh"
+#include "telemetry/sketch.hh"
 
 namespace softsku {
 namespace {
@@ -130,6 +135,233 @@ TEST(Ods, SeriesNamesSorted)
     ASSERT_EQ(names.size(), 2u);
     EXPECT_EQ(names[0], "a");
     EXPECT_EQ(names[1], "b");
+}
+
+TEST(Ods, NearestRankPercentilesAreExactOnRawWindows)
+{
+    // Nearest-rank: the value at rank ceil(q·n), no interpolation, no
+    // floor-truncated index.  On 1..100 that is exactly 50/95/99.
+    OdsStore ods;
+    for (int i = 1; i <= 100; ++i)
+        ods.append("v", i, static_cast<double>(i));
+    auto agg = ods.aggregate("v", 1, 100);
+    EXPECT_DOUBLE_EQ(agg.p50, 50.0);
+    EXPECT_DOUBLE_EQ(agg.p95, 95.0);
+    EXPECT_DOUBLE_EQ(agg.p99, 99.0);
+    EXPECT_FALSE(agg.approximate);
+
+    // Small-n edges: ceil(0.5·4)=2, ceil(0.99·4)=4; n=1 is the sample.
+    OdsStore small;
+    for (int i = 1; i <= 4; ++i)
+        small.append("v", i, static_cast<double>(i));
+    auto four = small.aggregate("v", 0, 10);
+    EXPECT_DOUBLE_EQ(four.p50, 2.0);
+    EXPECT_DOUBLE_EQ(four.p99, 4.0);
+    OdsStore single;
+    single.append("v", 1.0, 42.0);
+    auto one = single.aggregate("v", 0, 10);
+    EXPECT_DOUBLE_EQ(one.p50, 42.0);
+    EXPECT_DOUBLE_EQ(one.p95, 42.0);
+    EXPECT_DOUBLE_EQ(one.p99, 42.0);
+}
+
+TEST(OdsSketch, AddMergeAndPercentileStayWithinBinWidth)
+{
+    OdsSketch a, b;
+    for (int i = 1; i <= 500; ++i)
+        a.add(static_cast<double>(i));
+    for (int i = 501; i <= 1000; ++i)
+        b.add(static_cast<double>(i));
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1000u);
+    EXPECT_DOUBLE_EQ(a.sum(), 500.5 * 1000.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+    // Log-binned nearest-rank: within ~1.2% of the exact rank value.
+    EXPECT_NEAR(a.percentile(0.50), 500.0, 500.0 * 0.03);
+    EXPECT_NEAR(a.percentile(0.99), 990.0, 990.0 * 0.03);
+    // Percentiles never escape the exact extrema.
+    EXPECT_GE(a.percentile(0.0001), 1.0);
+    EXPECT_LE(a.percentile(0.9999), 1000.0);
+
+    // Merging an empty sketch is the identity.
+    OdsSketch empty;
+    std::uint64_t before = a.count();
+    a.merge(empty);
+    EXPECT_EQ(a.count(), before);
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST(Ods, DownsampledAggregateTracksExactWithinSketchTolerance)
+{
+    // Same stream into a keep-forever store (exact) and an aggressively
+    // rolled-up one: count and mean must match exactly (bucket headers
+    // carry them), percentiles within the log-bin width.
+    OdsStore exact;
+    OdsStoreOptions rolled;
+    rolled.retention.rawHorizonSec = 120.0;
+    rolled.retention.midHorizonSec = 1200.0;
+    rolled.retention.midBucketSec = 60.0;
+    rolled.retention.longBucketSec = 600.0;
+    OdsStore approx(rolled);
+
+    double t = 0.0;
+    for (int i = 0; i < 4000; ++i) {
+        double value = 80.0 + 40.0 * std::sin(i * 0.01) + (i % 11);
+        exact.append("lat", t, value);
+        approx.append("lat", t, value);
+        if (i % 100 == 0)
+            approx.downsample(t);
+        t += 5.0;
+    }
+
+    auto e = exact.aggregate("lat", 0.0, t);
+    auto r = approx.aggregate("lat", 0.0, t);
+    EXPECT_FALSE(e.approximate);
+    EXPECT_TRUE(r.approximate);
+    EXPECT_EQ(r.count, e.count);
+    EXPECT_NEAR(r.mean, e.mean, std::abs(e.mean) * 1e-9);
+    EXPECT_DOUBLE_EQ(r.min, e.min);
+    EXPECT_DOUBLE_EQ(r.max, e.max);
+    EXPECT_NEAR(r.p50, e.p50, std::abs(e.p50) * 0.03);
+    EXPECT_NEAR(r.p95, e.p95, std::abs(e.p95) * 0.03);
+    EXPECT_NEAR(r.p99, e.p99, std::abs(e.p99) * 0.03);
+
+    // The fresh tail is still raw: a window inside the raw horizon
+    // aggregates exactly.
+    auto tail = approx.aggregate("lat", t - 60.0, t);
+    EXPECT_FALSE(tail.approximate);
+}
+
+TEST(Ods, DownsampleIsNoOpUnderDefaultRetention)
+{
+    OdsStore ods;
+    for (int i = 0; i < 1000; ++i)
+        ods.append("v", i * 60.0, static_cast<double>(i));
+    ods.downsample(1e9);
+    EXPECT_EQ(ods.query("v", 0.0, 1e12).size(), 1000u);
+    OdsStoreStats stats = ods.stats();
+    EXPECT_EQ(stats.rawPoints, 1000u);
+    EXPECT_EQ(stats.rollupBuckets, 0u);
+    EXPECT_EQ(stats.downsampledPoints, 0u);
+}
+
+TEST(Ods, FleetScaleRetentionPreset)
+{
+    OdsRetention fleet = OdsRetention::fleetScale();
+    EXPECT_TRUE(fleet.enabled());
+    EXPECT_DOUBLE_EQ(fleet.rawHorizonSec, 3600.0);
+    EXPECT_DOUBLE_EQ(fleet.midHorizonSec, 86400.0);
+    EXPECT_DOUBLE_EQ(fleet.longHorizonSec, 30.0 * 86400.0);
+    EXPECT_FALSE(OdsRetention{}.enabled());
+}
+
+TEST(Ods, StatsAndGaugesCensusTheStore)
+{
+    OdsStoreOptions options;
+    options.shards = 4;
+    OdsStore ods(options);
+    for (int s = 0; s < 10; ++s)
+        for (int i = 0; i < 50; ++i)
+            ods.append("series" + std::to_string(s), i * 1.0, 1.0);
+
+    OdsStoreStats stats = ods.stats();
+    EXPECT_EQ(stats.series, 10u);
+    EXPECT_EQ(stats.rawPoints, 500u);
+    EXPECT_GE(stats.shardMaxPoints, 500u / 4);
+    EXPECT_LE(stats.shardMaxPoints, 500u);
+
+    ods.publishGauges();
+    MetricsRegistry &global = MetricsRegistry::global();
+    EXPECT_DOUBLE_EQ(
+        global.gauge("ods.series", MetricScope::Operational).value(),
+        10.0);
+    EXPECT_DOUBLE_EQ(
+        global.gauge("ods.points", MetricScope::Operational).value(),
+        500.0);
+    EXPECT_DOUBLE_EQ(global
+                         .gauge("ods.shard_max_points",
+                                MetricScope::Operational)
+                         .value(),
+                     static_cast<double>(stats.shardMaxPoints));
+}
+
+TEST(OdsHealthView, TopRegressedRanksWorstFirstWithNameTiebreak)
+{
+    OdsStore ods;
+    auto fill = [&](const std::string &series, double base,
+                    double recent) {
+        for (int i = 0; i < 10; ++i) {
+            ods.append(series, 100.0 + i, base);
+        }
+        for (int i = 0; i < 10; ++i)
+            ods.append(series, 200.0 + i, recent);
+    };
+    fill(fleetSeriesName("web", "alpha"), 100.0, 90.0);   // -10%
+    fill(fleetSeriesName("web", "beta"), 100.0, 90.0);    // -10% tie
+    fill(fleetSeriesName("web", "gamma"), 100.0, 97.0);   // -3%
+    fill(fleetSeriesName("web", "delta"), 100.0, 104.0);  // +4%
+    fill(fleetSeriesName("db", "other"), 100.0, 1.0);     // wrong prefix
+
+    FleetHealthView view(ods);
+    auto trends = view.topRegressed(fleetSeriesPrefix("web"), 100.0,
+                                    110.0, 200.0, 210.0, 3);
+    ASSERT_EQ(trends.size(), 3u);
+    EXPECT_EQ(trends[0].series, fleetSeriesName("web", "alpha"));
+    EXPECT_EQ(trends[1].series, fleetSeriesName("web", "beta"));
+    EXPECT_EQ(trends[2].series, fleetSeriesName("web", "gamma"));
+    EXPECT_NEAR(trends[0].deltaPercent, -10.0, 1e-9);
+    EXPECT_EQ(trends[0].baseCount, 10u);
+    EXPECT_EQ(trends[0].recentCount, 10u);
+}
+
+TEST(OdsHealthView, ReportDiscoversRacksAndMarksSickOnes)
+{
+    OdsStore ods;
+    // Three racks; rack 1's converted cohort runs 8% under its control.
+    for (int rack = 0; rack < 3; ++rack) {
+        double norm = rack == 1 ? 92.0 : 100.0;
+        for (int i = 0; i < 20; ++i) {
+            double t = i * 60.0;
+            ods.append(rackSeriesName("web", rack, "normalized"), t,
+                       norm);
+            ods.append(rackSeriesName("web", rack, "control_normalized"),
+                       t, 100.0);
+            ods.append(rackSeriesName("web", rack, "online"), t, 4.0);
+        }
+    }
+    for (int i = 0; i < 20; ++i)
+        ods.append(fleetSeriesName("web", "mips"), i * 60.0, 1000.0);
+
+    FleetHealthView view(ods);
+    FleetHealthReport report =
+        view.report("web", 0.0, 20 * 60.0, 5, 3.0);
+    EXPECT_EQ(report.service, "web");
+    ASSERT_EQ(report.racks.size(), 3u);
+    EXPECT_EQ(report.sickRacks, 1);
+    EXPECT_FALSE(report.racks[0].sick);
+    EXPECT_TRUE(report.racks[1].sick);
+    EXPECT_FALSE(report.racks[2].sick);
+    EXPECT_NEAR(report.racks[1].deltaPercent, -8.0, 1e-9);
+    EXPECT_DOUBLE_EQ(report.racks[0].onlineMean, 4.0);
+
+    // JSON and text forms render without surprises.
+    Json doc = report.toJson();
+    EXPECT_EQ(doc.at("service").asString(), "web");
+    EXPECT_EQ(doc.at("sick_racks").asInt(), 1);
+    EXPECT_EQ(doc.at("racks").size(), 3u);
+    EXPECT_NE(report.renderText().find("rack"), std::string::npos);
+
+    // A trivial-topology store yields an empty matrix, not a crash.
+    OdsStore flat;
+    for (int i = 0; i < 10; ++i)
+        flat.append(fleetSeriesName("web", "mips"), i * 60.0, 1000.0);
+    FleetHealthView flatView(flat);
+    FleetHealthReport flatReport = flatView.report("web", 0.0, 600.0);
+    EXPECT_TRUE(flatReport.racks.empty());
+    EXPECT_EQ(flatReport.sickRacks, 0);
 }
 
 class EmonTest : public testing::Test
