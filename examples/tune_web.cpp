@@ -7,11 +7,15 @@
  * Usage:
  *   tune_web [--service=web] [--platform=skylake18]
  *            [--sweep=independent|exhaustive|hillclimb]
- *            [--knobs=cdp,thp,shp] [--seed=1] [--json]
+ *            [--knobs=cdp,thp,shp] [--list-knobs] [--seed=1] [--json]
  *            [--jobs=N|auto] [--faults=off|mild|moderate|severe|k=v,..]
  *            [--fault-seed=N] [--cache-dir=DIR] [--trace-out=FILE]
  *            [--metrics] [--progress]
  *            [--log-level=silent|error|warn|info|debug]
+ *
+ * --knobs restricts the sweep to the named registry keys (the shared
+ * ToolOptions flag); --list-knobs prints the knob registry — key,
+ * name, reboot requirement, platform availability — and exits.
  *
  * --jobs parallelizes the A/B sweep across N worker threads; the
  * report is bit-identical for every N (deterministic replay).
@@ -36,6 +40,7 @@
 
 #include <cstdio>
 
+#include "core/knob_registry.hh"
 #include "core/usku.hh"
 #include "services/services.hh"
 #include "util/cli.hh"
@@ -44,10 +49,40 @@
 
 using namespace softsku;
 
+namespace {
+
+/** --list-knobs: the registry as a table, one row per descriptor. */
+void
+printKnobRegistry()
+{
+    TextTable table;
+    table.header({"key", "name", "reboot", "availability"});
+    for (const KnobDescriptor &d : knobRegistry()) {
+        std::string availability = "all platforms";
+        if (d.availableOn) {
+            std::vector<std::string> names;
+            for (const PlatformSpec *platform : allPlatforms()) {
+                if (d.availableOn(*platform))
+                    names.push_back(platform->name);
+            }
+            availability = names.empty() ? "none" : join(names, ", ");
+        }
+        table.row({d.key, d.displayName, d.requiresReboot ? "yes" : "no",
+                   availability});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     CliArgs args(argc, argv);
+    if (args.has("list-knobs")) {
+        printKnobRegistry();
+        return 0;
+    }
     ToolOptions tool = ToolOptions::fromArgs(args);
     tool.apply();
 
@@ -56,10 +91,6 @@ main(int argc, char **argv)
     spec.platform = args.get("platform", "skylake18");
     spec.sweep = sweepModeFromString(args.get("sweep", "independent"));
     spec.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
-    if (args.has("knobs")) {
-        for (const std::string &key : split(args.get("knobs"), ','))
-            spec.knobs.push_back(knobFromKey(std::string(trim(key))));
-    }
     spec.applySearchOverrides(tool);
     spec.normalize();
 

@@ -104,6 +104,22 @@ makeBroadwell16()
     return p;
 }
 
+PlatformSpec
+makeSkylake18Cxl()
+{
+    PlatformSpec p = makeSkylake18();
+    p.name = "skylake18cxl";
+    // A x8 CXL 2.0 memory expander: roughly a quarter of the DRAM
+    // tier's bandwidth, and ~135 ns of link + far-controller latency on
+    // top of the near path.  The kernel places a quarter of each
+    // service's (coldest) pages there by default.
+    p.farMemory.present = true;
+    p.farMemory.peakBandwidthGBs = 28.0;
+    p.farMemory.extraLatencyNs = 135.0;
+    p.farMemory.defaultRatio = 0.25;
+    return p;
+}
+
 } // namespace
 
 std::vector<double>
@@ -150,23 +166,42 @@ broadwell16()
 }
 
 const PlatformSpec &
-platformByName(const std::string &name)
+skylake18cxl()
+{
+    static const PlatformSpec spec = makeSkylake18Cxl();
+    return spec;
+}
+
+const PlatformSpec *
+platformByNameOrNull(const std::string &name)
 {
     std::string key = toLower(name);
-    if (key == "skylake18")
-        return skylake18();
-    if (key == "skylake20")
-        return skylake20();
-    if (key == "broadwell16")
-        return broadwell16();
-    fatal("unknown platform '%s' (expected skylake18, skylake20, or "
-          "broadwell16)", name.c_str());
+    for (const PlatformSpec *platform : allPlatforms()) {
+        if (platform->name == key)
+            return platform;
+    }
+    return nullptr;
+}
+
+const PlatformSpec &
+platformByName(const std::string &name)
+{
+    if (const PlatformSpec *platform = platformByNameOrNull(name))
+        return *platform;
+    std::string known;
+    for (const PlatformSpec *platform : allPlatforms()) {
+        if (!known.empty())
+            known += ", ";
+        known += platform->name;
+    }
+    fatal("unknown platform '%s' (expected one of: %s)", name.c_str(),
+          known.c_str());
 }
 
 std::vector<const PlatformSpec *>
 allPlatforms()
 {
-    return {&skylake18(), &skylake20(), &broadwell16()};
+    return {&skylake18(), &skylake20(), &broadwell16(), &skylake18cxl()};
 }
 
 } // namespace softsku

@@ -39,6 +39,24 @@ struct TlbGeometry
     int ways = 4;
 };
 
+/**
+ * An optional far-memory tier (CXL-style memory expander) behind the
+ * DRAM tier.  Platforms that declare one unlock the memory-tier knobs
+ * (mba, tier_policy, far_mem_ratio): the two-tier queueing model in
+ * mem/dram resolves traffic against both tiers, and the kernel's
+ * tiering policy migrates hot pages between them.
+ */
+struct FarMemorySpec
+{
+    bool present = false;
+    /** Sustained link bandwidth of the far tier (GB/s). */
+    double peakBandwidthGBs = 0.0;
+    /** Link + far-controller latency added on top of the near path (ns). */
+    double extraLatencyNs = 0.0;
+    /** Kernel-default cold-page placement ratio on a fresh install. */
+    double defaultRatio = 0.0;
+};
+
 /** Which of the four Intel prefetchers exist/are enabled. */
 struct PrefetcherSet
 {
@@ -96,6 +114,7 @@ struct PlatformSpec
 
     PrefetcherSet prefetchers;        //!< which prefetchers exist
     bool supportsRdt = true;          //!< CAT/CDP available
+    FarMemorySpec farMemory;          //!< CXL-style far tier, if any
 
     /** L2 hit latency (cycles at core frequency). */
     double l2LatencyCycles = 14.0;
@@ -127,10 +146,21 @@ const PlatformSpec &skylake20();
 const PlatformSpec &broadwell16();
 
 /**
+ * Skylake18 refitted with a CXL-style far-memory expander: the
+ * hyperscale-era platform that declares a far tier and therefore
+ * exposes the memory-tier knobs (mba, tier_policy, far_mem_ratio).
+ */
+const PlatformSpec &skylake18cxl();
+
+/**
  * Look up a platform by registry name ("skylake18", "skylake20",
- * "broadwell16"); fatal() on unknown names (user input).
+ * "broadwell16", "skylake18cxl"); fatal() on unknown names (user
+ * input).
  */
 const PlatformSpec &platformByName(const std::string &name);
+
+/** As platformByName, but nullptr on unknown names. */
+const PlatformSpec *platformByNameOrNull(const std::string &name);
 
 /** All registered platforms. */
 std::vector<const PlatformSpec *> allPlatforms();

@@ -43,9 +43,11 @@ namespace softsku {
  *
  * History: 1 = comparison entries only; 2 = adds the "validation"
  * section (chunked validation-phase results) — version-1 files are
- * ignored with a warning, which is exactly a cold run.
+ * ignored with a warning, which is exactly a cold run.  3 = embedded
+ * knob configs move to the registry's keyed "knobs" layout; stale v2
+ * files are likewise ignored with a warning and rebuilt.
  */
-constexpr int kAbCacheSchemaVersion = 2;
+constexpr int kAbCacheSchemaVersion = 3;
 
 /**
  * Exact double → "0x..." IEEE-754 bit pattern.  The cache's fidelity

@@ -1,80 +1,21 @@
 #include "core/design_space.hh"
 
-#include <cmath>
-
+#include "core/knob_registry.hh"
 #include "util/logging.hh"
-#include "util/strings.hh"
 
 namespace softsku {
 
 void
 KnobValue::applyTo(KnobConfig &config) const
 {
-    switch (id) {
-      case KnobId::CoreFrequency:
-        config.coreFreqGHz = number;
-        break;
-      case KnobId::UncoreFrequency:
-        config.uncoreFreqGHz = number;
-        break;
-      case KnobId::CoreCount:
-        config.activeCores = static_cast<int>(number);
-        break;
-      case KnobId::Cdp:
-        config.cdp = cdp;
-        break;
-      case KnobId::Prefetcher:
-        config.prefetch = prefetch;
-        break;
-      case KnobId::Thp:
-        config.thp = thp;
-        break;
-      case KnobId::Shp:
-        config.shpCount = static_cast<int>(number);
-        break;
-    }
+    knobDescriptor(id).apply(*this, config);
 }
 
 KnobValue
 KnobValue::fromConfig(KnobId id, const KnobConfig &config)
 {
-    KnobValue value;
+    KnobValue value = knobDescriptor(id).capture(config);
     value.id = id;
-    switch (id) {
-      case KnobId::CoreFrequency:
-        value.number = config.coreFreqGHz;
-        value.label = format("%.1f GHz", config.coreFreqGHz);
-        break;
-      case KnobId::UncoreFrequency:
-        value.number = config.uncoreFreqGHz;
-        value.label = format("%.1f GHz", config.uncoreFreqGHz);
-        break;
-      case KnobId::CoreCount:
-        value.number = config.activeCores;
-        value.label = config.activeCores <= 0
-                          ? "all cores"
-                          : format("%d cores", config.activeCores);
-        break;
-      case KnobId::Cdp:
-        value.cdp = config.cdp;
-        value.label = config.cdp.enabled
-                          ? format("{%dd,%dc}", config.cdp.dataWays,
-                                   config.cdp.codeWays)
-                          : "CDP off";
-        break;
-      case KnobId::Prefetcher:
-        value.prefetch = config.prefetch;
-        value.label = prefetcherPresetName(config.prefetch);
-        break;
-      case KnobId::Thp:
-        value.thp = config.thp;
-        value.label = "THP " + thpModeName(config.thp);
-        break;
-      case KnobId::Shp:
-        value.number = config.shpCount;
-        value.label = format("%d SHPs", config.shpCount);
-        break;
-    }
     return value;
 }
 
@@ -87,114 +28,26 @@ knobApplicable(KnobId id, const PlatformSpec &platform,
             *reason = why;
         return false;
     };
-    if (knobRequiresReboot(id) && !profile.toleratesReboot) {
+    const KnobDescriptor &d = knobDescriptor(id);
+    if (d.availableOn && !d.availableOn(platform))
+        return fail(d.unavailableReason);
+    if (d.requiresReboot && !profile.toleratesReboot)
         return fail("service cannot tolerate reboots on live traffic");
+    if (d.inapplicableReason) {
+        if (const char *why = d.inapplicableReason(platform, profile))
+            return fail(why);
     }
-    switch (id) {
-      case KnobId::Shp:
-        if (!profile.usesShp)
-            return fail("service does not use the SHP allocation APIs");
-        return true;
-      case KnobId::Cdp:
-        if (!platform.supportsRdt)
-            return fail("platform lacks RDT (CAT/CDP)");
-        return true;
-      default:
-        return true;
-    }
+    return true;
 }
 
 std::vector<KnobValue>
 knobDomain(KnobId id, const PlatformSpec &platform,
            const WorkloadProfile &profile)
 {
-    std::vector<KnobValue> domain;
-    auto add = [&](KnobValue value) {
+    std::vector<KnobValue> domain = knobDescriptor(id).domain(platform,
+                                                              profile);
+    for (KnobValue &value : domain)
         value.id = id;
-        domain.push_back(std::move(value));
-    };
-
-    switch (id) {
-      case KnobId::CoreFrequency: {
-        double maxGHz = platform.coreFreqMaxGHz;
-        if (profile.usesAvx)
-            maxGHz -= 0.2;   // shared core/uncore power budget
-        for (double f : platform.coreFrequencySettings()) {
-            if (f > maxGHz + 1e-9)
-                continue;
-            KnobValue v;
-            v.number = f;
-            v.label = format("%.1f GHz", f);
-            add(std::move(v));
-        }
-        break;
-      }
-
-      case KnobId::UncoreFrequency:
-        for (double f : platform.uncoreFrequencySettings()) {
-            KnobValue v;
-            v.number = f;
-            v.label = format("%.1f GHz", f);
-            add(std::move(v));
-        }
-        break;
-
-      case KnobId::CoreCount: {
-        for (int cores = 2; cores < platform.totalCores(); cores += 2) {
-            KnobValue v;
-            v.number = cores;
-            v.label = format("%d cores", cores);
-            add(std::move(v));
-        }
-        KnobValue v;
-        v.number = platform.totalCores();
-        v.label = format("%d cores", platform.totalCores());
-        add(std::move(v));
-        break;
-      }
-
-      case KnobId::Cdp: {
-        KnobValue off;
-        off.label = "CDP off";
-        add(std::move(off));
-        for (int data = 1; data < platform.llc.ways; ++data) {
-            int code = platform.llc.ways - data;
-            KnobValue v;
-            v.cdp = {true, data, code};
-            v.label = format("{%dd,%dc}", data, code);
-            add(std::move(v));
-        }
-        break;
-      }
-
-      case KnobId::Prefetcher:
-        for (PrefetcherPreset preset : allPrefetcherPresets()) {
-            KnobValue v;
-            v.prefetch = preset;
-            v.label = prefetcherPresetName(preset);
-            add(std::move(v));
-        }
-        break;
-
-      case KnobId::Thp:
-        for (ThpMode mode :
-             {ThpMode::Madvise, ThpMode::Always, ThpMode::Never}) {
-            KnobValue v;
-            v.thp = mode;
-            v.label = "THP " + thpModeName(mode);
-            add(std::move(v));
-        }
-        break;
-
-      case KnobId::Shp:
-        for (int count = 0; count <= 600; count += 100) {
-            KnobValue v;
-            v.number = count;
-            v.label = format("%d SHPs", count);
-            add(std::move(v));
-        }
-        break;
-    }
     SOFTSKU_ASSERT(!domain.empty());
     return domain;
 }

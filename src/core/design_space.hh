@@ -30,8 +30,9 @@ struct KnobValue
     CdpSetting cdp;
     PrefetcherPreset prefetch = PrefetcherPreset::AllOn;
     ThpMode thp = ThpMode::Madvise;
+    TierPolicy tier = TierPolicy::Static;
 
-    /** Overwrite this knob's field in @p config. */
+    /** Overwrite this knob's field in @p config (descriptor hook). */
     void applyTo(KnobConfig &config) const;
 
     /** The value @p config currently holds for knob @p id. */
@@ -42,18 +43,21 @@ struct KnobValue
 
 /**
  * True when μSKU may sweep @p id for this service on this platform
- * (the configurator's filtering step).  @p reason receives a short
- * explanation when the knob is skipped.
+ * (the configurator's filtering step).  The shared reboot gate and the
+ * per-knob rules both come from the descriptor registry.  @p reason
+ * receives a short explanation when the knob is skipped.
  */
 bool knobApplicable(KnobId id, const PlatformSpec &platform,
                     const WorkloadProfile &profile,
                     std::string *reason = nullptr);
 
 /**
- * Candidate values for @p id, mirroring the paper's sweeps: core
- * frequency 1.6→max (AVX cap applies), uncore 1.4→1.8, core count 2→
- * platform max, CDP off plus every {data, code} split, the five
- * prefetcher presets, three THP modes, and SHP 0→600 by 100.
+ * Candidate values for @p id from the descriptor's axis generator,
+ * mirroring the paper's sweeps: core frequency 1.6→max (AVX cap
+ * applies), uncore 1.4→1.8, core count 2→platform max, CDP off plus
+ * every {data, code} split, the five prefetcher presets, three THP
+ * modes, SHP 0→600 by 100 — plus the memory-tier axes (MB throttle
+ * percentages, the four tier policies, far-placement ratios).
  */
 std::vector<KnobValue> knobDomain(KnobId id, const PlatformSpec &platform,
                                   const WorkloadProfile &profile);

@@ -1,5 +1,6 @@
 #include "core/input_spec.hh"
 
+#include "core/knob_registry.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -33,8 +34,19 @@ sweepModeName(SweepMode mode)
 void
 InputSpec::normalize()
 {
-    if (knobs.empty())
-        knobs = allKnobIds();
+    if (!knobs.empty())
+        return;
+    // Default to every knob the platform offers.  Platform-gated knobs
+    // (the memory-tier trio) simply do not exist on platforms without
+    // the hardware — they are excluded here, not listed as skipped.
+    // Unknown platform names fall back to the ungated set and fail
+    // later with the platform lookup's own error.
+    const PlatformSpec *spec = platformByNameOrNull(platform);
+    for (const KnobDescriptor &d : knobRegistry()) {
+        if (d.availableOn && !(spec && d.availableOn(*spec)))
+            continue;
+        knobs.push_back(d.id);
+    }
 }
 
 void
@@ -44,6 +56,11 @@ InputSpec::applySearchOverrides(const ToolOptions &tool)
         search = searchModeFromString(tool.search);
     if (tool.confidence > 0.0)
         confidence = tool.confidence;
+    if (!tool.knobs.empty()) {
+        knobs.clear();
+        for (const std::string &key : split(tool.knobs, ','))
+            knobs.push_back(knobFromKey(std::string(trim(key))));
+    }
 }
 
 void

@@ -42,7 +42,7 @@ struct InputSpec
     std::string microservice;            //!< e.g. "web"
     std::string platform;                //!< e.g. "skylake18"
     SweepMode sweep = SweepMode::Independent;
-    /** Knobs to explore; defaults to all seven. */
+    /** Knobs to explore; defaults to every knob the platform offers. */
     std::vector<KnobId> knobs;
 
     double confidence = 0.95;            //!< significance level
@@ -67,13 +67,17 @@ struct InputSpec
     /** Wall-clock length of the prolonged validation phase. */
     double validationDurationSec = 2.0 * 86400.0;
 
-    /** Fill `knobs` with all seven when empty. */
+    /**
+     * Fill `knobs` when empty with every registry knob available on the
+     * named platform (platform-gated knobs are excluded outright, not
+     * listed as skipped).
+     */
     void normalize();
 
     /**
-     * Overlay the tool-level --search/--confidence flags: an empty
-     * search string / zero confidence keeps the spec's own values, so
-     * every tool applies the flags the same way.
+     * Overlay the tool-level --search/--confidence/--knobs flags: an
+     * empty search string / zero confidence / empty knob list keeps the
+     * spec's own values, so every tool applies the flags the same way.
      */
     void applySearchOverrides(const ToolOptions &tool);
 

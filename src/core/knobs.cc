@@ -1,5 +1,6 @@
 #include "core/knobs.hh"
 
+#include "core/knob_registry.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 #include "workload/profile.hh"
@@ -9,59 +10,38 @@ namespace softsku {
 std::vector<KnobId>
 allKnobIds()
 {
-    return {KnobId::CoreFrequency, KnobId::UncoreFrequency,
-            KnobId::CoreCount,     KnobId::Cdp,
-            KnobId::Prefetcher,    KnobId::Thp,
-            KnobId::Shp};
+    std::vector<KnobId> ids;
+    for (const KnobDescriptor &d : knobRegistry())
+        ids.push_back(d.id);
+    return ids;
 }
 
 std::string
 knobKey(KnobId id)
 {
-    switch (id) {
-      case KnobId::CoreFrequency: return "core_freq";
-      case KnobId::UncoreFrequency: return "uncore_freq";
-      case KnobId::CoreCount: return "core_count";
-      case KnobId::Cdp: return "cdp";
-      case KnobId::Prefetcher: return "prefetcher";
-      case KnobId::Thp: return "thp";
-      case KnobId::Shp: return "shp";
-    }
-    panic("unreachable knob id");
+    return knobDescriptor(id).key;
 }
 
 KnobId
 knobFromKey(const std::string &key)
 {
     std::string k = toLower(key);
-    for (KnobId id : allKnobIds()) {
-        if (knobKey(id) == k)
-            return id;
-    }
-    fatal("unknown knob '%s'", key.c_str());
+    if (const KnobDescriptor *d = findKnobDescriptor(k))
+        return d->id;
+    fatal("unknown knob '%s' (expected one of: %s)", key.c_str(),
+          knobKeyList().c_str());
 }
 
 std::string
 knobDisplayName(KnobId id)
 {
-    switch (id) {
-      case KnobId::CoreFrequency: return "Core frequency";
-      case KnobId::UncoreFrequency: return "Uncore frequency";
-      case KnobId::CoreCount: return "Core count";
-      case KnobId::Cdp: return "CDP: LLC code/data ways";
-      case KnobId::Prefetcher: return "Prefetcher";
-      case KnobId::Thp: return "Transparent huge pages";
-      case KnobId::Shp: return "Static huge pages";
-    }
-    panic("unreachable knob id");
+    return knobDescriptor(id).displayName;
 }
 
 bool
 knobRequiresReboot(KnobId id)
 {
-    // Core-count changes go through the boot loader's isolcpus flag
-    // (Sec. 5); SHP reservations are boot-time kernel parameters.
-    return id == KnobId::CoreCount || id == KnobId::Shp;
+    return knobDescriptor(id).requiresReboot;
 }
 
 int
@@ -83,34 +63,28 @@ KnobConfig::canonical(const PlatformSpec &platform) const
 std::string
 KnobConfig::describe() const
 {
-    std::string cdpText =
-        cdp.enabled ? format("{%dd,%dc}", cdp.dataWays, cdp.codeWays)
-                    : "off";
-    return format("core=%.1fGHz uncore=%.1fGHz cores=%s cdp=%s pf=%s "
-                  "thp=%s shp=%d",
-                  coreFreqGHz, uncoreFreqGHz,
-                  activeCores <= 0 ? "all"
-                                   : format("%d", activeCores).c_str(),
-                  cdpText.c_str(),
-                  prefetcherPresetKey(prefetch).c_str(),
-                  thpModeName(thp).c_str(), shpCount);
+    // Joined descriptor fragments; knobs at "absent" defaults emit
+    // nothing, so legacy configs keep their historical string bytes.
+    std::string out;
+    for (const KnobDescriptor &d : knobRegistry()) {
+        std::string fragment = d.describeFragment(*this);
+        if (fragment.empty())
+            continue;
+        if (!out.empty())
+            out += ' ';
+        out += fragment;
+    }
+    return out;
 }
 
 Json
 KnobConfig::toJson() const
 {
+    Json knobs = Json::object();
+    for (const KnobDescriptor &d : knobRegistry())
+        d.writeJson(*this, knobs);
     Json doc = Json::object();
-    doc.set("core_freq_ghz", Json(coreFreqGHz));
-    doc.set("uncore_freq_ghz", Json(uncoreFreqGHz));
-    doc.set("active_cores", Json(activeCores));
-    Json cdpDoc = Json::object();
-    cdpDoc.set("enabled", Json(cdp.enabled));
-    cdpDoc.set("data_ways", Json(cdp.dataWays));
-    cdpDoc.set("code_ways", Json(cdp.codeWays));
-    doc.set("cdp", std::move(cdpDoc));
-    doc.set("prefetcher", Json(prefetcherPresetKey(prefetch)));
-    doc.set("thp", Json(thpModeName(thp)));
-    doc.set("shp_count", Json(shpCount));
+    doc.set("knobs", std::move(knobs));
     return doc;
 }
 
@@ -118,6 +92,15 @@ KnobConfig
 KnobConfig::fromJson(const Json &doc)
 {
     KnobConfig cfg;
+    if (doc.contains("knobs")) {
+        // Schema v3: keyed knobs object, one codec per descriptor.
+        const Json &knobs = doc.at("knobs");
+        for (const KnobDescriptor &d : knobRegistry())
+            d.readJson(knobs, cfg);
+        return cfg;
+    }
+
+    // Flat v2 layout, kept readable for persisted caches and reports.
     cfg.coreFreqGHz = doc.numberOr("core_freq_ghz", cfg.coreFreqGHz);
     cfg.uncoreFreqGHz = doc.numberOr("uncore_freq_ghz", cfg.uncoreFreqGHz);
     cfg.activeCores =
@@ -166,6 +149,12 @@ stockConfig(const PlatformSpec &platform, const WorkloadProfile &profile)
     cfg.prefetch = PrefetcherPreset::AllOn;
     cfg.thp = ThpMode::Always;
     cfg.shpCount = 0;
+    if (platform.farMemory.present) {
+        // Fresh installs on far-memory platforms ship the kernel's
+        // balanced tiering daemon and the platform's capacity split.
+        cfg.tierPolicy = TierPolicy::Balanced;
+        cfg.farMemRatio = platform.farMemory.defaultRatio;
+    }
     return cfg;
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
  * The soft-SKU design space: the paper's seven configurable server
- * knobs (Sec. 4-5).
+ * knobs (Sec. 4-5), plus the hyperscale-era memory-tier knobs.
  *
  *  1. core frequency        (MSR, 1.6-2.2 GHz)
  *  2. uncore frequency      (MSR, 1.4-1.8 GHz)
@@ -10,6 +10,15 @@
  *  5. hardware prefetchers  (MSR, five presets)
  *  6. transparent huge pages (kernel config file)
  *  7. static huge pages     (kernel parameter, 0-600 by 100)
+ *  8. memory-bandwidth throttle (resctrl MB percentage)
+ *  9. tier promotion policy (kernel memory-tiering policy file)
+ * 10. far-memory placement ratio (kernel memory-tiering ratio file)
+ *
+ * Knobs 8-10 exist only on platforms that declare a far-memory tier
+ * (PlatformSpec::farMemory); everything knob-generic — keys, display
+ * names, sweep axes, actuation, JSON — lives in the descriptor
+ * registry (core/knob_registry.hh), and the free functions below are
+ * thin registry lookups.
  */
 
 #ifndef SOFTSKU_CORE_KNOBS_HH
@@ -19,6 +28,7 @@
 #include <vector>
 
 #include "arch/platform.hh"
+#include "mem/dram.hh"
 #include "os/hugepage.hh"
 #include "prefetch/config.hh"
 #include "util/json.hh"
@@ -27,7 +37,7 @@ namespace softsku {
 
 struct WorkloadProfile;
 
-/** Identifier for one of the seven knobs. */
+/** Identifier for one of the registered knobs. */
 enum class KnobId
 {
     CoreFrequency = 0,
@@ -37,15 +47,19 @@ enum class KnobId
     Prefetcher,
     Thp,
     Shp,
+    Mba,
+    TierPolicyKnob,
+    FarMemRatio,
 };
 
-/** All knob ids in the paper's order. */
+/** All registered knob ids, in registry (paper) order. */
 std::vector<KnobId> allKnobIds();
 
 /** Registry key for a knob ("core_freq", "uncore_freq", ...). */
 std::string knobKey(KnobId id);
 
-/** Parse a knob registry key; fatal() on unknown keys. */
+/** Parse a knob registry key; fatal() on unknown keys, listing the
+ *  valid ones. */
 KnobId knobFromKey(const std::string &key);
 
 /** Human-readable knob name. */
@@ -64,7 +78,7 @@ struct CdpSetting
     bool operator==(const CdpSetting &) const = default;
 };
 
-/** A full soft-SKU configuration: a value for each of the seven knobs. */
+/** A full soft-SKU configuration: a value for each registered knob. */
 struct KnobConfig
 {
     double coreFreqGHz = 2.2;
@@ -75,6 +89,17 @@ struct KnobConfig
     PrefetcherPreset prefetch = PrefetcherPreset::AllOn;
     ThpMode thp = ThpMode::Always;
     int shpCount = 0;
+
+    // Memory-tier knobs.  The defaults are the exact no-far-tier
+    // behavior, and describe()/toJson() omit them at their defaults, so
+    // legacy seven-knob configs keep their historical bytes (memo keys,
+    // cache contexts, reports).
+    /** resctrl MB throttle percent; 100 = unthrottled. */
+    int mbaPercent = 100;
+    /** Far-tier promotion aggressiveness; Static never migrates. */
+    TierPolicy tierPolicy = TierPolicy::Static;
+    /** Fraction of the footprint placed on the far tier. */
+    double farMemRatio = 0.0;
 
     bool operator==(const KnobConfig &) const = default;
 
@@ -91,10 +116,20 @@ struct KnobConfig
     /** One-line description, e.g. for A/B test logs. */
     std::string describe() const;
 
-    /** Serialize for design-space maps and reports. */
+    /**
+     * Serialize for design-space maps and reports (schema v3): a keyed
+     * "knobs" object written by the descriptor codecs.  Memory-tier
+     * knobs are omitted at their defaults, so legacy configs emit
+     * exactly the seven historical keys.
+     */
     Json toJson() const;
 
-    /** Deserialize; fatal() on malformed documents (user input). */
+    /**
+     * Deserialize; fatal() on malformed documents (user input).
+     * Reads both the v3 keyed-knobs layout and the flat v2 layout
+     * ("core_freq_ghz", ...) so persisted A/B caches and old reports
+     * stay loadable.
+     */
     static KnobConfig fromJson(const Json &doc);
 };
 

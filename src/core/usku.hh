@@ -50,9 +50,12 @@ namespace softsku {
  * layout they were not written for.
  *
  * History: 1 = the pre-orchestrator layout (implicit, no version key);
- * 2 = adds schema_version, drops the operational cache_hits count.
+ * 2 = adds schema_version, drops the operational cache_hits count;
+ * 3 = knob configs serialize as a keyed "knobs" object written by the
+ * descriptor registry codecs (KnobConfig::fromJson still reads the
+ * flat v2 layout).
  */
-constexpr int kReportSchemaVersion = 2;
+constexpr int kReportSchemaVersion = 3;
 
 /** Everything a μSKU run produces. */
 struct UskuReport

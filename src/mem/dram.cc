@@ -15,17 +15,90 @@ constexpr double kUncoreLatencyShare = 0.40;
 /** Utilization where delivered bandwidth effectively saturates. */
 constexpr double kSaturation = 0.97;
 
+/**
+ * Cold-first placement skew: placing the coldest R of the footprint on
+ * the far tier attracts accesses sub-linearly (hot/cold skew), so the
+ * base far-access fraction is R^kPlacementSkew.
+ */
+constexpr double kPlacementSkew = 1.7;
+
+/** 2 MiB pages cost this much more migration traffic than 4 KiB runs. */
+constexpr double kHugeMigrationPenalty = 1.5;
+
+/** Share of far accesses a promotion policy converts to near hits. */
+double
+promotionEfficiency(TierPolicy policy)
+{
+    switch (policy) {
+      case TierPolicy::Static: return 0.0;
+      case TierPolicy::Conservative: return 0.35;
+      case TierPolicy::Balanced: return 0.55;
+      case TierPolicy::Aggressive: return 0.70;
+    }
+    panic("unreachable tier policy");
+}
+
+/** Migration traffic as a fraction of (demand x placement ratio). */
+double
+migrationRate(TierPolicy policy)
+{
+    switch (policy) {
+      case TierPolicy::Static: return 0.0;
+      case TierPolicy::Conservative: return 0.008;
+      case TierPolicy::Balanced: return 0.02;
+      case TierPolicy::Aggressive: return 0.05;
+    }
+    panic("unreachable tier policy");
+}
+
 } // namespace
 
-DramModel::DramModel(const PlatformSpec &platform, double uncoreGHz)
+std::string
+tierPolicyName(TierPolicy policy)
+{
+    switch (policy) {
+      case TierPolicy::Static: return "static";
+      case TierPolicy::Conservative: return "conservative";
+      case TierPolicy::Balanced: return "balanced";
+      case TierPolicy::Aggressive: return "aggressive";
+    }
+    panic("unreachable tier policy");
+}
+
+TierPolicy
+tierPolicyFromString(const std::string &text)
+{
+    for (TierPolicy policy : allTierPolicies()) {
+        if (tierPolicyName(policy) == text)
+            return policy;
+    }
+    fatal("unknown tier policy '%s' (static, conservative, balanced, "
+          "aggressive)", text.c_str());
+}
+
+std::vector<TierPolicy>
+allTierPolicies()
+{
+    return {TierPolicy::Static, TierPolicy::Conservative,
+            TierPolicy::Balanced, TierPolicy::Aggressive};
+}
+
+DramModel::DramModel(const PlatformSpec &platform, double uncoreGHz,
+                     int mbaPercent)
     : platform_(platform), uncoreGHz_(uncoreGHz)
 {
     SOFTSKU_ASSERT(uncoreGHz > 0.0);
+    SOFTSKU_ASSERT(mbaPercent >= 10 && mbaPercent <= 100);
     // Peak bandwidth is DRAM-channel limited; the uncore only shaves a
     // little off when clocked far below nominal (queue drain rate).
     double uncoreScale =
         std::min(1.0, 0.85 + 0.15 * uncoreGHz_ / platform.uncoreFreqMaxGHz);
     peakGBs_ = platform.peakMemBandwidthGBs * uncoreScale;
+    // The resctrl MB throttle caps the request rate toward the memory
+    // controller.  Skipped entirely at 100 so unthrottled platforms
+    // keep their historical peak bit-for-bit.
+    if (mbaPercent != 100)
+        peakGBs_ *= mbaPercent / 100.0;
 
     // The on-die portion of the unloaded latency stretches as the
     // uncore slows down.
@@ -82,6 +155,89 @@ DramModel::pageWalkLatencyNs() const
     // Walks traverse cached page-table levels through the uncore.
     return platform_.pageWalkLatencyNs *
            (0.6 + 0.4 * platform_.uncoreFreqMaxGHz / uncoreGHz_);
+}
+
+TieredMemoryModel::TieredMemoryModel(const PlatformSpec &platform,
+                                     double uncoreGHz, int mbaPercent,
+                                     TierPolicy policy, double farMemRatio)
+    : platform_(platform), near_(platform, uncoreGHz, mbaPercent),
+      policy_(policy), farMemRatio_(farMemRatio),
+      farPeakGBs_(platform.farMemory.peakBandwidthGBs),
+      farBaseLatencyNs_(near_.unloadedLatencyNs() +
+                        platform.farMemory.extraLatencyNs)
+{
+    SOFTSKU_ASSERT(farMemRatio >= 0.0 && farMemRatio < 1.0);
+    if (!platform.farMemory.present) {
+        SOFTSKU_ASSERT(farMemRatio == 0.0);
+    }
+}
+
+double
+TieredMemoryModel::farAccessFraction() const
+{
+    if (!engaged())
+        return 0.0;
+    double base = std::pow(farMemRatio_, kPlacementSkew);
+    return base * (1.0 - promotionEfficiency(policy_));
+}
+
+double
+TieredMemoryModel::migrationGBs(double demandGBs, double hugeFraction) const
+{
+    if (!engaged())
+        return 0.0;
+    double huge = std::clamp(hugeFraction, 0.0, 1.0);
+    return std::max(demandGBs, 0.0) * farMemRatio_ *
+           migrationRate(policy_) *
+           (1.0 + kHugeMigrationPenalty * huge);
+}
+
+double
+TieredMemoryModel::farLatencyNs(double bandwidthGBs) const
+{
+    // Same asymptote-then-queue shape as the near tier (the far
+    // controller queues the same way), on the far tier's own base
+    // latency and narrower peak.
+    double u = std::clamp(bandwidthGBs / farPeakGBs_, 0.0, kSaturation);
+    double queue = farBaseLatencyNs_ * 0.25 * std::pow(u, 4.0) / (1.0 - u);
+    return farBaseLatencyNs_ + queue;
+}
+
+MemoryOperatingPoint
+TieredMemoryModel::resolve(double demandGBs, double hugeFraction) const
+{
+    // Exact delegation: legacy platforms (and all-near placements) must
+    // resolve through the identical code path, bit for bit.
+    if (!engaged())
+        return near_.resolve(demandGBs);
+
+    double demand = std::max(demandGBs, 0.0);
+    double f = farAccessFraction();
+    double migration = migrationGBs(demand, hugeFraction);
+
+    // Promotion/demotion traffic occupies channels on both tiers.
+    double nearDemand = demand * (1.0 - f) + migration;
+    double farDemand = demand * f + migration;
+
+    MemoryOperatingPoint nearOp = near_.resolve(nearDemand);
+
+    double farCeiling = farPeakGBs_ * kSaturation;
+    double farAchieved = std::min(farDemand, farCeiling);
+    double farBackpressure =
+        farDemand <= farCeiling ? 1.0 : farDemand / farCeiling;
+    double farLat = farLatencyNs(farAchieved);
+
+    MemoryOperatingPoint op;
+    op.demandGBs = demand;
+    op.latencyNs = (1.0 - f) * nearOp.latencyNs + f * farLat;
+    op.backpressure =
+        (1.0 - f) * nearOp.backpressure + f * farBackpressure;
+    // Useful achieved traffic: what each tier delivered minus the
+    // migration overhead riding on it, capped at what was asked for.
+    double useful = std::max(0.0, nearOp.achievedGBs - migration) +
+                    std::max(0.0, farAchieved - migration);
+    op.achievedGBs = std::min(demand, useful);
+    return op;
 }
 
 } // namespace softsku

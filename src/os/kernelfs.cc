@@ -98,19 +98,31 @@ KernelFs::setCdpSchemata(int codeWays, int dataWays, int totalWays)
         fatal("invalid CDP partition: %d code + %d data ways of %d",
               codeWays, dataWays, totalWays);
     }
-    // Data ways occupy the low mask bits, code ways the high bits.
+    // Data ways occupy the low mask bits, code ways the high bits.  The
+    // schemata file is shared with the MB throttle, whose line must
+    // survive a CDP rewrite.
     std::uint64_t dataMask = (1ULL << dataWays) - 1;
     std::uint64_t codeMask = ((1ULL << codeWays) - 1) << dataWays;
-    writeFile(kpath::resctrlSchemata,
-              format("L3CODE:0=%llx\nL3DATA:0=%llx\n",
-                     static_cast<unsigned long long>(codeMask),
-                     static_cast<unsigned long long>(dataMask)));
+    int mba = mbaPercent();
+    std::string contents =
+        format("L3CODE:0=%llx\nL3DATA:0=%llx\n",
+               static_cast<unsigned long long>(codeMask),
+               static_cast<unsigned long long>(dataMask));
+    if (mba != 100)
+        contents += format("MB:0=%d\n", mba);
+    writeFile(kpath::resctrlSchemata, contents);
 }
 
 void
 KernelFs::clearCdpSchemata()
 {
-    files_.erase(kpath::resctrlSchemata);
+    // Keep any MB throttle line; drop the file only when nothing is
+    // left, matching the pre-MBA bytes exactly.
+    int mba = mbaPercent();
+    if (mba != 100)
+        writeFile(kpath::resctrlSchemata, format("MB:0=%d\n", mba));
+    else
+        files_.erase(kpath::resctrlSchemata);
 }
 
 namespace {
@@ -152,6 +164,112 @@ KernelFs::cdpConfig(int totalWays) const
     cfg.enabled = cfg.codeWays > 0 && cfg.dataWays > 0 &&
                   cfg.codeWays + cfg.dataWays <= totalWays;
     return cfg;
+}
+
+void
+KernelFs::setMbaPercent(int percent)
+{
+    if (percent < 10 || percent > 100)
+        fatal("MB throttle %d%% outside the resctrl range [10, 100]",
+              percent);
+    // Rewrite the shared schemata with every non-MB line preserved.
+    std::string kept;
+    if (auto contents = readFile(kpath::resctrlSchemata)) {
+        for (const std::string &line : split(*contents, '\n')) {
+            auto text = trim(line);
+            if (text.empty() || startsWith(text, "MB:0="))
+                continue;
+            kept += std::string(text) + '\n';
+        }
+    }
+    if (percent != 100)
+        kept += format("MB:0=%d\n", percent);
+    if (kept.empty())
+        files_.erase(kpath::resctrlSchemata);
+    else
+        writeFile(kpath::resctrlSchemata, kept);
+}
+
+int
+KernelFs::mbaPercent() const
+{
+    auto contents = readFile(kpath::resctrlSchemata);
+    if (!contents)
+        return 100;
+    for (const std::string &line : split(*contents, '\n')) {
+        auto text = trim(line);
+        if (!startsWith(text, "MB:0="))
+            continue;
+        auto parsed = parseInt(text.substr(5));
+        if (!parsed) {
+            warn("malformed MB schemata line '%s'; assuming 100",
+                 std::string(text).c_str());
+            return 100;
+        }
+        return static_cast<int>(*parsed);
+    }
+    return 100;
+}
+
+void
+KernelFs::setTieringPolicy(const std::string &policy)
+{
+    std::string p = toLower(policy);
+    if (p != "static" && p != "conservative" && p != "balanced" &&
+        p != "aggressive") {
+        fatal("invalid tiering policy '%s'", policy.c_str());
+    }
+    std::string contents;
+    for (const char *option :
+         {"static", "conservative", "balanced", "aggressive"}) {
+        if (!contents.empty())
+            contents += ' ';
+        if (p == option)
+            contents += format("[%s]", option);
+        else
+            contents += option;
+    }
+    writeFile(kpath::memoryTieringPolicy, contents);
+}
+
+std::string
+KernelFs::tieringPolicy() const
+{
+    auto contents = readFile(kpath::memoryTieringPolicy);
+    if (!contents)
+        return "static";
+    auto open = contents->find('[');
+    auto close = contents->find(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open + 1) {
+        warn("malformed tiering policy file '%s'; assuming static",
+             contents->c_str());
+        return "static";
+    }
+    return contents->substr(open + 1, close - open - 1);
+}
+
+void
+KernelFs::setFarRatioPercent(int percent)
+{
+    if (percent < 0 || percent > 99)
+        fatal("far-tier ratio %d%% outside [0, 99]", percent);
+    writeFile(kpath::memoryTieringFarRatio, format("%d", percent));
+}
+
+int
+KernelFs::farRatioPercent() const
+{
+    auto contents = readFile(kpath::memoryTieringFarRatio);
+    if (!contents)
+        return 0;
+    auto parsed = parseInt(trim(*contents));
+    if (!parsed) {
+        warn("malformed far_ratio_percent '%s'; assuming 0",
+             contents->c_str());
+        return 0;
+    }
+    return static_cast<int>(*parsed);
 }
 
 void

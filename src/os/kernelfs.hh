@@ -27,6 +27,10 @@ inline constexpr const char *thpEnabled =
 inline constexpr const char *nrHugepages = "/proc/sys/vm/nr_hugepages";
 inline constexpr const char *resctrlSchemata = "/sys/fs/resctrl/schemata";
 inline constexpr const char *cmdline = "/proc/cmdline";
+inline constexpr const char *memoryTieringPolicy =
+    "/sys/kernel/mm/memory_tiering/policy";
+inline constexpr const char *memoryTieringFarRatio =
+    "/sys/kernel/mm/memory_tiering/far_ratio_percent";
 
 } // namespace kpath
 
@@ -89,6 +93,36 @@ class KernelFs
 
     /** Parse the schemata back into way counts. */
     CdpConfig cdpConfig(int totalWays) const;
+
+    // -- resctrl (MBA) -----------------------------------------------------
+
+    /**
+     * Set the memory-bandwidth throttle as an "MB:0=<percent>" line in
+     * the shared resctrl schemata.  100 (unthrottled) removes the line,
+     * so untouched platforms keep their historical schemata bytes; CDP
+     * lines in the same file are preserved either way.
+     */
+    void setMbaPercent(int percent);
+
+    /** Parse the MB throttle back (100 when no MB line is present). */
+    int mbaPercent() const;
+
+    // -- memory tiering ----------------------------------------------------
+
+    /**
+     * Write the tiering-policy file in the kernel's bracket format,
+     * e.g. "static [balanced] conservative aggressive".
+     */
+    void setTieringPolicy(const std::string &policy);
+
+    /** Parse the selected tiering policy; "static" when unset. */
+    std::string tieringPolicy() const;
+
+    /** Set the far-tier placement ratio file (integer percent, 0-99). */
+    void setFarRatioPercent(int percent);
+
+    /** Read the far-tier placement percent (0 when unset). */
+    int farRatioPercent() const;
 
     // -- boot cmdline ------------------------------------------------------
 

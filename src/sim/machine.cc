@@ -41,6 +41,27 @@ actuateKnobs(const KnobConfig &knobs, const PlatformSpec &platform,
     pages.applyTo(fs);
 
     fs.setIsolcpus(knobs.resolvedCores(platform), platform.totalCores());
+
+    if (!platform.farMemory.present) {
+        // The memory-tier knobs do not exist here; refusing non-default
+        // values keeps legacy platforms' actuation surfaces untouched.
+        if (knobs.mbaPercent != 100 ||
+            knobs.tierPolicy != TierPolicy::Static ||
+            knobs.farMemRatio != 0.0) {
+            fatal("memory-tier knobs set on %s, which declares no "
+                  "far-memory tier", platform.name.c_str());
+        }
+        return;
+    }
+    if (knobs.farMemRatio < 0.0 || knobs.farMemRatio >= 1.0) {
+        fatal("far-memory ratio %.2f outside [0, 1) on %s",
+              knobs.farMemRatio, platform.name.c_str());
+    }
+    fs.setMbaPercent(knobs.mbaPercent);
+    fs.setTieringPolicy(tierPolicyName(knobs.tierPolicy));
+    // The kernel file takes integer percent: 1% actuation granularity.
+    fs.setFarRatioPercent(
+        static_cast<int>(knobs.farMemRatio * 100.0 + 0.5));
 }
 
 KnobConfig
@@ -72,6 +93,12 @@ effectiveKnobs(const MsrFile &msr, const KernelFs &fs,
     HugePagePolicy pages = HugePagePolicy::fromKernelFs(fs);
     cfg.thp = pages.thp;
     cfg.shpCount = pages.shpCount;
+
+    if (platform.farMemory.present) {
+        cfg.mbaPercent = fs.mbaPercent();
+        cfg.tierPolicy = tierPolicyFromString(fs.tieringPolicy());
+        cfg.farMemRatio = fs.farRatioPercent() / 100.0;
+    }
     return cfg;
 }
 
@@ -97,7 +124,9 @@ Machine::Machine(const PlatformSpec &platform, const KnobConfig &knobs,
     dtlb_ = std::make_unique<TwoLevelTlb>("dtlb", platform.dtlb,
                                           platform.stlb);
 
-    dram_ = std::make_unique<DramModel>(platform, effective_.uncoreFreqGHz);
+    memory_ = std::make_unique<TieredMemoryModel>(
+        platform, effective_.uncoreFreqGHz, effective_.mbaPercent,
+        effective_.tierPolicy, effective_.farMemRatio);
 
     dcuNext_ = std::make_unique<DcuNextLinePrefetcher>();
     dcuIp_ = std::make_unique<DcuIpPrefetcher>();

@@ -68,7 +68,10 @@ class Machine
     SetAssocCache &llc() { return *llc_; }
     TwoLevelTlb &itlb() { return *itlb_; }
     TwoLevelTlb &dtlb() { return *dtlb_; }
-    const DramModel &dram() const { return *dram_; }
+    /** The full (possibly two-tier) memory system. */
+    const TieredMemoryModel &memory() const { return *memory_; }
+    /** The near (DRAM) tier, for callers that only need DRAM numbers. */
+    const DramModel &dram() const { return memory_->near(); }
 
     /** Enabled L1-D prefetchers (DCU family). */
     std::vector<Prefetcher *> l1Prefetchers();
@@ -95,7 +98,7 @@ class Machine
     std::unique_ptr<SetAssocCache> llc_;
     std::unique_ptr<TwoLevelTlb> itlb_;
     std::unique_ptr<TwoLevelTlb> dtlb_;
-    std::unique_ptr<DramModel> dram_;
+    std::unique_ptr<TieredMemoryModel> memory_;
 
     std::unique_ptr<DcuNextLinePrefetcher> dcuNext_;
     std::unique_ptr<DcuIpPrefetcher> dcuIp_;

@@ -612,6 +612,17 @@ simulateService(const WorkloadProfile &profile, const PlatformSpec &platform,
         static_cast<double>(sim.pages.wastedShpBytes()) /
         (1024.0 * 1024.0 * 1024.0) * kShpWastePenaltyPerGiB;
 
+    // Fraction of the footprint on 2 MiB pages: huge regions cost more
+    // per migration when the far tier's promotion daemon is active.
+    double footprintBytes = 0.0;
+    for (const RegionMapping &mapping : sim.pages.mappings())
+        footprintBytes += static_cast<double>(mapping.region->sizeBytes);
+    double hugeFrac =
+        footprintBytes > 0.0
+            ? static_cast<double>(sim.pages.totalHugeBytes()) /
+                  footprintBytes
+            : 0.0;
+
     PipelineCosts costs;
     MemoryOperatingPoint op;
     double threadIpc = 1.0;
@@ -652,7 +663,7 @@ simulateService(const WorkloadProfile &profile, const PlatformSpec &platform,
         double bw = totalFills / n * bytesPerFill * coreIps *
                     static_cast<double>(machine.activeCores()) *
                     profile.cpuUtilizationCap / 1e9;
-        op = machine.dram().resolve(bw);
+        op = machine.memory().resolve(bw, hugeFrac);
         // Damped update: the raw fixed point can oscillate around the
         // saturation knee.
         memLatencyNs =

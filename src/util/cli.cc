@@ -118,6 +118,9 @@ ToolOptions::fromArgs(const CliArgs &args, unsigned defaultJobs)
         fatal("flag --confidence expects a value in (0.5, 1), got '%s'",
               args.get("confidence").c_str());
     }
+    // Key spellings are validated by knobFromKey at the overlay point,
+    // which can see the registry and list the valid keys.
+    opts.knobs = args.get("knobs");
     if (args.has("faults"))
         opts.faults = FaultPlan::fromSpec(args.get("faults"));
     opts.faultSeed =

@@ -75,6 +75,8 @@ class CliArgs
  *   --jobs=N|auto      worker threads (reports are N-invariant)
  *   --search=MODE      sample allocation: fixed|race|halving
  *   --confidence=P     significance level / racing error budget
+ *   --knobs=k1,k2,...  restrict the swept knob set to these registry
+ *                      keys (default: every knob the platform offers)
  *   --faults=SPEC      fault plan preset or k=v list
  *   --fault-seed=N     fault-decision RNG seed
  *   --domains=SPEC     fleet failure-domain topology: RACKS or
@@ -103,6 +105,13 @@ struct ToolOptions
     std::string search;
     /** Confidence override for the spec; 0 keeps the spec's value. */
     double confidence = 0.0;
+    /**
+     * Comma-separated registry keys restricting the swept knob set;
+     * empty keeps the spec's own list.  Held as a string — the util
+     * layer cannot see core's KnobId — and overlaid via
+     * InputSpec::applySearchOverrides().
+     */
+    std::string knobs;
     FaultPlan faults;
     std::uint64_t faultSeed = 1;
     /**

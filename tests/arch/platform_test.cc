@@ -59,7 +59,30 @@ TEST(Platform, LookupByName)
     EXPECT_EQ(&platformByName("skylake18"), &skylake18());
     EXPECT_EQ(&platformByName("SKYLAKE20"), &skylake20());
     EXPECT_EQ(&platformByName("Broadwell16"), &broadwell16());
-    EXPECT_EQ(allPlatforms().size(), 3u);
+    EXPECT_EQ(&platformByName("skylake18cxl"), &skylake18cxl());
+    EXPECT_EQ(allPlatforms().size(), 4u);
+
+    EXPECT_EQ(platformByNameOrNull("skylake18"), &skylake18());
+    EXPECT_EQ(platformByNameOrNull("epyc"), nullptr);
+}
+
+TEST(Platform, FarMemoryDeclaration)
+{
+    // Only the CXL variant declares a far tier; its near-tier geometry
+    // is identical to the base Skylake 18.
+    EXPECT_FALSE(skylake18().farMemory.present);
+    EXPECT_FALSE(skylake20().farMemory.present);
+    EXPECT_FALSE(broadwell16().farMemory.present);
+
+    const PlatformSpec &cxl = skylake18cxl();
+    EXPECT_TRUE(cxl.farMemory.present);
+    EXPECT_GT(cxl.farMemory.peakBandwidthGBs, 0.0);
+    EXPECT_LT(cxl.farMemory.peakBandwidthGBs, cxl.peakMemBandwidthGBs);
+    EXPECT_GT(cxl.farMemory.extraLatencyNs, 0.0);
+    EXPECT_GT(cxl.farMemory.defaultRatio, 0.0);
+    EXPECT_LT(cxl.farMemory.defaultRatio, 1.0);
+    EXPECT_EQ(cxl.coresPerSocket, skylake18().coresPerSocket);
+    EXPECT_EQ(cxl.llc.ways, skylake18().llc.ways);
 }
 
 TEST(PlatformDeathTest, UnknownNameIsFatal)

@@ -58,9 +58,17 @@ TEST(DesignSpace, ApplicabilityRules)
     // Non-reboot knobs stay applicable.
     EXPECT_TRUE(knobApplicable(KnobId::Thp, skylake18(), ads1Profile()));
     EXPECT_TRUE(knobApplicable(KnobId::Cdp, skylake18(), ads1Profile()));
-    // Web can sweep everything.
+    // The memory-tier knobs exist only on far-memory platforms.
+    for (KnobId id :
+         {KnobId::Mba, KnobId::TierPolicyKnob, KnobId::FarMemRatio}) {
+        EXPECT_FALSE(knobApplicable(id, skylake18(), webProfile(),
+                                    &reason));
+        EXPECT_NE(reason.find("far-memory"), std::string::npos);
+        EXPECT_TRUE(knobApplicable(id, skylake18cxl(), webProfile()));
+    }
+    // Web on a far-memory platform can sweep everything.
     for (KnobId id : allKnobIds())
-        EXPECT_TRUE(knobApplicable(id, skylake18(), webProfile()));
+        EXPECT_TRUE(knobApplicable(id, skylake18cxl(), webProfile()));
 }
 
 TEST(DesignSpace, KnobValueApplyAndExtract)
@@ -156,7 +164,22 @@ TEST(InputSpec, NormalizeFillsAllKnobs)
     spec.microservice = "web";
     spec.platform = "skylake18";
     spec.normalize();
+    // Platform-gated knobs do not exist here: the legacy seven only.
     EXPECT_EQ(spec.knobs.size(), 7u);
+
+    InputSpec cxl;
+    cxl.microservice = "web";
+    cxl.platform = "skylake18cxl";
+    cxl.normalize();
+    EXPECT_EQ(cxl.knobs.size(), 10u);
+
+    // Unknown platforms fall back to the ungated set; the platform
+    // lookup itself reports the error later.
+    InputSpec unknown;
+    unknown.microservice = "web";
+    unknown.platform = "epyc";
+    unknown.normalize();
+    EXPECT_EQ(unknown.knobs.size(), 7u);
 }
 
 } // namespace

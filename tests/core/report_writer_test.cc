@@ -71,6 +71,41 @@ TEST(ReportWriter, TargetReportFileNameIsStableAndLowercased)
               targetReportFileName("web", "skylake18"));
 }
 
+TEST(ReportWriter, SchemaV2KnobDocsStayReadable)
+{
+    // Dashboards may replay reports written before the v3 bump; the
+    // flat v2 knob layout must keep parsing into the same config.
+    auto [v2, ok] = Json::parse(R"({
+        "core_freq_ghz": 2.2,
+        "uncore_freq_ghz": 1.8,
+        "active_cores": 0,
+        "cdp": {"enabled": false, "data_ways": 0, "code_ways": 0},
+        "prefetcher": "all_on",
+        "thp": "always",
+        "shp_count": 300
+    })");
+    ASSERT_TRUE(ok);
+    KnobConfig parsed = KnobConfig::fromJson(v2);
+    KnobConfig want;
+    want.shpCount = 300;
+    EXPECT_EQ(parsed, want);
+    // And re-serializing produces the v3 keyed layout.
+    Json v3 = parsed.toJson();
+    ASSERT_TRUE(v3.contains("knobs"));
+    EXPECT_EQ(KnobConfig::fromJson(v3), parsed);
+}
+
+TEST(ReportWriter, ReportJsonOmitsMemoryTierKnobsOnLegacyPlatforms)
+{
+    // smallReport targets skylake18 (no far tier): no memory-tier keys
+    // may leak into any embedded knob config.
+    Json doc = smallReport().toJson();
+    std::string text = doc.dump(2);
+    EXPECT_EQ(text.find("\"mba\""), std::string::npos);
+    EXPECT_EQ(text.find("\"tier_policy\""), std::string::npos);
+    EXPECT_EQ(text.find("\"far_mem_ratio\""), std::string::npos);
+}
+
 TEST(ReportWriter, EmitTargetReportCreatesDirAndWritesJson)
 {
     std::string dir = testing::TempDir() + "emit_test_reports";

@@ -1,0 +1,163 @@
+/** @file Tests for the two-tier (near DRAM + far CXL) memory model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/platform.hh"
+#include "mem/dram.hh"
+
+namespace softsku {
+namespace {
+
+TEST(MemTier, TierPolicyNamesRoundTrip)
+{
+    EXPECT_EQ(allTierPolicies().size(), 4u);
+    for (TierPolicy policy : allTierPolicies())
+        EXPECT_EQ(tierPolicyFromString(tierPolicyName(policy)), policy);
+    EXPECT_EQ(tierPolicyName(TierPolicy::Static), "static");
+    EXPECT_EQ(tierPolicyName(TierPolicy::Aggressive), "aggressive");
+}
+
+TEST(MemTierDeathTest, UnknownPolicyIsFatal)
+{
+    EXPECT_EXIT(tierPolicyFromString("lru"), testing::ExitedWithCode(1),
+                "unknown tier policy");
+}
+
+TEST(MemTier, DelegatesBitExactlyWithoutFarTier)
+{
+    // Legacy platform, default knobs: the tiered model must be the
+    // DramModel, double for double.
+    DramModel legacy(skylake18(), 1.8);
+    TieredMemoryModel tiered(skylake18(), 1.8);
+    EXPECT_FALSE(tiered.hasFarTier());
+    EXPECT_FALSE(tiered.engaged());
+    for (double demand = 0.0; demand <= 120.0; demand += 2.5) {
+        MemoryOperatingPoint want = legacy.resolve(demand);
+        MemoryOperatingPoint got = tiered.resolve(demand, 0.37);
+        EXPECT_EQ(got.latencyNs, want.latencyNs) << demand;
+        EXPECT_EQ(got.achievedGBs, want.achievedGBs) << demand;
+        EXPECT_EQ(got.backpressure, want.backpressure) << demand;
+    }
+    // Same on a far-memory platform with the ratio parked at zero.
+    DramModel cxlNear(skylake18cxl(), 1.8);
+    TieredMemoryModel parked(skylake18cxl(), 1.8, 100,
+                             TierPolicy::Balanced, 0.0);
+    EXPECT_TRUE(parked.hasFarTier());
+    EXPECT_FALSE(parked.engaged());
+    EXPECT_EQ(parked.resolve(40.0).latencyNs,
+              cxlNear.resolve(40.0).latencyNs);
+}
+
+TEST(MemTier, MbaThrottleShrinksPeakAndRaisesLoadedLatency)
+{
+    DramModel full(skylake18cxl(), 1.8, 100);
+    DramModel half(skylake18cxl(), 1.8, 50);
+    EXPECT_NEAR(half.peakBandwidthGBs(), full.peakBandwidthGBs() * 0.5,
+                1e-12);
+    // Same unloaded latency, but the knee arrives much earlier.
+    EXPECT_DOUBLE_EQ(half.unloadedLatencyNs(), full.unloadedLatencyNs());
+    double load = full.peakBandwidthGBs() * 0.6;
+    EXPECT_GT(half.resolve(load).latencyNs, full.resolve(load).latencyNs);
+    EXPECT_LT(half.resolve(load).achievedGBs, load);
+}
+
+TEST(MemTier, LoadedLatencyIsMonotoneInDemandPerTier)
+{
+    TieredMemoryModel tiered(skylake18cxl(), 1.8, 100,
+                             TierPolicy::Balanced, 0.25);
+    double prevNs = 0.0;
+    for (double demand = 0.0; demand <= 150.0; demand += 1.0) {
+        double ns = tiered.resolve(demand, 0.5).latencyNs;
+        EXPECT_GE(ns, prevNs) << demand;
+        prevNs = ns;
+    }
+    // The far tier's own curve is monotone too.
+    double prevFar = 0.0;
+    for (double bw = 0.0; bw <= tiered.farPeakBandwidthGBs(); bw += 0.5) {
+        double ns = tiered.farLatencyNs(bw);
+        EXPECT_GE(ns, prevFar) << bw;
+        prevFar = ns;
+    }
+}
+
+TEST(MemTier, FarTierIsSlowerThanNearAtLowLoad)
+{
+    TieredMemoryModel tiered(skylake18cxl(), 1.8, 100,
+                             TierPolicy::Static, 0.25);
+    EXPECT_GT(tiered.farLatencyNs(1.0),
+              tiered.near().resolve(1.0).latencyNs);
+    // So blending in far accesses raises the light-load latency.
+    TieredMemoryModel allNear(skylake18cxl(), 1.8, 100,
+                              TierPolicy::Static, 0.0);
+    EXPECT_GT(tiered.resolve(5.0).latencyNs,
+              allNear.resolve(5.0).latencyNs);
+}
+
+TEST(MemTier, LightLoadLatencyIsMonotoneInPlacementRatio)
+{
+    double prevNs = 0.0;
+    for (double ratio : {0.0, 0.10, 0.25, 0.40, 0.60}) {
+        TieredMemoryModel tiered(skylake18cxl(), 1.8, 100,
+                                 TierPolicy::Static, ratio);
+        double ns = tiered.resolve(10.0).latencyNs;
+        EXPECT_GE(ns, prevNs) << ratio;
+        prevNs = ns;
+    }
+}
+
+TEST(MemTier, AggressivePromotionShrinksFarAccessFraction)
+{
+    double prevFraction = 1.0;
+    for (TierPolicy policy : allTierPolicies()) {
+        TieredMemoryModel tiered(skylake18cxl(), 1.8, 100, policy, 0.4);
+        double fraction = tiered.farAccessFraction();
+        EXPECT_GT(fraction, 0.0) << tierPolicyName(policy);
+        EXPECT_LT(fraction, prevFraction) << tierPolicyName(policy);
+        prevFraction = fraction;
+    }
+    // Placement skew: the cold 40% of pages draws well under 40% of
+    // accesses even with no promotion at all.
+    TieredMemoryModel still(skylake18cxl(), 1.8, 100, TierPolicy::Static,
+                            0.4);
+    EXPECT_LT(still.farAccessFraction(), 0.4);
+}
+
+TEST(MemTier, HugePagesRaiseMigrationTraffic)
+{
+    TieredMemoryModel tiered(skylake18cxl(), 1.8, 100,
+                             TierPolicy::Aggressive, 0.25);
+    double small = tiered.migrationGBs(40.0, 0.0);
+    double huge = tiered.migrationGBs(40.0, 1.0);
+    EXPECT_GT(small, 0.0);
+    EXPECT_GT(huge, small);
+    // Static never migrates, whatever the page size.
+    TieredMemoryModel still(skylake18cxl(), 1.8, 100, TierPolicy::Static,
+                            0.25);
+    EXPECT_DOUBLE_EQ(still.migrationGBs(40.0, 1.0), 0.0);
+}
+
+TEST(MemTier, FarTierRelievesASaturatedNearTier)
+{
+    // Demand well past the near tier's knee: spilling cold pages far
+    // adds deliverable bandwidth, so achieved throughput goes up and
+    // backpressure comes down.
+    TieredMemoryModel allNear(skylake18cxl(), 1.8, 100,
+                              TierPolicy::Static, 0.0);
+    TieredMemoryModel split(skylake18cxl(), 1.8, 100, TierPolicy::Static,
+                            0.4);
+    double demand = allNear.near().peakBandwidthGBs() * 1.3;
+    MemoryOperatingPoint congested = allNear.resolve(demand);
+    MemoryOperatingPoint relieved = split.resolve(demand);
+    EXPECT_GT(relieved.achievedGBs, congested.achievedGBs);
+    EXPECT_LT(relieved.backpressure, congested.backpressure);
+}
+
+TEST(MemTierDeathTest, RatioRequiresFarTier)
+{
+    EXPECT_DEATH(TieredMemoryModel(skylake18(), 1.8, 100,
+                                   TierPolicy::Static, 0.25),
+                 "assertion failed");
+}
+
+} // namespace
+} // namespace softsku

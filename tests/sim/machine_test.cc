@@ -157,12 +157,16 @@ TEST(Knobs, DescribeMentionsEveryKnob)
 
 TEST(Knobs, RegistryComplete)
 {
-    EXPECT_EQ(allKnobIds().size(), 7u);
+    EXPECT_EQ(allKnobIds().size(), 10u);
     for (KnobId id : allKnobIds())
         EXPECT_EQ(knobFromKey(knobKey(id)), id);
     EXPECT_TRUE(knobRequiresReboot(KnobId::CoreCount));
     EXPECT_TRUE(knobRequiresReboot(KnobId::Shp));
     EXPECT_FALSE(knobRequiresReboot(KnobId::Thp));
+    // Memory-tier knobs actuate through runtime kernel files.
+    EXPECT_FALSE(knobRequiresReboot(KnobId::Mba));
+    EXPECT_FALSE(knobRequiresReboot(KnobId::TierPolicyKnob));
+    EXPECT_FALSE(knobRequiresReboot(KnobId::FarMemRatio));
 }
 
 } // namespace
