@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Batched simulator core microbenchmark: the evidence behind the
+ * `--sim-core=batched` default.
+ *
+ * Two measurements, one gate:
+ *
+ *   1. RNG fill loop (the gated inner loop).  The batched core's hot
+ *      loop is SimdXoshiroBank::fillInterleaved — W xoshiro256**
+ *      lanes stepped per vector op into the interleaved draw buffer.
+ *      The scalar baseline is W independent `Rng` streams writing the
+ *      same buffer one draw at a time, i.e. exactly what the scalar
+ *      core (and the pool's divergent-lane fallback) does.  Outputs
+ *      must be byte-identical — the bench exits nonzero otherwise —
+ *      and on an AVX-512 backend the speedup must clear
+ *      `--min-speedup` (default 4).  On lesser backends the gate
+ *      relaxes to "faster than scalar" (avx2) or "parity" (scalar
+ *      fallback): the fallback exists for correctness, not speed.
+ *
+ *   2. End-to-end simulateService vs runSimBatch across every
+ *      microservice on its fleet platform.  Equivalence is the hard
+ *      invariant (bit-identical CounterSets at any lane width); the
+ *      wall-clock ratio is recorded for EXPERIMENTS.md but not gated —
+ *      the sampling kernels are branchy and memory-bound, so whole-run
+ *      speedup is modest next to the fill loop.
+ *
+ * `--json-out=FILE` dumps everything for BENCH_sim_core.json.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "sim/batched_core.hh"
+#include "stats/rng.hh"
+#include "stats/simd_rng.hh"
+#include "util/json.hh"
+
+using namespace softsku;
+using namespace softsku::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Best-of-reps wall time of @p fn, in seconds. */
+template <class Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        Clock::time_point start = Clock::now();
+        fn();
+        double t = secondsSince(start);
+        if (t < best)
+            best = t;
+    }
+    return best;
+}
+
+/** Scalar baseline: W independent Rng streams into the interleaved
+ *  layout, one draw at a time. */
+void
+scalarFill(std::vector<Rng> &rngs, std::uint64_t *out, std::size_t n)
+{
+    const std::size_t lanes = rngs.size();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t w = 0; w < lanes; ++w)
+            out[i * lanes + w] = rngs[w].next();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv);
+    printBanner("Simulator core",
+                "SIMD lane-bank fill loop + batched-vs-scalar "
+                "end-to-end equivalence");
+
+    const std::string backend = SimdXoshiroBank::backendName();
+    const std::size_t lanes = kSimdWidth;
+    const auto rows =
+        static_cast<std::size_t>(args.getInt("fill-rows", 1 << 20));
+    const int reps = static_cast<int>(args.getInt("reps", 7));
+    const double minSpeedup = args.getDouble("min-speedup", 4.0);
+    bool failed = false;
+
+    note("backend %s, width %zu, %zu rows x %d reps", backend.c_str(),
+         lanes, rows, reps);
+
+    // ---- Part 1: the gated RNG fill loop. ----
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t w = 0; w < lanes; ++w)
+        seeds.push_back(0x5EED + 0x9E37 * w);
+
+    std::vector<std::uint64_t> simdOut(rows * lanes);
+    std::vector<std::uint64_t> scalarOut(rows * lanes);
+
+    // Correctness first: one fill from fresh state must replay each
+    // lane's scalar Rng stream exactly.
+    {
+        SimdXoshiroBank bank(seeds);
+        bank.fillInterleaved(simdOut.data(), rows);
+        std::vector<Rng> rngs;
+        for (std::uint64_t seed : seeds)
+            rngs.emplace_back(seed);
+        scalarFill(rngs, scalarOut.data(), rows);
+        if (std::memcmp(simdOut.data(), scalarOut.data(),
+                        simdOut.size() * sizeof(std::uint64_t)) != 0) {
+            std::fprintf(stderr, "FATAL: %s fill diverges from the "
+                                 "scalar Rng streams\n",
+                         backend.c_str());
+            failed = true;
+        }
+    }
+
+    // Then speed.  Fresh generators per rep; best-of keeps the turbo
+    // and scheduler noise out of the checked-in number.
+    double simdSec = bestOf(reps, [&] {
+        SimdXoshiroBank bank(seeds);
+        bank.fillInterleaved(simdOut.data(), rows);
+    });
+    double scalarSec = bestOf(reps, [&] {
+        std::vector<Rng> rngs;
+        for (std::uint64_t seed : seeds)
+            rngs.emplace_back(seed);
+        scalarFill(rngs, scalarOut.data(), rows);
+    });
+    double fillSpeedup = simdSec > 0.0 ? scalarSec / simdSec : 0.0;
+
+    note("fill loop: scalar %.1f Mdraw/s, %s %.1f Mdraw/s -> %.2fx",
+         rows * lanes / scalarSec / 1e6, backend.c_str(),
+         rows * lanes / simdSec / 1e6, fillSpeedup);
+
+    // The gate scales with what the hardware offers: the scalar
+    // fallback cannot beat itself and AVX2 has half the lane width.
+    double requiredSpeedup = minSpeedup;
+    if (backend == "avx2")
+        requiredSpeedup = 1.5;
+    else if (backend == "scalar")
+        requiredSpeedup = 0.8;
+    if (fillSpeedup < requiredSpeedup) {
+        std::fprintf(stderr,
+                     "FATAL: fill speedup %.2fx below the %.2fx gate "
+                     "for backend %s\n",
+                     fillSpeedup, requiredSpeedup, backend.c_str());
+        failed = true;
+    }
+
+    // ---- Part 2: end-to-end equivalence + recorded speedup. ----
+    SimOptions opts = defaultSimOptions(args);
+
+    std::vector<SimJob> jobs;
+    std::vector<const WorkloadProfile *> services = allMicroservices();
+    for (const WorkloadProfile *service : services) {
+        SimJob job;
+        job.profile = service;
+        job.platform = &platformByName(service->defaultPlatform);
+        job.knobs = productionConfig(*job.platform, *service);
+        job.options = opts;
+        jobs.push_back(job);
+    }
+
+    double scalarE2e = bestOf(3, [&] {
+        for (const SimJob &job : jobs)
+            simulateService(*job.profile, *job.platform, job.knobs,
+                            job.options);
+    });
+    std::vector<CounterSet> batched;
+    double batchedE2e = bestOf(3, [&] {
+        batched = runSimBatch(jobs);
+    });
+    double e2eSpeedup = batchedE2e > 0.0 ? scalarE2e / batchedE2e : 0.0;
+
+    Json perService = Json::array();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        CounterSet solo =
+            simulateService(*jobs[i].profile, *jobs[i].platform,
+                            jobs[i].knobs, jobs[i].options);
+        bool identical = solo == batched[i];
+        if (!identical) {
+            std::fprintf(stderr,
+                         "FATAL: batched counters differ from scalar "
+                         "for %s\n", jobs[i].profile->name.c_str());
+            failed = true;
+        }
+        Json row = Json::object();
+        row.set("service", Json(jobs[i].profile->name));
+        row.set("platform", Json(jobs[i].platform->name));
+        row.set("bit_identical", Json(identical));
+        perService.push(std::move(row));
+    }
+
+    note("end to end (mixed services): %zu jobs, scalar %.2fs vs "
+         "batched %.2fs -> %.2fx (recorded, not gated)", jobs.size(),
+         scalarE2e, batchedE2e, e2eSpeedup);
+
+    // The sweep-shaped case: one service, one seed, a lane group of
+    // knob variants.  Same profile + seed means every lane consumes
+    // the main stream in lockstep, which is the pool's vector fast
+    // path — this is the shape prepareConfigs() batches all day.
+    std::vector<SimJob> sweepJobs;
+    {
+        const WorkloadProfile &web = webProfile();
+        const PlatformSpec &platform =
+            platformByName(web.defaultPlatform);
+        KnobConfig base = productionConfig(platform, web);
+        for (std::size_t w = 0; w < lanes; ++w) {
+            SimJob job;
+            job.profile = &web;
+            job.platform = &platform;
+            job.knobs = base;
+            job.knobs.coreFreqGHz = 1.6 + 0.1 * static_cast<double>(w % 7);
+            job.options = opts;
+            sweepJobs.push_back(job);
+        }
+    }
+    double scalarSweep = bestOf(3, [&] {
+        for (const SimJob &job : sweepJobs)
+            simulateService(*job.profile, *job.platform, job.knobs,
+                            job.options);
+    });
+    std::vector<CounterSet> batchedSweep;
+    double batchedSweepSec = bestOf(3, [&] {
+        batchedSweep = runSimBatch(sweepJobs);
+    });
+    double sweepSpeedup =
+        batchedSweepSec > 0.0 ? scalarSweep / batchedSweepSec : 0.0;
+    for (std::size_t i = 0; i < sweepJobs.size(); ++i) {
+        CounterSet solo =
+            simulateService(*sweepJobs[i].profile, *sweepJobs[i].platform,
+                            sweepJobs[i].knobs, sweepJobs[i].options);
+        if (!(solo == batchedSweep[i])) {
+            std::fprintf(stderr, "FATAL: batched counters differ from "
+                                 "scalar in the lockstep sweep "
+                                 "(lane %zu)\n", i);
+            failed = true;
+        }
+    }
+
+    note("end to end (lockstep sweep): %zu web lanes, scalar %.2fs vs "
+         "batched %.2fs -> %.2fx (recorded, not gated)",
+         sweepJobs.size(), scalarSweep, batchedSweepSec, sweepSpeedup);
+
+    if (args.has("json-out")) {
+        Json doc = Json::object();
+        doc.set("bench", Json("sim_core"));
+        doc.set("simd_backend", Json(backend));
+        doc.set("simd_width", Json(static_cast<double>(lanes)));
+        doc.set("fill_rows", Json(static_cast<double>(rows)));
+        doc.set("reps", Json(static_cast<double>(reps)));
+        doc.set("fill_scalar_mdraws_per_sec",
+                Json(rows * lanes / scalarSec / 1e6));
+        doc.set("fill_simd_mdraws_per_sec",
+                Json(rows * lanes / simdSec / 1e6));
+        doc.set("fill_speedup", Json(fillSpeedup));
+        doc.set("fill_speedup_gate", Json(requiredSpeedup));
+        doc.set("end_to_end_scalar_sec", Json(scalarE2e));
+        doc.set("end_to_end_batched_sec", Json(batchedE2e));
+        doc.set("end_to_end_speedup", Json(e2eSpeedup));
+        doc.set("lockstep_sweep_scalar_sec", Json(scalarSweep));
+        doc.set("lockstep_sweep_batched_sec", Json(batchedSweepSec));
+        doc.set("lockstep_sweep_speedup", Json(sweepSpeedup));
+        doc.set("services", std::move(perService));
+        std::ofstream out(args.get("json-out"));
+        out << doc.dump(2) << "\n";
+        note("json written to %s", args.get("json-out").c_str());
+    }
+
+    if (failed) {
+        std::fprintf(stderr, "bench_sim_core FAILED\n");
+        return 1;
+    }
+    std::printf("bench_sim_core OK (%s, %.2fx fill)\n", backend.c_str(),
+                fillSpeedup);
+    return 0;
+}

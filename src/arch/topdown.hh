@@ -28,6 +28,9 @@ struct PipelineCosts
         return baseCycles + frontEndStallCycles + badSpecCycles +
                backEndStallCycles;
     }
+
+    /** Exact equality — the batched/scalar bit-identity tests' probe. */
+    bool operator==(const PipelineCosts &) const = default;
 };
 
 /** Fractions of issue slots by TMAM category; sums to 1. */
@@ -43,6 +46,9 @@ struct TopDownBreakdown
     {
         return retiring + frontEnd + badSpeculation + backEnd;
     }
+
+    /** Exact equality — the batched/scalar bit-identity tests' probe. */
+    bool operator==(const TopDownBreakdown &) const = default;
 };
 
 /**

@@ -56,6 +56,9 @@ struct CacheStats
     double totalMpki(std::uint64_t instructions) const;
 
     void clear() { *this = CacheStats(); }
+
+    /** Exact equality — the batched/scalar bit-identity tests' probe. */
+    bool operator==(const CacheStats &) const = default;
 };
 
 /**

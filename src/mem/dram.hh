@@ -62,6 +62,9 @@ struct MemoryOperatingPoint
     double latencyNs = 0.0;      //!< average loaded latency
     /** >1 when demand exceeds deliverable bandwidth (stall inflation). */
     double backpressure = 1.0;
+
+    /** Exact equality — the batched/scalar bit-identity tests' probe. */
+    bool operator==(const MemoryOperatingPoint &) const = default;
 };
 
 /** Queuing model of one platform's memory system. */

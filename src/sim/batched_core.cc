@@ -1,0 +1,146 @@
+#include "sim/batched_core.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "cache/cdp.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/sim_core.hh"
+#include "stats/simd_rng.hh"
+
+namespace softsku {
+
+namespace {
+
+/**
+ * Instructions per lane per interleaving pass.  Small enough that the
+ * lockstep lanes' read cursors stay well inside the pool's ring (8192
+ * rows ≈ 2–3 chunks of draws), large enough that the per-switch
+ * overhead (cold lane state) is noise.
+ */
+constexpr std::uint64_t kChunkInstructions = 2048;
+
+/** Per-lane draw ring capacity (rows) in the shared pool. */
+constexpr std::size_t kPoolRows = 8192;
+
+using BatchedState = simcore::SimStateT<BufferedRng>;
+
+/**
+ * Advance every lane through one phase (warmup or measure),
+ * chunk-interleaved.  Lanes may have different phase lengths (ragged
+ * options); a lane that finishes simply drops out of later passes.
+ */
+std::uint64_t
+runPhase(std::vector<std::unique_ptr<BatchedState>> &lanes,
+         const std::vector<std::uint64_t> &lengths, bool collect)
+{
+    std::uint64_t executed = 0;
+    std::vector<std::uint64_t> remaining = lengths;
+    for (auto &lane : lanes)
+        lane->beginPhase();
+    bool anyLeft = true;
+    while (anyLeft) {
+        anyLeft = false;
+        for (std::size_t w = 0; w < lanes.size(); ++w) {
+            if (remaining[w] == 0)
+                continue;
+            std::uint64_t chunk =
+                std::min<std::uint64_t>(kChunkInstructions, remaining[w]);
+            lanes[w]->runChunk(chunk, collect);
+            remaining[w] -= chunk;
+            executed += chunk;
+            anyLeft = anyLeft || remaining[w] > 0;
+        }
+    }
+    return executed;
+}
+
+} // namespace
+
+std::vector<CounterSet>
+runSimBatch(std::span<const SimJob> jobs, std::size_t laneWidth,
+            MetricsRegistry *metrics)
+{
+    if (laneWidth == 0)
+        laneWidth = kSimdWidth;
+    std::vector<CounterSet> results(jobs.size());
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::uint64_t executed = 0;
+    std::uint64_t laneSlots = 0;
+    std::uint64_t groups = 0;
+
+    for (std::size_t base = 0; base < jobs.size(); base += laneWidth) {
+        const std::size_t count =
+            std::min(laneWidth, jobs.size() - base);
+        ScopedSpan span("sim", "sim.core");
+        span.arg("lanes", static_cast<std::uint64_t>(count));
+        span.arg("width", static_cast<std::uint64_t>(laneWidth));
+
+        std::vector<std::uint64_t> seeds(count);
+        for (std::size_t w = 0; w < count; ++w)
+            seeds[w] = jobs[base + w].options.seed ^ 0xF00D;
+        LaneStreamPool pool(seeds, kPoolRows);
+
+        std::vector<std::unique_ptr<BatchedState>> lanes;
+        lanes.reserve(count);
+        std::vector<std::uint64_t> warmups(count), measures(count);
+        for (std::size_t w = 0; w < count; ++w) {
+            const SimJob &job = jobs[base + w];
+            job.profile->validate();
+            lanes.push_back(std::make_unique<BatchedState>(
+                *job.profile, *job.platform, job.knobs, job.options.seed,
+                job.options, BufferedRng(&pool, w)));
+            if (job.options.catWays > 0)
+                applyCat(lanes.back()->machine.llc(), job.options.catWays);
+            warmups[w] = job.options.warmupInstructions;
+            measures[w] = job.options.measureInstructions;
+        }
+
+        for (auto &lane : lanes)
+            lane->prewarm();
+        executed += runPhase(lanes, warmups, false);
+        for (auto &lane : lanes)
+            lane->clearStats();
+        executed += runPhase(lanes, measures, true);
+
+        std::vector<simcore::RollupLane> rollup;
+        rollup.reserve(count);
+        for (std::size_t w = 0; w < count; ++w)
+            rollup.push_back(simcore::gatherRollup(
+                *lanes[w], *jobs[base + w].profile,
+                *jobs[base + w].platform));
+        simcore::rollupLanes(rollup);
+        for (std::size_t w = 0; w < count; ++w)
+            results[base + w] = simcore::assembleCounters(
+                *lanes[w], rollup[w], *jobs[base + w].profile,
+                *jobs[base + w].platform);
+
+        span.arg("vector_fills", pool.vectorFills());
+        span.arg("scalar_fills", pool.scalarFills());
+        laneSlots += count;
+        ++groups;
+    }
+
+    if (metrics != nullptr && !jobs.empty()) {
+        const double elapsedSec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wallStart)
+                .count();
+        if (elapsedSec > 0.0) {
+            metrics
+                ->gauge("sim.instructions_per_sec",
+                        MetricScope::Operational)
+                .set(static_cast<double>(executed) / elapsedSec);
+        }
+        metrics
+            ->gauge("sim.batch_lane_occupancy", MetricScope::Operational)
+            .set(static_cast<double>(laneSlots) /
+                 static_cast<double>(groups * laneWidth));
+    }
+    return results;
+}
+
+} // namespace softsku

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The batched simulator core: W independent simulations advanced
+ * together through the shared SoA hot structures.
+ *
+ * Structure of the batch: each lane is a full SimStateT running over
+ * its own Machine, but every lane's workload-stream draws come from one
+ * LaneStreamPool whose SimdXoshiroBank steps all W xoshiro256**
+ * generators with one vector operation per state word.  Lanes execute
+ * chunk-interleaved (a few thousand instructions per lane per pass) so
+ * the pool's ring stays small and — in the common case where every
+ * lane shares a profile and seed (a knob sweep) — all lanes consume
+ * draws in lockstep, keeping the pool on its full-width vector fill
+ * fast path.  The final TMAM/DRAM fixed point is solved for all lanes
+ * together by rollupLanes() (iteration-outer / lane-inner).
+ *
+ * Equivalence: lane w consumes exactly the stream `Rng(seed ^ 0xF00D)`
+ * produces, through transforms copied verbatim from Rng, over the same
+ * simulation code simulateService() runs (sim_core.hh is shared).  Its
+ * CounterSet is therefore bit-identical to a scalar solo run — pinned
+ * by the SimBatch golden tests, which is what lets SimCoreKind::Batched
+ * be the default.
+ */
+
+#ifndef SOFTSKU_SIM_BATCHED_CORE_HH
+#define SOFTSKU_SIM_BATCHED_CORE_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "arch/platform.hh"
+#include "core/knobs.hh"
+#include "sim/counters.hh"
+#include "sim/service_sim.hh"
+#include "workload/profile.hh"
+
+namespace softsku {
+
+class MetricsRegistry;
+
+/** One simulation request in a batch. */
+struct SimJob
+{
+    const WorkloadProfile *profile = nullptr;
+    const PlatformSpec *platform = nullptr;
+    KnobConfig knobs;
+    SimOptions options;
+};
+
+/**
+ * Run a batch of simulations through lane groups of up to
+ * @p laneWidth (0 = kSimdWidth).  Results are positional: result i is
+ * what `simulateService(*jobs[i].profile, *jobs[i].platform,
+ * jobs[i].knobs, jobs[i].options)` returns, bit for bit.
+ *
+ * @p metrics, when non-null, receives the Operational-scope
+ * `sim.instructions_per_sec` and `sim.batch_lane_occupancy` gauges
+ * (wall-clock facts — never part of the report body).
+ */
+std::vector<CounterSet> runSimBatch(std::span<const SimJob> jobs,
+                                    std::size_t laneWidth = 0,
+                                    MetricsRegistry *metrics = nullptr);
+
+} // namespace softsku
+
+#endif // SOFTSKU_SIM_BATCHED_CORE_HH

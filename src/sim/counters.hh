@@ -97,6 +97,13 @@ struct CounterSet
         return static_cast<double>(classCounts[cls]) /
                static_cast<double>(instructions);
     }
+
+    /**
+     * Exact (bitwise-value) equality over every field.  This is the
+     * probe the SimBatch golden tests use to assert that the batched
+     * simulator core reproduces scalar runs bit for bit.
+     */
+    bool operator==(const CounterSet &) const = default;
 };
 
 } // namespace softsku

@@ -1,557 +1,104 @@
 #include "sim/service_sim.hh"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <vector>
 
 #include "cache/cdp.hh"
-#include "os/hugepage.hh"
-#include "sim/btb.hh"
-#include "sim/machine.hh"
-#include "stats/distributions.hh"
+#include "sim/sim_core.hh"
 #include "stats/rng.hh"
-#include "util/logging.hh"
-#include "workload/address_space.hh"
-#include "workload/codegen.hh"
-#include "workload/datagen.hh"
 
 namespace softsku {
 
-namespace {
+namespace simcore {
 
-constexpr std::uint64_t kLineBytes = 64;
-/** Synthetic kernel text region (switch handlers, syscall paths). */
-constexpr std::uint64_t kKernelTextBase = 0xFFFF'8000'0000ull;
-constexpr std::uint64_t kKernelTextLines = 4096;   // 256 KiB
-/** Lines of kernel code touched per context switch. */
-constexpr int kKernelBurstLines = 48;
-/** STLB hit cost (cycles). */
-constexpr double kStlbHitCycles = 8.0;
-/** Exposure of page walks: instruction-side walks serialize fetch;
- * data-side walks overlap with other work under the OoO window. */
-constexpr double kItlbWalkExposure = 0.70;
-constexpr double kDtlbWalkExposure = 0.30;
-/** Back-end CPI penalty per GiB of pinned-but-unused SHP memory
- * (page-cache displacement raises effective data-miss cost). */
-constexpr double kShpWastePenaltyPerGiB = 0.012;
-/** Exposure of instruction-side stalls by level: the decoupled
- * front end hides part of an L2 hit, less of an LLC hit, and almost
- * none of a DRAM access. */
-constexpr double kCodeExposureL2 = 0.35;
-constexpr double kCodeExposureLlc = 0.70;
-constexpr double kCodeExposureMem = 0.80;
-/**
- * Ring sizes for the foreign-core interference samplers.  The code ring
- * is large: every thread on the socket executes the same binary, so
- * foreign code accesses re-touch the service's whole recent code
- * working set, keeping it LLC-resident exactly as sharing does on real
- * hardware.  The data ring is small: only recently shared objects are
- * re-touched by other cores.
- */
-constexpr size_t kCodeRingSize = 65536;
-constexpr size_t kDataRingSize = 2048;
-
-/** A ring buffer of recent LLC line addresses. */
-class LineRing
+void
+rollupLanes(std::span<RollupLane> lanes)
 {
-  public:
-    explicit LineRing(size_t capacity) : capacity_(capacity) {}
+    // Iteration-outer / lane-inner: every lane advances through the 12
+    // damped fixed-point iterations together, so the inner loop is a
+    // straight-line sweep over the lane array the compiler can
+    // vectorize.  Per lane the floating-point operation sequence is
+    // exactly the scalar loop's, so each lane's solution is
+    // bit-identical to a solo run.
+    for (int iter = 0; iter < 12; ++iter) {
+        for (RollupLane &lane : lanes) {
+            const WorkloadProfile &profile = *lane.profile;
+            const PlatformSpec &platform = *lane.platform;
+            const double n = lane.n;
+            const double ghz = lane.ghz;
 
-    void
-    push(std::uint64_t line)
-    {
-        if (lines_.size() < capacity_) {
-            lines_.push_back(line);
-        } else {
-            lines_[cursor_] = line;
-            cursor_ = (cursor_ + 1) % capacity_;
+            lane.costs = PipelineCosts{};
+            lane.costs.instructions = n;
+            lane.costs.baseCycles = n * profile.baseCpi;
+
+            double l2Cyc = platform.l2LatencyCycles;
+            double llcCyc = lane.llcLatNs * ghz;
+            double memCyc = lane.memLatencyNs * ghz;
+            double walkCyc = lane.walkNs * ghz;
+
+            lane.costs.frontEndStallCycles =
+                kCodeExposureL2 * lane.l2CodeHits * l2Cyc +
+                kCodeExposureLlc * lane.llcCodeHits * llcCyc +
+                kCodeExposureMem * lane.llcCodeMisses * memCyc +
+                lane.itlbStlbHits * kStlbHitCycles +
+                lane.itlbWalks * walkCyc * kItlbWalkExposure;
+
+            lane.costs.badSpecCycles =
+                lane.mispredicts * platform.mispredictPenaltyCycles;
+
+            lane.costs.backEndStallCycles =
+                lane.l2DataHitCount * l2Cyc * 0.20 +
+                lane.wLlcDataHit * llcCyc + lane.wMemData * memCyc +
+                lane.dtlbStlbHits * kStlbHitCycles * 0.5 +
+                lane.dtlbWalks * walkCyc * kDtlbWalkExposure +
+                n * lane.shpWastePenalty;
+
+            lane.threadIpc = ipcOf(lane.costs);
+            double threadIps = lane.threadIpc * ghz * 1e9;
+            double coreIps = threadIps * profile.smtThroughputScale;
+            // The load balancer keeps CPU utilization at the QoS cap
+            // (Sec. 2.3.3), which is what bounds offered memory traffic.
+            double bw = lane.totalFills / n * lane.bytesPerFill * coreIps *
+                        static_cast<double>(lane.machine->activeCores()) *
+                        profile.cpuUtilizationCap / 1e9;
+            lane.op = lane.machine->memory().resolve(bw, lane.hugeFrac);
+            // Damped update: the raw fixed point can oscillate around
+            // the saturation knee.
+            lane.memLatencyNs = 0.5 * lane.memLatencyNs +
+                                0.5 * lane.op.latencyNs *
+                                    lane.op.backpressure;
         }
     }
 
-    bool empty() const { return lines_.empty(); }
-
-    std::uint64_t
-    sample(Rng &rng) const
-    {
-        return lines_[rng.below(lines_.size())];
-    }
-
-  private:
-    size_t capacity_;
-    std::vector<std::uint64_t> lines_;
-    size_t cursor_ = 0;
-};
-
-/** All mutable state of one simulation, shared by warmup and measure. */
-struct SimState
-{
-    const WorkloadProfile &profile;
-    Machine machine;
-    AddressSpace space;
-    PageMapper pages;
-    CodeGenerator codegen;
-    DataGenerator datagen;
-    Btb btb;
-    Rng rng;
-    /** Dedicated stream for cache/TLB disturbance so machine-state
-     *  dependent draw counts never decorrelate the workload stream. */
-    Rng disturbRng;
-    DiscreteDistribution mixDist;
-    std::vector<Prefetcher *> l1Pf;
-    std::vector<Prefetcher *> l2Pf;
-
-    const RegionMapping *codeMapping = nullptr;
-    std::vector<const RegionMapping *> dataMappings;
-
-    // Foreign-core interference.
-    LineRing codeRing{kCodeRingSize};
-    LineRing dataRing{kDataRingSize};
-    Rng foreignRng;
-    std::uint64_t llcCodeSeen = 1;
-    std::uint64_t llcDataSeen = 1;
-    int foreignCores = 0;
-
-    // Measured-window accumulators (cleared after warmup).
-    std::uint64_t instructions = 0;
-    std::uint64_t classCounts[5] = {0, 0, 0, 0, 0};
-    std::uint64_t branches = 0;
-    std::uint64_t mispredicts = 0;
-    std::uint64_t btbMisses = 0;
-    std::uint64_t itlbStlbHits = 0, itlbWalks = 0;
-    std::uint64_t dtlbStlbHits = 0, dtlbWalks = 0;
-    std::uint64_t dtlbLoadMisses = 0, dtlbStoreMisses = 0;
-    std::uint64_t dramDemandFills = 0, dramPrefetchFills = 0;
-    std::uint64_t contextSwitches = 0;
-    double wLlcDataHit = 0.0;    //!< Σ 1/mlp over L2-miss LLC-hit data
-    double wMemData = 0.0;       //!< Σ 1/mlp over LLC-miss data
-    std::uint64_t l2DataHitCount = 0;
-
-    std::uint64_t fetchLine = ~0ull;
-    std::uint64_t switchCountdown = 0;
-    std::uint64_t switchInterval = 0;
-    std::uint64_t kernelCursor = 0;
-
-    std::vector<std::uint64_t> pfCandidates;
-
-    SimState(const WorkloadProfile &prof, const PlatformSpec &platform,
-             const KnobConfig &knobs, std::uint64_t seed,
-             const SimOptions &options)
-        : profile(prof),
-          machine(platform, knobs,
-                  options.llcLru ? ReplPolicy::Lru : ReplPolicy::Srrip),
-          space(layoutAddressSpace(prof)),
-          pages(space.pageRegions,
-                HugePagePolicy{machine.knobs().thp,
-                               prof.usesShp ? machine.knobs().shpCount : 0}),
-          codegen(prof, space.codeBase, seed ^ 0xC0DE),
-          datagen(prof, space, seed ^ 0xDA7A),
-          btb(platform.btbEntries), rng(seed ^ 0xF00D),
-          disturbRng(seed ^ 0xD157),
-          mixDist({prof.mix.branch, prof.mix.floating, prof.mix.arith,
-                   prof.mix.load, prof.mix.store}),
-          foreignRng(seed ^ 0xF0E1)
-    {
-        l1Pf = machine.l1Prefetchers();
-        l2Pf = machine.l2Prefetchers();
-        codeMapping = &pages.mappings()[0];
-        for (size_t i = 1; i < pages.mappings().size(); ++i)
-            dataMappings.push_back(&pages.mappings()[i]);
-        foreignCores =
-            options.disableInterference ? 0 : machine.activeCores() - 1;
-
-        // Switch interval derives from the profile's switch rate at
-        // the platform's nominal frequency.  Using the nominal (not the
-        // configured) frequency keeps the generated event stream
-        // identical across knob configurations, so A/B deltas reflect
-        // the hardware change rather than stream divergence.
-        double ips = platform.coreFreqMaxGHz * 1e9;
-        switchInterval =
-            prof.contextSwitch.instructionsBetweenSwitches(ips);
-        switchCountdown = switchInterval;
-        pfCandidates.reserve(8);
-    }
-
-    /**
-     * Populate steady-state cache/TLB contents before the measured
-     * window.  A production server has been serving traffic for hours:
-     * its hot code and hot data ranks are already resident at every
-     * level.  A few million warmup instructions cannot reproduce that
-     * for multi-megabyte mid-hot working sets, so the prewarm installs
-     * them directly, coldest rank first (so the hottest end up youngest
-     * in the replacement state), and seeds the interference rings.
-     */
-    void
-    prewarm()
-    {
-        const std::uint64_t linesPerFunc =
-            std::max<std::uint64_t>(1, profile.avgFunctionBytes / 64);
-        std::uint64_t hotFuncs = profile.codeHotFunctions > 0
-                                     ? std::min(profile.codeHotFunctions,
-                                                codegen.functionCount())
-                                     : codegen.functionCount();
-        hotFuncs = std::min<std::uint64_t>(hotFuncs, 60000);
-        for (std::uint64_t r = hotFuncs; r-- > 0;) {
-            std::uint64_t entry = codegen.functionAddress(r);
-            for (std::uint64_t l = 0; l < linesPerFunc; ++l) {
-                std::uint64_t line = entry / kLineBytes + l;
-                machine.llc().touch(line, AccessType::Code);
-                codeRing.push(line);
-                if (r < 1500)
-                    machine.l2().touch(line, AccessType::Code);
-                if (r < 60)
-                    machine.l1i().touch(line, AccessType::Code);
-            }
-            if (r < 256) {
-                std::uint64_t pageBytes =
-                    codeMapping->isHugeAddress(entry) ? kPage2m : kPage4k;
-                machine.itlb().access(entry, pageBytes);
-            }
-        }
-
-        for (size_t i = 0; i < profile.dataRegions.size(); ++i) {
-            const DataRegionSpec &spec = profile.dataRegions[i];
-            if (spec.pattern != DataPattern::Random &&
-                spec.pattern != DataPattern::PointerChase) {
-                continue;
-            }
-            std::uint64_t base = space.dataBases[i];
-            std::uint64_t hotLines = spec.hotBytes > 0
-                                         ? spec.hotBytes / kLineBytes
-                                         : spec.sizeBytes / kLineBytes;
-            std::uint64_t lines =
-                std::min<std::uint64_t>(hotLines, 320000);
-            for (std::uint64_t r = lines; r-- > 0;) {
-                std::uint64_t line = base / kLineBytes + r;
-                machine.llc().touch(line, AccessType::Data);
-                if (r < 6000)
-                    machine.l2().touch(line, AccessType::Data);
-                if (r < 400)
-                    machine.l1d().touch(line, AccessType::Data);
-                if ((r & 1023) == 0)
-                    dataRing.push(line);
-                if (r < 4000 && (r & 63) == 0) {
-                    std::uint64_t addr = base + r * kLineBytes;
-                    const RegionMapping *m = dataMappings[i];
-                    machine.dtlb().access(
-                        addr, m->isHugeAddress(addr) ? kPage2m : kPage4k);
-                }
-            }
-        }
-
-        // Clear any stats the prewarm TLB accesses recorded.
-        machine.itlb().l1().stats().clear();
-        machine.itlb().stlb().stats().clear();
-        machine.dtlb().l1().stats().clear();
-        machine.dtlb().stlb().stats().clear();
-    }
-
-    /** LLC access with foreign-core interference injected around it. */
-    bool
-    llcAccess(std::uint64_t line, AccessType type, bool isPrefetch)
-    {
-        bool hit = machine.llc().access(line, type, isPrefetch);
-        if (type == AccessType::Code) {
-            codeRing.push(line);
-            ++llcCodeSeen;
-        } else {
-            dataRing.push(line);
-            ++llcDataSeen;
-        }
-
-        // Every other active core makes roughly one LLC access per one
-        // of ours (same binary, same load).  Code lines are shared and
-        // are continuously re-touched by the service's own threads, so
-        // the re-warm rate saturates at a handful of touches; private
-        // data pressure, in contrast, scales with every active core.
-        double codeShare =
-            static_cast<double>(llcCodeSeen) /
-            static_cast<double>(llcCodeSeen + llcDataSeen);
-        int codeTouches = 10;
-        for (int c = 0; c < codeTouches; ++c) {
-            if (!codeRing.empty() && foreignRng.chance(codeShare))
-                machine.llc().touch(codeRing.sample(foreignRng),
-                                    AccessType::Code);
-        }
-        for (int c = 0; c < foreignCores; ++c) {
-            bool code = foreignRng.chance(codeShare);
-            if (code) {
-                // Covered by the saturating re-warm loop above.
-            } else if (!dataRing.empty()) {
-                // Shared data (common objects, read-mostly tables) is
-                // re-touched at the same addresses by every core and so
-                // stays LLC-resident; private per-request data from
-                // other cores is displaced into their own heaps and is
-                // pure capacity pressure.
-                std::uint64_t salt =
-                    foreignRng.chance(profile.sharedDataFraction)
-                        ? 0
-                        : (static_cast<std::uint64_t>(c) + 1) << 30;
-                machine.llc().touch(dataRing.sample(foreignRng) ^ salt,
-                                    AccessType::Data);
-            }
-        }
-        return hit;
-    }
-
-    /** Demand data path below L1-D: L2 → LLC → DRAM. */
-    void
-    dataMissBelowL1(std::uint64_t line, std::uint64_t pc, double mlp,
-                    bool collect)
-    {
-        bool l2Hit = machine.l2().access(line, AccessType::Data);
-        for (Prefetcher *pf : l2Pf) {
-            pfCandidates.clear();
-            pf->observe(line, pc, !l2Hit, pfCandidates);
-            for (std::uint64_t target : pfCandidates)
-                playL2Prefetch(target, AccessType::Data);
-        }
-        if (l2Hit) {
-            if (collect)
-                ++l2DataHitCount;
-            return;
-        }
-        bool llcHit = llcAccess(line, AccessType::Data, false);
-        if (collect) {
-            if (llcHit) {
-                wLlcDataHit += 1.0 / mlp;
-            } else {
-                wMemData += 1.0 / mlp;
-                ++dramDemandFills;
-            }
+    if (getenv("SOFTSKU_DEBUG_COSTS")) {
+        for (const RollupLane &lane : lanes) {
+            std::fprintf(stderr,
+                "dbg: l1iM=%.0f l2cM=%.0f llccM=%.0f wLlc=%.1f wMem=%.1f "
+                "l2dHit=%llu itlbS=%llu itlbW=%llu dtlbS=%llu dtlbW=%llu "
+                "memLat=%.0f fe=%.0f be=%.0f bs=%.0f base=%.0f\n",
+                lane.l1iMisses, lane.l2CodeMisses, lane.llcCodeMisses,
+                lane.wLlcDataHit, lane.wMemData,
+                (unsigned long long)lane.l2DataHitCount,
+                (unsigned long long)lane.itlbStlbHits,
+                (unsigned long long)lane.itlbWalks,
+                (unsigned long long)lane.dtlbStlbHits,
+                (unsigned long long)lane.dtlbWalks, lane.memLatencyNs,
+                lane.costs.frontEndStallCycles,
+                lane.costs.backEndStallCycles, lane.costs.badSpecCycles,
+                lane.costs.baseCycles);
         }
     }
+}
 
-    /** Install a prefetch at L2, fetching through LLC/DRAM as needed. */
-    void
-    playL2Prefetch(std::uint64_t line, AccessType type)
-    {
-        bool wasPresent = machine.l2().access(line, type, true);
-        if (wasPresent)
-            return;
-        bool llcHit = llcAccess(line, type, true);
-        if (!llcHit)
-            ++dramPrefetchFills;
-    }
-
-    /** Install a prefetch at L1-D, fetching through the hierarchy. */
-    void
-    playL1Prefetch(std::uint64_t line)
-    {
-        bool wasPresent = machine.l1d().access(line, AccessType::Data, true);
-        if (wasPresent)
-            return;
-        bool l2Hit = machine.l2().access(line, AccessType::Data, true);
-        if (l2Hit)
-            return;
-        bool llcHit = llcAccess(line, AccessType::Data, true);
-        if (!llcHit)
-            ++dramPrefetchFills;
-    }
-
-    /** Instruction-side access for the line containing @p pc. */
-    void
-    fetchAccess(std::uint64_t pc, bool collect)
-    {
-        std::uint64_t pageBytes =
-            codeMapping->isHugeAddress(pc) ? kPage2m : kPage4k;
-        auto outcome = machine.itlb().access(pc, pageBytes);
-        if (collect) {
-            if (outcome == TwoLevelTlb::Outcome::StlbHit)
-                ++itlbStlbHits;
-            else if (outcome == TwoLevelTlb::Outcome::PageWalk)
-                ++itlbWalks;
-        }
-
-        std::uint64_t line = pc / kLineBytes;
-        if (machine.l1i().access(line, AccessType::Code))
-            return;
-        bool l2Hit = machine.l2().access(line, AccessType::Code);
-        for (Prefetcher *pf : l2Pf) {
-            pfCandidates.clear();
-            pf->observe(line, pc, !l2Hit, pfCandidates);
-            for (std::uint64_t target : pfCandidates)
-                playL2Prefetch(target, AccessType::Code);
-        }
-        if (l2Hit)
-            return;
-        bool llcHit = llcAccess(line, AccessType::Code, false);
-        if (!llcHit && collect)
-            ++dramDemandFills;
-    }
-
-    /** Kernel code burst modelling the switch path's instruction feed. */
-    void
-    kernelBurst()
-    {
-        for (int i = 0; i < kKernelBurstLines; ++i) {
-            std::uint64_t line =
-                (kKernelTextBase / kLineBytes) +
-                (kernelCursor + static_cast<std::uint64_t>(i)) %
-                    kKernelTextLines;
-            if (!machine.l1i().touch(line, AccessType::Code)) {
-                if (!machine.l2().touch(line, AccessType::Code))
-                    machine.llc().touch(line, AccessType::Code);
-            }
-        }
-        kernelCursor = (kernelCursor + kKernelBurstLines) % kKernelTextLines;
-    }
-
-    /** Context-switch event: pollution plus thread migration. */
-    void
-    contextSwitch(bool collect)
-    {
-        if (collect)
-            ++contextSwitches;
-        bool crossPool = codegen.switchThread();
-        datagen.switchThread();
-        machine.l1i().disturb(profile.switchDisturbance, disturbRng);
-        machine.l1d().disturb(profile.switchDisturbance, disturbRng);
-        machine.itlb().disturb(profile.switchDisturbance * 0.3, disturbRng);
-        machine.dtlb().disturb(profile.switchDisturbance * 0.3, disturbRng);
-        // A cross-pool switch displaces roughly half the BTB's useful
-        // history rather than wiping it.
-        if (crossPool && disturbRng.chance(0.5))
-            btb.flush();
-        kernelBurst();
-        fetchLine = ~0ull;
-    }
-
-    /** Run @p count instructions; @p collect enables stat recording. */
-    void
-    run(std::uint64_t count, bool collect)
-    {
-        const double mispredBtbMiss = 0.45;
-        std::uint64_t churnBlock = 0;
-
-        for (std::uint64_t i = 0; i < count; ++i) {
-            // Fetch side: access the I-path when crossing a line.
-            std::uint64_t pc = codegen.pc();
-            std::uint64_t line = pc / kLineBytes;
-            if (line != fetchLine) {
-                fetchLine = line;
-                fetchAccess(pc, collect);
-            }
-
-            int cls = static_cast<int>(mixDist.sample(rng));
-            if (collect) {
-                ++instructions;
-                ++classCounts[cls];
-            }
-
-            switch (static_cast<InsnClass>(cls)) {
-              case InsnClass::Branch: {
-                if (collect)
-                    ++branches;
-                bool known = btb.access(pc);
-                bool taken = codegen.executeBranch();
-                double mispredP = profile.branchMispredictRate;
-                if (!known) {
-                    if (collect)
-                        ++btbMisses;
-                    if (taken)
-                        mispredP = mispredBtbMiss;
-                }
-                if (rng.chance(mispredP)) {
-                    if (collect)
-                        ++mispredicts;
-                    // Redirect refetches the (possibly same) line.
-                    fetchLine = ~0ull;
-                }
-                break;
-              }
-
-              case InsnClass::Load:
-              case InsnClass::Store: {
-                DataAccess access = datagen.next();
-                const RegionMapping *mapping =
-                    dataMappings[access.regionIndex];
-                std::uint64_t pageBytes =
-                    mapping->isHugeAddress(access.addr) ? kPage2m
-                                                        : kPage4k;
-                auto outcome = machine.dtlb().access(access.addr, pageBytes);
-                if (collect &&
-                    outcome != TwoLevelTlb::Outcome::L1Hit) {
-                    // Fig 11's load/store split is at first-level
-                    // miss granularity.
-                    if (cls == static_cast<int>(InsnClass::Load))
-                        ++dtlbLoadMisses;
-                    else
-                        ++dtlbStoreMisses;
-                    if (outcome == TwoLevelTlb::Outcome::StlbHit)
-                        ++dtlbStlbHits;
-                    else
-                        ++dtlbWalks;
-                }
-
-                std::uint64_t dline = access.addr / kLineBytes;
-                std::uint64_t pfPc =
-                    access.streamPc != 0 ? access.streamPc : pc;
-                bool l1Hit = machine.l1d().access(dline, AccessType::Data);
-                for (Prefetcher *pf : l1Pf) {
-                    pfCandidates.clear();
-                    pf->observe(dline, pfPc, !l1Hit, pfCandidates);
-                    for (std::uint64_t target : pfCandidates)
-                        playL1Prefetch(target);
-                }
-                if (!l1Hit)
-                    dataMissBelowL1(dline, pfPc, access.mlp, collect);
-                codegen.advance();
-                break;
-              }
-
-              case InsnClass::Float:
-              case InsnClass::Arith:
-                codegen.advance();
-                break;
-            }
-
-            // Context switches and JIT churn on their own cadences.
-            if (switchInterval > 0 && --switchCountdown == 0) {
-                switchCountdown = switchInterval;
-                contextSwitch(collect);
-            }
-            if (++churnBlock == 65536) {
-                codegen.applyChurn(churnBlock);
-                churnBlock = 0;
-            }
-        }
-    }
-
-    /** Zero measurement accumulators after the warmup pass. */
-    void
-    clearStats()
-    {
-        machine.l1i().stats().clear();
-        machine.l1d().stats().clear();
-        machine.l2().stats().clear();
-        machine.llc().stats().clear();
-        machine.itlb().l1().stats().clear();
-        machine.itlb().stlb().stats().clear();
-        machine.dtlb().l1().stats().clear();
-        machine.dtlb().stlb().stats().clear();
-        instructions = 0;
-        std::fill(std::begin(classCounts), std::end(classCounts), 0ull);
-        branches = mispredicts = btbMisses = 0;
-        itlbStlbHits = itlbWalks = 0;
-        dtlbStlbHits = dtlbWalks = 0;
-        dtlbLoadMisses = dtlbStoreMisses = 0;
-        dramDemandFills = dramPrefetchFills = 0;
-        contextSwitches = 0;
-        wLlcDataHit = wMemData = 0.0;
-        l2DataHitCount = 0;
-    }
-};
-
-} // namespace
+} // namespace simcore
 
 CounterSet
 simulateService(const WorkloadProfile &profile, const PlatformSpec &platform,
                 const KnobConfig &knobs, const SimOptions &options)
 {
     profile.validate();
-    SimState sim(profile, platform, knobs, options.seed, options);
+    simcore::SimStateT<Rng> sim(profile, platform, knobs, options.seed,
+                                options, Rng(options.seed ^ 0xF00D));
     if (options.catWays > 0)
         applyCat(sim.machine.llc(), options.catWays);
 
@@ -560,146 +107,10 @@ simulateService(const WorkloadProfile &profile, const PlatformSpec &platform,
     sim.clearStats();
     sim.run(options.measureInstructions, true);
 
-    CounterSet out;
-    out.instructions = sim.instructions;
-    std::copy(std::begin(sim.classCounts), std::end(sim.classCounts),
-              std::begin(out.classCounts));
-    out.l1i = sim.machine.l1i().stats();
-    out.l1d = sim.machine.l1d().stats();
-    out.l2 = sim.machine.l2().stats();
-    out.llc = sim.machine.llc().stats();
-    out.itlbL1 = sim.machine.itlb().l1().stats();
-    out.dtlbL1 = sim.machine.dtlb().l1().stats();
-    out.itlbWalks = sim.itlbWalks;
-    out.dtlbWalks = sim.dtlbWalks;
-    out.dtlbLoadMisses = sim.dtlbLoadMisses;
-    out.dtlbStoreMisses = sim.dtlbStoreMisses;
-    out.branches = sim.branches;
-    out.mispredicts = sim.mispredicts;
-    out.btbMisses = sim.btbMisses;
-    out.dramDemandFills = sim.dramDemandFills;
-    out.dramPrefetchFills = sim.dramPrefetchFills;
-    out.contextSwitches = sim.contextSwitches;
-
-    // ---- cost assembly: cycles from event counts -----------------------
-    const Machine &machine = sim.machine;
-    const double ghz = machine.coreFreqGHz();
-    const double n = static_cast<double>(sim.instructions);
-    const auto &llcStats = out.llc;
-    const auto &l2Stats = out.l2;
-    const auto &l1iStats = out.l1i;
-
-    double l1iMisses = static_cast<double>(l1iStats.misses[0]);
-    double l2CodeMisses = static_cast<double>(l2Stats.misses[0]);
-    double llcCodeMisses = static_cast<double>(llcStats.misses[0]);
-    double l2CodeHits = std::max(0.0, l1iMisses - l2CodeMisses);
-    double llcCodeHits = std::max(0.0, l2CodeMisses - llcCodeMisses);
-
-    double memLatencyNs = machine.dram().unloadedLatencyNs();
-    double llcLatNs = machine.dram().llcLatencyNs();
-    double walkNs = machine.dram().pageWalkLatencyNs();
-    double bytesPerFill =
-        kLineBytes * (1.0 + profile.writebackFraction);
-    double totalFills = static_cast<double>(sim.dramDemandFills +
-                                            sim.dramPrefetchFills);
-    double overheadShare = profile.contextSwitch.penaltyFractionMid() +
-                           profile.kernelTimeShare;
-    overheadShare = std::min(overheadShare, 0.6);
-
-    // Static huge pages reserved beyond what the service can map are
-    // pinned memory lost to the page cache; charge the displacement.
-    double shpWastePenalty =
-        static_cast<double>(sim.pages.wastedShpBytes()) /
-        (1024.0 * 1024.0 * 1024.0) * kShpWastePenaltyPerGiB;
-
-    // Fraction of the footprint on 2 MiB pages: huge regions cost more
-    // per migration when the far tier's promotion daemon is active.
-    double footprintBytes = 0.0;
-    for (const RegionMapping &mapping : sim.pages.mappings())
-        footprintBytes += static_cast<double>(mapping.region->sizeBytes);
-    double hugeFrac =
-        footprintBytes > 0.0
-            ? static_cast<double>(sim.pages.totalHugeBytes()) /
-                  footprintBytes
-            : 0.0;
-
-    PipelineCosts costs;
-    MemoryOperatingPoint op;
-    double threadIpc = 1.0;
-    for (int iter = 0; iter < 12; ++iter) {
-        costs = PipelineCosts{};
-        costs.instructions = n;
-        costs.baseCycles = n * profile.baseCpi;
-
-        double l2Cyc = platform.l2LatencyCycles;
-        double llcCyc = llcLatNs * ghz;
-        double memCyc = memLatencyNs * ghz;
-        double walkCyc = walkNs * ghz;
-
-        costs.frontEndStallCycles =
-            kCodeExposureL2 * l2CodeHits * l2Cyc +
-            kCodeExposureLlc * llcCodeHits * llcCyc +
-            kCodeExposureMem * llcCodeMisses * memCyc +
-            static_cast<double>(sim.itlbStlbHits) * kStlbHitCycles +
-            static_cast<double>(sim.itlbWalks) * walkCyc *
-                kItlbWalkExposure;
-
-        costs.badSpecCycles = static_cast<double>(sim.mispredicts) *
-                              platform.mispredictPenaltyCycles;
-
-        costs.backEndStallCycles =
-            static_cast<double>(sim.l2DataHitCount) * l2Cyc * 0.20 +
-            sim.wLlcDataHit * llcCyc + sim.wMemData * memCyc +
-            static_cast<double>(sim.dtlbStlbHits) * kStlbHitCycles * 0.5 +
-            static_cast<double>(sim.dtlbWalks) * walkCyc *
-                kDtlbWalkExposure +
-            n * shpWastePenalty;
-
-        threadIpc = ipcOf(costs);
-        double threadIps = threadIpc * ghz * 1e9;
-        double coreIps = threadIps * profile.smtThroughputScale;
-        // The load balancer keeps CPU utilization at the QoS cap
-        // (Sec. 2.3.3), which is what bounds offered memory traffic.
-        double bw = totalFills / n * bytesPerFill * coreIps *
-                    static_cast<double>(machine.activeCores()) *
-                    profile.cpuUtilizationCap / 1e9;
-        op = machine.memory().resolve(bw, hugeFrac);
-        // Damped update: the raw fixed point can oscillate around the
-        // saturation knee.
-        memLatencyNs =
-            0.5 * memLatencyNs + 0.5 * op.latencyNs * op.backpressure;
-    }
-
-    if (getenv("SOFTSKU_DEBUG_COSTS")) {
-        std::fprintf(stderr,
-            "dbg: l1iM=%.0f l2cM=%.0f llccM=%.0f wLlc=%.1f wMem=%.1f "
-            "l2dHit=%llu itlbS=%llu itlbW=%llu dtlbS=%llu dtlbW=%llu "
-            "memLat=%.0f fe=%.0f be=%.0f bs=%.0f base=%.0f\n",
-            l1iMisses, l2CodeMisses, llcCodeMisses, sim.wLlcDataHit,
-            sim.wMemData, (unsigned long long)sim.l2DataHitCount,
-            (unsigned long long)sim.itlbStlbHits,
-            (unsigned long long)sim.itlbWalks,
-            (unsigned long long)sim.dtlbStlbHits,
-            (unsigned long long)sim.dtlbWalks, memLatencyNs,
-            costs.frontEndStallCycles, costs.backEndStallCycles,
-            costs.badSpecCycles, costs.baseCycles);
-    }
-
-    out.costs = costs;
-    out.cycles = costs.totalCycles();
-    out.ipc = threadIpc;
-    out.coreIpc = threadIpc * profile.smtThroughputScale;
-    out.topdown = computeTopDown(costs, platform.issueWidth);
-    out.memBandwidthGBs = op.achievedGBs;
-    out.memLatencyNs = op.latencyNs;
-    out.memBackpressure = op.backpressure;
-    out.cswPenaltyFraction = profile.contextSwitch.penaltyFractionMid();
-    out.kernelShare =
-        profile.kernelTimeShare + out.cswPenaltyFraction;
-    out.mipsPerCore = out.coreIpc * ghz * 1e3 * (1.0 - overheadShare);
-    out.platformMips =
-        out.mipsPerCore * static_cast<double>(machine.activeCores());
-    return out;
+    simcore::RollupLane lane =
+        simcore::gatherRollup(sim, profile, platform);
+    simcore::rollupLanes({&lane, 1});
+    return simcore::assembleCounters(sim, lane, profile, platform);
 }
 
 } // namespace softsku

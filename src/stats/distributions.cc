@@ -26,21 +26,9 @@ ZipfDistribution::ZipfDistribution(std::uint64_t n, double skew)
     }
     for (auto &c : cdf_)
         c /= sum;
-}
-
-std::uint64_t
-ZipfDistribution::sample(Rng &rng) const
-{
-    double u = rng.uniform();
-    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-    auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
-    if (rank >= cdf_.size())
-        rank = cdf_.size() - 1;
-    if (cdf_.size() < n_ && rank == cdf_.size() - 1) {
-        // Tail beyond the table: spread uniformly.
-        rank += rng.below(n_ - cdf_.size() + 1);
-    }
-    return rank;
+    hasTail_ = cdf_.size() < n_;
+    tailRank_ = cdf_.size() - 1;
+    tailSpan_ = n_ - cdf_.size() + 1;
 }
 
 DiscreteDistribution::DiscreteDistribution(const std::vector<double> &weights)
@@ -91,13 +79,6 @@ DiscreteDistribution::DiscreteDistribution(const std::vector<double> &weights)
         prob_[small.front()] = 1.0;
         small.pop_front();
     }
-}
-
-std::uint32_t
-DiscreteDistribution::sample(Rng &rng) const
-{
-    auto i = static_cast<std::uint32_t>(rng.below(prob_.size()));
-    return rng.uniform() < prob_[i] ? i : alias_[i];
 }
 
 double

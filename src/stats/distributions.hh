@@ -8,6 +8,7 @@
 #ifndef SOFTSKU_STATS_DISTRIBUTIONS_HH
 #define SOFTSKU_STATS_DISTRIBUTIONS_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -25,8 +26,29 @@ class ZipfDistribution
   public:
     ZipfDistribution(std::uint64_t n, double skew);
 
-    /** Draw one rank. */
-    std::uint64_t sample(Rng &rng) const;
+    /**
+     * Draw one rank.  Templated over the generator so the batched
+     * simulator's BufferedRng lanes sample through the identical code
+     * path (and therefore consume the identical draw sequence) as the
+     * scalar Rng.
+     */
+    template <class R>
+    std::uint64_t
+    sample(R &rng) const
+    {
+        double u = rng.uniform();
+        auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        auto rank = static_cast<std::uint64_t>(it - cdf_.begin());
+        if (rank >= cdf_.size())
+            rank = cdf_.size() - 1;
+        // Tail beyond the table: spread uniformly.  The table-capped
+        // check is precomputed at construction so the common
+        // (untruncated) case pays one compare on a constant instead of
+        // re-deriving it from two vector loads per draw.
+        if (hasTail_ && rank == tailRank_)
+            rank += rng.below(tailSpan_);
+        return rank;
+    }
 
     std::uint64_t size() const { return n_; }
     double skew() const { return skew_; }
@@ -35,6 +57,10 @@ class ZipfDistribution
     std::uint64_t n_;
     double skew_;
     std::vector<double> cdf_;
+    /** Precomputed tail-branch facts (see sample()). */
+    bool hasTail_ = false;
+    std::uint64_t tailRank_ = 0;
+    std::uint64_t tailSpan_ = 1;
 };
 
 /**
@@ -46,8 +72,14 @@ class DiscreteDistribution
   public:
     explicit DiscreteDistribution(const std::vector<double> &weights);
 
-    /** Draw one index. */
-    std::uint32_t sample(Rng &rng) const;
+    /** Draw one index (templated over the generator, as Zipf). */
+    template <class R>
+    std::uint32_t
+    sample(R &rng) const
+    {
+        auto i = static_cast<std::uint32_t>(rng.below(prob_.size()));
+        return rng.uniform() < prob_[i] ? i : alias_[i];
+    }
 
     size_t size() const { return prob_.size(); }
 

@@ -1,0 +1,206 @@
+#include "stats/simd_rng.hh"
+
+#include <algorithm>
+
+namespace softsku {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** One scalar xoshiro256** step on SoA state at lane offset @p w. */
+inline std::uint64_t
+stepLane(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+         std::uint64_t *s3, std::size_t w)
+{
+    const std::uint64_t result = rotl(s1[w] * 5, 7) * 9;
+    const std::uint64_t t = s1[w] << 17;
+    s2[w] ^= s0[w];
+    s3[w] ^= s1[w];
+    s1[w] ^= s2[w];
+    s0[w] ^= s3[w];
+    s2[w] ^= t;
+    s3[w] = rotl(s3[w], 45);
+    return result;
+}
+
+} // namespace
+
+namespace simd_detail {
+
+bool
+cpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    static const bool has = __builtin_cpu_supports("avx2");
+    return has;
+#else
+    return false;
+#endif
+}
+
+bool
+cpuHasAvx512()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    static const bool has = __builtin_cpu_supports("avx512f") &&
+                            __builtin_cpu_supports("avx512dq");
+    return has;
+#else
+    return false;
+#endif
+}
+
+} // namespace simd_detail
+
+SimdXoshiroBank::SimdXoshiroBank(const std::vector<std::uint64_t> &seeds)
+    : lanes_(seeds.size()), state_(4 * seeds.size())
+{
+    SOFTSKU_ASSERT(!seeds.empty());
+    for (std::size_t w = 0; w < lanes_; ++w) {
+        std::uint64_t sm = seeds[w];
+        for (int k = 0; k < 4; ++k)
+            state(k)[w] = splitMix64(sm);
+    }
+}
+
+const char *
+SimdXoshiroBank::backendName()
+{
+    if (kSimdWidth >= 8 && simd_detail::cpuHasAvx512())
+        return "avx512";
+    if (kSimdWidth >= 4 && simd_detail::cpuHasAvx2())
+        return "avx2";
+    return "scalar";
+}
+
+void
+SimdXoshiroBank::fillInterleaved(std::uint64_t *out, std::size_t n)
+{
+    std::uint64_t *s0 = state(0), *s1 = state(1), *s2 = state(2),
+                  *s3 = state(3);
+    std::size_t base = 0;
+    const bool avx512 = kSimdWidth >= 8 && simd_detail::cpuHasAvx512();
+    const bool avx2 = kSimdWidth >= 4 && simd_detail::cpuHasAvx2();
+    while (lanes_ - base >= 16 && kSimdWidth >= 16 && avx512) {
+        simd_detail::fillAvx512x16(s0 + base, s1 + base, s2 + base,
+                                   s3 + base, out + base, lanes_, n);
+        base += 16;
+    }
+    while (lanes_ - base >= 8 && avx512) {
+        simd_detail::fillAvx512x8(s0 + base, s1 + base, s2 + base, s3 + base,
+                                  out + base, lanes_, n);
+        base += 8;
+    }
+    while (lanes_ - base >= 8 && kSimdWidth >= 8 && avx2) {
+        simd_detail::fillAvx2x8(s0 + base, s1 + base, s2 + base, s3 + base,
+                                out + base, lanes_, n);
+        base += 8;
+    }
+    while (lanes_ - base >= 4 && avx2) {
+        simd_detail::fillAvx2x4(s0 + base, s1 + base, s2 + base, s3 + base,
+                                out + base, lanes_, n);
+        base += 4;
+    }
+    for (; base < lanes_; ++base)
+        for (std::size_t i = 0; i < n; ++i)
+            out[i * lanes_ + base] = stepLane(s0, s1, s2, s3, base);
+}
+
+void
+SimdXoshiroBank::fillLane(std::size_t w, std::uint64_t *out,
+                          std::size_t stride, std::size_t n)
+{
+    SOFTSKU_ASSERT(w < lanes_);
+    std::uint64_t *s0 = state(0), *s1 = state(1), *s2 = state(2),
+                  *s3 = state(3);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i * stride] = stepLane(s0, s1, s2, s3, w);
+}
+
+namespace {
+
+/** Below this many rows a vector fill is not worth its setup. */
+constexpr std::size_t kMinVectorRows = 64;
+/** Scalar-path fill granularity. */
+constexpr std::size_t kScalarRows = 1024;
+
+std::size_t
+roundUpPow2(std::size_t x)
+{
+    std::size_t p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+LaneStreamPool::LaneStreamPool(const std::vector<std::uint64_t> &seeds,
+                               std::size_t capacity)
+    : lanes_(seeds.size()), capacity_(roundUpPow2(std::max<std::size_t>(
+                                capacity, 2 * kMinVectorRows))),
+      mask_(capacity_ - 1), buf_(capacity_ * seeds.size()),
+      read_(seeds.size(), 0), written_(seeds.size(), 0), bank_(seeds)
+{
+}
+
+void
+LaneStreamPool::refill(std::size_t lane)
+{
+    // Fast path: every lane's generator is at the same position, so one
+    // interleaved vector fill advances the whole pack.  The row budget
+    // is bounded by the slowest reader's remaining ring space.
+    bool aligned = true;
+    std::uint64_t w0 = written_[0];
+    std::uint64_t minRead = read_[0];
+    for (std::size_t w = 1; w < lanes_; ++w) {
+        aligned = aligned && written_[w] == w0;
+        minRead = std::min(minRead, read_[w]);
+    }
+    if (aligned) {
+        std::size_t space =
+            capacity_ - static_cast<std::size_t>(w0 - minRead);
+        if (space >= kMinVectorRows) {
+            std::size_t row = static_cast<std::size_t>(w0 & mask_);
+            std::size_t first = std::min(space, capacity_ - row);
+            bank_.fillInterleaved(buf_.data() + row * lanes_, first);
+            if (space > first)
+                bank_.fillInterleaved(buf_.data(), space - first);
+            for (std::size_t w = 0; w < lanes_; ++w)
+                written_[w] += space;
+            ++vectorFills_;
+            return;
+        }
+    }
+
+    // Slow path: the pack's cursors have drifted (mixed profiles or
+    // seeds in one lane group) — advance only the starved lane.  Its
+    // ring is empty here (read == written), so the whole capacity is
+    // available; cap the fill to keep latency bounded.
+    std::size_t space =
+        capacity_ - static_cast<std::size_t>(written_[lane] - read_[lane]);
+    std::size_t n = std::min(space, kScalarRows);
+    std::size_t row = static_cast<std::size_t>(written_[lane] & mask_);
+    std::size_t first = std::min(n, capacity_ - row);
+    bank_.fillLane(lane, buf_.data() + row * lanes_ + lane, lanes_, first);
+    if (n > first)
+        bank_.fillLane(lane, buf_.data() + lane, lanes_, n - first);
+    written_[lane] += n;
+    ++scalarFills_;
+}
+
+} // namespace softsku

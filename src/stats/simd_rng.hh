@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Width-templated SIMD xoshiro256** lane bank and the buffered per-lane
+ * consumers the batched simulator core drinks from.
+ *
+ * A SimdXoshiroBank holds W independent xoshiro256** generators in
+ * structure-of-arrays form — state word k of lane w lives at
+ * `state[k][w]` — and steps every lane together with one vector
+ * operation per state word.  Each lane is seeded exactly like a scalar
+ * `Rng(seed)` (the same SplitMix64 chain), so lane w's output is
+ * bit-for-bit the stream `Rng(seeds[w])` would produce.  That identity
+ * is the foundation of the batched simulator core's equivalence
+ * guarantee: a batched lane replays the precise substream its scalar
+ * solo run consumes.
+ *
+ * Draws land in an *interleaved* layout — `out[i * lanes + w]` is lane
+ * w's i-th draw — so the fill loop issues one contiguous vector store
+ * per step instead of W scattered extracts.  Consumers read their lane
+ * at stride `lanes`; in the common lockstep case (every lane consuming
+ * the same draw index, which is exactly what same-seed knob-sweep
+ * lanes do) each cache line of the buffer is fully consumed.
+ *
+ * The vector kernels live in their own translation units
+ * (simd_rng_avx2.cc, simd_rng_avx512.cc) compiled with the matching
+ * -m flags; everything here and in simd_rng.cc builds with the default
+ * architecture.  Selection is at runtime via cpuid, capped by the
+ * compile-time SOFTSKU_SIMD_WIDTH option (1 = scalar fallback only —
+ * the CI shard that keeps the fallback golden-equal builds this).
+ * The kernels are integer-only, so no floating-point result anywhere
+ * can depend on which backend ran.
+ */
+
+#ifndef SOFTSKU_STATS_SIMD_RNG_HH
+#define SOFTSKU_STATS_SIMD_RNG_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+#ifndef SOFTSKU_SIMD_WIDTH
+#define SOFTSKU_SIMD_WIDTH 8
+#endif
+
+namespace softsku {
+
+/** Compile-time cap on the vector group width (1, 4, 8, or 16). */
+constexpr std::size_t kSimdWidth = SOFTSKU_SIMD_WIDTH;
+
+static_assert(kSimdWidth == 1 || kSimdWidth == 4 || kSimdWidth == 8 ||
+                  kSimdWidth == 16,
+              "SOFTSKU_SIMD_WIDTH must be 1, 4, 8, or 16");
+
+namespace simd_detail {
+
+/** Advance 4 lanes at state offset 0 by n steps (AVX2 kernel). */
+void fillAvx2x4(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+                std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+                std::size_t n);
+/** Advance 8 lanes as two interleaved 4-lane chains (AVX2 kernel). */
+void fillAvx2x8(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+                std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+                std::size_t n);
+/** Advance 8 lanes by n steps (AVX-512 kernel). */
+void fillAvx512x8(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+                  std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+                  std::size_t n);
+/** Advance 16 lanes as two interleaved 8-lane chains (AVX-512 kernel). */
+void fillAvx512x16(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+                   std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+                   std::size_t n);
+
+/** Runtime CPU feature checks (cached after the first call). */
+bool cpuHasAvx2();
+bool cpuHasAvx512();
+
+} // namespace simd_detail
+
+/**
+ * W independent xoshiro256** streams stepped together.  Lane count is
+ * a runtime choice (ragged final batches shrink it); the vector group
+ * width used underneath is min(kSimdWidth, what the CPU offers).
+ */
+class SimdXoshiroBank
+{
+  public:
+    /** One lane per seed; lane w replays `Rng(seeds[w])` exactly. */
+    explicit SimdXoshiroBank(const std::vector<std::uint64_t> &seeds);
+
+    std::size_t lanes() const { return lanes_; }
+
+    /**
+     * Generate @p n draws for every lane into the interleaved layout
+     * `out[i * lanes() + w]`.  Every lane's generator advances n steps.
+     */
+    void fillInterleaved(std::uint64_t *out, std::size_t n);
+
+    /**
+     * Generate @p n draws for lane @p w only, writing draw i to
+     * `out[i * stride]`.  The scalar escape hatch for lanes whose
+     * consumption has diverged from the pack.
+     */
+    void fillLane(std::size_t w, std::uint64_t *out, std::size_t stride,
+                  std::size_t n);
+
+    /** Backend the dispatch would pick right now: avx512|avx2|scalar. */
+    static const char *backendName();
+
+  private:
+    std::uint64_t *state(int k) { return state_.data() + k * lanes_; }
+
+    std::size_t lanes_;
+    /** SoA state: word k of lane w at state_[k * lanes_ + w]. */
+    std::vector<std::uint64_t> state_;
+};
+
+/**
+ * Shared draw pool for one batch lane group: a SimdXoshiroBank plus a
+ * ring of prefilled draws per lane.  Lanes consume independently; as
+ * long as every lane's generator is at the same position (the lockstep
+ * fast path) refills advance all lanes with one vector fill.  A lane
+ * that runs dry while the pack's cursors have drifted apart is topped
+ * up with a scalar per-lane fill instead — slower, still the exact
+ * stream.
+ */
+class LaneStreamPool
+{
+  public:
+    /** @p capacity rows per lane; rounded up to a power of two. */
+    explicit LaneStreamPool(const std::vector<std::uint64_t> &seeds,
+                            std::size_t capacity = 8192);
+
+    std::size_t lanes() const { return lanes_; }
+
+    /** Next raw draw of lane @p w — `Rng(seeds[w])`'s next value. */
+    std::uint64_t
+    next(std::size_t w)
+    {
+        if (read_[w] == written_[w])
+            refill(w);
+        std::uint64_t v =
+            buf_[static_cast<std::size_t>(read_[w] & mask_) * lanes_ + w];
+        ++read_[w];
+        return v;
+    }
+
+    /** How many refills used the full-width vector fast path. */
+    std::uint64_t vectorFills() const { return vectorFills_; }
+    /** How many refills fell back to a single-lane scalar fill. */
+    std::uint64_t scalarFills() const { return scalarFills_; }
+
+  private:
+    void refill(std::size_t lane);
+
+    std::size_t lanes_;
+    std::size_t capacity_;
+    std::uint64_t mask_;
+    std::vector<std::uint64_t> buf_;
+    /** Absolute draw counts, per lane (monotonic; ring index = & mask_). */
+    std::vector<std::uint64_t> read_;
+    std::vector<std::uint64_t> written_;
+    SimdXoshiroBank bank_;
+    std::uint64_t vectorFills_ = 0;
+    std::uint64_t scalarFills_ = 0;
+};
+
+/**
+ * Rng-compatible view of one pool lane.  The distribution transforms
+ * are copied verbatim from Rng so every derived draw — uniform, Lemire
+ * below(), Box-Muller gaussian with its cached spare — is bit-identical
+ * to the scalar generator consuming the same raw stream.
+ */
+class BufferedRng
+{
+  public:
+    BufferedRng(LaneStreamPool *pool, std::size_t lane)
+        : pool_(pool), lane_(lane)
+    {
+    }
+
+    std::uint64_t next() { return pool_->next(lane_); }
+
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        SOFTSKU_ASSERT(bound > 0);
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        SOFTSKU_ASSERT(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    double
+    gaussian()
+    {
+        if (hasSpareGauss_) {
+            hasSpareGauss_ = false;
+            return spareGauss_;
+        }
+        double u1;
+        do {
+            u1 = uniform();
+        } while (u1 <= 0.0);
+        double u2 = uniform();
+        double mag = std::sqrt(-2.0 * std::log(u1));
+        spareGauss_ = mag * std::sin(2.0 * M_PI * u2);
+        hasSpareGauss_ = true;
+        return mag * std::cos(2.0 * M_PI * u2);
+    }
+
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    double
+    exponential(double rate)
+    {
+        SOFTSKU_ASSERT(rate > 0.0);
+        double u;
+        do {
+            u = uniform();
+        } while (u <= 0.0);
+        return -std::log(u) / rate;
+    }
+
+    bool chance(double p) { return uniform() < p; }
+
+    double
+    logNormalMean(double mean, double sigma)
+    {
+        SOFTSKU_ASSERT(mean > 0.0);
+        double mu = std::log(mean) - 0.5 * sigma * sigma;
+        return std::exp(mu + sigma * gaussian());
+    }
+
+  private:
+    LaneStreamPool *pool_;
+    std::size_t lane_;
+    bool hasSpareGauss_ = false;
+    double spareGauss_ = 0.0;
+};
+
+} // namespace softsku
+
+#endif // SOFTSKU_STATS_SIMD_RNG_HH

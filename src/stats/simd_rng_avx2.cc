@@ -1,0 +1,164 @@
+/**
+ * @file
+ * AVX2 xoshiro256** lane kernels — the 256-bit tier of the runtime
+ * dispatch in simd_rng.cc.  Compiled with -mavx2 (see
+ * src/CMakeLists.txt) and kept kernel-only so no AVX2 instruction can
+ * run before the cpuid check.  Integer-only, like the AVX-512 tier.
+ *
+ * AVX2 has no 64-bit rotate, so rotl is or(shl, shr); the ×5 / ×9
+ * multiplies are shift+add (vpmullq does not exist below AVX-512DQ).
+ * The 8-lane kernel interleaves two independent 4-lane chains.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace softsku::simd_detail {
+
+#if defined(__AVX2__)
+
+namespace {
+
+inline __m256i
+rol(__m256i x, int k)
+{
+    return _mm256_or_si256(_mm256_slli_epi64(x, k),
+                           _mm256_srli_epi64(x, 64 - k));
+}
+
+inline __m256i
+starResult(__m256i s1)
+{
+    // rotl(s1 * 5, 7) * 9 with shift+add multiplies.
+    __m256i m5 = _mm256_add_epi64(s1, _mm256_slli_epi64(s1, 2));
+    __m256i rl = rol(m5, 7);
+    return _mm256_add_epi64(rl, _mm256_slli_epi64(rl, 3));
+}
+
+inline __m256i
+load(const std::uint64_t *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+inline void
+store(std::uint64_t *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+
+} // namespace
+
+void
+fillAvx2x4(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+           std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+           std::size_t n)
+{
+    __m256i v0 = load(s0), v1 = load(s1), v2 = load(s2), v3 = load(s3);
+    for (std::size_t i = 0; i < n; ++i) {
+        store(out + i * stride, starResult(v1));
+        __m256i t = _mm256_slli_epi64(v1, 17);
+        v2 = _mm256_xor_si256(v2, v0);
+        v3 = _mm256_xor_si256(v3, v1);
+        v1 = _mm256_xor_si256(v1, v2);
+        v0 = _mm256_xor_si256(v0, v3);
+        v2 = _mm256_xor_si256(v2, t);
+        v3 = rol(v3, 45);
+    }
+    store(s0, v0);
+    store(s1, v1);
+    store(s2, v2);
+    store(s3, v3);
+}
+
+void
+fillAvx2x8(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+           std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+           std::size_t n)
+{
+    __m256i a0 = load(s0), b0 = load(s0 + 4);
+    __m256i a1 = load(s1), b1 = load(s1 + 4);
+    __m256i a2 = load(s2), b2 = load(s2 + 4);
+    __m256i a3 = load(s3), b3 = load(s3 + 4);
+    for (std::size_t i = 0; i < n; ++i) {
+        store(out + i * stride, starResult(a1));
+        store(out + i * stride + 4, starResult(b1));
+        __m256i ta = _mm256_slli_epi64(a1, 17);
+        __m256i tb = _mm256_slli_epi64(b1, 17);
+        a2 = _mm256_xor_si256(a2, a0);
+        b2 = _mm256_xor_si256(b2, b0);
+        a3 = _mm256_xor_si256(a3, a1);
+        b3 = _mm256_xor_si256(b3, b1);
+        a1 = _mm256_xor_si256(a1, a2);
+        b1 = _mm256_xor_si256(b1, b2);
+        a0 = _mm256_xor_si256(a0, a3);
+        b0 = _mm256_xor_si256(b0, b3);
+        a2 = _mm256_xor_si256(a2, ta);
+        b2 = _mm256_xor_si256(b2, tb);
+        a3 = rol(a3, 45);
+        b3 = rol(b3, 45);
+    }
+    store(s0, a0);
+    store(s0 + 4, b0);
+    store(s1, a1);
+    store(s1 + 4, b1);
+    store(s2, a2);
+    store(s2 + 4, b2);
+    store(s3, a3);
+    store(s3 + 4, b3);
+}
+
+#else // !__AVX2__
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+void
+fillScalarLanes(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+                std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+                std::size_t n, std::size_t lanes)
+{
+    for (std::size_t w = 0; w < lanes; ++w) {
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i * stride + w] = rotl(s1[w] * 5, 7) * 9;
+            const std::uint64_t t = s1[w] << 17;
+            s2[w] ^= s0[w];
+            s3[w] ^= s1[w];
+            s1[w] ^= s2[w];
+            s0[w] ^= s3[w];
+            s2[w] ^= t;
+            s3[w] = rotl(s3[w], 45);
+        }
+    }
+}
+
+} // namespace
+
+void
+fillAvx2x4(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+           std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+           std::size_t n)
+{
+    fillScalarLanes(s0, s1, s2, s3, out, stride, n, 4);
+}
+
+void
+fillAvx2x8(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+           std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+           std::size_t n)
+{
+    fillScalarLanes(s0, s1, s2, s3, out, stride, n, 8);
+}
+
+#endif // __AVX2__
+
+} // namespace softsku::simd_detail

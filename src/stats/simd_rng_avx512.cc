@@ -1,0 +1,156 @@
+/**
+ * @file
+ * AVX-512 xoshiro256** lane kernels.  This translation unit is compiled
+ * with -mavx512f -mavx512dq (see src/CMakeLists.txt); it must contain
+ * nothing but the kernels so no AVX-512 instruction can leak onto a
+ * path that runs before the cpuid dispatch in simd_rng.cc.  The code is
+ * integer-only: backend choice can never perturb a floating-point
+ * result.
+ *
+ * The ×5 / ×9 constant multiplies are strength-reduced to shift+add —
+ * vpmullq is multi-uop on Skylake-SP-class cores, where this code is
+ * expected to run hottest.  The 16-lane kernel interleaves two
+ * independent 8-lane chains so the serial xoshiro dependency overlaps.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+#include <immintrin.h>
+#endif
+
+namespace softsku::simd_detail {
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+namespace {
+
+inline __m512i
+starResult(__m512i s1)
+{
+    // rotl(s1 * 5, 7) * 9 with shift+add multiplies.
+    __m512i m5 = _mm512_add_epi64(s1, _mm512_slli_epi64(s1, 2));
+    __m512i rl = _mm512_rol_epi64(m5, 7);
+    return _mm512_add_epi64(rl, _mm512_slli_epi64(rl, 3));
+}
+
+} // namespace
+
+void
+fillAvx512x8(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+             std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+             std::size_t n)
+{
+    __m512i v0 = _mm512_loadu_si512(s0);
+    __m512i v1 = _mm512_loadu_si512(s1);
+    __m512i v2 = _mm512_loadu_si512(s2);
+    __m512i v3 = _mm512_loadu_si512(s3);
+    for (std::size_t i = 0; i < n; ++i) {
+        _mm512_storeu_si512(out + i * stride, starResult(v1));
+        __m512i t = _mm512_slli_epi64(v1, 17);
+        v2 = _mm512_xor_si512(v2, v0);
+        v3 = _mm512_xor_si512(v3, v1);
+        v1 = _mm512_xor_si512(v1, v2);
+        v0 = _mm512_xor_si512(v0, v3);
+        v2 = _mm512_xor_si512(v2, t);
+        v3 = _mm512_rol_epi64(v3, 45);
+    }
+    _mm512_storeu_si512(s0, v0);
+    _mm512_storeu_si512(s1, v1);
+    _mm512_storeu_si512(s2, v2);
+    _mm512_storeu_si512(s3, v3);
+}
+
+void
+fillAvx512x16(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+              std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+              std::size_t n)
+{
+    __m512i a0 = _mm512_loadu_si512(s0), b0 = _mm512_loadu_si512(s0 + 8);
+    __m512i a1 = _mm512_loadu_si512(s1), b1 = _mm512_loadu_si512(s1 + 8);
+    __m512i a2 = _mm512_loadu_si512(s2), b2 = _mm512_loadu_si512(s2 + 8);
+    __m512i a3 = _mm512_loadu_si512(s3), b3 = _mm512_loadu_si512(s3 + 8);
+    for (std::size_t i = 0; i < n; ++i) {
+        _mm512_storeu_si512(out + i * stride, starResult(a1));
+        _mm512_storeu_si512(out + i * stride + 8, starResult(b1));
+        __m512i ta = _mm512_slli_epi64(a1, 17);
+        __m512i tb = _mm512_slli_epi64(b1, 17);
+        a2 = _mm512_xor_si512(a2, a0);
+        b2 = _mm512_xor_si512(b2, b0);
+        a3 = _mm512_xor_si512(a3, a1);
+        b3 = _mm512_xor_si512(b3, b1);
+        a1 = _mm512_xor_si512(a1, a2);
+        b1 = _mm512_xor_si512(b1, b2);
+        a0 = _mm512_xor_si512(a0, a3);
+        b0 = _mm512_xor_si512(b0, b3);
+        a2 = _mm512_xor_si512(a2, ta);
+        b2 = _mm512_xor_si512(b2, tb);
+        a3 = _mm512_rol_epi64(a3, 45);
+        b3 = _mm512_rol_epi64(b3, 45);
+    }
+    _mm512_storeu_si512(s0, a0);
+    _mm512_storeu_si512(s0 + 8, b0);
+    _mm512_storeu_si512(s1, a1);
+    _mm512_storeu_si512(s1 + 8, b1);
+    _mm512_storeu_si512(s2, a2);
+    _mm512_storeu_si512(s2 + 8, b2);
+    _mm512_storeu_si512(s3, a3);
+    _mm512_storeu_si512(s3 + 8, b3);
+}
+
+#else // !(__AVX512F__ && __AVX512DQ__)
+
+// Toolchain compiled this TU without AVX-512 support (per-source flags
+// stripped).  The runtime dispatch never selects these kernels unless
+// the CPU has AVX-512, but provide correct scalar bodies so the link
+// never breaks and a misdispatch would still be correct.
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+void
+fillScalarLanes(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+                std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+                std::size_t n, std::size_t lanes)
+{
+    for (std::size_t w = 0; w < lanes; ++w) {
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i * stride + w] = rotl(s1[w] * 5, 7) * 9;
+            const std::uint64_t t = s1[w] << 17;
+            s2[w] ^= s0[w];
+            s3[w] ^= s1[w];
+            s1[w] ^= s2[w];
+            s0[w] ^= s3[w];
+            s2[w] ^= t;
+            s3[w] = rotl(s3[w], 45);
+        }
+    }
+}
+
+} // namespace
+
+void
+fillAvx512x8(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+             std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+             std::size_t n)
+{
+    fillScalarLanes(s0, s1, s2, s3, out, stride, n, 8);
+}
+
+void
+fillAvx512x16(std::uint64_t *s0, std::uint64_t *s1, std::uint64_t *s2,
+              std::uint64_t *s3, std::uint64_t *out, std::size_t stride,
+              std::size_t n)
+{
+    fillScalarLanes(s0, s1, s2, s3, out, stride, n, 16);
+}
+
+#endif // __AVX512F__ && __AVX512DQ__
+
+} // namespace softsku::simd_detail

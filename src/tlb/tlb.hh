@@ -38,6 +38,9 @@ struct TlbStats
     }
 
     void clear() { *this = TlbStats(); }
+
+    /** Exact equality — the batched/scalar bit-identity tests' probe. */
+    bool operator==(const TlbStats &) const = default;
 };
 
 /**

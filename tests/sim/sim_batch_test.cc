@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Golden harness for the batched simulator core: the batched path must
+ * reproduce the scalar path *bit for bit* at every layer —
+ *
+ *   - SimdXoshiroBank lane w replays Rng(seeds[w])'s raw stream;
+ *   - BufferedRng's derived draws (uniform, Lemire below, Box-Muller
+ *     gaussian with its cached spare) match Rng's exactly;
+ *   - LaneStreamPool stays exact when lanes consume at different
+ *     rates (the divergent slow path);
+ *   - runSimBatch CounterSets equal simulateService's for every
+ *     service × platform, any lane width, ragged final groups, mixed
+ *     profiles/seeds/windows in one batch;
+ *   - whole μSKU report JSON and summaries are byte-identical between
+ *     SimCoreKind::Scalar and SimCoreKind::Batched, across --jobs and
+ *     under fault injection.
+ *
+ * These tests are what lets SimCoreKind::Batched be the default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "arch/platform.hh"
+#include "core/usku.hh"
+#include "services/services.hh"
+#include "sim/batched_core.hh"
+#include "sim/production_env.hh"
+#include "sim/service_sim.hh"
+#include "sim/sim_core.hh"
+#include "stats/rng.hh"
+#include "stats/simd_rng.hh"
+
+namespace softsku {
+namespace {
+
+SimOptions
+fastOptions()
+{
+    SimOptions opts;
+    opts.warmupInstructions = 60'000;
+    opts.measureInstructions = 80'000;
+    return opts;
+}
+
+TEST(SimBatch, BankLanesReplayScalarRngStreams)
+{
+    for (std::size_t laneCount : {1u, 4u, 5u, 8u, 16u}) {
+        std::vector<std::uint64_t> seeds;
+        for (std::size_t w = 0; w < laneCount; ++w)
+            seeds.push_back(0xF00D ^ (w * 977 + 3));
+        SimdXoshiroBank bank(seeds);
+        constexpr std::size_t kDraws = 513;  // odd: exercises remainders
+        std::vector<std::uint64_t> out(kDraws * laneCount);
+        bank.fillInterleaved(out.data(), kDraws);
+        for (std::size_t w = 0; w < laneCount; ++w) {
+            Rng scalar(seeds[w]);
+            for (std::size_t i = 0; i < kDraws; ++i)
+                ASSERT_EQ(out[i * laneCount + w], scalar.next())
+                    << "lane " << w << " draw " << i << " of "
+                    << laneCount;
+        }
+    }
+}
+
+TEST(SimBatch, BankFillLaneMatchesScalarStream)
+{
+    std::vector<std::uint64_t> seeds = {11, 22, 33, 44};
+    SimdXoshiroBank bank(seeds);
+    std::vector<std::uint64_t> out(64 * seeds.size(), 0);
+    bank.fillLane(2, out.data() + 2, seeds.size(), 64);
+    Rng scalar(33);
+    for (std::size_t i = 0; i < 64; ++i)
+        ASSERT_EQ(out[i * seeds.size() + 2], scalar.next());
+}
+
+TEST(SimBatch, BufferedRngMatchesRngAcrossFullApi)
+{
+    std::vector<std::uint64_t> seeds = {5, 6, 7};
+    LaneStreamPool pool(seeds);
+    for (std::size_t w = 0; w < seeds.size(); ++w) {
+        BufferedRng buffered(&pool, w);
+        Rng scalar(seeds[w]);
+        for (int round = 0; round < 2000; ++round) {
+            ASSERT_EQ(buffered.next(), scalar.next());
+            ASSERT_EQ(buffered.uniform(), scalar.uniform());
+            ASSERT_EQ(buffered.below(97), scalar.below(97));
+            ASSERT_EQ(buffered.range(-5, 40), scalar.range(-5, 40));
+            // Box-Muller: both the fresh pair and the cached spare.
+            ASSERT_EQ(buffered.gaussian(), scalar.gaussian());
+            ASSERT_EQ(buffered.gaussian(3.0, 0.7),
+                      scalar.gaussian(3.0, 0.7));
+            ASSERT_EQ(buffered.exponential(2.5), scalar.exponential(2.5));
+            ASSERT_EQ(buffered.chance(0.3), scalar.chance(0.3));
+            ASSERT_EQ(buffered.logNormalMean(1.0, 0.01),
+                      scalar.logNormalMean(1.0, 0.01));
+            ASSERT_EQ(buffered.uniform(2.0, 9.0), scalar.uniform(2.0, 9.0));
+        }
+    }
+}
+
+TEST(SimBatch, PoolStaysExactWhenLaneConsumptionDiverges)
+{
+    // Lane 0 drinks 10x faster than lane 2: the pool's lockstep fast
+    // path breaks and the starved lanes refill through the per-lane
+    // scalar path.  Every lane must still replay its exact stream.
+    std::vector<std::uint64_t> seeds = {101, 202, 303};
+    LaneStreamPool pool(seeds, 256);
+    std::vector<Rng> scalars;
+    for (std::uint64_t s : seeds)
+        scalars.emplace_back(s);
+    std::vector<BufferedRng> lanes;
+    for (std::size_t w = 0; w < seeds.size(); ++w)
+        lanes.emplace_back(&pool, w);
+
+    for (int round = 0; round < 400; ++round) {
+        for (std::size_t w = 0; w < seeds.size(); ++w) {
+            int draws = w == 0 ? 100 : 10;
+            for (int d = 0; d < draws; ++d)
+                ASSERT_EQ(lanes[w].next(), scalars[w].next())
+                    << "lane " << w << " round " << round;
+        }
+    }
+    EXPECT_GT(pool.scalarFills(), 0u);
+}
+
+TEST(SimBatch, LineRingOverwritesOldestAfterWrap)
+{
+    simcore::LineRing ring(3);
+    EXPECT_TRUE(ring.empty());
+    for (std::uint64_t line = 1; line <= 7; ++line)
+        ring.push(line);
+    // Capacity 3 after 7 pushes: cursor wrapped (4→slot0, 5→slot1,
+    // 6→slot2, 7→slot0 again), so the live set is {5, 6, 7}.
+    std::set<std::uint64_t> seen;
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i)
+        seen.insert(ring.sample(rng));
+    EXPECT_EQ(seen, (std::set<std::uint64_t>{5, 6, 7}));
+}
+
+TEST(SimBatch, BatchedMatchesScalarOnEveryServiceAndPlatform)
+{
+    SimOptions opts = fastOptions();
+    for (const PlatformSpec *platform : allPlatforms()) {
+        // One batch holding all seven services on this platform: mixed
+        // profiles in one lane group exercises divergent-lane refills.
+        std::vector<SimJob> jobs;
+        for (const WorkloadProfile *service : allMicroservices())
+            jobs.push_back(SimJob{service, platform, KnobConfig{}, opts});
+        std::vector<CounterSet> batched = runSimBatch(jobs);
+        ASSERT_EQ(batched.size(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            CounterSet scalar =
+                simulateService(*jobs[i].profile, *jobs[i].platform,
+                                jobs[i].knobs, jobs[i].options);
+            EXPECT_TRUE(batched[i] == scalar)
+                << jobs[i].profile->name << " on " << platform->name
+                << ": batched CounterSet diverged from scalar";
+        }
+    }
+}
+
+TEST(SimBatch, LaneWidthNeverChangesResults)
+{
+    // Same-profile same-seed lanes with different knobs: the lockstep
+    // fast path.  Five jobs at widths 1/4/8 cover ragged final groups
+    // on every width.
+    SimOptions opts = fastOptions();
+    const WorkloadProfile &service = webProfile();
+    const PlatformSpec &platform = skylake18();
+    std::vector<KnobConfig> configs(5);
+    configs[1].coreFreqGHz = 2.0;
+    configs[2].thp = ThpMode::Never;
+    configs[3].prefetch = PrefetcherPreset::AllOff;
+    configs[4].activeCores = 12;
+
+    std::vector<SimJob> jobs;
+    for (const KnobConfig &config : configs)
+        jobs.push_back(SimJob{&service, &platform, config, opts});
+
+    std::vector<CounterSet> scalar;
+    for (const SimJob &job : jobs)
+        scalar.push_back(simulateService(*job.profile, *job.platform,
+                                         job.knobs, job.options));
+    for (std::size_t width : {1u, 4u, 8u}) {
+        std::vector<CounterSet> batched = runSimBatch(jobs, width);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            EXPECT_TRUE(batched[i] == scalar[i])
+                << "config " << i << " at lane width " << width;
+    }
+}
+
+TEST(SimBatch, MixedSeedsWindowsAndCatWaysStayExact)
+{
+    const WorkloadProfile &service = cache1Profile();
+    const PlatformSpec &platform = broadwell16();
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        SimOptions opts = fastOptions();
+        opts.seed = 1 + static_cast<std::uint64_t>(i);
+        opts.warmupInstructions += static_cast<std::uint64_t>(i) * 7'000;
+        opts.measureInstructions += static_cast<std::uint64_t>(i) * 11'000;
+        if (i == 2)
+            opts.catWays = 4;
+        jobs.push_back(SimJob{&service, &platform, KnobConfig{}, opts});
+    }
+    std::vector<CounterSet> batched = runSimBatch(jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        CounterSet scalar =
+            simulateService(*jobs[i].profile, *jobs[i].platform,
+                            jobs[i].knobs, jobs[i].options);
+        EXPECT_TRUE(batched[i] == scalar) << "job " << i;
+    }
+}
+
+TEST(SimBatch, CxlPlatformBatchesExactly)
+{
+    // The CXL platform exercises the far-tier resolve() inside the
+    // vectorized roll-up; keep it pinned explicitly.
+    SimOptions opts = fastOptions();
+    KnobConfig tiered;
+    tiered.farMemRatio = 0.25;
+    tiered.tierPolicy = TierPolicy::Static;
+    std::vector<SimJob> jobs = {
+        SimJob{&webProfile(), &skylake18cxl(), KnobConfig{}, opts},
+        SimJob{&webProfile(), &skylake18cxl(), tiered, opts},
+    };
+    std::vector<CounterSet> batched = runSimBatch(jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        CounterSet scalar =
+            simulateService(*jobs[i].profile, *jobs[i].platform,
+                            jobs[i].knobs, jobs[i].options);
+        EXPECT_TRUE(batched[i] == scalar) << "job " << i;
+    }
+}
+
+TEST(SimBatch, PrepareConfigsFillsCacheBitIdentically)
+{
+    SimOptions opts = fastOptions();
+    KnobConfig noThp;
+    noThp.thp = ThpMode::Never;
+
+    SimOptions scalarOpts = opts;
+    scalarOpts.core = SimCoreKind::Scalar;
+    ProductionEnvironment lazy(webProfile(), skylake18(), 1, scalarOpts);
+    ProductionEnvironment batched(webProfile(), skylake18(), 1, opts);
+    batched.prepareConfigs({KnobConfig{}, noThp, KnobConfig{}});
+    EXPECT_EQ(batched.configsSimulated(), 2u);
+
+    EXPECT_TRUE(batched.counters(KnobConfig{}) ==
+                lazy.counters(KnobConfig{}));
+    EXPECT_TRUE(batched.counters(noThp) == lazy.counters(noThp));
+    EXPECT_EQ(batched.trueMips(noThp), lazy.trueMips(noThp));
+}
+
+/** One full μSKU run with the requested core and thread count. */
+UskuReport
+runTool(SimCoreKind core, unsigned jobs, const FaultPlan &plan)
+{
+    SimOptions opts;
+    opts.warmupInstructions = 150'000;
+    opts.measureInstructions = 200'000;
+    opts.core = core;
+    ProductionEnvironment env(webProfile(), skylake18(), 1, opts);
+    if (plan.any())
+        env.setFaults(plan, 9);
+
+    InputSpec spec;
+    spec.microservice = "web";
+    spec.platform = "skylake18";
+    spec.sweep = SweepMode::Independent;
+    spec.knobs = {KnobId::Thp, KnobId::Shp};
+    spec.seed = 1;
+    spec.validationDurationSec = 6 * 3600.0;
+    spec.normalize();
+
+    UskuOptions options;
+    options.jobs = jobs;
+    if (plan.any())
+        options.robustness = RobustnessPolicy::hostile();
+    Usku tool(env, options);
+    return tool.run(spec);
+}
+
+TEST(SimBatch, ReportByteIdenticalScalarVsBatchedAcrossJobs)
+{
+    const UskuReport reference =
+        runTool(SimCoreKind::Scalar, 1, FaultPlan{});
+    const std::string refJson = reference.toJson().dump(2);
+    const std::string refSummary = reference.summary();
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        UskuReport report = runTool(SimCoreKind::Batched, jobs, FaultPlan{});
+        EXPECT_EQ(report.toJson().dump(2), refJson) << "jobs " << jobs;
+        EXPECT_EQ(report.summary(), refSummary) << "jobs " << jobs;
+    }
+}
+
+TEST(SimBatch, ReportByteIdenticalUnderModerateFaults)
+{
+    FaultPlan plan = FaultPlan::fromSpec("moderate");
+    const UskuReport reference = runTool(SimCoreKind::Scalar, 1, plan);
+    const std::string refJson = reference.toJson().dump(2);
+    for (unsigned jobs : {1u, 2u}) {
+        UskuReport report = runTool(SimCoreKind::Batched, jobs, plan);
+        EXPECT_EQ(report.toJson().dump(2), refJson) << "jobs " << jobs;
+    }
+}
+
+} // namespace
+} // namespace softsku

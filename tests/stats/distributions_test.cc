@@ -91,6 +91,58 @@ TEST(Discrete, ZeroWeightNeverSampled)
         EXPECT_EQ(d.sample(rng), 1u);
 }
 
+/** Scripted generator steering sample() into a chosen branch — only
+ *  possible because sample() is templated over the generator. */
+struct ScriptedRng
+{
+    double u;
+    std::uint64_t belowReturn = 0;
+    int belowCalls = 0;
+
+    double uniform() { return u; }
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ++belowCalls;
+        return belowReturn < bound ? belowReturn : bound - 1;
+    }
+};
+
+TEST(Zipf, TableCappedTailStillReachesEveryRank)
+{
+    // n beyond the 1<<20 CDF table cap: the hoisted tail branch must
+    // still spread the capped last table rank across the whole tail,
+    // with exactly one below() draw — and only on that rank.
+    const std::uint64_t cap = 1u << 20;
+    const std::uint64_t n = cap + 5000;
+    ZipfDistribution zipf(n, 0.6);
+
+    ScriptedRng top{1.0, 5000};
+    EXPECT_EQ(zipf.sample(top), n - 1);
+    EXPECT_EQ(top.belowCalls, 1);
+
+    ScriptedRng base{1.0, 0};
+    EXPECT_EQ(zipf.sample(base), cap - 1);
+    EXPECT_EQ(base.belowCalls, 1);
+
+    ScriptedRng head{0.0};
+    EXPECT_EQ(zipf.sample(head), 0u);
+    EXPECT_EQ(head.belowCalls, 0);
+}
+
+TEST(Zipf, UncappedSampleDrawsExactlyOneUniform)
+{
+    // Without a truncated table, sample() must consume exactly one
+    // draw — the hoisted hasTail_ check cannot touch the stream.
+    ZipfDistribution zipf(1000, 0.8);
+    Rng a(11), b(11);
+    for (int i = 0; i < 5000; ++i) {
+        zipf.sample(a);
+        b.uniform();
+        ASSERT_EQ(a.next(), b.next());
+    }
+}
+
 TEST(Ewma, FirstValueTaken)
 {
     Ewma e(0.1);
